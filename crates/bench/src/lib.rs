@@ -1,0 +1,12 @@
+//! Criterion benchmarks for the TSN-Builder reproduction.
+//!
+//! Run `cargo bench --workspace`. Groups map to the paper's artifacts:
+//!
+//! * `benches/resources.rs` — Table I / Table III accounting plus the
+//!   BRAM allocation-policy ablation;
+//! * `benches/templates.rs` — per-template datapath costs (lookup,
+//!   classification, gate control, scheduling) and HDL emission;
+//! * `benches/planning.rs` — CQF slot planning, ITP strategies, the full
+//!   derivation pipeline;
+//! * `benches/simulation.rs` — end-to-end network runs behind Fig. 2 and
+//!   Fig. 7.

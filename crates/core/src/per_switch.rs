@@ -1,0 +1,170 @@
+//! Per-switch (heterogeneous) customization — sizing *each* switch by its
+//! own enabled-port count instead of the network-wide worst case.
+//!
+//! The paper provisions every switch of a scenario with the same column
+//! of Table III: `port_num` is the *maximum* enabled-port count over the
+//! topology (star → 3 even for the child switches, which enable only 1).
+//! Its own enabled-port analysis (guideline 5) supports finer grain: the
+//! core of a star needs 3 gate-table/CBS/queue/buffer sets, its children
+//! only 1. This module derives one [`ResourceConfig`] per switch and sums
+//! the network-wide BRAM, quantifying the additional saving.
+
+use crate::derive::{derive_parameters, DeriveOptions, DerivedConfig};
+use crate::requirements::AppRequirements;
+use std::collections::BTreeMap;
+use tsn_resource::{AllocationPolicy, ResourceConfig, UsageReport};
+use tsn_types::{NodeId, TsnResult};
+
+/// One heterogeneous network customization: a uniform base plus
+/// per-switch port scaling.
+#[derive(Debug, Clone)]
+pub struct PerSwitchConfig {
+    /// The uniform (worst-case) derivation this refines.
+    pub uniform: DerivedConfig,
+    /// Per-switch resource configurations, keyed by node. Switches that
+    /// carry no TS traffic still get a 1-port TSN configuration (they
+    /// need forwarding state but no deterministic egress provisioning
+    /// beyond the minimum).
+    pub per_switch: BTreeMap<NodeId, ResourceConfig>,
+}
+
+impl PerSwitchConfig {
+    /// Derives per-switch configurations for a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the uniform derivation's errors, plus parameter
+    /// validation when scaling ports.
+    pub fn derive(
+        requirements: &AppRequirements,
+        options: &DeriveOptions,
+    ) -> TsnResult<Self> {
+        let uniform = derive_parameters(requirements, options)?;
+        let mut per_switch = BTreeMap::new();
+        for switch in requirements.topology().switches() {
+            let ports = (uniform.enabled_ports.ports_of(switch) as u32).max(1);
+            let base = &uniform.resources;
+            let mut resources = base.clone();
+            resources
+                .set_gate_tbl(base.gate_size(), base.queue_num(), ports)?
+                .set_cbs_tbl(base.cbs_map_size(), base.cbs_size(), ports)?
+                .set_queues(base.queue_depth(), base.queue_num(), ports)?
+                .set_buffers(base.buffer_num(), ports)?;
+            per_switch.insert(switch, resources);
+        }
+        Ok(PerSwitchConfig {
+            uniform,
+            per_switch,
+        })
+    }
+
+    /// Total network BRAM bits under `policy` with per-switch sizing.
+    #[must_use]
+    pub fn network_total_bits(&self, policy: AllocationPolicy) -> u64 {
+        self.per_switch
+            .values()
+            .map(|r| r.total_bits(policy))
+            .sum()
+    }
+
+    /// Total network BRAM bits if every switch used the uniform
+    /// (worst-case) configuration — the paper's provisioning.
+    #[must_use]
+    pub fn uniform_total_bits(&self, policy: AllocationPolicy) -> u64 {
+        self.uniform.resources.total_bits(policy) * self.per_switch.len() as u64
+    }
+
+    /// Extra saving of per-switch sizing over uniform sizing, percent.
+    #[must_use]
+    pub fn saving_vs_uniform(&self, policy: AllocationPolicy) -> f64 {
+        let uniform = self.uniform_total_bits(policy);
+        if uniform == 0 {
+            return 0.0;
+        }
+        (1.0 - self.network_total_bits(policy) as f64 / uniform as f64) * 100.0
+    }
+
+    /// A Table III-style report for one switch.
+    #[must_use]
+    pub fn report_for(&self, switch: NodeId, policy: AllocationPolicy) -> Option<UsageReport> {
+        self.per_switch
+            .get(&switch)
+            .map(|r| UsageReport::of(r, policy))
+    }
+
+    /// Number of switches in the network.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.per_switch.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use tsn_topology::presets;
+    use tsn_types::SimDuration;
+
+    fn scenario(topology: tsn_topology::Topology) -> AppRequirements {
+        let flows = workloads::iec60802_ts_flows(&topology, 64, 9).expect("workload builds");
+        AppRequirements::new(topology, flows, SimDuration::from_nanos(50))
+            .expect("valid requirements")
+    }
+
+    #[test]
+    fn star_core_gets_three_ports_children_one() {
+        let req = scenario(presets::star(3, 3).expect("builds"));
+        let cfg =
+            PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
+        assert_eq!(cfg.switch_count(), 4);
+        let port_counts: Vec<u32> =
+            cfg.per_switch.values().map(ResourceConfig::port_num).collect();
+        // Core first (node 0), then children.
+        assert_eq!(port_counts, vec![3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn per_switch_beats_uniform_on_the_star() {
+        let req = scenario(presets::star(3, 3).expect("builds"));
+        let cfg =
+            PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
+        let policy = AllocationPolicy::PaperAccounting;
+        let saving = cfg.saving_vs_uniform(policy);
+        assert!(
+            saving > 25.0,
+            "children shrink from 3 ports to 1: expected >25% network saving, got {saving:.1}%"
+        );
+        assert!(cfg.network_total_bits(policy) < cfg.uniform_total_bits(policy));
+    }
+
+    #[test]
+    fn ring_gains_nothing_every_switch_is_identical() {
+        let req = scenario(presets::ring(6, 3).expect("builds"));
+        let cfg =
+            PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
+        let policy = AllocationPolicy::PaperAccounting;
+        // Every ring switch enables exactly one port: per-switch == uniform.
+        assert_eq!(cfg.saving_vs_uniform(policy), 0.0);
+        for resources in cfg.per_switch.values() {
+            assert_eq!(resources.port_num(), 1);
+        }
+    }
+
+    #[test]
+    fn per_switch_reports_match_table_iii_rows() {
+        let req = scenario(presets::star(3, 3).expect("builds"));
+        let cfg =
+            PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
+        let core = req.topology().switches()[0];
+        let report = cfg
+            .report_for(core, AllocationPolicy::PaperAccounting)
+            .expect("core exists");
+        assert_eq!(report.total_kb(), 5778.0, "the core is the star column");
+        let child = req.topology().switches()[1];
+        let child_report = cfg
+            .report_for(child, AllocationPolicy::PaperAccounting)
+            .expect("child exists");
+        assert_eq!(child_report.total_kb(), 2106.0, "children are the ring column");
+    }
+}

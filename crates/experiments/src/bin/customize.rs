@@ -1,0 +1,256 @@
+//! `customize` — the TSN-Builder command line: scenario file in,
+//! customized switch out.
+//!
+//! ```text
+//! cargo run --release -p tsn-experiments --bin customize -- scenarios/ring_demo.json
+//! cargo run --release -p tsn-experiments --bin customize -- --sample   # write a template
+//! ```
+//!
+//! The scenario file captures exactly what Section II.A says is known in
+//! advance — topology, flows, precision — and the tool answers with the
+//! Table II parameters, the Table III-style BRAM report, a simulation of
+//! the scenario, and (optionally) the Verilog bundle.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use tsn_builder::{workloads, DeriveOptions, GateMode, TsnBuilder};
+use tsn_resource::AllocationPolicy;
+use tsn_sim::network::SyncSetup;
+use tsn_topology::presets;
+use tsn_types::{DataRate, SimDuration};
+
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+struct ScenarioFile {
+    topology: TopologySpec,
+    flows: FlowsSpec,
+    #[serde(default)]
+    options: OptionsSpec,
+    #[serde(default)]
+    run: RunSpec,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+struct TopologySpec {
+    /// `ring`, `linear` or `star`.
+    kind: String,
+    switches: usize,
+    hosts: usize,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+struct FlowsSpec {
+    ts_count: u32,
+    #[serde(default = "default_frame_bytes")]
+    frame_bytes: u32,
+    #[serde(default = "default_seed")]
+    seed: u64,
+    #[serde(default)]
+    rc_mbps: u64,
+    #[serde(default)]
+    be_mbps: u64,
+}
+
+fn default_frame_bytes() -> u32 {
+    64
+}
+
+fn default_seed() -> u64 {
+    42
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+struct OptionsSpec {
+    /// CQF slot in µs; omitted = choose the largest feasible slot.
+    slot_us: Option<u64>,
+    /// Pin the queue depth (omitted = ITP-derived).
+    queue_depth: Option<u32>,
+    /// `cqf` (default) or `tas`.
+    gate_mode: Option<String>,
+    /// Aggregate the switch table per destination.
+    #[serde(default)]
+    aggregate_switch_tbl: bool,
+    /// Enable 802.3br frame preemption in the simulation.
+    #[serde(default)]
+    frame_preemption: bool,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+struct RunSpec {
+    #[serde(default = "default_duration_ms")]
+    duration_ms: u64,
+    #[serde(default = "default_true")]
+    simulate: bool,
+    /// Directory to write the Verilog bundle into (omitted = no HDL).
+    emit_hdl: Option<String>,
+}
+
+fn default_duration_ms() -> u64 {
+    100
+}
+
+fn default_true() -> bool {
+    true
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            duration_ms: default_duration_ms(),
+            simulate: true,
+            emit_hdl: None,
+        }
+    }
+}
+
+fn sample() -> ScenarioFile {
+    ScenarioFile {
+        topology: TopologySpec {
+            kind: "ring".into(),
+            switches: 6,
+            hosts: 3,
+        },
+        flows: FlowsSpec {
+            ts_count: 256,
+            frame_bytes: 64,
+            seed: 42,
+            rc_mbps: 100,
+            be_mbps: 300,
+        },
+        options: OptionsSpec {
+            slot_us: Some(65),
+            queue_depth: None,
+            gate_mode: Some("cqf".into()),
+            aggregate_switch_tbl: false,
+            frame_preemption: false,
+        },
+        run: RunSpec::default(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--sample") => {
+            let path = Path::new("scenarios/sample.json");
+            std::fs::create_dir_all("scenarios").expect("can create scenarios/");
+            std::fs::write(
+                path,
+                serde_json::to_string_pretty(&sample()).expect("sample serializes"),
+            )
+            .expect("can write the sample");
+            println!("wrote {}", path.display());
+        }
+        Some(path) => run_scenario(path),
+        None => {
+            eprintln!("usage: customize <scenario.json> | customize --sample");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_scenario(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let scenario: ScenarioFile =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad scenario file: {e}"));
+
+    let topology = match scenario.topology.kind.as_str() {
+        "ring" => presets::ring(scenario.topology.switches, scenario.topology.hosts),
+        "linear" => presets::linear(scenario.topology.switches, scenario.topology.hosts),
+        "star" => presets::star(scenario.topology.switches, scenario.topology.hosts),
+        other => panic!("unknown topology kind {other:?} (ring|linear|star)"),
+    }
+    .unwrap_or_else(|e| panic!("topology: {e}"));
+
+    let mut flows = workloads::ts_flows_sized(
+        &topology,
+        scenario.flows.ts_count,
+        scenario.flows.frame_bytes,
+        scenario.flows.seed,
+    )
+    .unwrap_or_else(|e| panic!("flows: {e}"));
+    flows.extend(
+        workloads::background_flows(
+            &topology,
+            DataRate::mbps(scenario.flows.rc_mbps),
+            DataRate::mbps(scenario.flows.be_mbps),
+            1_000_000,
+        )
+        .unwrap_or_else(|e| panic!("background: {e}")),
+    );
+
+    let mut options = DeriveOptions::automatic();
+    options.slot = scenario.options.slot_us.map(SimDuration::from_micros);
+    options.queue_depth_override = scenario.options.queue_depth;
+    options.aggregate_switch_tbl = scenario.options.aggregate_switch_tbl;
+    options.gate_mode = match scenario.options.gate_mode.as_deref() {
+        None | Some("cqf") => GateMode::Cqf,
+        Some("tas") => GateMode::Tas,
+        Some(other) => panic!("unknown gate_mode {other:?} (cqf|tas)"),
+    };
+
+    let customization = TsnBuilder::new(topology, flows, SimDuration::from_nanos(50))
+        .unwrap_or_else(|e| panic!("requirements: {e}"))
+        .derive(&options)
+        .unwrap_or_else(|e| panic!("derivation: {e}"));
+
+    let derived = customization.derived();
+    println!("== derived customization ==");
+    println!(
+        "slot {} | gate_size {} | queue depth {} | buffers {} | {} TSN port(s) | peak occupancy {}",
+        derived.cqf.slot,
+        derived.resources.gate_size(),
+        derived.resources.queue_depth(),
+        derived.resources.buffer_num(),
+        derived.resources.port_num(),
+        derived.itp.max_occupancy,
+    );
+    println!("\n{}", customization.usage_report(AllocationPolicy::PaperAccounting));
+    println!(
+        "\n{}",
+        tsn_resource::ResourceView::of(
+            &customization.derived().resources,
+            AllocationPolicy::PaperAccounting
+        )
+    );
+    println!(
+        "\nsavings vs BCM53154: {:.2}%",
+        customization.savings_vs_cots(AllocationPolicy::PaperAccounting)
+    );
+
+    if scenario.run.simulate {
+        let preemption = scenario.options.frame_preemption;
+        let report = customization
+            .synthesize_network_configured(
+                SimDuration::from_millis(scenario.run.duration_ms),
+                SyncSetup::default(),
+                |config| config.frame_preemption = preemption,
+            )
+            .unwrap_or_else(|e| panic!("synthesis: {e}"))
+            .run();
+        if preemption {
+            println!("(frame preemption on: {} preemptions)", report.preemptions);
+        }
+        println!("\n== simulation ({}ms) ==\n{report}", scenario.run.duration_ms);
+        if report.ts_lost() > 0 {
+            eprintln!("warning: the scenario lost TS frames — resources are under-provisioned");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(dir) = scenario.run.emit_hdl {
+        let bundle = customization
+            .generate_hdl()
+            .unwrap_or_else(|e| panic!("hdl: {e}"));
+        std::fs::create_dir_all(&dir).expect("can create the HDL directory");
+        for (name, src) in bundle.files() {
+            std::fs::write(Path::new(&dir).join(name), src).expect("can write HDL");
+        }
+        println!("\nwrote {} Verilog files to {dir}/", bundle.files().len());
+    }
+}

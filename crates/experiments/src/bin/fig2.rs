@@ -1,0 +1,111 @@
+//! Fig. 2: TS latency under (a) best-effort and (b) rate-constrained
+//! background traffic, for both Table I resource cases.
+//!
+//! The paper's claim: "the latency and jitter of TS flows with the
+//! highest priority are very stable despite the interference of other
+//! flows" — the four series must all be flat over 0–900 Mbps.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use tsn_builder::{cqf::PAPER_SLOT, itp, workloads, AppRequirements, CqfPlan};
+use tsn_experiments::util::{dump_json, figure_config, ring_with_analyzers, run_network, print_series, QosPoint};
+use tsn_resource::{baseline, ResourceConfig};
+use tsn_types::{DataRate, FlowId, SimDuration, TrafficClass};
+
+#[derive(Serialize)]
+struct Series {
+    case: String,
+    background: String,
+    points: Vec<QosPoint>,
+}
+
+fn sweep(case: &str, resources: &ResourceConfig, class: TrafficClass) -> Series {
+    let mut points = Vec::new();
+    for mbps in (0..=900).step_by(100) {
+        let (topo, tester, analyzers) =
+            ring_with_analyzers(3, &[2]).expect("topology builds");
+        // 1023 TS + at most 1 RC filter entry = the 1024-entry table.
+        let ts = workloads::ts_flows_fixed_path(
+            1023,
+            tester,
+            analyzers[0],
+            64,
+            SimDuration::from_millis(8),
+        )
+        .expect("workload builds");
+        let (rc, be) = match class {
+            TrafficClass::RateConstrained => (DataRate::mbps(mbps), DataRate::ZERO),
+            _ => (DataRate::ZERO, DataRate::mbps(mbps)),
+        };
+        let mut bg = workloads::background_flows(&topo, rc, be, 5000).expect("workload builds");
+        // Background shares the tester/analyzer path.
+        bg = bg
+            .into_iter()
+            .map(|f| match f {
+                tsn_types::FlowSpec::Rc(r) => tsn_types::RcFlowSpec::new(
+                    r.id(), tester, analyzers[0], r.reserved_rate(), r.frame_bytes(),
+                )
+                .expect("valid")
+                .into(),
+                tsn_types::FlowSpec::Be(b) => tsn_types::BeFlowSpec::new(
+                    b.id(), tester, analyzers[0], b.offered_rate(), b.frame_bytes(),
+                )
+                .expect("valid")
+                .into(),
+                other => other,
+            })
+            .collect();
+        let flows = workloads::merge(ts, bg);
+
+        let requirements =
+            AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))
+                .expect("valid requirements");
+        let plan = CqfPlan::with_slot(&requirements, PAPER_SLOT, DataRate::gbps(1))
+            .expect("slot feasible");
+        let offsets: HashMap<FlowId, SimDuration> =
+            itp::plan(&requirements, &plan, itp::Strategy::GreedyLeastLoaded)
+                .expect("itp plans")
+                .offsets;
+        let report = run_network(topo, flows, &offsets, figure_config(PAPER_SLOT, resources.clone()));
+        points.push(QosPoint::from_report(mbps, &report));
+    }
+    Series {
+        case: case.to_owned(),
+        background: format!("{} background", class.label()),
+        points,
+    }
+}
+
+fn main() {
+    let mut all = Vec::new();
+    for (case, resources) in [
+        ("Case 1", baseline::table1_case1()),
+        ("Case 2", baseline::table1_case2()),
+    ] {
+        for class in [TrafficClass::BestEffort, TrafficClass::RateConstrained] {
+            let series = sweep(case, &resources, class);
+            print_series(
+                &format!("Fig. 2 — {case}, {} as background", class.label()),
+                "bg Mbps",
+                &series.points,
+            );
+            all.push(series);
+        }
+    }
+
+    // Flatness check across each series.
+    println!();
+    for series in &all {
+        let means: Vec<f64> = series.points.iter().map(|p| p.mean_us).collect();
+        let spread = means.iter().cloned().fold(f64::MIN, f64::max)
+            - means.iter().cloned().fold(f64::MAX, f64::min);
+        let loss: u64 = series.points.iter().map(|p| p.loss).sum();
+        println!(
+            "{} / {}: mean-latency spread over the sweep = {spread:.2}us, total TS loss = {loss} ({})",
+            series.case,
+            series.background,
+            if spread < 15.0 && loss == 0 { "stable, as in the paper" } else { "UNSTABLE" }
+        );
+    }
+    dump_json("fig2", &all);
+}

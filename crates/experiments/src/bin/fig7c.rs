@@ -1,0 +1,63 @@
+//! Fig. 7(c): end-to-end TS latency under different time slots.
+//!
+//! The paper: "The average latency and jitter are increased manyfold
+//! according to the upper and lower bound in Eq. (1)." Latency must scale
+//! linearly with the slot length.
+//!
+//! Each slot gets its own TSN-Builder derivation (larger slots
+//! concentrate more frames per phase, so ITP re-derives the queue depth
+//! and buffer count — the customization loop in action).
+
+use tsn_builder::{itp, workloads, AppRequirements, CqfPlan, DeriveOptions};
+use tsn_experiments::util::{dump_json, figure_config, print_series, ring_with_analyzers, run_network, QosPoint};
+use tsn_types::{DataRate, SimDuration};
+
+fn main() {
+    let mut points = Vec::new();
+    let mut depths = Vec::new();
+    for slot_us in [33u64, 65, 130, 195] {
+        let slot = SimDuration::from_micros(slot_us);
+        let (topo, tester, analyzers) = ring_with_analyzers(6, &[2]).expect("topology builds");
+        let flows = workloads::ts_flows_fixed_path(
+            1024,
+            tester,
+            analyzers[0],
+            64,
+            SimDuration::from_millis(8),
+        )
+        .expect("workload builds");
+        let requirements =
+            AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))
+                .expect("valid requirements");
+        let plan = CqfPlan::with_slot(&requirements, slot, DataRate::gbps(1)).expect("feasible");
+        let planned = itp::plan(&requirements, &plan, itp::Strategy::GreedyLeastLoaded)
+            .expect("itp plans");
+
+        let mut options = DeriveOptions::automatic();
+        options.slot = Some(slot);
+        let derived = tsn_builder::derive_parameters(&requirements, &options).expect("derives");
+        depths.push((slot_us, derived.resources.queue_depth(), derived.resources.buffer_num()));
+
+        let report = run_network(
+            topo,
+            flows,
+            &planned.offsets,
+            figure_config(slot, derived.resources),
+        );
+        points.push(QosPoint::from_report(slot_us, &report));
+    }
+
+    print_series("Fig. 7(c) — latency vs slot size (3 hops)", "slot us", &points);
+
+    println!("\nper-slot derived resources (ITP re-sizing):");
+    for (slot_us, depth, buffers) in &depths {
+        println!("  slot {slot_us}us -> queue_depth {depth}, buffers {buffers}");
+    }
+    println!("\nlinearity check (mean latency / slot):");
+    for p in &points {
+        println!("  slot {}us: mean/slot = {:.2}", p.x, p.mean_us / p.x as f64);
+    }
+    let loss: u64 = points.iter().map(|p| p.loss).sum();
+    println!("total TS loss across the sweep: {loss}");
+    dump_json("fig7c", &points);
+}

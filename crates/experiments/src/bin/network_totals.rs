@@ -1,0 +1,80 @@
+//! Extension experiment: network-wide BRAM under three provisioning
+//! granularities.
+//!
+//! The paper's Table III prices *one switch*; a deployment buys N of
+//! them. Three ways to provision a whole network:
+//!
+//! 1. COTS — every switch is a BCM53154;
+//! 2. uniform customization (the paper) — every switch gets the
+//!    worst-case column of its scenario;
+//! 3. per-switch customization (this repo's extension) — each switch is
+//!    sized by its *own* enabled-port count.
+
+use serde::Serialize;
+use tsn_builder::{workloads, AppRequirements, DeriveOptions, PerSwitchConfig};
+use tsn_experiments::util::dump_json;
+use tsn_resource::{baseline, AllocationPolicy};
+use tsn_topology::presets;
+use tsn_types::SimDuration;
+
+#[derive(Serialize)]
+struct NetworkRow {
+    scenario: String,
+    switches: usize,
+    cots_kb: f64,
+    uniform_kb: f64,
+    per_switch_kb: f64,
+    saving_vs_cots_pct: f64,
+    extra_saving_vs_uniform_pct: f64,
+}
+
+fn measure(name: &str, topology: tsn_topology::Topology) -> NetworkRow {
+    let flows = workloads::iec60802_ts_flows(&topology, 1024, 42).expect("workload builds");
+    let requirements = AppRequirements::new(topology, flows, SimDuration::from_nanos(50))
+        .expect("valid requirements");
+    let cfg = PerSwitchConfig::derive(&requirements, &DeriveOptions::paper()).expect("derives");
+    let policy = AllocationPolicy::PaperAccounting;
+    let kb = |bits: u64| bits as f64 / 1024.0;
+    let cots = baseline::bcm53154().total_bits(policy) * cfg.switch_count() as u64;
+    let per_switch = cfg.network_total_bits(policy);
+    NetworkRow {
+        scenario: name.to_owned(),
+        switches: cfg.switch_count(),
+        cots_kb: kb(cots),
+        uniform_kb: kb(cfg.uniform_total_bits(policy)),
+        per_switch_kb: kb(per_switch),
+        saving_vs_cots_pct: (1.0 - per_switch as f64 / cots as f64) * 100.0,
+        extra_saving_vs_uniform_pct: cfg.saving_vs_uniform(policy),
+    }
+}
+
+fn main() {
+    println!("Network-wide BRAM: COTS vs uniform customization vs per-switch customization\n");
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "scenario", "switches", "COTS", "uniform", "per-switch", "vs COTS", "vs uniform"
+    );
+    let rows = vec![
+        measure("star(3)", presets::star(3, 3).expect("builds")),
+        measure("linear(6)", presets::linear(6, 2).expect("builds")),
+        measure("ring(6)", presets::ring(6, 3).expect("builds")),
+    ];
+    for r in &rows {
+        println!(
+            "{:<16} {:>9} {:>10}Kb {:>10}Kb {:>10}Kb {:>11.2}% {:>13.2}%",
+            r.scenario,
+            r.switches,
+            r.cots_kb,
+            r.uniform_kb,
+            r.per_switch_kb,
+            r.saving_vs_cots_pct,
+            r.extra_saving_vs_uniform_pct
+        );
+    }
+    println!(
+        "\nTake-away: heterogeneous sizing buys extra savings exactly where the paper's \
+         uniform column over-provisions (star children, linear edge switches); \
+         symmetric rings gain nothing, as expected."
+    );
+    dump_json("network_totals", &rows);
+}

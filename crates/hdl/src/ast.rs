@@ -1,0 +1,381 @@
+//! A small Verilog-2001 AST sufficient for the TSN-Builder templates.
+//!
+//! The paper's deliverable is parameterized Verilog whose memory geometry
+//! comes from the customization APIs. This AST models exactly what those
+//! templates need: modules with parameters, ports, nets, memory arrays,
+//! module instances and behavioural `always` blocks.
+
+use core::fmt;
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `output reg`
+    OutputReg,
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dir::Input => f.write_str("input"),
+            Dir::Output => f.write_str("output"),
+            Dir::OutputReg => f.write_str("output reg"),
+        }
+    }
+}
+
+/// A module parameter with a default value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Param {
+    /// Parameter name (conventionally SCREAMING_SNAKE_CASE).
+    pub name: String,
+    /// Default value expression (usually a decimal literal).
+    pub value: String,
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Port {
+    /// Direction.
+    pub dir: Dir,
+    /// Bit width expression; `"1"` renders without a range, anything else
+    /// renders as `[expr-1:0]`.
+    pub width: String,
+    /// Port name.
+    pub name: String,
+}
+
+impl Port {
+    /// An `input` port.
+    #[must_use]
+    pub fn input(width: impl Into<String>, name: impl Into<String>) -> Self {
+        Port {
+            dir: Dir::Input,
+            width: width.into(),
+            name: name.into(),
+        }
+    }
+
+    /// An `output` port.
+    #[must_use]
+    pub fn output(width: impl Into<String>, name: impl Into<String>) -> Self {
+        Port {
+            dir: Dir::Output,
+            width: width.into(),
+            name: name.into(),
+        }
+    }
+
+    /// An `output reg` port.
+    #[must_use]
+    pub fn output_reg(width: impl Into<String>, name: impl Into<String>) -> Self {
+        Port {
+            dir: Dir::OutputReg,
+            width: width.into(),
+            name: name.into(),
+        }
+    }
+}
+
+/// One item in a module body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Item {
+    /// `// comment`
+    Comment(String),
+    /// `wire [w-1:0] name;`
+    Wire {
+        /// Width expression.
+        width: String,
+        /// Net name.
+        name: String,
+    },
+    /// `reg [w-1:0] name;`
+    Reg {
+        /// Width expression.
+        width: String,
+        /// Register name.
+        name: String,
+    },
+    /// `reg [w-1:0] name [0:depth-1];` — a BRAM-inferrable memory.
+    Memory {
+        /// Element width expression.
+        width: String,
+        /// Depth expression.
+        depth: String,
+        /// Memory name.
+        name: String,
+    },
+    /// `assign lhs = rhs;`
+    Assign {
+        /// Left-hand side.
+        lhs: String,
+        /// Right-hand side expression.
+        rhs: String,
+    },
+    /// `localparam name = value;`
+    Localparam {
+        /// Name.
+        name: String,
+        /// Value expression.
+        value: String,
+    },
+    /// An `always @(sensitivity) begin … end` block; `body` lines are
+    /// emitted verbatim, indented.
+    Always {
+        /// Sensitivity list, e.g. `posedge clk`.
+        sensitivity: String,
+        /// Statement lines.
+        body: Vec<String>,
+    },
+    /// An `initial begin … end` block (testbenches).
+    Initial {
+        /// Statement lines.
+        body: Vec<String>,
+    },
+    /// A verbatim line (e.g. `always #4 clk = ~clk;`). Still subject to
+    /// the validator.
+    Raw(String),
+    /// A module instance.
+    Instance {
+        /// Instantiated module name.
+        module: String,
+        /// Instance name.
+        name: String,
+        /// `#(…)` parameter overrides.
+        params: Vec<(String, String)>,
+        /// `.port(net)` connections.
+        connections: Vec<(String, String)>,
+    },
+}
+
+/// A Verilog module.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Ports.
+    pub ports: Vec<Port>,
+    /// Body items.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            params: Vec::new(),
+            ports: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Adds a parameter.
+    pub fn param(&mut self, name: impl Into<String>, value: impl fmt::Display) -> &mut Self {
+        self.params.push(Param {
+            name: name.into(),
+            value: value.to_string(),
+        });
+        self
+    }
+
+    /// Adds a port.
+    pub fn port(&mut self, port: Port) -> &mut Self {
+        self.ports.push(port);
+        self
+    }
+
+    /// Adds a body item.
+    pub fn item(&mut self, item: Item) -> &mut Self {
+        self.items.push(item);
+        self
+    }
+
+    /// Renders the module as Verilog source.
+    #[must_use]
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("module {}", self.name));
+        if !self.params.is_empty() {
+            out.push_str(" #(\n");
+            let lines: Vec<String> = self
+                .params
+                .iter()
+                .map(|p| format!("    parameter {} = {}", p.name, p.value))
+                .collect();
+            out.push_str(&lines.join(",\n"));
+            out.push_str("\n)");
+        }
+        out.push_str(" (\n");
+        let ports: Vec<String> = self
+            .ports
+            .iter()
+            .map(|p| {
+                if p.width == "1" {
+                    format!("    {} {}", p.dir, p.name)
+                } else {
+                    format!("    {} [{}-1:0] {}", p.dir, p.width, p.name)
+                }
+            })
+            .collect();
+        out.push_str(&ports.join(",\n"));
+        out.push_str("\n);\n");
+        for item in &self.items {
+            emit_item(&mut out, item);
+        }
+        out.push_str("endmodule\n");
+        out
+    }
+}
+
+fn emit_item(out: &mut String, item: &Item) {
+    match item {
+        Item::Comment(text) => out.push_str(&format!("    // {text}\n")),
+        Item::Wire { width, name } => {
+            if width == "1" {
+                out.push_str(&format!("    wire {name};\n"));
+            } else {
+                out.push_str(&format!("    wire [{width}-1:0] {name};\n"));
+            }
+        }
+        Item::Reg { width, name } => {
+            if width == "1" {
+                out.push_str(&format!("    reg {name};\n"));
+            } else {
+                out.push_str(&format!("    reg [{width}-1:0] {name};\n"));
+            }
+        }
+        Item::Memory { width, depth, name } => {
+            out.push_str(&format!("    reg [{width}-1:0] {name} [0:{depth}-1];\n"));
+        }
+        Item::Assign { lhs, rhs } => out.push_str(&format!("    assign {lhs} = {rhs};\n")),
+        Item::Localparam { name, value } => {
+            out.push_str(&format!("    localparam {name} = {value};\n"));
+        }
+        Item::Always { sensitivity, body } => {
+            out.push_str(&format!("    always @({sensitivity}) begin\n"));
+            for line in body {
+                out.push_str(&format!("        {line}\n"));
+            }
+            out.push_str("    end\n");
+        }
+        Item::Initial { body } => {
+            out.push_str("    initial begin\n");
+            for line in body {
+                out.push_str(&format!("        {line}\n"));
+            }
+            out.push_str("    end\n");
+        }
+        Item::Raw(line) => {
+            out.push_str(&format!("    {line}\n"));
+        }
+        Item::Instance {
+            module,
+            name,
+            params,
+            connections,
+        } => {
+            out.push_str(&format!("    {module}"));
+            if !params.is_empty() {
+                let p: Vec<String> = params
+                    .iter()
+                    .map(|(k, v)| format!(".{k}({v})"))
+                    .collect();
+                out.push_str(&format!(" #({})", p.join(", ")));
+            }
+            out.push_str(&format!(" {name} (\n"));
+            let c: Vec<String> = connections
+                .iter()
+                .map(|(port, net)| format!("        .{port}({net})"))
+                .collect();
+            out.push_str(&c.join(",\n"));
+            out.push_str("\n    );\n");
+        }
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.emit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Module {
+        let mut m = Module::new("demo");
+        m.param("WIDTH", 32)
+            .param("DEPTH", 16)
+            .port(Port::input("1", "clk"))
+            .port(Port::input("WIDTH", "din"))
+            .port(Port::output_reg("WIDTH", "dout"))
+            .item(Item::Comment("demo memory".into()))
+            .item(Item::Memory {
+                width: "WIDTH".into(),
+                depth: "DEPTH".into(),
+                name: "mem".into(),
+            })
+            .item(Item::Always {
+                sensitivity: "posedge clk".into(),
+                body: vec!["dout <= mem[0];".into()],
+            });
+        m
+    }
+
+    #[test]
+    fn emits_module_skeleton() {
+        let text = demo().emit();
+        assert!(text.starts_with("module demo #(\n"));
+        assert!(text.contains("parameter WIDTH = 32"));
+        assert!(text.contains("input clk"));
+        assert!(text.contains("input [WIDTH-1:0] din"));
+        assert!(text.contains("output reg [WIDTH-1:0] dout"));
+        assert!(text.contains("reg [WIDTH-1:0] mem [0:DEPTH-1];"));
+        assert!(text.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn always_block_renders_body() {
+        let text = demo().emit();
+        assert!(text.contains("always @(posedge clk) begin"));
+        assert!(text.contains("dout <= mem[0];"));
+    }
+
+    #[test]
+    fn instance_with_params_and_connections() {
+        let mut m = Module::new("top");
+        m.port(Port::input("1", "clk")).item(Item::Instance {
+            module: "fifo".into(),
+            name: "u_fifo0".into(),
+            params: vec![("DEPTH".into(), "12".into())],
+            connections: vec![("clk".into(), "clk".into()), ("din".into(), "8'h00".into())],
+        });
+        let text = m.emit();
+        assert!(text.contains("fifo #(.DEPTH(12)) u_fifo0 ("));
+        assert!(text.contains(".clk(clk)"));
+        assert!(text.contains(".din(8'h00)"));
+    }
+
+    #[test]
+    fn scalar_ports_have_no_range() {
+        let mut m = Module::new("t");
+        m.port(Port::input("1", "rst_n"));
+        assert!(m.emit().contains("input rst_n\n"));
+        assert!(!m.emit().contains("[1-1:0]"));
+    }
+
+    #[test]
+    fn display_matches_emit() {
+        let m = demo();
+        assert_eq!(m.to_string(), m.emit());
+    }
+}

@@ -1,0 +1,521 @@
+//! A structural Verilog parser: enough of the grammar to read back what
+//! [`crate::templates`] emits and check it round-trips.
+//!
+//! This is deliberately not a full Verilog front-end — it recovers the
+//! *structure* a reviewer checks by eye: module names, parameter
+//! defaults, port directions/names, memory declarations and module
+//! instantiations. `tsn-hdl`'s tests parse every generated file back and
+//! compare against the AST that produced it.
+
+use crate::ast::Dir;
+use tsn_types::{TsnError, TsnResult};
+
+/// One token of the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(String),
+    Sym(char),
+}
+
+fn tokenize(source: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '/' {
+            // Line comment (the emitter only produces `//`).
+            chars.next();
+            if chars.peek() == Some(&'/') {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            } else {
+                toks.push(Tok::Sym('/'));
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let mut ident = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                    ident.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok::Ident(ident));
+        } else if c.is_ascii_digit() {
+            let mut num = String::new();
+            while let Some(&c) = chars.peek() {
+                // Covers sized literals like 8'h00 and plain decimals.
+                if c.is_ascii_alphanumeric() || c == '\'' || c == '_' {
+                    num.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok::Number(num));
+        } else {
+            toks.push(Tok::Sym(c));
+            chars.next();
+        }
+    }
+    toks
+}
+
+/// A parsed port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedPort {
+    /// Direction.
+    pub dir: Dir,
+    /// `true` when the port carries a `[..:..]` range.
+    pub has_range: bool,
+    /// Port name.
+    pub name: String,
+}
+
+/// A parsed module instantiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedInstance {
+    /// Name of the instantiated module.
+    pub module: String,
+    /// Instance name.
+    pub name: String,
+    /// Number of `.port(net)` connections.
+    pub connections: usize,
+}
+
+/// A parsed module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedModule {
+    /// Module name.
+    pub name: String,
+    /// `(parameter name, default expression)` pairs.
+    pub params: Vec<(String, String)>,
+    /// Ports, in declaration order.
+    pub ports: Vec<ParsedPort>,
+    /// Memory (`reg [..] name [..];`) declaration names.
+    pub memories: Vec<String>,
+    /// Module instantiations in the body.
+    pub instances: Vec<ParsedInstance>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "module", "endmodule", "input", "output", "inout", "reg", "wire", "assign", "always",
+    "begin", "end", "if", "else", "parameter", "localparam", "posedge", "negedge",
+    "initial", "forever", "integer",
+];
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> TsnResult<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(TsnError::InvalidArtifact(format!(
+                "expected {what}, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Collects tokens until one of `stops` appears at depth 0 (brackets
+    /// tracked), rendering them back to text.
+    fn text_until(&mut self, stops: &[char]) -> String {
+        let mut depth = 0i32;
+        let mut out = String::new();
+        while let Some(tok) = self.peek() {
+            if depth == 0 {
+                if let Tok::Sym(c) = tok {
+                    if stops.contains(c) {
+                        break;
+                    }
+                }
+            }
+            match self.next().expect("peeked") {
+                Tok::Sym(c) => {
+                    match c {
+                        '(' | '[' | '{' => depth += 1,
+                        ')' | ']' | '}' => depth -= 1,
+                        _ => {}
+                    }
+                    out.push(c);
+                }
+                Tok::Ident(s) => {
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                    out.push_str(&s);
+                }
+                Tok::Number(s) => {
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                    out.push_str(&s);
+                }
+            }
+        }
+        out
+    }
+
+    fn skip_range(&mut self) -> bool {
+        if self.eat_sym('[') {
+            let mut depth = 1;
+            while depth > 0 {
+                match self.next() {
+                    Some(Tok::Sym('[')) => depth += 1,
+                    Some(Tok::Sym(']')) => depth -= 1,
+                    None => return false,
+                    _ => {}
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_module(&mut self) -> TsnResult<ParsedModule> {
+        let name = self.expect_ident("module name")?;
+        let mut module = ParsedModule {
+            name,
+            params: Vec::new(),
+            ports: Vec::new(),
+            memories: Vec::new(),
+            instances: Vec::new(),
+        };
+
+        // #( parameter N = V, ... )
+        if self.eat_sym('#') {
+            if !self.eat_sym('(') {
+                return Err(TsnError::InvalidArtifact("expected ( after #".to_owned()));
+            }
+            loop {
+                match self.next() {
+                    Some(Tok::Ident(kw)) if kw == "parameter" => {
+                        let pname = self.expect_ident("parameter name")?;
+                        if !self.eat_sym('=') {
+                            return Err(TsnError::InvalidArtifact(
+                                "expected = in parameter".to_owned(),
+                            ));
+                        }
+                        let value = self.text_until(&[',', ')']);
+                        module.params.push((pname, value));
+                    }
+                    Some(Tok::Sym(',')) => {}
+                    Some(Tok::Sym(')')) => break,
+                    other => {
+                        return Err(TsnError::InvalidArtifact(format!(
+                            "unexpected token in parameter list: {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+
+        // ( port declarations )
+        if !self.eat_sym('(') {
+            return Err(TsnError::InvalidArtifact(
+                "expected port list after module header".to_owned(),
+            ));
+        }
+        loop {
+            match self.next() {
+                Some(Tok::Sym(')')) => break,
+                Some(Tok::Sym(',')) => {}
+                Some(Tok::Ident(dir_kw)) if ["input", "output"].contains(&dir_kw.as_str()) => {
+                    let mut dir = if dir_kw == "input" { Dir::Input } else { Dir::Output };
+                    // Optional `reg`.
+                    if self.peek() == Some(&Tok::Ident("reg".to_owned())) {
+                        self.pos += 1;
+                        if dir == Dir::Output {
+                            dir = Dir::OutputReg;
+                        }
+                    }
+                    let has_range = self.skip_range();
+                    let pname = self.expect_ident("port name")?;
+                    module.ports.push(ParsedPort {
+                        dir,
+                        has_range,
+                        name: pname,
+                    });
+                }
+                other => {
+                    return Err(TsnError::InvalidArtifact(format!(
+                        "unexpected token in port list: {other:?}"
+                    )))
+                }
+            }
+        }
+        if !self.eat_sym(';') {
+            return Err(TsnError::InvalidArtifact(
+                "expected ; after port list".to_owned(),
+            ));
+        }
+
+        // Body: scan for memories, instances and endmodule.
+        loop {
+            match self.next() {
+                None => {
+                    return Err(TsnError::InvalidArtifact(format!(
+                        "module {} missing endmodule",
+                        module.name
+                    )))
+                }
+                Some(Tok::Ident(kw)) if kw == "endmodule" => break,
+                Some(Tok::Ident(kw)) if kw == "reg" => {
+                    self.skip_range();
+                    let rname = self.expect_ident("reg name")?;
+                    if self.skip_range() {
+                        module.memories.push(rname);
+                    }
+                    // Consume to the statement end.
+                    self.text_until(&[';']);
+                    self.eat_sym(';');
+                }
+                Some(Tok::Ident(ident)) if !KEYWORDS.contains(&ident.as_str()) => {
+                    // Candidate instantiation: IDENT [#(..)] IDENT ( .p(n), ... );
+                    let saved = self.pos;
+                    if self.eat_sym('#') {
+                        if !self.eat_sym('(') {
+                            self.pos = saved;
+                            continue;
+                        }
+                        self.text_until(&[')']);
+                        self.eat_sym(')');
+                    }
+                    let Some(Tok::Ident(inst_name)) = self.peek().cloned() else {
+                        self.pos = saved;
+                        continue;
+                    };
+                    self.pos += 1;
+                    if !self.eat_sym('(') {
+                        self.pos = saved;
+                        continue;
+                    }
+                    let mut connections = 0usize;
+                    loop {
+                        if self.eat_sym(')') {
+                            break;
+                        }
+                        if self.eat_sym('.') {
+                            connections += 1;
+                            self.expect_ident("connection port")?;
+                            if !self.eat_sym('(') {
+                                return Err(TsnError::InvalidArtifact(
+                                    "expected ( in connection".to_owned(),
+                                ));
+                            }
+                            self.text_until(&[')']);
+                            self.eat_sym(')');
+                        } else if self.next().is_none() {
+                            return Err(TsnError::InvalidArtifact(
+                                "unterminated instance".to_owned(),
+                            ));
+                        }
+                    }
+                    self.eat_sym(';');
+                    module.instances.push(ParsedInstance {
+                        module: ident,
+                        name: inst_name,
+                        connections,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(module)
+    }
+}
+
+/// Parses every module in a Verilog source string.
+///
+/// # Errors
+///
+/// Returns [`TsnError::InvalidArtifact`] on structurally broken input
+/// (missing `endmodule`, malformed parameter/port lists).
+///
+/// # Example
+///
+/// ```
+/// use tsn_hdl::parse::parse_modules;
+///
+/// let src = "module m #(\n parameter W = 8\n) (\n input clk,\n output [W-1:0] q\n);\nendmodule\n";
+/// let modules = parse_modules(src)?;
+/// assert_eq!(modules.len(), 1);
+/// assert_eq!(modules[0].name, "m");
+/// assert_eq!(modules[0].params, vec![("W".to_owned(), "8".to_owned())]);
+/// assert_eq!(modules[0].ports.len(), 2);
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+pub fn parse_modules(source: &str) -> TsnResult<Vec<ParsedModule>> {
+    let mut parser = Parser {
+        toks: tokenize(source),
+        pos: 0,
+    };
+    let mut modules = Vec::new();
+    while let Some(tok) = parser.next() {
+        if tok == Tok::Ident("module".to_owned()) {
+            modules.push(parser.parse_module()?);
+        }
+    }
+    Ok(modules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Item, Module, Port};
+    use crate::templates::generate;
+    use tsn_resource::ResourceConfig;
+
+    #[test]
+    fn parses_a_hand_written_module() {
+        let src = "module demo #(\n    parameter WIDTH = 32,\n    parameter DEPTH = 16\n) (\n    input clk,\n    input [WIDTH-1:0] din,\n    output reg [WIDTH-1:0] dout\n);\n    reg [WIDTH-1:0] mem [0:DEPTH-1];\nendmodule\n";
+        let modules = parse_modules(src).expect("parses");
+        assert_eq!(modules.len(), 1);
+        let m = &modules[0];
+        assert_eq!(m.name, "demo");
+        assert_eq!(m.params.len(), 2);
+        assert_eq!(m.params[0], ("WIDTH".to_owned(), "32".to_owned()));
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[0], ParsedPort { dir: Dir::Input, has_range: false, name: "clk".into() });
+        assert_eq!(m.ports[2].dir, Dir::OutputReg);
+        assert!(m.ports[2].has_range);
+        assert_eq!(m.memories, vec!["mem".to_owned()]);
+    }
+
+    #[test]
+    fn parses_instances_with_connection_counts() {
+        let src = "module top (\n    input clk\n);\n    fifo #(.DEPTH(12)) u_f (\n        .clk(clk),\n        .din(8'h00)\n    );\nendmodule\n";
+        let modules = parse_modules(src).expect("parses");
+        assert_eq!(
+            modules[0].instances,
+            vec![ParsedInstance {
+                module: "fifo".into(),
+                name: "u_f".into(),
+                connections: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn rejects_missing_endmodule() {
+        assert!(parse_modules("module broken ( input clk );\n").is_err());
+    }
+
+    #[test]
+    fn emitted_ast_round_trips() {
+        let mut m = Module::new("roundtrip");
+        m.param("A", 7)
+            .param("B", "A*2")
+            .port(Port::input("1", "clk"))
+            .port(Port::input("A", "d"))
+            .port(Port::output_reg("B", "q"))
+            .item(Item::Memory {
+                width: "A".into(),
+                depth: "B".into(),
+                name: "store".into(),
+            });
+        let parsed = parse_modules(&m.emit()).expect("parses");
+        assert_eq!(parsed.len(), 1);
+        let p = &parsed[0];
+        assert_eq!(p.name, "roundtrip");
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.params[0].0, "A");
+        assert_eq!(p.ports.len(), 3);
+        assert_eq!(p.memories, vec!["store".to_owned()]);
+    }
+
+    #[test]
+    fn every_generated_file_parses_and_matches_structure() {
+        let bundle = generate(&ResourceConfig::new()).expect("generates");
+        let mut all = Vec::new();
+        for (name, src) in bundle.files() {
+            let modules =
+                parse_modules(src).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            assert_eq!(modules.len(), 1, "{name} holds exactly one module");
+            all.push(modules.into_iter().next().expect("one module"));
+        }
+        let names: Vec<&str> = all.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "dpram",
+                "meta_fifo",
+                "time_sync",
+                "packet_switch",
+                "ingress_filter",
+                "gate_ctrl",
+                "egress_sched",
+                "tsn_switch_top",
+                "tsn_switch_tb"
+            ]
+        );
+        // The top instantiates the shared blocks plus one gate_ctrl and
+        // one egress_sched per enabled port (1 for the default ring
+        // config).
+        let top = &all[7];
+        let count = |module: &str| top.instances.iter().filter(|i| i.module == module).count();
+        assert_eq!(count("time_sync"), 1);
+        assert_eq!(count("packet_switch"), 1);
+        assert_eq!(count("ingress_filter"), 1);
+        assert_eq!(count("gate_ctrl"), 1);
+        assert_eq!(count("egress_sched"), 1);
+        // gate_ctrl holds the 8 per-queue FIFOs.
+        let gates = &all[5];
+        assert_eq!(
+            gates.instances.iter().filter(|i| i.module == "meta_fifo").count(),
+            8
+        );
+        // Memories: GCLs in gate_ctrl, meter table in the filter.
+        assert!(gates.memories.contains(&"in_gcl".to_owned()));
+        assert!(gates.memories.contains(&"out_gcl".to_owned()));
+        assert!(all[4].memories.contains(&"meter_tbl".to_owned()));
+    }
+
+    #[test]
+    fn parsed_parameters_track_the_config() {
+        let mut cfg = ResourceConfig::new();
+        cfg.set_queues(24, 8, 2).expect("valid");
+        let bundle = generate(&cfg).expect("generates");
+        let gates = parse_modules(bundle.file("gate_ctrl.v").expect("file")).expect("parses");
+        let depth = gates[0]
+            .params
+            .iter()
+            .find(|(n, _)| n == "QUEUE_DEPTH")
+            .map(|(_, v)| v.clone());
+        assert_eq!(depth.as_deref(), Some("24"));
+        let top = parse_modules(bundle.file("tsn_switch_top.v").expect("file")).expect("parses");
+        assert_eq!(
+            top[0].instances.iter().filter(|i| i.module == "gate_ctrl").count(),
+            2,
+            "two enabled ports, two gate controllers"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Lexical validation of emitted Verilog.
+//!
+//! Not a parser — a safety net that catches the classes of generator bug
+//! that actually happen: unbalanced `module`/`endmodule`, unbalanced
+//! `begin`/`end`, unbalanced parentheses/brackets, illegal identifiers,
+//! and duplicate module names in one source file.
+
+use std::collections::HashSet;
+use tsn_types::{TsnError, TsnResult};
+
+/// Checks a Verilog source string for structural sanity.
+///
+/// # Errors
+///
+/// Returns [`TsnError::InvalidArtifact`] describing the first problem
+/// found.
+///
+/// # Example
+///
+/// ```
+/// use tsn_hdl::validate::check_source;
+///
+/// check_source("module m (\n    input clk\n);\nendmodule\n")?;
+/// assert!(check_source("module m ();\n").is_err()); // missing endmodule
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+pub fn check_source(source: &str) -> TsnResult<()> {
+    let stripped = strip_comments(source);
+    check_balance(&stripped, "module", "endmodule")?;
+    check_balance(&stripped, "begin", "end")?;
+    check_brackets(&stripped)?;
+    check_module_names(&stripped)?;
+    Ok(())
+}
+
+/// `true` if `name` is a legal (non-escaped) Verilog identifier.
+#[must_use]
+pub fn is_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+}
+
+fn strip_comments(source: &str) -> String {
+    source
+        .lines()
+        .map(|line| line.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn tokens(source: &str) -> impl Iterator<Item = &str> {
+    source.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '$'))
+}
+
+fn check_balance(source: &str, open: &str, close: &str) -> TsnResult<()> {
+    let mut depth: i64 = 0;
+    for token in tokens(source) {
+        if token == open {
+            depth += 1;
+        } else if token == close {
+            depth -= 1;
+            if depth < 0 {
+                return Err(TsnError::InvalidArtifact(format!(
+                    "{close} without matching {open}"
+                )));
+            }
+        }
+    }
+    if depth != 0 {
+        return Err(TsnError::InvalidArtifact(format!(
+            "{depth} unclosed {open} block(s)"
+        )));
+    }
+    Ok(())
+}
+
+fn check_brackets(source: &str) -> TsnResult<()> {
+    let mut stack = Vec::new();
+    for c in source.chars() {
+        match c {
+            '(' | '[' | '{' => stack.push(c),
+            ')' | ']' | '}' => {
+                let expected = match c {
+                    ')' => '(',
+                    ']' => '[',
+                    _ => '{',
+                };
+                if stack.pop() != Some(expected) {
+                    return Err(TsnError::InvalidArtifact(format!(
+                        "unbalanced bracket {c:?}"
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(open) = stack.pop() {
+        return Err(TsnError::InvalidArtifact(format!(
+            "unclosed bracket {open:?}"
+        )));
+    }
+    Ok(())
+}
+
+fn check_module_names(source: &str) -> TsnResult<()> {
+    let mut seen = HashSet::new();
+    let mut toks = tokens(source).filter(|t| !t.is_empty());
+    while let Some(tok) = toks.next() {
+        if tok == "module" {
+            let Some(name) = toks.next() else {
+                return Err(TsnError::InvalidArtifact(
+                    "module keyword without a name".to_owned(),
+                ));
+            };
+            if !is_identifier(name) {
+                return Err(TsnError::InvalidArtifact(format!(
+                    "illegal module name {name:?}"
+                )));
+            }
+            if !seen.insert(name.to_owned()) {
+                return Err(TsnError::InvalidArtifact(format!(
+                    "duplicate module {name:?}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_module() {
+        let src = "module m #(\n parameter W = 8\n) (\n input clk\n);\n\
+                   always @(posedge clk) begin\n end\nendmodule\n";
+        assert!(check_source(src).is_ok());
+    }
+
+    #[test]
+    fn rejects_unbalanced_endmodule() {
+        assert!(check_source("module a ();\nendmodule\nendmodule\n").is_err());
+        assert!(check_source("module a ();\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_begin_end() {
+        let src = "module m ( input clk );\nalways @(posedge clk) begin\nendmodule\n";
+        assert!(check_source(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_brackets() {
+        assert!(check_source("module m ( input [7:0 d );\nendmodule\n").is_err());
+        assert!(check_source("module m ( input d ));\nendmodule\n").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_modules() {
+        let src = "module a ();\nendmodule\nmodule a ();\nendmodule\n";
+        assert!(check_source(src).is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "module m ( input clk ); // begin ( [ module\nendmodule\n";
+        assert!(check_source(src).is_ok());
+    }
+
+    #[test]
+    fn identifier_rules() {
+        assert!(is_identifier("tsn_switch_top"));
+        assert!(is_identifier("_x$1"));
+        assert!(!is_identifier("1abc"));
+        assert!(!is_identifier(""));
+        assert!(!is_identifier("a-b"));
+    }
+
+    #[test]
+    fn end_keyword_inside_identifiers_is_not_counted() {
+        // `endmodule`, `legend`, `end_of_frame` must not confuse `end`.
+        let src =
+            "module m ( input clk );\nalways @(posedge clk) begin\nlegend <= end_of_frame;\nend\nendmodule\n";
+        assert!(check_source(src).is_ok());
+    }
+}

@@ -1,0 +1,112 @@
+//! The commercial (COTS) reference configuration.
+//!
+//! Section IV.B: "The resource parameters of BCM53154 in datasheet includes
+//! 4 TSN ports, 16K MAC entries, 1K classification entries, 512 meters,
+//! 8 queues/shapers per port and 1MB buffers in total. Since there is only
+//! a rough description of these parameters, the other unknown parameters
+//! are set the same as the customized parameters."
+
+use crate::config::ResourceConfig;
+
+/// The Broadcom BCM53154 resource configuration as the paper encodes it in
+/// Table III's "Commercial Switch" column:
+///
+/// | resource | parameters |
+/// |---|---|
+/// | switch table | 16 K unicast, 0 multicast |
+/// | classification table | 1024 |
+/// | meter table | 512 |
+/// | gate tables | size 2, 8 queues, 4 ports |
+/// | CBS map / CBS tables | 8, 8, 4 ports |
+/// | queues | depth 16, 8 queues, 4 ports |
+/// | buffers | 128 per port, 4 ports |
+///
+/// # Example
+///
+/// ```
+/// use tsn_resource::{baseline, AllocationPolicy};
+///
+/// let cots = baseline::bcm53154();
+/// assert_eq!(cots.port_num(), 4);
+/// assert_eq!(
+///     cots.total_bits(AllocationPolicy::PaperAccounting),
+///     10_818 * 1024
+/// );
+/// ```
+#[must_use]
+pub fn bcm53154() -> ResourceConfig {
+    let mut cfg = ResourceConfig::new();
+    cfg.set_switch_tbl(16 * 1024, 0)
+        .expect("baseline switch table parameters are valid")
+        .set_class_tbl(1024)
+        .expect("baseline classification parameters are valid")
+        .set_meter_tbl(512)
+        .expect("baseline meter parameters are valid")
+        .set_gate_tbl(2, 8, 4)
+        .expect("baseline gate parameters are valid")
+        .set_cbs_tbl(8, 8, 4)
+        .expect("baseline cbs parameters are valid")
+        .set_queues(16, 8, 4)
+        .expect("baseline queue parameters are valid")
+        .set_buffers(128, 4)
+        .expect("baseline buffer parameters are valid");
+    cfg
+}
+
+/// The Table I "Case 1" configuration (motivation experiment): one enabled
+/// port, 8 queues of depth 16, 128 buffers.
+#[must_use]
+pub fn table1_case1() -> ResourceConfig {
+    let mut cfg = ResourceConfig::new();
+    cfg.set_gate_tbl(2, 8, 1)
+        .expect("case 1 gate parameters are valid")
+        .set_queues(16, 8, 1)
+        .expect("case 1 queue parameters are valid")
+        .set_buffers(128, 1)
+        .expect("case 1 buffer parameters are valid");
+    cfg
+}
+
+/// The Table I "Case 2" configuration: one enabled port, 8 queues of depth
+/// 12, 96 buffers — 540 Kb less BRAM at identical QoS.
+#[must_use]
+pub fn table1_case2() -> ResourceConfig {
+    let mut cfg = ResourceConfig::new();
+    cfg.set_gate_tbl(2, 8, 1)
+        .expect("case 2 gate parameters are valid")
+        .set_queues(12, 8, 1)
+        .expect("case 2 queue parameters are valid")
+        .set_buffers(96, 1)
+        .expect("case 2 buffer parameters are valid");
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bram::{AllocationPolicy, KB_BITS};
+
+    #[test]
+    fn bcm53154_matches_datasheet_summary() {
+        let cfg = bcm53154();
+        assert_eq!(cfg.unicast_size(), 16 * 1024);
+        assert_eq!(cfg.class_size(), 1024);
+        assert_eq!(cfg.meter_size(), 512);
+        assert_eq!(cfg.queue_num(), 8);
+        assert_eq!(cfg.queue_depth(), 16);
+        assert_eq!(cfg.buffer_num(), 128);
+        assert_eq!(cfg.port_num(), 4);
+    }
+
+    #[test]
+    fn table1_cases_differ_by_540kb_of_queue_and_buffer_memory() {
+        let p = AllocationPolicy::PaperAccounting;
+        let case1 = table1_case1();
+        let case2 = table1_case2();
+        let qb1 = case1.queue_bits(p) + case1.buffer_bits(p);
+        let qb2 = case2.queue_bits(p) + case2.buffer_bits(p);
+        assert_eq!(qb1, 2304 * KB_BITS, "Table I case 1 total");
+        assert_eq!(qb2, 1764 * KB_BITS, "Table I case 2 total");
+        assert_eq!(qb1 - qb2, 540 * KB_BITS, "Table I saving");
+    }
+}

@@ -1,0 +1,516 @@
+//! The seven platform-independent customization APIs of Table II.
+//!
+//! A [`ResourceConfig`] is the "resource specification" a developer injects
+//! into the fixed processing logic: table sizes, queue geometry, buffer
+//! counts and port counts. Setter names and parameter order follow the
+//! paper's Table II exactly.
+
+use crate::bram::AllocationPolicy;
+use serde::{Deserialize, Serialize};
+use tsn_types::{TsnError, TsnResult};
+
+/// Per-entry widths (in bits) of each memory object, as used in the paper's
+/// prototype (Section IV.B). Customizable for other targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EntryWidths {
+    /// Unicast/multicast switch-table entry (dst MAC + VID → outport).
+    pub switch_tbl_bits: u32,
+    /// Classification-table entry (src/dst MAC + VID + PRI → meter, queue).
+    pub class_tbl_bits: u32,
+    /// Meter-table entry (token-bucket state).
+    pub meter_tbl_bits: u32,
+    /// Gate-control-list entry (open/close state per time slot).
+    pub gate_tbl_bits: u32,
+    /// CBS map entry (queue → shaper index).
+    pub cbs_map_bits: u32,
+    /// CBS entry (`idleSlope` + `sendSlope` credit rates).
+    pub cbs_tbl_bits: u32,
+    /// Queue metadata (packet descriptor) width.
+    pub queue_meta_bits: u32,
+}
+
+impl EntryWidths {
+    /// The widths of the paper's FPGA prototype: 72 b switch, 117 b
+    /// classification, 68 b meter, 17 b gate, 72 b CBS map+CBS combined
+    /// (8 + 64), 32 b queue metadata.
+    pub const PAPER: EntryWidths = EntryWidths {
+        switch_tbl_bits: 72,
+        class_tbl_bits: 117,
+        meter_tbl_bits: 68,
+        gate_tbl_bits: 17,
+        cbs_map_bits: 8,
+        cbs_tbl_bits: 64,
+        queue_meta_bits: 32,
+    };
+}
+
+impl Default for EntryWidths {
+    fn default() -> Self {
+        EntryWidths::PAPER
+    }
+}
+
+/// The complete memory-resource specification of one TSN switch.
+///
+/// Every parameter corresponds to an argument of the Table II APIs. A
+/// fresh `ResourceConfig` starts from the paper's *customized ring* values
+/// and is then adjusted via the setters; [`crate::baseline::bcm53154`]
+/// provides the commercial reference point.
+///
+/// # Example
+///
+/// ```
+/// use tsn_resource::ResourceConfig;
+///
+/// let mut cfg = ResourceConfig::new();
+/// cfg.set_gate_tbl(2, 8, 3)?      // CQF: 2 gate entries, 8 queues, 3 ports
+///    .set_queues(12, 8, 3)?       // depth 12
+///    .set_buffers(96, 3)?;        // 96 buffers per port
+/// assert_eq!(cfg.port_num(), 3);
+/// assert_eq!(cfg.buffer_num(), 96);
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceConfig {
+    widths: EntryWidths,
+    unicast_size: u32,
+    multicast_size: u32,
+    class_size: u32,
+    meter_size: u32,
+    gate_size: u32,
+    queue_num: u32,
+    cbs_map_size: u32,
+    cbs_size: u32,
+    queue_depth: u32,
+    buffer_num: u32,
+    port_num: u32,
+}
+
+impl ResourceConfig {
+    /// Creates a configuration preloaded with the paper's customized
+    /// single-port (ring) parameters: 1024-entry unicast/class/meter
+    /// tables, 2-entry gate tables, 3-entry CBS tables, 8 queues of depth
+    /// 12, 96 buffers, 1 port.
+    #[must_use]
+    pub fn new() -> Self {
+        ResourceConfig {
+            widths: EntryWidths::PAPER,
+            unicast_size: 1024,
+            multicast_size: 0,
+            class_size: 1024,
+            meter_size: 1024,
+            gate_size: 2,
+            queue_num: 8,
+            cbs_map_size: 3,
+            cbs_size: 3,
+            queue_depth: 12,
+            buffer_num: 96,
+            port_num: 1,
+        }
+    }
+
+    /// `set_switch_tbl(unicast_size, multicast_size)` — sizes of the
+    /// unicast and multicast switch tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::InvalidParameter`] if both sizes are zero (a
+    /// switch needs some forwarding state).
+    pub fn set_switch_tbl(
+        &mut self,
+        unicast_size: u32,
+        multicast_size: u32,
+    ) -> TsnResult<&mut Self> {
+        if unicast_size == 0 && multicast_size == 0 {
+            return Err(TsnError::invalid_parameter(
+                "unicast_size/multicast_size",
+                "switch table cannot be empty",
+            ));
+        }
+        self.unicast_size = unicast_size;
+        self.multicast_size = multicast_size;
+        Ok(self)
+    }
+
+    /// `set_class_tbl(class_size)` — size of the classification table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::InvalidParameter`] if `class_size` is zero.
+    pub fn set_class_tbl(&mut self, class_size: u32) -> TsnResult<&mut Self> {
+        Self::require_nonzero("class_size", class_size)?;
+        self.class_size = class_size;
+        Ok(self)
+    }
+
+    /// `set_meter_tbl(meter_size)` — size of the meter table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::InvalidParameter`] if `meter_size` is zero.
+    pub fn set_meter_tbl(&mut self, meter_size: u32) -> TsnResult<&mut Self> {
+        Self::require_nonzero("meter_size", meter_size)?;
+        self.meter_size = meter_size;
+        Ok(self)
+    }
+
+    /// `set_gate_tbl(gate_size, queue_num, port_num)` — size of each gate
+    /// table (entries per GCL), queues per port and number of ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::InvalidParameter`] if any argument is zero.
+    pub fn set_gate_tbl(
+        &mut self,
+        gate_size: u32,
+        queue_num: u32,
+        port_num: u32,
+    ) -> TsnResult<&mut Self> {
+        Self::require_nonzero("gate_size", gate_size)?;
+        Self::require_nonzero("queue_num", queue_num)?;
+        Self::require_nonzero("port_num", port_num)?;
+        self.gate_size = gate_size;
+        self.queue_num = queue_num;
+        self.port_num = port_num;
+        Ok(self)
+    }
+
+    /// `set_cbs_tbl(cbs_map_size, cbs_size, port_num)` — sizes of the CBS
+    /// map and CBS tables, and number of ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::InvalidParameter`] if `port_num` is zero, or if
+    /// `cbs_map_size` and `cbs_size` are both zero while shapers are
+    /// requested elsewhere. A zero/zero pair is allowed: it disables
+    /// credit-based shaping.
+    pub fn set_cbs_tbl(
+        &mut self,
+        cbs_map_size: u32,
+        cbs_size: u32,
+        port_num: u32,
+    ) -> TsnResult<&mut Self> {
+        Self::require_nonzero("port_num", port_num)?;
+        self.cbs_map_size = cbs_map_size;
+        self.cbs_size = cbs_size;
+        self.port_num = port_num;
+        Ok(self)
+    }
+
+    /// `set_queues(queue_depth, queue_num, port_num)` — depth of each
+    /// queue, queues per port and number of ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::InvalidParameter`] if any argument is zero.
+    pub fn set_queues(
+        &mut self,
+        queue_depth: u32,
+        queue_num: u32,
+        port_num: u32,
+    ) -> TsnResult<&mut Self> {
+        Self::require_nonzero("queue_depth", queue_depth)?;
+        Self::require_nonzero("queue_num", queue_num)?;
+        Self::require_nonzero("port_num", port_num)?;
+        self.queue_depth = queue_depth;
+        self.queue_num = queue_num;
+        self.port_num = port_num;
+        Ok(self)
+    }
+
+    /// `set_buffers(buffer_num, port_num)` — packet buffers per port and
+    /// number of ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::InvalidParameter`] if any argument is zero.
+    pub fn set_buffers(&mut self, buffer_num: u32, port_num: u32) -> TsnResult<&mut Self> {
+        Self::require_nonzero("buffer_num", buffer_num)?;
+        Self::require_nonzero("port_num", port_num)?;
+        self.buffer_num = buffer_num;
+        self.port_num = port_num;
+        Ok(self)
+    }
+
+    /// Overrides the per-entry bit widths (platform retargeting).
+    pub fn set_widths(&mut self, widths: EntryWidths) -> &mut Self {
+        self.widths = widths;
+        self
+    }
+
+    fn require_nonzero(name: &'static str, value: u32) -> TsnResult<()> {
+        if value == 0 {
+            Err(TsnError::invalid_parameter(name, "must be non-zero"))
+        } else {
+            Ok(())
+        }
+    }
+
+    // --- getters -----------------------------------------------------------
+
+    /// Entry widths in use.
+    #[must_use]
+    pub fn widths(&self) -> EntryWidths {
+        self.widths
+    }
+
+    /// Unicast switch-table entries.
+    #[must_use]
+    pub fn unicast_size(&self) -> u32 {
+        self.unicast_size
+    }
+
+    /// Multicast switch-table entries.
+    #[must_use]
+    pub fn multicast_size(&self) -> u32 {
+        self.multicast_size
+    }
+
+    /// Classification-table entries.
+    #[must_use]
+    pub fn class_size(&self) -> u32 {
+        self.class_size
+    }
+
+    /// Meter-table entries.
+    #[must_use]
+    pub fn meter_size(&self) -> u32 {
+        self.meter_size
+    }
+
+    /// Entries per gate control list.
+    #[must_use]
+    pub fn gate_size(&self) -> u32 {
+        self.gate_size
+    }
+
+    /// Queues per port.
+    #[must_use]
+    pub fn queue_num(&self) -> u32 {
+        self.queue_num
+    }
+
+    /// CBS map entries per port.
+    #[must_use]
+    pub fn cbs_map_size(&self) -> u32 {
+        self.cbs_map_size
+    }
+
+    /// CBS entries per port.
+    #[must_use]
+    pub fn cbs_size(&self) -> u32 {
+        self.cbs_size
+    }
+
+    /// Metadata entries per queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> u32 {
+        self.queue_depth
+    }
+
+    /// Packet buffers per port.
+    #[must_use]
+    pub fn buffer_num(&self) -> u32 {
+        self.buffer_num
+    }
+
+    /// Enabled TSN ports.
+    #[must_use]
+    pub fn port_num(&self) -> u32 {
+        self.port_num
+    }
+
+    // --- cost queries -------------------------------------------------------
+
+    /// BRAM bits of the shared switch table (unicast + multicast entries).
+    #[must_use]
+    pub fn switch_tbl_bits(&self, policy: AllocationPolicy) -> u64 {
+        policy.table_cost_bits(
+            u64::from(self.unicast_size) + u64::from(self.multicast_size),
+            u64::from(self.widths.switch_tbl_bits),
+        )
+    }
+
+    /// BRAM bits of the shared classification table.
+    #[must_use]
+    pub fn class_tbl_bits(&self, policy: AllocationPolicy) -> u64 {
+        policy.table_cost_bits(
+            u64::from(self.class_size),
+            u64::from(self.widths.class_tbl_bits),
+        )
+    }
+
+    /// BRAM bits of the shared meter table.
+    #[must_use]
+    pub fn meter_tbl_bits(&self, policy: AllocationPolicy) -> u64 {
+        policy.table_cost_bits(
+            u64::from(self.meter_size),
+            u64::from(self.widths.meter_tbl_bits),
+        )
+    }
+
+    /// BRAM bits of all gate tables: one In-GCL and one Out-GCL per port.
+    #[must_use]
+    pub fn gate_tbl_bits(&self, policy: AllocationPolicy) -> u64 {
+        let per_table = policy.table_cost_bits(
+            u64::from(self.gate_size),
+            u64::from(self.widths.gate_tbl_bits),
+        );
+        2 * u64::from(self.port_num) * per_table
+    }
+
+    /// BRAM bits of all CBS map + CBS tables (both per port).
+    #[must_use]
+    pub fn cbs_tbl_bits(&self, policy: AllocationPolicy) -> u64 {
+        let map = policy.table_cost_bits(
+            u64::from(self.cbs_map_size),
+            u64::from(self.widths.cbs_map_bits),
+        );
+        let cbs = policy.table_cost_bits(
+            u64::from(self.cbs_size),
+            u64::from(self.widths.cbs_tbl_bits),
+        );
+        u64::from(self.port_num) * (map + cbs)
+    }
+
+    /// BRAM bits of all metadata queues (`queue_num` per port).
+    #[must_use]
+    pub fn queue_bits(&self, policy: AllocationPolicy) -> u64 {
+        let per_queue = policy.table_cost_bits(
+            u64::from(self.queue_depth),
+            u64::from(self.widths.queue_meta_bits),
+        );
+        u64::from(self.port_num) * u64::from(self.queue_num) * per_queue
+    }
+
+    /// BRAM bits of all per-port packet-buffer pools.
+    #[must_use]
+    pub fn buffer_bits(&self, policy: AllocationPolicy) -> u64 {
+        u64::from(self.port_num) * policy.buffer_pool_cost_bits(u64::from(self.buffer_num))
+    }
+
+    /// Total BRAM bits of the whole switch under `policy`.
+    #[must_use]
+    pub fn total_bits(&self, policy: AllocationPolicy) -> u64 {
+        self.switch_tbl_bits(policy)
+            + self.class_tbl_bits(policy)
+            + self.meter_tbl_bits(policy)
+            + self.gate_tbl_bits(policy)
+            + self.cbs_tbl_bits(policy)
+            + self.queue_bits(policy)
+            + self.buffer_bits(policy)
+    }
+}
+
+impl Default for ResourceConfig {
+    fn default() -> Self {
+        ResourceConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bram::KB_BITS;
+
+    #[test]
+    fn setters_follow_table_ii_signatures_and_chain() {
+        let mut cfg = ResourceConfig::new();
+        cfg.set_switch_tbl(16 * 1024, 0)
+            .expect("valid")
+            .set_class_tbl(1024)
+            .expect("valid")
+            .set_meter_tbl(512)
+            .expect("valid")
+            .set_gate_tbl(2, 8, 4)
+            .expect("valid")
+            .set_cbs_tbl(8, 8, 4)
+            .expect("valid")
+            .set_queues(16, 8, 4)
+            .expect("valid")
+            .set_buffers(128, 4)
+            .expect("valid");
+        assert_eq!(cfg.unicast_size(), 16 * 1024);
+        assert_eq!(cfg.meter_size(), 512);
+        assert_eq!(cfg.queue_depth(), 16);
+        assert_eq!(cfg.port_num(), 4);
+    }
+
+    #[test]
+    fn setters_reject_zero_where_it_is_meaningless() {
+        let mut cfg = ResourceConfig::new();
+        assert!(cfg.set_switch_tbl(0, 0).is_err());
+        assert!(cfg.set_switch_tbl(0, 16).is_ok(), "multicast-only is fine");
+        assert!(cfg.set_class_tbl(0).is_err());
+        assert!(cfg.set_meter_tbl(0).is_err());
+        assert!(cfg.set_gate_tbl(0, 8, 1).is_err());
+        assert!(cfg.set_gate_tbl(2, 0, 1).is_err());
+        assert!(cfg.set_gate_tbl(2, 8, 0).is_err());
+        assert!(cfg.set_cbs_tbl(0, 0, 1).is_ok(), "shaping may be disabled");
+        assert!(cfg.set_cbs_tbl(3, 3, 0).is_err());
+        assert!(cfg.set_queues(0, 8, 1).is_err());
+        assert!(cfg.set_buffers(0, 1).is_err());
+    }
+
+    #[test]
+    fn per_resource_costs_match_table_iii_commercial_column() {
+        let cfg = crate::baseline::bcm53154();
+        let p = AllocationPolicy::PaperAccounting;
+        assert_eq!(cfg.switch_tbl_bits(p), 1152 * KB_BITS);
+        assert_eq!(cfg.class_tbl_bits(p), 126 * KB_BITS);
+        assert_eq!(cfg.meter_tbl_bits(p), 36 * KB_BITS);
+        assert_eq!(cfg.gate_tbl_bits(p), 144 * KB_BITS);
+        assert_eq!(cfg.cbs_tbl_bits(p), 144 * KB_BITS);
+        assert_eq!(cfg.queue_bits(p), 576 * KB_BITS);
+        assert_eq!(cfg.buffer_bits(p), 8640 * KB_BITS);
+        assert_eq!(cfg.total_bits(p), 10_818 * KB_BITS);
+    }
+
+    #[test]
+    fn default_config_is_the_customized_ring_column() {
+        let cfg = ResourceConfig::new();
+        let p = AllocationPolicy::PaperAccounting;
+        assert_eq!(cfg.total_bits(p), 2106 * KB_BITS);
+        assert_eq!(cfg, ResourceConfig::default());
+    }
+
+    #[test]
+    fn port_scaling_is_linear_for_per_port_resources() {
+        let mut one = ResourceConfig::new();
+        one.set_gate_tbl(2, 8, 1).expect("valid");
+        let mut three = one.clone();
+        three
+            .set_gate_tbl(2, 8, 3)
+            .expect("valid")
+            .set_cbs_tbl(3, 3, 3)
+            .expect("valid")
+            .set_queues(12, 8, 3)
+            .expect("valid")
+            .set_buffers(96, 3)
+            .expect("valid");
+        let p = AllocationPolicy::PaperAccounting;
+        assert_eq!(three.gate_tbl_bits(p), 3 * one.gate_tbl_bits(p));
+        assert_eq!(three.queue_bits(p), 3 * one.queue_bits(p));
+        assert_eq!(three.buffer_bits(p), 3 * one.buffer_bits(p));
+        // Shared tables do not scale with ports.
+        assert_eq!(three.switch_tbl_bits(p), one.switch_tbl_bits(p));
+    }
+
+    #[test]
+    fn custom_widths_change_costs() {
+        let mut cfg = ResourceConfig::new();
+        let mut wide = EntryWidths::PAPER;
+        wide.class_tbl_bits = 234; // double width
+        cfg.set_widths(wide);
+        let p = AllocationPolicy::ExactBits;
+        assert_eq!(cfg.class_tbl_bits(p), 1024 * 234);
+    }
+
+    #[test]
+    fn multicast_entries_share_the_switch_table() {
+        let mut cfg = ResourceConfig::new();
+        cfg.set_switch_tbl(512, 512).expect("valid");
+        let p = AllocationPolicy::ExactBits;
+        assert_eq!(cfg.switch_tbl_bits(p), 1024 * 72);
+    }
+}

@@ -1,0 +1,58 @@
+//! On-chip memory resource abstraction — the heart of TSN-Builder.
+//!
+//! The paper decouples *what a switch does* (five fixed function templates)
+//! from *how much memory each part gets* (tables, queues, packet buffers).
+//! This crate implements that second half:
+//!
+//! * [`bram`] — the FPGA block-RAM cost model with selectable
+//!   [`bram::AllocationPolicy`]s, including the accounting that reproduces
+//!   the paper's Table I and Table III bit-for-bit;
+//! * [`config`] — [`ResourceConfig`] with the seven platform-independent
+//!   customization APIs of Table II (`set_switch_tbl`, `set_class_tbl`,
+//!   `set_meter_tbl`, `set_gate_tbl`, `set_cbs_tbl`, `set_queues`,
+//!   `set_buffers`);
+//! * [`report`] — [`UsageReport`], a Table III-style per-resource BRAM
+//!   breakdown with reduction percentages;
+//! * [`view`] — [`ResourceView`], the per-component memory map of
+//!   Fig. 4;
+//! * [`baseline`] — the Broadcom BCM53154 reference configuration the
+//!   paper compares against.
+//!
+//! # Example
+//!
+//! ```
+//! use tsn_resource::{baseline, ResourceConfig, UsageReport, AllocationPolicy};
+//!
+//! // The paper's customized ring configuration (Table III, last column).
+//! let mut custom = ResourceConfig::new();
+//! custom
+//!     .set_switch_tbl(1024, 0)?
+//!     .set_class_tbl(1024)?
+//!     .set_meter_tbl(1024)?
+//!     .set_gate_tbl(2, 8, 1)?
+//!     .set_cbs_tbl(3, 3, 1)?
+//!     .set_queues(12, 8, 1)?
+//!     .set_buffers(96, 1)?;
+//!
+//! let commercial = UsageReport::of(&baseline::bcm53154(), AllocationPolicy::PaperAccounting);
+//! let customized = UsageReport::of(&custom, AllocationPolicy::PaperAccounting);
+//! assert_eq!(commercial.total_kb(), 10_818.0);
+//! assert_eq!(customized.total_kb(), 2_106.0);
+//! // The headline result: −80.53 % on-chip memory.
+//! assert!((customized.reduction_vs(&commercial) - 80.53).abs() < 0.005);
+//! # Ok::<(), tsn_types::TsnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod bram;
+pub mod config;
+pub mod report;
+pub mod view;
+
+pub use bram::AllocationPolicy;
+pub use config::ResourceConfig;
+pub use report::{ResourceRow, UsageReport};
+pub use view::{ComponentView, MemoryObject, ResourceView};

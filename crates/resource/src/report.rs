@@ -1,0 +1,271 @@
+//! Table III-style usage reports.
+
+use crate::bram::{format_kb, AllocationPolicy, KB_BITS};
+use crate::config::ResourceConfig;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// One row of a usage report (one resource category).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceRow {
+    /// Resource name as printed in Table III (e.g. `"Gate Tbl"`).
+    pub name: String,
+    /// The API parameters, rendered the way the paper prints them
+    /// (e.g. `"2, 8, 4"`).
+    pub parameters: String,
+    /// BRAM cost in bits under the report's policy.
+    pub bits: u64,
+}
+
+impl ResourceRow {
+    /// The cost in the paper's Kb units.
+    #[must_use]
+    pub fn kb(&self) -> f64 {
+        self.bits as f64 / KB_BITS as f64
+    }
+}
+
+/// A per-resource BRAM breakdown of one [`ResourceConfig`] — the data
+/// behind one column of the paper's Table III.
+///
+/// # Example
+///
+/// ```
+/// use tsn_resource::{baseline, UsageReport, AllocationPolicy};
+///
+/// let report = UsageReport::of(&baseline::bcm53154(), AllocationPolicy::PaperAccounting);
+/// assert_eq!(report.total_kb(), 10_818.0);
+/// assert_eq!(report.rows().len(), 7);
+/// println!("{report}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageReport {
+    policy: AllocationPolicy,
+    rows: Vec<ResourceRow>,
+}
+
+impl UsageReport {
+    /// Computes the report for `config` under `policy`.
+    #[must_use]
+    pub fn of(config: &ResourceConfig, policy: AllocationPolicy) -> Self {
+        let rows = vec![
+            ResourceRow {
+                name: "Switch Tbl".to_owned(),
+                parameters: format!("{}, {}", config.unicast_size(), config.multicast_size()),
+                bits: config.switch_tbl_bits(policy),
+            },
+            ResourceRow {
+                name: "Class. Tbl".to_owned(),
+                parameters: format!("{}", config.class_size()),
+                bits: config.class_tbl_bits(policy),
+            },
+            ResourceRow {
+                name: "Meter Tbl".to_owned(),
+                parameters: format!("{}", config.meter_size()),
+                bits: config.meter_tbl_bits(policy),
+            },
+            ResourceRow {
+                name: "Gate Tbl".to_owned(),
+                parameters: format!(
+                    "{}, {}, {}",
+                    config.gate_size(),
+                    config.queue_num(),
+                    config.port_num()
+                ),
+                bits: config.gate_tbl_bits(policy),
+            },
+            ResourceRow {
+                name: "CBS Tbl".to_owned(),
+                parameters: format!(
+                    "{}, {}, {}",
+                    config.cbs_map_size(),
+                    config.cbs_size(),
+                    config.port_num()
+                ),
+                bits: config.cbs_tbl_bits(policy),
+            },
+            ResourceRow {
+                name: "Queues".to_owned(),
+                parameters: format!(
+                    "{}, {}, {}",
+                    config.queue_depth(),
+                    config.queue_num(),
+                    config.port_num()
+                ),
+                bits: config.queue_bits(policy),
+            },
+            ResourceRow {
+                name: "Buffers".to_owned(),
+                parameters: format!("{}, {}", config.buffer_num(), config.port_num()),
+                bits: config.buffer_bits(policy),
+            },
+        ];
+        UsageReport { policy, rows }
+    }
+
+    /// The allocation policy the report was computed under.
+    #[must_use]
+    pub fn policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    /// The seven resource rows, in Table III order.
+    #[must_use]
+    pub fn rows(&self) -> &[ResourceRow] {
+        &self.rows
+    }
+
+    /// Looks up one row by its Table III name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&ResourceRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Total BRAM bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.rows.iter().map(|r| r.bits).sum()
+    }
+
+    /// Total in the paper's Kb units.
+    #[must_use]
+    pub fn total_kb(&self) -> f64 {
+        self.total_bits() as f64 / KB_BITS as f64
+    }
+
+    /// Percentage reduction of this report relative to `baseline`
+    /// (positive when this report is smaller). The paper's headline
+    /// figures are 46.59 % / 63.56 % / 80.53 %.
+    #[must_use]
+    pub fn reduction_vs(&self, baseline: &UsageReport) -> f64 {
+        let base = baseline.total_bits() as f64;
+        if base == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.total_bits() as f64 / base) * 100.0
+    }
+}
+
+impl fmt::Display for UsageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:<14} {:>10}   (policy: {})",
+            "Resource", "Parameters", "BRAMs", self.policy
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:<14} {:>10}",
+                row.name,
+                row.parameters,
+                format_kb(row.bits)
+            )?;
+        }
+        write!(
+            f,
+            "{:<12} {:<14} {:>10}",
+            "Total",
+            "",
+            format_kb(self.total_bits())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+
+    fn customized(ports: u32) -> ResourceConfig {
+        let mut cfg = ResourceConfig::new();
+        cfg.set_switch_tbl(1024, 0)
+            .expect("valid")
+            .set_class_tbl(1024)
+            .expect("valid")
+            .set_meter_tbl(1024)
+            .expect("valid")
+            .set_gate_tbl(2, 8, ports)
+            .expect("valid")
+            .set_cbs_tbl(3, 3, ports)
+            .expect("valid")
+            .set_queues(12, 8, ports)
+            .expect("valid")
+            .set_buffers(96, ports)
+            .expect("valid");
+        cfg
+    }
+
+    #[test]
+    fn table_iii_all_four_columns() {
+        let policy = AllocationPolicy::PaperAccounting;
+        let commercial = UsageReport::of(&baseline::bcm53154(), policy);
+        assert_eq!(commercial.total_kb(), 10_818.0);
+
+        let star = UsageReport::of(&customized(3), policy);
+        assert_eq!(star.total_kb(), 5_778.0);
+        assert!((star.reduction_vs(&commercial) - 46.59).abs() < 0.005);
+
+        let linear = UsageReport::of(&customized(2), policy);
+        assert_eq!(linear.total_kb(), 3_942.0);
+        assert!((linear.reduction_vs(&commercial) - 63.56).abs() < 0.005);
+
+        let ring = UsageReport::of(&customized(1), policy);
+        assert_eq!(ring.total_kb(), 2_106.0);
+        assert!((ring.reduction_vs(&commercial) - 80.53).abs() < 0.005);
+    }
+
+    #[test]
+    fn table_iii_per_row_values_for_star() {
+        let report = UsageReport::of(&customized(3), AllocationPolicy::PaperAccounting);
+        let expect = [
+            ("Switch Tbl", 72.0),
+            ("Class. Tbl", 126.0),
+            ("Meter Tbl", 72.0),
+            ("Gate Tbl", 108.0),
+            ("CBS Tbl", 108.0),
+            ("Queues", 432.0),
+            ("Buffers", 4860.0),
+        ];
+        for (name, kb) in expect {
+            let row = report.row(name).unwrap_or_else(|| panic!("{name} row"));
+            assert_eq!(row.kb(), kb, "{name}");
+        }
+    }
+
+    #[test]
+    fn parameters_render_like_the_paper() {
+        let report = UsageReport::of(&baseline::bcm53154(), AllocationPolicy::PaperAccounting);
+        assert_eq!(report.row("Switch Tbl").expect("row").parameters, "16384, 0");
+        assert_eq!(report.row("Gate Tbl").expect("row").parameters, "2, 8, 4");
+        assert_eq!(report.row("Queues").expect("row").parameters, "16, 8, 4");
+        assert_eq!(report.row("Buffers").expect("row").parameters, "128, 4");
+    }
+
+    #[test]
+    fn display_contains_total_and_all_rows() {
+        let report = UsageReport::of(&baseline::bcm53154(), AllocationPolicy::PaperAccounting);
+        let text = report.to_string();
+        assert!(text.contains("10818Kb"));
+        assert!(text.contains("Gate Tbl"));
+        assert!(text.contains("Total"));
+    }
+
+    #[test]
+    fn reduction_vs_zero_baseline_is_zero() {
+        let report = UsageReport::of(&baseline::bcm53154(), AllocationPolicy::PaperAccounting);
+        let zero = UsageReport {
+            policy: AllocationPolicy::PaperAccounting,
+            rows: vec![],
+        };
+        assert_eq!(report.reduction_vs(&zero), 0.0);
+    }
+
+    #[test]
+    fn exact_policy_totals_are_below_paper_policy() {
+        let cfg = baseline::bcm53154();
+        let paper = UsageReport::of(&cfg, AllocationPolicy::PaperAccounting);
+        let exact = UsageReport::of(&cfg, AllocationPolicy::ExactBits);
+        assert!(exact.total_bits() < paper.total_bits());
+    }
+}

@@ -1,0 +1,285 @@
+//! The resource view of Fig. 4: which memory objects each of the five
+//! components owns, with their customized geometry.
+//!
+//! The paper's Fig. 4 is the conceptual map between components and the
+//! tables/queues/buffers they consume; [`ResourceView`] renders the same
+//! map for a concrete [`ResourceConfig`], so a developer can see at a
+//! glance what the customization APIs produced.
+
+use crate::bram::{format_kb, AllocationPolicy};
+use crate::config::ResourceConfig;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// One memory object inside a component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryObject {
+    /// Object name as in Fig. 4 (e.g. `"Unicast Table"`).
+    pub name: String,
+    /// Geometry, e.g. `"1024 x 72b"`.
+    pub geometry: String,
+    /// Physical instances (per-port objects list the port count).
+    pub instances: u32,
+    /// Total BRAM bits under the view's policy.
+    pub bits: u64,
+}
+
+/// One of the five components with its memory objects.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentView {
+    /// Component name (Fig. 3/4: Packet Switch, Ingress Filter, Gate
+    /// Ctrl, Egress Sched, Time Sync).
+    pub component: String,
+    /// Its memory objects (Time Sync owns none — registers only).
+    pub objects: Vec<MemoryObject>,
+}
+
+impl ComponentView {
+    /// Total BRAM bits of the component.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.objects.iter().map(|o| o.bits).sum()
+    }
+}
+
+/// The complete per-component resource map of one switch configuration.
+///
+/// # Example
+///
+/// ```
+/// use tsn_resource::{view::ResourceView, ResourceConfig, AllocationPolicy};
+///
+/// let view = ResourceView::of(&ResourceConfig::new(), AllocationPolicy::PaperAccounting);
+/// assert_eq!(view.components().len(), 5);
+/// let text = view.to_string();
+/// assert!(text.contains("Packet Switch"));
+/// assert!(text.contains("Unicast/Multicast Table"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceView {
+    policy: AllocationPolicy,
+    components: Vec<ComponentView>,
+}
+
+impl ResourceView {
+    /// Builds the view for `config` under `policy`.
+    #[must_use]
+    pub fn of(config: &ResourceConfig, policy: AllocationPolicy) -> Self {
+        let w = config.widths();
+        let ports = config.port_num();
+        let components = vec![
+            ComponentView {
+                component: "Packet Switch".to_owned(),
+                objects: vec![MemoryObject {
+                    // The unicast and multicast tables share one physical
+                    // memory, so they are priced together (as in Table
+                    // III's single "Switch Tbl" row).
+                    name: "Unicast/Multicast Table".to_owned(),
+                    geometry: format!(
+                        "{}+{} x {}b",
+                        config.unicast_size(),
+                        config.multicast_size(),
+                        w.switch_tbl_bits
+                    ),
+                    instances: 1,
+                    bits: config.switch_tbl_bits(policy),
+                }],
+            },
+            ComponentView {
+                component: "Ingress Filter".to_owned(),
+                objects: vec![
+                    MemoryObject {
+                        name: "Classification Table".to_owned(),
+                        geometry: format!("{} x {}b", config.class_size(), w.class_tbl_bits),
+                        instances: 1,
+                        bits: config.class_tbl_bits(policy),
+                    },
+                    MemoryObject {
+                        name: "Meter Table".to_owned(),
+                        geometry: format!("{} x {}b", config.meter_size(), w.meter_tbl_bits),
+                        instances: 1,
+                        bits: config.meter_tbl_bits(policy),
+                    },
+                ],
+            },
+            ComponentView {
+                component: "Gate Ctrl".to_owned(),
+                objects: vec![
+                    MemoryObject {
+                        name: "In/Out Gate Tables".to_owned(),
+                        geometry: format!("{} x {}b", config.gate_size(), w.gate_tbl_bits),
+                        instances: 2 * ports,
+                        bits: config.gate_tbl_bits(policy),
+                    },
+                    MemoryObject {
+                        name: "Metadata Queues".to_owned(),
+                        geometry: format!("{} x {}b", config.queue_depth(), w.queue_meta_bits),
+                        instances: config.queue_num() * ports,
+                        bits: config.queue_bits(policy),
+                    },
+                    MemoryObject {
+                        name: "Packet Buffers".to_owned(),
+                        geometry: format!("{} x 2048B", config.buffer_num()),
+                        instances: ports,
+                        bits: config.buffer_bits(policy),
+                    },
+                ],
+            },
+            ComponentView {
+                component: "Egress Sched".to_owned(),
+                objects: vec![
+                    MemoryObject {
+                        name: "CBS Map Table".to_owned(),
+                        geometry: format!("{} x {}b", config.cbs_map_size(), w.cbs_map_bits),
+                        instances: ports,
+                        bits: ports as u64
+                            * policy.table_cost_bits(
+                                u64::from(config.cbs_map_size()),
+                                u64::from(w.cbs_map_bits),
+                            ),
+                    },
+                    MemoryObject {
+                        name: "CBS Table".to_owned(),
+                        geometry: format!("{} x {}b", config.cbs_size(), w.cbs_tbl_bits),
+                        instances: ports,
+                        bits: ports as u64
+                            * policy.table_cost_bits(
+                                u64::from(config.cbs_size()),
+                                u64::from(w.cbs_tbl_bits),
+                            ),
+                    },
+                ],
+            },
+            ComponentView {
+                component: "Time Sync".to_owned(),
+                objects: Vec::new(),
+            },
+        ];
+        ResourceView { policy, components }
+    }
+
+    /// The five components, in Fig. 3 order.
+    #[must_use]
+    pub fn components(&self) -> &[ComponentView] {
+        &self.components
+    }
+
+    /// Looks up one component by name.
+    #[must_use]
+    pub fn component(&self, name: &str) -> Option<&ComponentView> {
+        self.components.iter().find(|c| c.component == name)
+    }
+
+    /// Total BRAM bits across every component (equals
+    /// [`ResourceConfig::total_bits`]).
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.components.iter().map(ComponentView::total_bits).sum()
+    }
+}
+
+impl fmt::Display for ResourceView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Resource view (policy: {})", self.policy)?;
+        for c in &self.components {
+            writeln!(f, "+-- {} ({})", c.component, format_kb(c.total_bits()))?;
+            if c.objects.is_empty() {
+                writeln!(f, "|     (registers only)")?;
+            }
+            for o in &c.objects {
+                writeln!(
+                    f,
+                    "|     {:<22} {:>16}  x{:<3} = {}",
+                    o.name,
+                    o.geometry,
+                    o.instances,
+                    format_kb(o.bits)
+                )?;
+            }
+        }
+        write!(f, "total: {}", format_kb(self.total_bits()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+
+    #[test]
+    fn view_totals_match_the_config() {
+        let mut mixed = ResourceConfig::new();
+        mixed.set_switch_tbl(100, 100).expect("valid");
+        for config in [
+            ResourceConfig::new(),
+            baseline::bcm53154(),
+            baseline::table1_case1(),
+            mixed,
+        ] {
+            for policy in AllocationPolicy::ALL {
+                let view = ResourceView::of(&config, policy);
+                assert_eq!(
+                    view.total_bits(),
+                    config.total_bits(policy),
+                    "the view is an exact decomposition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn five_components_in_figure_order() {
+        let view = ResourceView::of(&ResourceConfig::new(), AllocationPolicy::PaperAccounting);
+        let names: Vec<&str> = view
+            .components()
+            .iter()
+            .map(|c| c.component.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["Packet Switch", "Ingress Filter", "Gate Ctrl", "Egress Sched", "Time Sync"]
+        );
+    }
+
+    #[test]
+    fn gate_ctrl_owns_queues_and_buffers() {
+        let view = ResourceView::of(&baseline::bcm53154(), AllocationPolicy::PaperAccounting);
+        let gate = view.component("Gate Ctrl").expect("component exists");
+        assert_eq!(gate.objects.len(), 3);
+        let buffers = gate
+            .objects
+            .iter()
+            .find(|o| o.name == "Packet Buffers")
+            .expect("buffers listed");
+        assert_eq!(buffers.instances, 4, "one pool per port");
+        assert_eq!(buffers.bits, 8640 * 1024);
+    }
+
+    #[test]
+    fn time_sync_holds_no_tables() {
+        // "Except for the Time Sync component, the other four components
+        // have multiple tables" (Section III.B).
+        let view = ResourceView::of(&ResourceConfig::new(), AllocationPolicy::PaperAccounting);
+        assert_eq!(
+            view.component("Time Sync").expect("component exists").total_bits(),
+            0
+        );
+    }
+
+    #[test]
+    fn display_renders_the_figure() {
+        let view = ResourceView::of(&ResourceConfig::new(), AllocationPolicy::PaperAccounting);
+        let text = view.to_string();
+        for needle in [
+            "Packet Switch",
+            "Unicast/Multicast Table",
+            "Classification Table",
+            "In/Out Gate Tables",
+            "CBS Map Table",
+            "registers only",
+            "total: 2106Kb",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

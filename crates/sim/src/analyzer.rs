@@ -1,0 +1,427 @@
+//! The TSN analyzer: per-flow latency / jitter / loss measurement.
+//!
+//! Models the analyzer box of the paper's testbed (Fig. 6): every
+//! delivered frame is matched against its injection record; the paper
+//! reports average latency, jitter as the standard deviation of latency,
+//! and packet loss.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tsn_types::{FlowId, SimDuration, SimTime, TrafficClass};
+
+/// Streaming latency statistics (Welford's algorithm).
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    count: u64,
+    mean_ns: f64,
+    m2: f64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Creates empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyStats {
+            min_ns: u64::MAX,
+            ..LatencyStats::default()
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        let x = latency.as_nanos() as f64;
+        self.count += 1;
+        let delta = x - self.mean_ns;
+        self.mean_ns += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean_ns);
+        self.min_ns = self.min_ns.min(latency.as_nanos());
+        self.max_ns = self.max_ns.max(latency.as_nanos());
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        self.mean_ns
+    }
+
+    /// Mean latency in microseconds.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns / 1_000.0
+    }
+
+    /// Population standard deviation in nanoseconds — the paper's
+    /// "jitter".
+    #[must_use]
+    pub fn std_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Jitter in microseconds.
+    #[must_use]
+    pub fn std_us(&self) -> f64 {
+        self.std_ns() / 1_000.0
+    }
+
+    /// Smallest sample (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<SimDuration> {
+        (self.count > 0).then(|| SimDuration::from_nanos(self.min_ns))
+    }
+
+    /// Largest sample (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<SimDuration> {
+        (self.count > 0).then(|| SimDuration::from_nanos(self.max_ns))
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean_ns - self.mean_ns;
+        let total = n1 + n2;
+        self.mean_ns += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Per-flow record: injections, deliveries, latency, deadline misses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// The flow's class.
+    pub class: TrafficClass,
+    /// Frames the talker injected (within the measurement window).
+    pub injected: u64,
+    /// Frames the analyzer received.
+    pub received: u64,
+    /// Frames that arrived after their deadline (TS flows only).
+    pub deadline_misses: u64,
+    /// Latency statistics over received frames.
+    pub latency: LatencyStats,
+}
+
+impl FlowRecord {
+    fn new(class: TrafficClass) -> Self {
+        FlowRecord {
+            class,
+            injected: 0,
+            received: 0,
+            deadline_misses: 0,
+            latency: LatencyStats::new(),
+        }
+    }
+
+    /// Frames injected but never delivered.
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.injected.saturating_sub(self.received)
+    }
+}
+
+/// The network-wide analyzer.
+///
+/// # Example
+///
+/// ```
+/// use tsn_sim::analyzer::Analyzer;
+/// use tsn_types::{FlowId, SimDuration, SimTime, TrafficClass};
+///
+/// let mut an = Analyzer::new();
+/// let flow = FlowId::new(0);
+/// an.note_injected(flow, TrafficClass::TimeSensitive);
+/// an.note_delivered(
+///     flow,
+///     TrafficClass::TimeSensitive,
+///     SimTime::ZERO,
+///     SimTime::from_micros(130),
+///     Some(SimDuration::from_millis(2)),
+/// );
+/// let record = an.flow(flow).expect("recorded");
+/// assert_eq!(record.received, 1);
+/// assert_eq!(record.lost(), 0);
+/// assert_eq!(record.latency.mean_us(), 130.0);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Analyzer {
+    flows: HashMap<FlowId, FlowRecord>,
+}
+
+impl Analyzer {
+    /// Creates an empty analyzer.
+    #[must_use]
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// Notes that the talker injected one frame of `flow`.
+    pub fn note_injected(&mut self, flow: FlowId, class: TrafficClass) {
+        self.flows
+            .entry(flow)
+            .or_insert_with(|| FlowRecord::new(class))
+            .injected += 1;
+    }
+
+    /// Notes a delivered frame: latency is `arrived − injected_at`;
+    /// `deadline` (if any) is checked for a miss.
+    pub fn note_delivered(
+        &mut self,
+        flow: FlowId,
+        class: TrafficClass,
+        injected_at: SimTime,
+        arrived: SimTime,
+        deadline: Option<SimDuration>,
+    ) {
+        let record = self
+            .flows
+            .entry(flow)
+            .or_insert_with(|| FlowRecord::new(class));
+        record.received += 1;
+        let latency = arrived.saturating_since(injected_at);
+        record.latency.record(latency);
+        if let Some(deadline) = deadline {
+            if latency > deadline {
+                record.deadline_misses += 1;
+            }
+        }
+    }
+
+    /// One flow's record.
+    #[must_use]
+    pub fn flow(&self, flow: FlowId) -> Option<&FlowRecord> {
+        self.flows.get(&flow)
+    }
+
+    /// Iterates over all flow records.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &FlowRecord)> {
+        self.flows.iter().map(|(&id, r)| (id, r))
+    }
+
+    /// Aggregated latency statistics over every flow of `class`.
+    #[must_use]
+    pub fn class_latency(&self, class: TrafficClass) -> LatencyStats {
+        let mut agg = LatencyStats::new();
+        for record in self.flows.values().filter(|r| r.class == class) {
+            agg.merge(&record.latency);
+        }
+        agg
+    }
+
+    /// Mean of the per-flow latency standard deviations over `class` —
+    /// the paper's "jitter" (each flow's own latency spread, not the
+    /// spread between flows with different hop counts).
+    #[must_use]
+    pub fn class_mean_flow_jitter_ns(&self, class: TrafficClass) -> f64 {
+        let stds: Vec<f64> = self
+            .flows
+            .values()
+            .filter(|r| r.class == class && r.latency.count() > 0)
+            .map(|r| r.latency.std_ns())
+            .collect();
+        if stds.is_empty() {
+            0.0
+        } else {
+            stds.iter().sum::<f64>() / stds.len() as f64
+        }
+    }
+
+    /// Total frames lost across flows of `class`.
+    #[must_use]
+    pub fn class_lost(&self, class: TrafficClass) -> u64 {
+        self.flows
+            .values()
+            .filter(|r| r.class == class)
+            .map(FlowRecord::lost)
+            .sum()
+    }
+
+    /// Total frames injected across flows of `class`.
+    #[must_use]
+    pub fn class_injected(&self, class: TrafficClass) -> u64 {
+        self.flows
+            .values()
+            .filter(|r| r.class == class)
+            .map(|r| r.injected)
+            .sum()
+    }
+
+    /// Total deadline misses across TS flows.
+    #[must_use]
+    pub fn deadline_misses(&self) -> u64 {
+        self.flows.values().map(|r| r.deadline_misses).sum()
+    }
+
+    /// Number of tracked flows.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let samples = [100u64, 200, 300, 400];
+        let mut s = LatencyStats::new();
+        for &x in &samples {
+            s.record(SimDuration::from_nanos(x));
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean_ns(), 250.0);
+        // Population std of {100,200,300,400} = sqrt(12500) ≈ 111.8.
+        assert!((s.std_ns() - 12_500f64.sqrt()).abs() < 1e-9);
+        assert_eq!(s.min(), Some(SimDuration::from_nanos(100)));
+        assert_eq!(s.max(), Some(SimDuration::from_nanos(400)));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_ns(), 0.0);
+        assert_eq!(s.std_ns(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let xs: Vec<u64> = (1..=10).map(|i| i * 37).collect();
+        let mut whole = LatencyStats::new();
+        for &x in &xs {
+            whole.record(SimDuration::from_nanos(x));
+        }
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        for &x in &xs[..4] {
+            a.record(SimDuration::from_nanos(x));
+        }
+        for &x in &xs[4..] {
+            b.record(SimDuration::from_nanos(x));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean_ns() - whole.mean_ns()).abs() < 1e-9);
+        assert!((a.std_ns() - whole.std_ns()).abs() < 1e-9);
+
+        // Merging into empty adopts the other side.
+        let mut empty = LatencyStats::new();
+        empty.merge(&whole);
+        assert_eq!(empty.count(), whole.count());
+    }
+
+    #[test]
+    fn loss_is_injected_minus_received() {
+        let mut an = Analyzer::new();
+        let f = FlowId::new(3);
+        for _ in 0..5 {
+            an.note_injected(f, TrafficClass::TimeSensitive);
+        }
+        for i in 0..3 {
+            an.note_delivered(
+                f,
+                TrafficClass::TimeSensitive,
+                SimTime::from_micros(i * 10),
+                SimTime::from_micros(i * 10 + 100),
+                None,
+            );
+        }
+        let r = an.flow(f).expect("tracked");
+        assert_eq!(r.lost(), 2);
+        assert_eq!(an.class_lost(TrafficClass::TimeSensitive), 2);
+        assert_eq!(an.class_injected(TrafficClass::TimeSensitive), 5);
+    }
+
+    #[test]
+    fn deadline_misses_are_counted() {
+        let mut an = Analyzer::new();
+        let f = FlowId::new(1);
+        an.note_delivered(
+            f,
+            TrafficClass::TimeSensitive,
+            SimTime::ZERO,
+            SimTime::from_millis(3),
+            Some(SimDuration::from_millis(2)),
+        );
+        an.note_delivered(
+            f,
+            TrafficClass::TimeSensitive,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            Some(SimDuration::from_millis(2)),
+        );
+        assert_eq!(an.deadline_misses(), 1);
+    }
+
+    #[test]
+    fn per_flow_jitter_ignores_between_flow_spread() {
+        let mut an = Analyzer::new();
+        // Two flows with constant but different latencies: each flow's
+        // own jitter is zero, even though the merged spread is not.
+        for (flow, us) in [(0u32, 100u64), (1, 900)] {
+            for i in 0..4 {
+                an.note_delivered(
+                    FlowId::new(flow),
+                    TrafficClass::TimeSensitive,
+                    SimTime::from_micros(i * 50),
+                    SimTime::from_micros(i * 50 + us),
+                    None,
+                );
+            }
+        }
+        assert_eq!(an.class_mean_flow_jitter_ns(TrafficClass::TimeSensitive), 0.0);
+        assert!(an.class_latency(TrafficClass::TimeSensitive).std_ns() > 0.0);
+        assert_eq!(an.class_mean_flow_jitter_ns(TrafficClass::BestEffort), 0.0);
+    }
+
+    #[test]
+    fn class_aggregation_spans_flows() {
+        let mut an = Analyzer::new();
+        for id in 0..3u32 {
+            an.note_delivered(
+                FlowId::new(id),
+                TrafficClass::TimeSensitive,
+                SimTime::ZERO,
+                SimTime::from_micros(100 * u64::from(id + 1)),
+                None,
+            );
+        }
+        an.note_delivered(
+            FlowId::new(9),
+            TrafficClass::BestEffort,
+            SimTime::ZERO,
+            SimTime::from_micros(999),
+            None,
+        );
+        let ts = an.class_latency(TrafficClass::TimeSensitive);
+        assert_eq!(ts.count(), 3);
+        assert_eq!(ts.mean_us(), 200.0);
+        assert_eq!(an.class_latency(TrafficClass::BestEffort).count(), 1);
+        assert_eq!(an.flow_count(), 4);
+    }
+}

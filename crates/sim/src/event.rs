@@ -1,0 +1,211 @@
+//! The discrete-event core: a deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use tsn_types::{EthernetFrame, NodeId, PortId, SimTime};
+
+/// What can happen in the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A frame finished arriving at `node` through `port`.
+    FrameArrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port on that node.
+        port: PortId,
+        /// The frame.
+        frame: EthernetFrame,
+    },
+    /// A switch egress port should try to transmit.
+    PortKick {
+        /// The switch.
+        node: NodeId,
+        /// The egress port.
+        port: PortId,
+    },
+    /// A host should inject the next frame of one of its generators.
+    Inject {
+        /// The host.
+        node: NodeId,
+        /// Generator index local to the host.
+        generator: usize,
+    },
+    /// A host egress link should try to transmit.
+    HostKick {
+        /// The host.
+        node: NodeId,
+    },
+    /// A transmission segment on `(node, port)` finished. `gen` guards
+    /// against frames that were preempted mid-flight (802.3br): a
+    /// preemption bumps the port's generation, turning the stale
+    /// completion into a no-op.
+    TxComplete {
+        /// Transmitting node.
+        node: NodeId,
+        /// Its egress port.
+        port: PortId,
+        /// Generation the segment was started under.
+        gen: u64,
+    },
+}
+
+/// One scheduled event. Ordering: earliest time first; FIFO among equal
+/// times (via an insertion sequence number) so runs are deterministic.
+#[derive(Debug, Clone)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+///
+/// # Example
+///
+/// ```
+/// use tsn_sim::event::{Event, EventQueue};
+/// use tsn_types::{NodeId, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_micros(5), Event::HostKick { node: NodeId::new(1) });
+/// q.schedule(SimTime::from_micros(2), Event::HostKick { node: NodeId::new(0) });
+/// let (at, ev) = q.pop().expect("two events queued");
+/// assert_eq!(at, SimTime::from_micros(2));
+/// assert!(matches!(ev, Event::HostKick { node } if node == NodeId::new(0)));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (for reports).
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kick(n: u32) -> Event {
+        Event::HostKick {
+            node: NodeId::new(n),
+        }
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), kick(3));
+        q.schedule(SimTime::from_micros(10), kick(1));
+        q.schedule(SimTime::from_micros(20), kick(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_micros())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_fifo_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(7);
+        for n in 0..5 {
+            q.schedule(t, kick(n));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::HostKick { node } => node.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(1), kick(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn counts_total_scheduled() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.schedule(SimTime::from_micros(i), kick(i as u32));
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.scheduled_total(), 4);
+    }
+}

@@ -1,0 +1,894 @@
+//! The network runner: topology + switches + hosts + event loop.
+//!
+//! [`Network::build`] assembles a complete simulated TSN network from a
+//! topology, a per-switch [`tsn_resource::ResourceConfig`], and a
+//! [`tsn_types::FlowSet`]: it derives port roles, programs forwarding /
+//! classification / meter / shaper state on every switch (the run-time
+//! configuration the paper's embedded CPU performs), attaches TSNNic-style
+//! generators to the hosts, and pre-converges a gPTP domain. [`Network::run`]
+//! then executes the discrete-event loop and returns a [`SimReport`].
+
+use crate::analyzer::Analyzer;
+use crate::event::{Event, EventQueue};
+use crate::host::{Generator, Host};
+use crate::report::SimReport;
+use std::collections::HashMap;
+use tsn_resource::ResourceConfig;
+use tsn_switch::gate_ctrl::GateControlList;
+use tsn_switch::ingress_filter::{ClassEntry, ClassKey, TokenBucketMeter};
+use tsn_switch::pipeline::{PortKind, SwitchSpec, TsnSwitchCore};
+use tsn_switch::time_sync::{ClockModel, SyncConfig, SyncDomain};
+use tsn_topology::{NodeKind, Topology};
+use tsn_types::{
+    DataRate, EthernetFrame, FlowId, FlowSpec, FlowSet, MacAddr, MeterId, NodeId, PortId, QueueId,
+    SimDuration, SimTime, TrafficClass, TsnError, TsnResult, VlanId,
+};
+
+/// How the switches' clocks are synchronized.
+#[derive(Debug, Clone)]
+pub enum SyncSetup {
+    /// All switches share the true simulation time (an idealized domain).
+    Perfect,
+    /// A gPTP domain with drifting oscillators, pre-converged over
+    /// `warmup` before traffic starts and kept running during the
+    /// experiment.
+    Gptp {
+        /// Protocol parameters.
+        config: SyncConfig,
+        /// Convergence time before traffic starts.
+        warmup: SimDuration,
+    },
+}
+
+impl Default for SyncSetup {
+    fn default() -> Self {
+        SyncSetup::Gptp {
+            config: SyncConfig::default(),
+            warmup: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// CQF slot length (the paper's default is 65 µs).
+    pub slot: SimDuration,
+    /// Per-switch memory resources.
+    pub resources: ResourceConfig,
+    /// Ingress pipeline latency of a switch (parser + lookup + filter);
+    /// folded into the link delay.
+    pub switch_proc_delay: SimDuration,
+    /// Injection window: generators fire in `[0, duration)`.
+    pub duration: SimDuration,
+    /// Extra time after `duration` for in-flight frames to drain.
+    pub drain: SimDuration,
+    /// Clock synchronization model.
+    pub sync: SyncSetup,
+    /// Install one aggregated (any-VLAN) unicast entry per destination
+    /// instead of one exact entry per flow — the paper's guideline-(1)
+    /// table aggregation.
+    pub aggregate_switch_tbl: bool,
+    /// Per-switch resource overrides (heterogeneous customization);
+    /// switches not named here use `resources`.
+    pub per_switch_resources: HashMap<NodeId, ResourceConfig>,
+    /// Enable 802.3br/802.1Qbu frame preemption: express (TS) frames
+    /// interrupt in-flight preemptable (RC/BE) frames at fragment
+    /// boundaries, on switch egress ports and host NICs alike.
+    pub frame_preemption: bool,
+}
+
+impl SimConfig {
+    /// The paper's defaults: 65 µs slot, customized resources, 2 µs
+    /// pipeline delay, 100 ms of traffic, generous drain, gPTP sync.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        SimConfig {
+            slot: SimDuration::from_micros(65),
+            resources: ResourceConfig::new(),
+            switch_proc_delay: SimDuration::from_micros(2),
+            duration: SimDuration::from_millis(100),
+            drain: SimDuration::from_millis(20),
+            sync: SyncSetup::default(),
+            aggregate_switch_tbl: false,
+            per_switch_resources: HashMap::new(),
+            frame_preemption: false,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_defaults()
+    }
+}
+
+enum NodeRole {
+    Switch {
+        core: Box<TsnSwitchCore>,
+        /// Index into the gPTP sync domain (chain order).
+        sync_index: usize,
+    },
+    Host(Box<Host>),
+}
+
+/// Smallest fragment (wire bytes) that must already be on the wire before
+/// an express frame may interrupt (802.3br's 64-byte minimum fragment,
+/// preamble included in our wire accounting).
+const MIN_FRAGMENT_WIRE_BYTES: u64 = 84;
+/// Do not bother preempting when fewer than this many wire bytes remain.
+const MIN_TAIL_WIRE_BYTES: u64 = 84;
+/// Extra wire bytes a continuation fragment costs (preamble + SFD + mCRC
+/// + inter-frame gap).
+const FRAGMENT_OVERHEAD_BYTES: u32 = 24;
+
+/// One in-flight transmission segment on a port.
+#[derive(Debug, Clone)]
+struct ActiveTx {
+    frame: EthernetFrame,
+    /// Source queue on a switch port (`None` on host NICs).
+    queue: Option<QueueId>,
+    /// Wire bytes this segment carries.
+    wire_bytes: u32,
+    express: bool,
+    started: SimTime,
+}
+
+/// The tail of a preempted frame, waiting for the express burst to pass.
+#[derive(Debug, Clone)]
+struct Suspended {
+    frame: EthernetFrame,
+    queue: Option<QueueId>,
+    remaining_wire_bytes: u32,
+}
+
+/// Per-port transmitter state for the preemption machinery.
+#[derive(Debug, Clone, Default)]
+struct WireState {
+    gen: u64,
+    active: Option<ActiveTx>,
+    suspended: Option<Suspended>,
+}
+
+/// What a preemption attempt decided.
+enum PreemptOutcome {
+    /// The port was preempted and is free now.
+    Preempted,
+    /// Preemption will become possible at this instant (minimum-fragment
+    /// rule); re-kick then.
+    RetryAt(SimTime),
+    /// Not preemptable (express in flight, or too little tail left).
+    No,
+}
+
+/// A fully assembled simulated TSN network.
+pub struct Network {
+    topology: Topology,
+    roles: Vec<NodeRole>,
+    flows: FlowSet,
+    queue: EventQueue,
+    analyzer: Analyzer,
+    /// Per-(node, port) link-busy horizon.
+    busy_until: Vec<Vec<SimTime>>,
+    /// Per-(node, port) transmitted wire bytes (frames + overhead).
+    tx_bytes: Vec<Vec<u64>>,
+    /// Per-(node, port) transmitter state (active segment, suspended
+    /// fragment, generation).
+    wires: Vec<Vec<WireState>>,
+    /// Preemptions performed (802.3br).
+    preemptions: u64,
+    sync_domain: Option<SyncDomain>,
+    config: SimConfig,
+    events_processed: u64,
+    now: SimTime,
+}
+
+/// The VLAN that distinguishes one flow from another on the wire (flows
+/// between the same pair of hosts differ by VID, which is what makes the
+/// classification and switch tables scale with the *flow count*, as the
+/// paper sizes them).
+#[must_use]
+pub fn vlan_for(flow: FlowId) -> VlanId {
+    VlanId::new(1 + (flow.index() % 4000) as u16).expect("1..=4000 is always a legal vid")
+}
+
+/// The deterministic station MAC of a node.
+#[must_use]
+pub fn mac_for(node: NodeId) -> MacAddr {
+    MacAddr::station(u64::from(node.index()))
+}
+
+impl Network {
+    /// Builds the network: derives per-port roles, instantiates switch
+    /// cores, programs all tables, creates host generators and the sync
+    /// domain.
+    ///
+    /// `offsets` carries the planned injection offset of each TS flow
+    /// (what ITP computes); missing flows start at phase 0.
+    ///
+    /// # Errors
+    ///
+    /// Any resource shortfall surfaces here: more TSN ports than
+    /// provisioned, a classification/switch table too small for the flow
+    /// count, invalid flow endpoints, or unroutable flows.
+    pub fn build(
+        topology: Topology,
+        flows: FlowSet,
+        offsets: &HashMap<FlowId, SimDuration>,
+        config: SimConfig,
+    ) -> TsnResult<Self> {
+        Network::build_with_schedule(topology, flows, offsets, config, &HashMap::new())
+    }
+
+    /// As [`Network::build`], with explicit per-port gate-control lists —
+    /// the hook for synthesized 802.1Qbv (TAS) schedules. Ports not named
+    /// in `gcls` keep their role-derived default (CQF on switch-facing
+    /// TSN ports, always-open on edge ports).
+    ///
+    /// # Errors
+    ///
+    /// As [`Network::build`], plus gate-table capacity violations when a
+    /// supplied GCL is longer than the provisioned `gate_size`.
+    pub fn build_with_schedule(
+        topology: Topology,
+        flows: FlowSet,
+        offsets: &HashMap<FlowId, SimDuration>,
+        config: SimConfig,
+        gcls: &HashMap<(NodeId, PortId), (GateControlList, GateControlList)>,
+    ) -> TsnResult<Self> {
+        let mut roles = Vec::with_capacity(topology.nodes().len());
+        let mut busy_until = Vec::with_capacity(topology.nodes().len());
+        let mut tx_bytes = Vec::with_capacity(topology.nodes().len());
+        let mut wires = Vec::with_capacity(topology.nodes().len());
+        let switches = topology.switches();
+
+        for node in topology.nodes() {
+            busy_until.push(vec![SimTime::ZERO; topology.port_count(node.id())]);
+            tx_bytes.push(vec![0u64; topology.port_count(node.id())]);
+            wires.push(vec![WireState::default(); topology.port_count(node.id())]);
+            match node.kind() {
+                NodeKind::Switch => {
+                    let ports: Vec<PortKind> = (0..topology.port_count(node.id()))
+                        .map(|p| {
+                            let link = topology
+                                .link_at(node.id(), PortId::new(p as u16))
+                                .expect("port enumeration is in range");
+                            let peer_is_switch = link
+                                .peer_of(node.id())
+                                .and_then(|peer| topology.node(peer.node).ok())
+                                .is_some_and(tsn_topology::Node::is_switch);
+                            if peer_is_switch && link.allows_egress_from(node.id()) {
+                                PortKind::Tsn
+                            } else {
+                                PortKind::Edge
+                            }
+                        })
+                        .collect();
+                    let resources = config
+                        .per_switch_resources
+                        .get(&node.id())
+                        .cloned()
+                        .unwrap_or_else(|| config.resources.clone());
+                    let mut spec = SwitchSpec::new(resources, ports, config.slot);
+                    for ((gcl_node, port), (in_gcl, out_gcl)) in gcls {
+                        if *gcl_node == node.id() {
+                            spec.override_gcl(*port, in_gcl.clone(), out_gcl.clone());
+                        }
+                    }
+                    let core = TsnSwitchCore::new(&spec)?;
+                    let sync_index = switches
+                        .iter()
+                        .position(|&s| s == node.id())
+                        .expect("node is a switch");
+                    roles.push(NodeRole::Switch {
+                        core: Box::new(core),
+                        sync_index,
+                    });
+                }
+                NodeKind::Host => {
+                    roles.push(NodeRole::Host(Box::new(Host::new(
+                        node.id(),
+                        mac_for(node.id()),
+                    ))));
+                }
+            }
+        }
+
+        let sync_domain = match &config.sync {
+            SyncSetup::Perfect => None,
+            SyncSetup::Gptp { config: sc, warmup } => {
+                let clocks: Vec<ClockModel> = (0..switches.len())
+                    .map(|i| {
+                        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                        ClockModel::new(
+                            sign * (15.0 + 11.0 * i as f64),
+                            sign * 250_000.0 * (i as f64 + 1.0),
+                        )
+                    })
+                    .collect();
+                let mut domain =
+                    SyncDomain::chain(clocks, *sc, SimDuration::from_nanos(50))?;
+                // Pre-converge, then rebase so t=0 of the experiment is
+                // already synchronized (the paper syncs before measuring).
+                domain.run_until(SimTime::ZERO + *warmup);
+                Some(domain)
+            }
+        };
+
+        let mut network = Network {
+            topology,
+            roles,
+            flows,
+            queue: EventQueue::new(),
+            analyzer: Analyzer::new(),
+            busy_until,
+            tx_bytes,
+            wires,
+            preemptions: 0,
+            sync_domain,
+            config,
+            events_processed: 0,
+            now: SimTime::ZERO,
+        };
+        network.install_flows(offsets)?;
+        Ok(network)
+    }
+
+    fn install_flows(&mut self, offsets: &HashMap<FlowId, SimDuration>) -> TsnResult<()> {
+        // Per-switch running meter allocation and per-(switch, port, queue)
+        // reserved-rate accumulation for the shapers.
+        let mut next_meter: HashMap<NodeId, u32> = HashMap::new();
+        let mut rc_reservations: HashMap<(NodeId, PortId, QueueId), u64> = HashMap::new();
+
+        let flows = self.flows.clone();
+        for flow in flows.iter() {
+            let src = flow.src();
+            let dst = flow.dst();
+            for node in [src, dst] {
+                if !self
+                    .topology
+                    .node(node)
+                    .map(tsn_topology::Node::is_host)
+                    .unwrap_or(false)
+                {
+                    return Err(TsnError::invalid_parameter(
+                        "flow",
+                        format!("{} endpoint {node} is not a host", flow.id()),
+                    ));
+                }
+            }
+            let route = self.topology.route(src, dst)?;
+            let vlan = vlan_for(flow.id());
+            let dst_mac = mac_for(dst);
+            let src_mac = mac_for(src);
+            let class = flow.class();
+            let pcp = class.default_pcp();
+
+            for hop in route.switch_hops_iter() {
+                let egress = hop.egress.ok_or_else(|| {
+                    TsnError::invalid_parameter("route", "switch hop without egress")
+                })?;
+                let NodeRole::Switch { core, .. } = &mut self.roles[hop.node.as_usize()] else {
+                    unreachable!("switch hop resolves to a switch role");
+                };
+                if self.config.aggregate_switch_tbl {
+                    core.add_unicast_any_vlan(dst_mac, egress)?;
+                } else {
+                    core.add_unicast(dst_mac, vlan, egress)?;
+                }
+
+                let layout = core
+                    .gates(egress)
+                    .expect("egress port exists")
+                    .layout()
+                    .clone();
+                let queue = layout.spread_queue(class, u64::from(flow.id().index()));
+                let meter = match flow {
+                    FlowSpec::Rc(rc) => {
+                        let slot_counter = next_meter.entry(hop.node).or_insert(0);
+                        let meter_id = MeterId::new(*slot_counter);
+                        *slot_counter += 1;
+                        // Token bucket at the reserved rate with a two-frame burst.
+                        core.set_meter(
+                            meter_id,
+                            TokenBucketMeter::new(rc.reserved_rate(), rc.frame_bytes() * 2)?,
+                        )?;
+                        *rc_reservations
+                            .entry((hop.node, egress, queue))
+                            .or_insert(0) += rc.reserved_rate().bits_per_sec();
+                        Some(meter_id)
+                    }
+                    _ => None,
+                };
+                // TS and RC streams get per-stream filter entries (802.1Qci);
+                // best-effort traffic takes the PCP fallback and consumes no
+                // classification-table capacity, as on real switches.
+                if !matches!(flow, FlowSpec::Be(_)) {
+                    core.add_class_entry(
+                        ClassKey {
+                            src: src_mac,
+                            dst: dst_mac,
+                            vlan,
+                            pcp,
+                        },
+                        ClassEntry { queue, meter },
+                    )?;
+                }
+            }
+
+            // Attach the generator on the talker host.
+            let offset = offsets.get(&flow.id()).copied().unwrap_or(SimDuration::ZERO);
+            let generator = match flow {
+                FlowSpec::Ts(ts) => Generator::time_sensitive(
+                    ts.id(),
+                    dst_mac,
+                    vlan,
+                    ts.frame_bytes(),
+                    ts.period(),
+                    offset,
+                    ts.deadline(),
+                )
+                .aligned_to(self.config.slot),
+                FlowSpec::Rc(rc) => Generator::constant_rate(
+                    rc.id(),
+                    TrafficClass::RateConstrained,
+                    dst_mac,
+                    vlan,
+                    rc.frame_bytes(),
+                    rc.reserved_rate(),
+                    offset,
+                ),
+                FlowSpec::Be(be) => Generator::constant_rate(
+                    be.id(),
+                    TrafficClass::BestEffort,
+                    dst_mac,
+                    vlan,
+                    be.frame_bytes(),
+                    be.offered_rate(),
+                    offset,
+                ),
+            };
+            let NodeRole::Host(host) = &mut self.roles[src.as_usize()] else {
+                unreachable!("validated above");
+            };
+            let index = host.add_generator(generator);
+            let first = host.generators()[index].first_injection();
+            if first.saturating_since(SimTime::ZERO) < self.config.duration {
+                self.queue.schedule(
+                    first,
+                    Event::Inject {
+                        node: src,
+                        generator: index,
+                    },
+                );
+            }
+        }
+
+        // Install the credit-based shapers: one CBS slot per RC queue in
+        // use on each port, idleSlope = sum of reservations through it.
+        let mut slots_by_port: HashMap<(NodeId, PortId), usize> = HashMap::new();
+        let mut reservations: Vec<_> = rc_reservations.into_iter().collect();
+        reservations.sort_by_key(|&((n, p, q), _)| (n, p, q));
+        for ((node, port, queue), bits_per_sec) in reservations {
+            let NodeRole::Switch { core, .. } = &mut self.roles[node.as_usize()] else {
+                unreachable!("reservations only name switches");
+            };
+            let slot = slots_by_port.entry((node, port)).or_insert(0);
+            core.set_shaper(port, *slot, DataRate::bps(bits_per_sec))?;
+            core.map_queue_to_shaper(port, queue, *slot)?;
+            *slot += 1;
+        }
+        Ok(())
+    }
+
+    /// Runs the event loop to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let horizon = SimTime::ZERO + self.config.duration + self.config.drain;
+        while let Some((at, event)) = self.queue.pop() {
+            if at > horizon {
+                break;
+            }
+            self.now = at;
+            if let Some(domain) = &mut self.sync_domain {
+                domain.run_until(at);
+            }
+            self.events_processed += 1;
+            self.handle(at, event);
+        }
+        self.into_report()
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Inject { node, generator } => self.on_inject(node, generator, now),
+            Event::HostKick { node } => self.on_host_kick(node, now),
+            Event::FrameArrive { node, port, frame } => self.on_arrive(node, port, frame, now),
+            Event::PortKick { node, port } => self.on_port_kick(node, port, now),
+            Event::TxComplete { node, port, gen } => self.on_tx_complete(node, port, gen, now),
+        }
+    }
+
+    /// The corrected (gate-driving) clock of `node` at true time `now` —
+    /// the true time itself for hosts and perfect sync.
+    fn corrected_time(&self, node: NodeId, now: SimTime) -> SimTime {
+        match (&self.roles[node.as_usize()], &self.sync_domain) {
+            (NodeRole::Switch { sync_index, .. }, Some(domain)) => {
+                domain.nodes()[*sync_index].now(now)
+            }
+            _ => now,
+        }
+    }
+
+    /// Starts one transmission segment on `(node, port)` and schedules
+    /// its completion.
+    fn start_tx(
+        &mut self,
+        node: NodeId,
+        port: PortId,
+        frame: EthernetFrame,
+        queue: Option<QueueId>,
+        wire_bytes: u32,
+        now: SimTime,
+    ) {
+        let Ok(link) = self.topology.link_at(node, port) else {
+            return;
+        };
+        let tx = link.rate().serialization_time(wire_bytes);
+        let express = frame.class() == TrafficClass::TimeSensitive;
+        let end = now + tx;
+        self.busy_until[node.as_usize()][port.as_usize()] = end;
+        let ws = &mut self.wires[node.as_usize()][port.as_usize()];
+        ws.active = Some(ActiveTx {
+            frame,
+            queue,
+            wire_bytes,
+            express,
+            started: now,
+        });
+        let gen = ws.gen;
+        self.queue
+            .schedule(end, Event::TxComplete { node, port, gen });
+        // A preemptable segment on a switch port may need interrupting at
+        // the next gate change (an express frame becoming eligible
+        // mid-segment); arm a kick for it.
+        if self.config.frame_preemption && !express {
+            if let NodeRole::Switch { core, .. } = &self.roles[node.as_usize()] {
+                let corrected = self.corrected_time(node, now);
+                if let Some(next) = core.next_dequeue_opportunity(port, corrected) {
+                    let wait = next.saturating_since(corrected) + SimDuration::from_nanos(100);
+                    if now + wait < end {
+                        self.queue
+                            .schedule(now + wait, Event::PortKick { node, port });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tries to interrupt the active preemptable segment on `(node,
+    /// port)` at `now` (802.3br rules: a minimum fragment must already be
+    /// out, and a minimum tail must remain).
+    fn try_preempt(&mut self, node: NodeId, port: PortId, now: SimTime) -> PreemptOutcome {
+        let Ok(link) = self.topology.link_at(node, port) else {
+            return PreemptOutcome::No;
+        };
+        let rate = link.rate();
+        let ws = &mut self.wires[node.as_usize()][port.as_usize()];
+        let Some(active) = &ws.active else {
+            return PreemptOutcome::No;
+        };
+        if active.express || ws.suspended.is_some() {
+            return PreemptOutcome::No;
+        }
+        let sent = rate.bytes_in(now.saturating_since(active.started));
+        if sent < MIN_FRAGMENT_WIRE_BYTES {
+            let earliest = active.started
+                + rate.serialization_time(MIN_FRAGMENT_WIRE_BYTES as u32);
+            return PreemptOutcome::RetryAt(earliest);
+        }
+        if u64::from(active.wire_bytes) <= sent + MIN_TAIL_WIRE_BYTES {
+            return PreemptOutcome::No;
+        }
+        let active = ws.active.take().expect("checked above");
+        let remaining = active.wire_bytes - sent as u32;
+        ws.suspended = Some(Suspended {
+            frame: active.frame,
+            queue: active.queue,
+            remaining_wire_bytes: remaining + FRAGMENT_OVERHEAD_BYTES,
+        });
+        ws.gen += 1; // invalidate the in-flight completion
+        self.busy_until[node.as_usize()][port.as_usize()] = now;
+        self.tx_bytes[node.as_usize()][port.as_usize()] += sent;
+        self.preemptions += 1;
+        PreemptOutcome::Preempted
+    }
+
+    /// A transmission segment completed: deliver the frame to the link
+    /// peer (unless the segment was preempted — stale generation) and
+    /// kick the transmitter.
+    fn on_tx_complete(&mut self, node: NodeId, port: PortId, gen: u64, now: SimTime) {
+        let ws = &mut self.wires[node.as_usize()][port.as_usize()];
+        if ws.gen != gen {
+            return; // segment was preempted; a new completion is scheduled
+        }
+        let Some(active) = ws.active.take() else {
+            return;
+        };
+        self.tx_bytes[node.as_usize()][port.as_usize()] += u64::from(active.wire_bytes);
+        let Ok(link) = self.topology.link_at(node, port) else {
+            return;
+        };
+        let peer = link.peer_of(node).expect("links have two ends");
+        let peer_is_switch = self
+            .topology
+            .node(peer.node)
+            .map(tsn_topology::Node::is_switch)
+            .unwrap_or(false);
+        let proc = if peer_is_switch {
+            self.config.switch_proc_delay
+        } else {
+            SimDuration::ZERO
+        };
+        self.queue.schedule(
+            now + link.propagation() + proc,
+            Event::FrameArrive {
+                node: peer.node,
+                port: peer.port,
+                frame: active.frame.clone(),
+            },
+        );
+        // Charge the credit-based shaper over the segment's span.
+        if let (Some(queue), NodeRole::Switch { core, .. }) =
+            (active.queue, &mut self.roles[node.as_usize()])
+        {
+            let frame_bits = u64::from(active.frame.size_bytes()) * 8;
+            core.note_transmitted(port, queue, frame_bits, active.started, now);
+        }
+        // The wire is free: try to send the next segment.
+        match &self.roles[node.as_usize()] {
+            NodeRole::Switch { .. } => {
+                self.queue.schedule(now, Event::PortKick { node, port });
+            }
+            NodeRole::Host(_) => {
+                self.queue.schedule(now, Event::HostKick { node });
+            }
+        }
+    }
+
+    fn on_inject(&mut self, node: NodeId, generator: usize, now: SimTime) {
+        let NodeRole::Host(host) = &mut self.roles[node.as_usize()] else {
+            return;
+        };
+        let Ok(outcome) = host.inject(generator, now) else {
+            return;
+        };
+        self.analyzer.note_injected(outcome.flow, outcome.class);
+        if outcome.next_injection.saturating_since(SimTime::ZERO) < self.config.duration {
+            self.queue
+                .schedule(outcome.next_injection, Event::Inject { node, generator });
+        }
+        if outcome.queued {
+            self.queue.schedule(now, Event::HostKick { node });
+        }
+    }
+
+    fn on_host_kick(&mut self, node: NodeId, now: SimTime) {
+        let port = PortId::new(0);
+        let busy = self.busy_until[node.as_usize()][0];
+        if now < busy {
+            // Express traffic may interrupt a preemptable segment.
+            let express_waiting = match &self.roles[node.as_usize()] {
+                NodeRole::Host(host) => host.express_queued(),
+                NodeRole::Switch { .. } => return,
+            };
+            if self.config.frame_preemption && express_waiting {
+                match self.try_preempt(node, port, now) {
+                    PreemptOutcome::Preempted => {} // fall through, wire free
+                    PreemptOutcome::RetryAt(at) => {
+                        self.queue.schedule(at, Event::HostKick { node });
+                        return;
+                    }
+                    PreemptOutcome::No => {
+                        self.queue.schedule(busy, Event::HostKick { node });
+                        return;
+                    }
+                }
+            } else {
+                self.queue.schedule(busy, Event::HostKick { node });
+                return;
+            }
+        }
+        let preemption = self.config.frame_preemption;
+        let suspended_waiting =
+            self.wires[node.as_usize()][0].suspended.is_some();
+        let NodeRole::Host(host) = &mut self.roles[node.as_usize()] else {
+            return;
+        };
+        // 802.3br service order: express MAC, then the suspended
+        // fragment, then fresh preemptable frames.
+        let next = if preemption {
+            if let Some(frame) = host.pop_next_class(Some(true)) {
+                Some((frame, None))
+            } else if suspended_waiting {
+                let s = self.wires[node.as_usize()][0]
+                    .suspended
+                    .take()
+                    .expect("checked");
+                let bytes = s.remaining_wire_bytes;
+                Some((s.frame, Some(bytes)))
+            } else {
+                host.pop_next_class(Some(false)).map(|f| (f, None))
+            }
+        } else {
+            host.pop_next().map(|f| (f, None))
+        };
+        let Some((frame, resume_bytes)) = next else {
+            return;
+        };
+        let wire_bytes = resume_bytes.unwrap_or_else(|| frame.wire_bytes());
+        self.start_tx(node, port, frame, None, wire_bytes, now);
+    }
+
+    fn on_arrive(&mut self, node: NodeId, _port: PortId, frame: EthernetFrame, now: SimTime) {
+        match &mut self.roles[node.as_usize()] {
+            NodeRole::Host(_) => {
+                let deadline = self
+                    .flows
+                    .get(frame.flow())
+                    .and_then(FlowSpec::as_ts)
+                    .map(|ts| ts.deadline());
+                self.analyzer.note_delivered(
+                    frame.flow(),
+                    frame.class(),
+                    frame.injected_at(),
+                    now,
+                    deadline,
+                );
+            }
+            NodeRole::Switch { core, sync_index } => {
+                let corrected = match &self.sync_domain {
+                    None => now,
+                    Some(domain) => domain.nodes()[*sync_index].now(now),
+                };
+                let dispositions = core.receive(frame, corrected);
+                for d in dispositions {
+                    if let tsn_switch::pipeline::Disposition::Enqueued { port, .. } = d {
+                        self.queue.schedule(now, Event::PortKick { node, port });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_port_kick(&mut self, node: NodeId, port: PortId, now: SimTime) {
+        let corrected = self.corrected_time(node, now);
+        let busy = self.busy_until[node.as_usize()][port.as_usize()];
+        if now < busy {
+            let express_ready = match &self.roles[node.as_usize()] {
+                NodeRole::Switch { core, .. } => core.express_ready(port, corrected),
+                NodeRole::Host(_) => return,
+            };
+            if self.config.frame_preemption && express_ready {
+                match self.try_preempt(node, port, now) {
+                    PreemptOutcome::Preempted => {} // fall through, wire free
+                    PreemptOutcome::RetryAt(at) => {
+                        self.queue.schedule(at, Event::PortKick { node, port });
+                        return;
+                    }
+                    PreemptOutcome::No => {
+                        self.queue.schedule(busy, Event::PortKick { node, port });
+                        return;
+                    }
+                }
+            } else {
+                self.queue.schedule(busy, Event::PortKick { node, port });
+                return;
+            }
+        }
+        let preemption = self.config.frame_preemption;
+        let suspended_waiting =
+            self.wires[node.as_usize()][port.as_usize()].suspended.is_some();
+        let NodeRole::Switch { core, .. } = &mut self.roles[node.as_usize()] else {
+            return;
+        };
+        // 802.3br service order on the egress: express MAC first, then
+        // the suspended fragment, then fresh preemptable frames.
+        let next = if preemption {
+            if let Some((queue, frame)) = core.dequeue_class(port, corrected, Some(true)) {
+                Some((queue, frame, None))
+            } else if suspended_waiting {
+                let s = self.wires[node.as_usize()][port.as_usize()]
+                    .suspended
+                    .take()
+                    .expect("checked");
+                let bytes = s.remaining_wire_bytes;
+                let queue = s.queue.expect("switch segments carry their queue");
+                Some((queue, s.frame, Some(bytes)))
+            } else {
+                core.dequeue_class(port, corrected, Some(false))
+                    .map(|(q, f)| (q, f, None))
+            }
+        } else {
+            core.dequeue(port, corrected).map(|(q, f)| (q, f, None))
+        };
+        match next {
+            Some((queue, frame, resume_bytes)) => {
+                let wire_bytes = resume_bytes.unwrap_or_else(|| frame.wire_bytes());
+                self.start_tx(node, port, frame, Some(queue), wire_bytes, now);
+            }
+            None => {
+                // Nothing eligible now: wake at the next gate change or
+                // credit recovery (measured on the corrected clock, applied
+                // as an interval on the true clock, with a small guard so
+                // clock error cannot strand us before the boundary).
+                let NodeRole::Switch { core, .. } = &self.roles[node.as_usize()] else {
+                    return;
+                };
+                if let Some(next) = core.next_dequeue_opportunity(port, corrected) {
+                    let wait = next.saturating_since(corrected) + SimDuration::from_nanos(100);
+                    self.queue
+                        .schedule(now + wait, Event::PortKick { node, port });
+                }
+            }
+        }
+    }
+
+    fn into_report(self) -> SimReport {
+        let mut merged = tsn_switch::SwitchStats::new();
+        let mut per_switch = Vec::new();
+        let mut max_high_water = 0;
+        let mut host_overflow = 0;
+        for (idx, role) in self.roles.iter().enumerate() {
+            match role {
+                NodeRole::Switch { core, .. } => {
+                    merged.merge(core.stats());
+                    per_switch.push((NodeId::new(idx as u32), *core.stats()));
+                    max_high_water = max_high_water.max(core.max_queue_high_water());
+                }
+                NodeRole::Host(host) => {
+                    host_overflow += host.overflow_drops();
+                }
+            }
+        }
+        // Link utilization: transmitted wire bits over capacity × elapsed.
+        let elapsed_ns = self.now.as_nanos().max(1);
+        let mut link_utilization = Vec::new();
+        for (node_idx, ports) in self.tx_bytes.iter().enumerate() {
+            for (port_idx, &bytes) in ports.iter().enumerate() {
+                if bytes == 0 {
+                    continue;
+                }
+                let node = NodeId::new(node_idx as u32);
+                let port = PortId::new(port_idx as u16);
+                let Ok(link) = self.topology.link_at(node, port) else {
+                    continue;
+                };
+                let capacity_bits =
+                    link.rate().bits_per_sec() as u128 * elapsed_ns as u128 / 1_000_000_000;
+                let used_bits = u128::from(bytes) * 8;
+                link_utilization.push((
+                    node,
+                    port,
+                    (used_bits as f64 / capacity_bits.max(1) as f64).min(1.0),
+                ));
+            }
+        }
+        let sync_worst_error_ns = self
+            .sync_domain
+            .as_ref()
+            .map(|d| d.max_abs_error_ns(self.now))
+            .unwrap_or(0.0);
+        SimReport {
+            analyzer: self.analyzer,
+            preemptions: self.preemptions,
+            link_utilization,
+            switch_stats: merged,
+            per_switch,
+            max_queue_high_water: max_high_water,
+            host_overflow_drops: host_overflow,
+            sync_worst_error_ns,
+            events_processed: self.events_processed,
+            ended_at: self.now,
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Simulation results.
+
+use crate::analyzer::{Analyzer, LatencyStats};
+use core::fmt;
+use tsn_switch::SwitchStats;
+use tsn_types::{NodeId, PortId, SimTime, TrafficClass};
+
+/// Everything a finished simulation reports — the data behind the paper's
+/// Fig. 2 and Fig. 7 series.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-flow latency / jitter / loss records.
+    pub analyzer: Analyzer,
+    /// Per-`(node, port)` transmit-side link utilization in `[0, 1]`
+    /// (ports that sent nothing are omitted).
+    pub link_utilization: Vec<(NodeId, PortId, f64)>,
+    /// 802.3br preemptions performed (0 unless frame preemption is
+    /// enabled).
+    pub preemptions: u64,
+    /// Data-plane counters merged over all switches.
+    pub switch_stats: SwitchStats,
+    /// Per-switch counters.
+    pub per_switch: Vec<(NodeId, SwitchStats)>,
+    /// Highest per-queue occupancy observed anywhere — the measurement
+    /// that justifies a `queue_depth` choice.
+    pub max_queue_high_water: usize,
+    /// Frames lost in host output stages (generator outran its link).
+    pub host_overflow_drops: u64,
+    /// Worst absolute gPTP error across switches at the end of the run
+    /// (0 for perfect sync).
+    pub sync_worst_error_ns: f64,
+    /// Events the simulator processed.
+    pub events_processed: u64,
+    /// Simulation time at which the run ended.
+    pub ended_at: SimTime,
+}
+
+impl SimReport {
+    /// Aggregated TS latency statistics.
+    #[must_use]
+    pub fn ts_latency(&self) -> LatencyStats {
+        self.analyzer.class_latency(TrafficClass::TimeSensitive)
+    }
+
+    /// Total TS frames lost end to end (the paper's headline QoS check:
+    /// this must be 0).
+    #[must_use]
+    pub fn ts_lost(&self) -> u64 {
+        self.analyzer.class_lost(TrafficClass::TimeSensitive)
+    }
+
+    /// Total TS deadline misses.
+    #[must_use]
+    pub fn ts_deadline_misses(&self) -> u64 {
+        self.analyzer.deadline_misses()
+    }
+
+    /// TS frames injected.
+    #[must_use]
+    pub fn ts_injected(&self) -> u64 {
+        self.analyzer.class_injected(TrafficClass::TimeSensitive)
+    }
+
+    /// The busiest transmit side of any link, as `(node, port,
+    /// utilization)`.
+    #[must_use]
+    pub fn max_link_utilization(&self) -> Option<(NodeId, PortId, f64)> {
+        self.link_utilization
+            .iter()
+            .copied()
+            .max_by(|a, b| a.2.total_cmp(&b.2))
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ts = self.ts_latency();
+        writeln!(
+            f,
+            "TS: n={} avg={:.1}us jitter={:.2}us min={:.1}us max={:.1}us loss={} misses={}",
+            ts.count(),
+            ts.mean_us(),
+            self.analyzer
+                .class_mean_flow_jitter_ns(TrafficClass::TimeSensitive)
+                / 1000.0,
+            ts.min().map_or(0.0, |d| d.as_micros_f64()),
+            ts.max().map_or(0.0, |d| d.as_micros_f64()),
+            self.ts_lost(),
+            self.ts_deadline_misses(),
+        )?;
+        for class in [TrafficClass::RateConstrained, TrafficClass::BestEffort] {
+            let s = self.analyzer.class_latency(class);
+            if s.count() > 0 {
+                writeln!(
+                    f,
+                    "{}: n={} avg={:.1}us jitter={:.2}us loss={}",
+                    class,
+                    s.count(),
+                    s.mean_us(),
+                    self.analyzer.class_mean_flow_jitter_ns(class) / 1000.0,
+                    self.analyzer.class_lost(class),
+                )?;
+            }
+        }
+        write!(
+            f,
+            "switches: {} | queue high-water {} | sync err {:.1}ns | {} events to {}",
+            self.switch_stats,
+            self.max_queue_high_water,
+            self.sync_worst_error_ns,
+            self.events_processed,
+            self.ended_at,
+        )
+    }
+}

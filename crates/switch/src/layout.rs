@@ -1,0 +1,245 @@
+//! Queue layout: which per-port queues serve which traffic class.
+//!
+//! The paper's prototype gives every port 8 queues: two for CQF's cyclic
+//! time-sensitive pair, three for rate-constrained flows ("there are three
+//! queues for RC flows in each port", Section IV.B), and the rest for
+//! best-effort traffic.
+
+use serde::{Deserialize, Serialize};
+use tsn_types::{QueueId, TrafficClass, TsnError, TsnResult};
+
+/// Assignment of traffic classes to the queues of one port.
+///
+/// # Example
+///
+/// ```
+/// use tsn_switch::layout::QueueLayout;
+/// use tsn_types::{QueueId, TrafficClass};
+///
+/// let layout = QueueLayout::standard8();
+/// assert_eq!(layout.queue_num(), 8);
+/// assert_eq!(layout.ts_queues(), &[QueueId::new(6), QueueId::new(7)]);
+/// assert_eq!(layout.rc_queues().len(), 3);
+/// assert_eq!(layout.class_of(QueueId::new(0)), Some(TrafficClass::BestEffort));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueueLayout {
+    classes: Vec<TrafficClass>,
+    ts: Vec<QueueId>,
+    rc: Vec<QueueId>,
+    be: Vec<QueueId>,
+}
+
+impl QueueLayout {
+    /// Builds a layout from a per-queue class assignment (index = queue
+    /// id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::InvalidParameter`] if `classes` is empty, holds
+    /// more than 256 queues, or contains no time-sensitive queue (a TSN
+    /// port needs at least one), or fewer than two TS queues (CQF needs a
+    /// cyclic pair).
+    pub fn new(classes: Vec<TrafficClass>) -> TsnResult<Self> {
+        if classes.is_empty() {
+            return Err(TsnError::invalid_parameter(
+                "classes",
+                "a port needs at least one queue",
+            ));
+        }
+        if classes.len() > 256 {
+            return Err(TsnError::invalid_parameter(
+                "classes",
+                "queue ids are 8-bit; at most 256 queues",
+            ));
+        }
+        let collect = |class: TrafficClass| {
+            classes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c == class)
+                .map(|(i, _)| QueueId::new(i as u8))
+                .collect::<Vec<_>>()
+        };
+        let ts = collect(TrafficClass::TimeSensitive);
+        let rc = collect(TrafficClass::RateConstrained);
+        let be = collect(TrafficClass::BestEffort);
+        if ts.len() < 2 {
+            return Err(TsnError::invalid_parameter(
+                "classes",
+                "CQF needs at least two time-sensitive queues",
+            ));
+        }
+        Ok(QueueLayout { classes, ts, rc, be })
+    }
+
+    /// The paper's 8-queue layout: queues 0–2 best-effort, 3–5
+    /// rate-constrained, 6–7 time-sensitive (the CQF pair).
+    #[must_use]
+    pub fn standard8() -> Self {
+        QueueLayout::new(vec![
+            TrafficClass::BestEffort,
+            TrafficClass::BestEffort,
+            TrafficClass::BestEffort,
+            TrafficClass::RateConstrained,
+            TrafficClass::RateConstrained,
+            TrafficClass::RateConstrained,
+            TrafficClass::TimeSensitive,
+            TrafficClass::TimeSensitive,
+        ])
+        .expect("the standard layout is valid")
+    }
+
+    /// Number of queues on the port.
+    #[must_use]
+    pub fn queue_num(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The time-sensitive queues, ascending. The last two form the CQF
+    /// pair.
+    #[must_use]
+    pub fn ts_queues(&self) -> &[QueueId] {
+        &self.ts
+    }
+
+    /// The rate-constrained queues, ascending.
+    #[must_use]
+    pub fn rc_queues(&self) -> &[QueueId] {
+        &self.rc
+    }
+
+    /// The best-effort queues, ascending.
+    #[must_use]
+    pub fn be_queues(&self) -> &[QueueId] {
+        &self.be
+    }
+
+    /// The class a queue serves, or `None` for an out-of-range id.
+    #[must_use]
+    pub fn class_of(&self, queue: QueueId) -> Option<TrafficClass> {
+        self.classes.get(queue.as_usize()).copied()
+    }
+
+    /// The default queue for a class when the classification table has no
+    /// entry: the lowest-numbered queue of that class (for TS this is only
+    /// a *nominal* target — the CQF in-gates decide the actual queue).
+    ///
+    /// Falls back to queue 0 if the class has no queue.
+    #[must_use]
+    pub fn default_queue(&self, class: TrafficClass) -> QueueId {
+        let set = match class {
+            TrafficClass::TimeSensitive => &self.ts,
+            TrafficClass::RateConstrained => &self.rc,
+            TrafficClass::BestEffort => &self.be,
+        };
+        set.first()
+            .copied()
+            .unwrap_or_else(|| self.ts.first().copied().unwrap_or(QueueId::new(0)))
+    }
+
+    /// Spreads flows of a class over its queue set: picks the
+    /// `(hash % set size)`-th queue of the class.
+    #[must_use]
+    pub fn spread_queue(&self, class: TrafficClass, hash: u64) -> QueueId {
+        let set = match class {
+            TrafficClass::TimeSensitive => &self.ts,
+            TrafficClass::RateConstrained => &self.rc,
+            TrafficClass::BestEffort => &self.be,
+        };
+        if set.is_empty() {
+            self.default_queue(class)
+        } else {
+            set[(hash % set.len() as u64) as usize]
+        }
+    }
+
+    /// The CQF queue pair: the two highest time-sensitive queues.
+    #[must_use]
+    pub fn cqf_pair(&self) -> (QueueId, QueueId) {
+        let n = self.ts.len();
+        (self.ts[n - 2], self.ts[n - 1])
+    }
+}
+
+impl Default for QueueLayout {
+    fn default() -> Self {
+        QueueLayout::standard8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard8_matches_the_paper() {
+        let l = QueueLayout::standard8();
+        assert_eq!(l.queue_num(), 8);
+        assert_eq!(l.ts_queues().len(), 2);
+        assert_eq!(l.rc_queues().len(), 3, "three RC queues per port");
+        assert_eq!(l.be_queues().len(), 3);
+        assert_eq!(l.cqf_pair(), (QueueId::new(6), QueueId::new(7)));
+    }
+
+    #[test]
+    fn default_queues_per_class() {
+        let l = QueueLayout::standard8();
+        assert_eq!(l.default_queue(TrafficClass::TimeSensitive), QueueId::new(6));
+        assert_eq!(
+            l.default_queue(TrafficClass::RateConstrained),
+            QueueId::new(3)
+        );
+        assert_eq!(l.default_queue(TrafficClass::BestEffort), QueueId::new(0));
+    }
+
+    #[test]
+    fn spread_cycles_over_the_class_set() {
+        let l = QueueLayout::standard8();
+        let queues: Vec<QueueId> = (0..6)
+            .map(|h| l.spread_queue(TrafficClass::RateConstrained, h))
+            .collect();
+        assert_eq!(
+            queues,
+            vec![
+                QueueId::new(3),
+                QueueId::new(4),
+                QueueId::new(5),
+                QueueId::new(3),
+                QueueId::new(4),
+                QueueId::new(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_layouts() {
+        assert!(QueueLayout::new(vec![]).is_err());
+        assert!(QueueLayout::new(vec![TrafficClass::BestEffort]).is_err());
+        assert!(QueueLayout::new(vec![TrafficClass::TimeSensitive]).is_err());
+        assert!(QueueLayout::new(vec![
+            TrafficClass::TimeSensitive,
+            TrafficClass::TimeSensitive
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn class_of_out_of_range_is_none() {
+        let l = QueueLayout::standard8();
+        assert_eq!(l.class_of(QueueId::new(8)), None);
+        assert_eq!(l.class_of(QueueId::new(7)), Some(TrafficClass::TimeSensitive));
+    }
+
+    #[test]
+    fn minimal_ts_only_layout_works() {
+        let l = QueueLayout::new(vec![
+            TrafficClass::TimeSensitive,
+            TrafficClass::TimeSensitive,
+        ])
+        .expect("valid");
+        // No RC/BE queues: default falls back to a TS queue.
+        assert_eq!(l.default_queue(TrafficClass::BestEffort), QueueId::new(0));
+        assert_eq!(l.spread_queue(TrafficClass::RateConstrained, 5), QueueId::new(0));
+    }
+}

@@ -1,0 +1,56 @@
+//! The five TSN-Builder function templates (Fig. 5) as executable models.
+//!
+//! The paper encapsulates the *fixed processing logic* of a TSN switch into
+//! five Verilog templates whose memory geometry is injected through the
+//! customization APIs. This crate is the behavioural equivalent: the same
+//! five components, the same resource knobs, enforced at runtime:
+//!
+//! | paper template | module | role |
+//! |---|---|---|
+//! | Time Sync | [`time_sync`] | gPTP: drifting clocks, peer delay, offset/rate servo |
+//! | Packet Switch | [`packet_switch`] | parser + unicast/multicast lookup |
+//! | Ingress Filter | [`ingress_filter`] | classifier + token-bucket meters |
+//! | Gate Ctrl | [`gate_ctrl`] | In/Out GCLs, gated queues, CQF |
+//! | Egress Sched | [`egress_sched`] | strict priority + credit-based shapers |
+//!
+//! [`pipeline::TsnSwitchCore`] composes them into one switch data plane
+//! (Fig. 3); `tsn-sim` adds links and event timing around it.
+//!
+//! # Example
+//!
+//! ```
+//! use tsn_switch::pipeline::{TsnSwitchCore, SwitchSpec, PortKind};
+//! use tsn_resource::ResourceConfig;
+//! use tsn_types::SimDuration;
+//!
+//! let spec = SwitchSpec::new(
+//!     ResourceConfig::new(),                 // paper's customized ring column
+//!     vec![PortKind::Tsn, PortKind::Edge],   // one ring port, one host port
+//!     SimDuration::from_micros(65),          // the paper's CQF slot
+//! );
+//! let switch = TsnSwitchCore::new(&spec)?;
+//! assert_eq!(switch.port_count(), 2);
+//! # Ok::<(), tsn_types::TsnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod egress_sched;
+pub mod gate_ctrl;
+pub mod ingress_filter;
+pub mod layout;
+pub mod packet_switch;
+pub mod pipeline;
+pub mod stats;
+pub mod table;
+pub mod time_sync;
+
+pub use egress_sched::{CreditBasedShaper, EgressScheduler};
+pub use gate_ctrl::{GateControlList, GateCtrl, GateDrop, GateEntry};
+pub use ingress_filter::{ClassEntry, ClassKey, FilterVerdict, IngressFilter, TokenBucketMeter};
+pub use layout::QueueLayout;
+pub use packet_switch::{LookupOutcome, PacketSwitch};
+pub use pipeline::{Disposition, PortKind, SwitchSpec, TsnSwitchCore};
+pub use stats::{DropReason, SwitchStats};
+pub use time_sync::{ClockModel, SyncConfig, SyncDomain, TimeSync};

@@ -1,0 +1,169 @@
+//! Per-switch data-plane statistics.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Why the data plane dropped a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropReason {
+    /// No forwarding entry matched (a TSN switch must not flood
+    /// deterministic traffic).
+    LookupMiss,
+    /// The ingress meter was out of tokens.
+    MeterRed,
+    /// The classification entry referenced an empty meter slot.
+    DanglingMeter,
+    /// No ingress gate open for the frame's class.
+    GateClosed,
+    /// Target queue out of metadata slots (`queue_depth`).
+    QueueOverflow,
+    /// Per-port packet-buffer pool exhausted (`buffer_num`).
+    BufferExhausted,
+    /// Classification pointed at a queue that does not exist.
+    UnknownQueue,
+}
+
+impl DropReason {
+    /// All reasons, for iteration in reports.
+    pub const ALL: [DropReason; 7] = [
+        DropReason::LookupMiss,
+        DropReason::MeterRed,
+        DropReason::DanglingMeter,
+        DropReason::GateClosed,
+        DropReason::QueueOverflow,
+        DropReason::BufferExhausted,
+        DropReason::UnknownQueue,
+    ];
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DropReason::LookupMiss => "lookup-miss",
+            DropReason::MeterRed => "meter-red",
+            DropReason::DanglingMeter => "dangling-meter",
+            DropReason::GateClosed => "gate-closed",
+            DropReason::QueueOverflow => "queue-overflow",
+            DropReason::BufferExhausted => "buffer-exhausted",
+            DropReason::UnknownQueue => "unknown-queue",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counters for one switch.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchStats {
+    /// Frames handed to the pipeline.
+    pub received: u64,
+    /// Frames successfully enqueued towards an egress port (multicast
+    /// counts once per replica).
+    pub enqueued: u64,
+    /// Frames transmitted out of an egress port.
+    pub transmitted: u64,
+    drops: [u64; 7],
+}
+
+impl SwitchStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        SwitchStats::default()
+    }
+
+    pub(crate) fn count_drop(&mut self, reason: DropReason) {
+        self.drops[Self::idx(reason)] += 1;
+    }
+
+    fn idx(reason: DropReason) -> usize {
+        DropReason::ALL
+            .iter()
+            .position(|&r| r == reason)
+            .expect("every reason is in ALL")
+    }
+
+    /// Drops recorded for one reason.
+    #[must_use]
+    pub fn drops(&self, reason: DropReason) -> u64 {
+        self.drops[Self::idx(reason)]
+    }
+
+    /// Total drops over all reasons.
+    #[must_use]
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &SwitchStats) {
+        self.received += other.received;
+        self.enqueued += other.enqueued;
+        self.transmitted += other.transmitted;
+        for (a, b) in self.drops.iter_mut().zip(other.drops.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for SwitchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rx={} enq={} tx={} drops={}",
+            self.received,
+            self.enqueued,
+            self.transmitted,
+            self.total_drops()
+        )?;
+        for reason in DropReason::ALL {
+            let n = self.drops(reason);
+            if n > 0 {
+                write!(f, " {reason}={n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_counting_per_reason() {
+        let mut s = SwitchStats::new();
+        s.count_drop(DropReason::QueueOverflow);
+        s.count_drop(DropReason::QueueOverflow);
+        s.count_drop(DropReason::MeterRed);
+        assert_eq!(s.drops(DropReason::QueueOverflow), 2);
+        assert_eq!(s.drops(DropReason::MeterRed), 1);
+        assert_eq!(s.drops(DropReason::LookupMiss), 0);
+        assert_eq!(s.total_drops(), 3);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = SwitchStats::new();
+        a.received = 10;
+        a.count_drop(DropReason::GateClosed);
+        let mut b = SwitchStats::new();
+        b.received = 5;
+        b.transmitted = 4;
+        b.count_drop(DropReason::GateClosed);
+        b.count_drop(DropReason::BufferExhausted);
+        a.merge(&b);
+        assert_eq!(a.received, 15);
+        assert_eq!(a.transmitted, 4);
+        assert_eq!(a.drops(DropReason::GateClosed), 2);
+        assert_eq!(a.total_drops(), 3);
+    }
+
+    #[test]
+    fn display_lists_only_nonzero_reasons() {
+        let mut s = SwitchStats::new();
+        s.count_drop(DropReason::MeterRed);
+        let text = s.to_string();
+        assert!(text.contains("meter-red=1"));
+        assert!(!text.contains("lookup-miss"));
+    }
+}

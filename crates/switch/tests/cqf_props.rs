@@ -1,0 +1,157 @@
+//! Property tests over the gate-control and scheduling invariants of the
+//! switch templates under randomized traffic.
+
+use proptest::prelude::*;
+use tsn_switch::gate_ctrl::GateCtrl;
+use tsn_switch::layout::QueueLayout;
+use tsn_switch::pipeline::{PortKind, SwitchSpec, TsnSwitchCore};
+use tsn_types::{
+    EthernetFrame, FlowId, MacAddr, PortId, QueueId, SimDuration, SimTime, TrafficClass, VlanId,
+};
+
+fn frame(class: TrafficClass, seq: u64) -> EthernetFrame {
+    EthernetFrame::builder()
+        .src(MacAddr::station(1))
+        .dst(MacAddr::station(2))
+        .class(class)
+        .size_bytes(64)
+        .flow(FlowId::new(0))
+        .sequence(seq)
+        .build()
+        .expect("valid frame")
+}
+
+proptest! {
+    /// CQF invariant: a TS frame enqueued in slot `i` is dequeueable in
+    /// slot `i+1` and NOT in slot `i`, for any slot length and enqueue
+    /// instant.
+    #[test]
+    fn cqf_one_slot_forwarding(slot_us in 1u64..1000, offset_ns in 0u64..1_000_000_000) {
+        let slot = SimDuration::from_micros(slot_us);
+        let mut gates = GateCtrl::cqf(QueueLayout::standard8(), 64, slot).expect("valid cqf");
+        let t = SimTime::from_nanos(offset_ns);
+        let queue = gates
+            .enqueue(QueueId::new(6), frame(TrafficClass::TimeSensitive, 0), t)
+            .expect("one TS in-gate is always open under CQF");
+        prop_assert!(!gates.eligible(queue, t), "no same-slot forwarding");
+        let next_slot = t.next_slot_boundary(slot);
+        prop_assert!(gates.eligible(queue, next_slot), "next slot forwards");
+        // And the slot after that it is closed again (if not drained).
+        let after = next_slot.next_slot_boundary(slot);
+        prop_assert!(!gates.eligible(queue, after) || gates.queue_len(queue) == 0);
+    }
+
+    /// The CQF pair absorbs any interleaving of TS enqueues across slots
+    /// without ever putting two *different-slot* batches into the same
+    /// queue (as long as each batch is drained in its window).
+    #[test]
+    fn cqf_batches_never_mix(
+        slot_us in 5u64..200,
+        batches in proptest::collection::vec(1usize..8, 1..12),
+    ) {
+        let slot = SimDuration::from_micros(slot_us);
+        let mut gates = GateCtrl::cqf(QueueLayout::standard8(), 64, slot).expect("valid cqf");
+        let mut seq = 0u64;
+        for (slot_idx, &batch) in batches.iter().enumerate() {
+            let now = SimTime::ZERO + slot * slot_idx as u64 + SimDuration::from_nanos(10);
+            let mut batch_queue = None;
+            for _ in 0..batch {
+                let q = gates
+                    .enqueue(QueueId::new(7), frame(TrafficClass::TimeSensitive, seq), now)
+                    .expect("gate open");
+                seq += 1;
+                if let Some(prev) = batch_queue {
+                    prop_assert_eq!(prev, q, "one batch, one queue");
+                }
+                batch_queue = Some(q);
+            }
+            // Drain the previous slot's batch (CQF guarantees it is
+            // eligible now).
+            let queue = batch_queue.expect("batch non-empty");
+            let other = if queue == QueueId::new(6) { QueueId::new(7) } else { QueueId::new(6) };
+            while gates.eligible(other, now) {
+                gates.pop(other);
+            }
+        }
+    }
+
+    /// Strict priority with random backlogs: the selected queue is always
+    /// the highest-priority eligible one.
+    #[test]
+    fn scheduler_picks_the_top_eligible_queue(
+        backlogs in proptest::collection::vec(0usize..4, 8),
+        probe_slot in 0u64..4,
+    ) {
+        use tsn_switch::egress_sched::EgressScheduler;
+        use tsn_switch::gate_ctrl::GateControlList;
+        let slot = SimDuration::from_micros(65);
+        let mut gates = GateCtrl::new(
+            QueueLayout::standard8(),
+            16,
+            GateControlList::always_open(slot),
+            GateControlList::always_open(slot),
+        )
+        .expect("valid gates");
+        let mut sched = EgressScheduler::new(8, 3, 3);
+        let classes = [
+            TrafficClass::BestEffort,
+            TrafficClass::BestEffort,
+            TrafficClass::BestEffort,
+            TrafficClass::RateConstrained,
+            TrafficClass::RateConstrained,
+            TrafficClass::RateConstrained,
+            TrafficClass::TimeSensitive,
+            TrafficClass::TimeSensitive,
+        ];
+        let now = SimTime::ZERO + slot * probe_slot;
+        for (q, &n) in backlogs.iter().enumerate() {
+            for k in 0..n {
+                let _ = gates.enqueue(QueueId::new(q as u8), frame(classes[q], k as u64), now);
+            }
+        }
+        let expected = (0..8u8)
+            .rev()
+            .map(QueueId::new)
+            .find(|&q| gates.queue_len(q) > 0);
+        prop_assert_eq!(sched.select(&gates, now), expected);
+    }
+
+    /// The pipeline conserves frames: received = enqueued + dropped, and
+    /// buffered + transmitted = enqueued, for any burst size.
+    #[test]
+    fn pipeline_conserves_frames(burst in 1u64..200) {
+        let spec = SwitchSpec::new(
+            tsn_resource::ResourceConfig::new(),
+            vec![PortKind::Tsn],
+            SimDuration::from_micros(65),
+        );
+        let mut sw = TsnSwitchCore::new(&spec).expect("valid spec");
+        let dst = MacAddr::station(9);
+        sw.add_unicast(dst, VlanId::DEFAULT, PortId::new(0)).expect("fits");
+        let t0 = SimTime::ZERO;
+        for seq in 0..burst {
+            let f = EthernetFrame::builder()
+                .src(MacAddr::station(1))
+                .dst(dst)
+                .class(TrafficClass::TimeSensitive)
+                .size_bytes(64)
+                .sequence(seq)
+                .build()
+                .expect("valid frame");
+            sw.receive(f, t0);
+        }
+        let stats = *sw.stats();
+        prop_assert_eq!(stats.received, burst);
+        prop_assert_eq!(stats.enqueued + stats.total_drops(), burst);
+        // Drain everything over the next slots.
+        let mut drained = 0u64;
+        let mut now = t0;
+        for _ in 0..4 {
+            now = now.next_slot_boundary(SimDuration::from_micros(65));
+            while sw.dequeue(PortId::new(0), now).is_some() {
+                drained += 1;
+            }
+        }
+        prop_assert_eq!(drained, stats.enqueued);
+    }
+}

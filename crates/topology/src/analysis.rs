@@ -1,0 +1,202 @@
+//! Enabled-TSN-port analysis.
+//!
+//! Section III.C, guideline (5): *"The number of enabled ports for
+//! deterministic transmission is closely related to the topologies and
+//! transmission direction."* A TSN port is one that needs gate control and
+//! shaping hardware — in this model, a switch egress port that carries
+//! time-sensitive traffic towards **another switch** (the paper counts its
+//! topologies this way: star → 3, linear → 2, ring → 1).
+
+use crate::graph::Topology;
+use crate::route::Route;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use tsn_types::{FlowSet, NodeId, PortId, TsnResult};
+
+/// Per-switch sets of egress ports that carry TS traffic towards other
+/// switches.
+///
+/// # Example
+///
+/// ```
+/// use tsn_topology::{presets, EnabledPorts};
+/// use tsn_types::{FlowSet, TsFlowSpec, FlowId, SimDuration};
+///
+/// let topo = presets::ring(6, 3)?;
+/// let hosts = topo.hosts();
+/// let mut flows = FlowSet::new();
+/// flows.push(TsFlowSpec::new(
+///     FlowId::new(0), hosts[0], hosts[1],
+///     SimDuration::from_millis(10), SimDuration::from_millis(2), 64,
+/// )?.into());
+/// let enabled = EnabledPorts::from_flows(&topo, &flows)?;
+/// assert_eq!(enabled.max_per_switch(), 1); // the paper's ring column
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnabledPorts {
+    per_switch: BTreeMap<NodeId, BTreeSet<PortId>>,
+}
+
+impl EnabledPorts {
+    /// Analyses the routes of all TS flows in `flows` over `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors ([`tsn_types::TsnError::NoRoute`],
+    /// [`tsn_types::TsnError::UnknownNode`]) for any flow.
+    pub fn from_flows(topology: &Topology, flows: &FlowSet) -> TsnResult<Self> {
+        let mut result = EnabledPorts::default();
+        for flow in flows.ts_flows() {
+            let route = topology.route(flow.src(), flow.dst())?;
+            result.absorb_route(topology, &route);
+        }
+        Ok(result)
+    }
+
+    /// Analyses a set of precomputed routes (useful when the caller already
+    /// routed the flows).
+    pub fn from_routes<'a>(
+        topology: &Topology,
+        routes: impl IntoIterator<Item = &'a Route>,
+    ) -> Self {
+        let mut result = EnabledPorts::default();
+        for route in routes {
+            result.absorb_route(topology, route);
+        }
+        result
+    }
+
+    fn absorb_route(&mut self, topology: &Topology, route: &Route) {
+        let hops = route.hops();
+        for pair in hops.windows(2) {
+            let (hop, next) = (&pair[0], &pair[1]);
+            if hop.kind != crate::NodeKind::Switch {
+                continue;
+            }
+            // TSN features are needed on switch-to-switch egress ports.
+            let next_is_switch = topology
+                .node(next.node)
+                .map(|n| n.is_switch())
+                .unwrap_or(false);
+            if let (Some(egress), true) = (hop.egress, next_is_switch) {
+                self.per_switch.entry(hop.node).or_default().insert(egress);
+            }
+        }
+    }
+
+    /// The ports enabled on one switch (empty set if the switch carries no
+    /// TS traffic).
+    #[must_use]
+    pub fn ports_of(&self, switch: NodeId) -> usize {
+        self.per_switch.get(&switch).map_or(0, BTreeSet::len)
+    }
+
+    /// The maximum enabled-port count over all switches — the `port_num`
+    /// the customized configuration must provision (Table III uses 3/2/1
+    /// for star/linear/ring).
+    #[must_use]
+    pub fn max_per_switch(&self) -> usize {
+        self.per_switch.values().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(switch, enabled port count)` pairs, ordered by node
+    /// id.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.per_switch.iter().map(|(&n, ports)| (n, ports.len()))
+    }
+
+    /// Number of switches that carry any TS traffic.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.per_switch.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use tsn_types::{FlowId, SimDuration, TsFlowSpec};
+
+    fn all_pairs_ts_flows(topology: &Topology) -> FlowSet {
+        let hosts = topology.hosts();
+        let mut flows = FlowSet::new();
+        let mut id = 0;
+        for &a in &hosts {
+            for &b in &hosts {
+                if a != b {
+                    flows.push(
+                        TsFlowSpec::new(
+                            FlowId::new(id),
+                            a,
+                            b,
+                            SimDuration::from_millis(10),
+                            SimDuration::from_millis(8),
+                            64,
+                        )
+                        .expect("valid flow")
+                        .into(),
+                    );
+                    id += 1;
+                }
+            }
+        }
+        flows
+    }
+
+    #[test]
+    fn star_enables_three_ports_on_the_core() {
+        let topo = presets::star(3, 3).expect("builds");
+        let enabled =
+            EnabledPorts::from_flows(&topo, &all_pairs_ts_flows(&topo)).expect("routes ok");
+        assert_eq!(enabled.max_per_switch(), 3, "paper Table III star column");
+        // Child switches only ever send towards the core.
+        let core = topo.switches()[0];
+        assert_eq!(enabled.ports_of(core), 3);
+        for &child in &topo.switches()[1..] {
+            assert_eq!(enabled.ports_of(child), 1);
+        }
+    }
+
+    #[test]
+    fn linear_enables_two_ports_in_the_middle() {
+        let topo = presets::linear(6, 2).expect("builds");
+        let enabled =
+            EnabledPorts::from_flows(&topo, &all_pairs_ts_flows(&topo)).expect("routes ok");
+        assert_eq!(enabled.max_per_switch(), 2, "paper Table III linear column");
+    }
+
+    #[test]
+    fn ring_enables_a_single_port_per_switch() {
+        let topo = presets::ring(6, 3).expect("builds");
+        let enabled =
+            EnabledPorts::from_flows(&topo, &all_pairs_ts_flows(&topo)).expect("routes ok");
+        assert_eq!(enabled.max_per_switch(), 1, "paper Table III ring column");
+        // Every switch on a used path enables exactly its clockwise port.
+        for (_, count) in enabled.iter() {
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn empty_flow_set_enables_nothing() {
+        let topo = presets::ring(3, 1).expect("builds");
+        let enabled = EnabledPorts::from_flows(&topo, &FlowSet::new()).expect("no routes needed");
+        assert_eq!(enabled.max_per_switch(), 0);
+        assert_eq!(enabled.switch_count(), 0);
+    }
+
+    #[test]
+    fn from_routes_matches_from_flows() {
+        let topo = presets::star(3, 2).expect("builds");
+        let flows = all_pairs_ts_flows(&topo);
+        let routes: Vec<Route> = flows
+            .ts_flows()
+            .map(|f| topo.route(f.src(), f.dst()).expect("route"))
+            .collect();
+        let a = EnabledPorts::from_flows(&topo, &flows).expect("ok");
+        let b = EnabledPorts::from_routes(&topo, routes.iter());
+        assert_eq!(a, b);
+    }
+}

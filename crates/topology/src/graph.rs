@@ -1,0 +1,464 @@
+//! The topology graph and shortest-path routing.
+
+use crate::link::{Link, LinkDirection, LinkEnd, LinkId};
+use crate::node::{Node, NodeKind};
+use crate::route::{Route, RouteHop};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use tsn_types::{DataRate, NodeId, PortId, SimDuration, TsnError, TsnResult};
+
+/// Default one-way propagation delay for [`Topology::connect`]
+/// (a few metres of copper).
+pub const DEFAULT_PROPAGATION: SimDuration = SimDuration::from_nanos(50);
+
+/// A network of switches and hosts joined by point-to-point links.
+///
+/// Ports are allocated implicitly: each call to [`Topology::connect`] (or
+/// its variants) takes the next free port number on both endpoints, the way
+/// cabling up a testbed does.
+///
+/// # Example
+///
+/// ```
+/// use tsn_topology::Topology;
+/// use tsn_types::DataRate;
+///
+/// let mut topo = Topology::new();
+/// let sw = topo.add_switch("sw0");
+/// let a = topo.add_host("talker");
+/// let b = topo.add_host("listener");
+/// topo.connect(a, sw, DataRate::gbps(1))?;
+/// topo.connect(sw, b, DataRate::gbps(1))?;
+/// let route = topo.route(a, b)?;
+/// assert_eq!(route.switch_hops(), 1);
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// `ports[node][port]` is the link attached to that port.
+    ports: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    #[must_use]
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds a switch and returns its id.
+    pub fn add_switch(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Switch, name)
+    }
+
+    /// Adds a host (end device) and returns its id.
+    pub fn add_host(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Host, name)
+    }
+
+    fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node::new(id, kind, name));
+        self.ports.push(Vec::new());
+        id
+    }
+
+    /// Connects two nodes with a bidirectional link at `rate` and the
+    /// default propagation delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::UnknownNode`] if either endpoint does not exist,
+    /// or [`TsnError::InvalidParameter`] for a self-link or zero rate.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, rate: DataRate) -> TsnResult<LinkId> {
+        self.connect_with(a, b, rate, DEFAULT_PROPAGATION, LinkDirection::Bidirectional)
+    }
+
+    /// Connects two nodes with full control over propagation delay and
+    /// direction. For [`LinkDirection::AToB`], frames can only flow from
+    /// `a` to `b`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::connect`].
+    pub fn connect_with(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        rate: DataRate,
+        propagation: SimDuration,
+        direction: LinkDirection,
+    ) -> TsnResult<LinkId> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(TsnError::invalid_parameter(
+                "link",
+                "self-links are not allowed",
+            ));
+        }
+        if rate.is_zero() {
+            return Err(TsnError::invalid_parameter(
+                "rate",
+                "links must have a non-zero rate",
+            ));
+        }
+        let id = LinkId::new(self.links.len() as u32);
+        let port_a = PortId::new(self.ports[a.as_usize()].len() as u16);
+        let port_b = PortId::new(self.ports[b.as_usize()].len() as u16);
+        let link = Link::new(
+            id,
+            LinkEnd { node: a, port: port_a },
+            LinkEnd { node: b, port: port_b },
+            rate,
+            propagation,
+            direction,
+        );
+        self.ports[a.as_usize()].push(id);
+        self.ports[b.as_usize()].push(id);
+        self.links.push(link);
+        Ok(id)
+    }
+
+    fn check_node(&self, id: NodeId) -> TsnResult<()> {
+        if id.as_usize() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(TsnError::UnknownNode(id))
+        }
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::UnknownNode`] if the id is out of range.
+    pub fn node(&self, id: NodeId) -> TsnResult<&Node> {
+        self.nodes
+            .get(id.as_usize())
+            .ok_or(TsnError::UnknownNode(id))
+    }
+
+    /// All nodes, in creation order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Ids of all switches, in creation order.
+    #[must_use]
+    pub fn switches(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_switch())
+            .map(Node::id)
+            .collect()
+    }
+
+    /// Ids of all hosts, in creation order.
+    #[must_use]
+    pub fn hosts(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_host())
+            .map(Node::id)
+            .collect()
+    }
+
+    /// All links, in creation order.
+    #[must_use]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Looks up a link by id.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> Option<&Link> {
+        self.links.get(id.index() as usize)
+    }
+
+    /// Number of cabled ports on `node` (0 if the node does not exist).
+    #[must_use]
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.ports.get(node.as_usize()).map_or(0, Vec::len)
+    }
+
+    /// The link attached to `(node, port)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::UnknownNode`] / [`TsnError::UnknownPort`] when
+    /// the endpoint does not exist.
+    pub fn link_at(&self, node: NodeId, port: PortId) -> TsnResult<&Link> {
+        self.check_node(node)?;
+        let link_id = self.ports[node.as_usize()]
+            .get(port.as_usize())
+            .copied()
+            .ok_or(TsnError::UnknownPort { node, port })?;
+        Ok(&self.links[link_id.index() as usize])
+    }
+
+    /// The neighbours reachable *out of* `node`, as
+    /// `(egress port, remote end)` pairs, honouring link direction.
+    pub fn egress_neighbors(&self, node: NodeId) -> impl Iterator<Item = (PortId, LinkEnd)> + '_ {
+        self.ports
+            .get(node.as_usize())
+            .into_iter()
+            .flatten()
+            .enumerate()
+            .filter_map(move |(port_idx, link_id)| {
+                let link = &self.links[link_id.index() as usize];
+                if link.allows_egress_from(node) {
+                    link.peer_of(node)
+                        .map(|peer| (PortId::new(port_idx as u16), peer))
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// Computes a shortest path from `from` to `to` by hop count (BFS),
+    /// honouring unidirectional links.
+    ///
+    /// # Errors
+    ///
+    /// * [`TsnError::UnknownNode`] if either endpoint does not exist.
+    /// * [`TsnError::NoRoute`] if `to` is unreachable from `from`.
+    pub fn route(&self, from: NodeId, to: NodeId) -> TsnResult<Route> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            let kind = self.nodes[from.as_usize()].kind();
+            return Ok(Route::new(vec![RouteHop {
+                node: from,
+                kind,
+                ingress: None,
+                egress: None,
+            }]));
+        }
+
+        // BFS, remembering (previous node, egress port there, ingress port here).
+        let mut prev: Vec<Option<(NodeId, PortId, PortId)>> = vec![None; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        visited[from.as_usize()] = true;
+        let mut queue = VecDeque::from([from]);
+        'search: while let Some(current) = queue.pop_front() {
+            for (egress, peer) in self.egress_neighbors(current) {
+                if !visited[peer.node.as_usize()] {
+                    visited[peer.node.as_usize()] = true;
+                    prev[peer.node.as_usize()] = Some((current, egress, peer.port));
+                    if peer.node == to {
+                        break 'search;
+                    }
+                    queue.push_back(peer.node);
+                }
+            }
+        }
+
+        if !visited[to.as_usize()] {
+            return Err(TsnError::NoRoute { from, to });
+        }
+
+        // Walk back from the destination.
+        let mut rev: Vec<(NodeId, Option<PortId>, Option<PortId>)> = Vec::new();
+        let mut cursor = to;
+        let mut downstream_ingress: Option<PortId> = None;
+        loop {
+            match prev[cursor.as_usize()] {
+                Some((parent, egress_at_parent, ingress_here)) => {
+                    rev.push((cursor, Some(ingress_here), downstream_ingress.take()));
+                    // The hop we just recorded leaves through... handled below:
+                    // store parent's egress so the *parent* entry gets it.
+                    downstream_ingress = Some(egress_at_parent);
+                    cursor = parent;
+                }
+                None => {
+                    rev.push((cursor, None, downstream_ingress.take()));
+                    break;
+                }
+            }
+        }
+        rev.reverse();
+        let hops = rev
+            .into_iter()
+            .map(|(node, ingress, egress)| RouteHop {
+                node,
+                kind: self.nodes[node.as_usize()].kind(),
+                ingress,
+                egress,
+            })
+            .collect();
+        Ok(Route::new(hops))
+    }
+
+    /// The host attached to a switch through the first host-facing link, if
+    /// any. Convenience for preset topologies where each switch has at most
+    /// one host.
+    #[must_use]
+    pub fn host_of_switch(&self, switch: NodeId) -> Option<NodeId> {
+        self.ports.get(switch.as_usize())?.iter().find_map(|lid| {
+            let link = &self.links[lid.index() as usize];
+            let peer = link.peer_of(switch)?;
+            self.nodes
+                .get(peer.node.as_usize())
+                .filter(|n| n.is_host())
+                .map(|_| peer.node)
+        })
+    }
+
+    /// The switch a host is attached to (its first switch-facing link).
+    #[must_use]
+    pub fn switch_of_host(&self, host: NodeId) -> Option<NodeId> {
+        self.ports.get(host.as_usize())?.iter().find_map(|lid| {
+            let link = &self.links[lid.index() as usize];
+            let peer = link.peer_of(host)?;
+            self.nodes
+                .get(peer.node.as_usize())
+                .filter(|n| n.is_switch())
+                .map(|_| peer.node)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Topology, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        // hostA - sw0 - sw1 - sw2 - hostB
+        let mut t = Topology::new();
+        let s0 = t.add_switch("sw0");
+        let s1 = t.add_switch("sw1");
+        let s2 = t.add_switch("sw2");
+        let ha = t.add_host("hostA");
+        let hb = t.add_host("hostB");
+        t.connect(ha, s0, DataRate::gbps(1)).expect("link");
+        t.connect(s0, s1, DataRate::gbps(1)).expect("link");
+        t.connect(s1, s2, DataRate::gbps(1)).expect("link");
+        t.connect(s2, hb, DataRate::gbps(1)).expect("link");
+        (t, s0, s1, s2, ha, hb)
+    }
+
+    #[test]
+    fn connect_assigns_sequential_ports() {
+        let (t, s0, s1, _, ha, _) = line3();
+        assert_eq!(t.port_count(ha), 1);
+        assert_eq!(t.port_count(s0), 2);
+        assert_eq!(t.port_count(s1), 2);
+        let l = t.link_at(s0, PortId::new(0)).expect("port 0 cabled");
+        assert_eq!(l.peer_of(s0).map(|e| e.node), Some(ha));
+    }
+
+    #[test]
+    fn connect_rejects_bad_input() {
+        let mut t = Topology::new();
+        let s = t.add_switch("sw");
+        assert!(matches!(
+            t.connect(s, NodeId::new(9), DataRate::gbps(1)),
+            Err(TsnError::UnknownNode(_))
+        ));
+        assert!(t.connect(s, s, DataRate::gbps(1)).is_err());
+        let h = t.add_host("h");
+        assert!(t.connect(s, h, DataRate::ZERO).is_err());
+    }
+
+    #[test]
+    fn route_end_to_end_traverses_all_switches() {
+        let (t, s0, s1, s2, ha, hb) = line3();
+        let r = t.route(ha, hb).expect("path exists");
+        assert_eq!(r.switch_hops(), 3);
+        assert_eq!(r.src(), ha);
+        assert_eq!(r.dst(), hb);
+        let nodes: Vec<NodeId> = r.hops().iter().map(|h| h.node).collect();
+        assert_eq!(nodes, vec![ha, s0, s1, s2, hb]);
+        // Source has no ingress; destination has no egress; middles have both.
+        assert!(r.hops()[0].ingress.is_none());
+        assert!(r.hops()[0].egress.is_some());
+        assert!(r.hops()[4].egress.is_none());
+        assert!(r.hops()[4].ingress.is_some());
+        for hop in &r.hops()[1..4] {
+            assert!(hop.ingress.is_some() && hop.egress.is_some());
+        }
+    }
+
+    #[test]
+    fn route_ports_are_consistent_with_links() {
+        let (t, _, _, _, ha, hb) = line3();
+        let r = t.route(ha, hb).expect("path exists");
+        for pair in r.hops().windows(2) {
+            let (up, down) = (&pair[0], &pair[1]);
+            let egress = up.egress.expect("non-terminal hop has egress");
+            let link = t.link_at(up.node, egress).expect("egress port is cabled");
+            let peer = link.peer_of(up.node).expect("link has a peer");
+            assert_eq!(peer.node, down.node);
+            assert_eq!(Some(peer.port), down.ingress);
+        }
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let (t, s0, ..) = line3();
+        let r = t.route(s0, s0).expect("trivial route");
+        assert!(r.is_empty());
+        assert_eq!(r.switch_hops(), 1);
+    }
+
+    #[test]
+    fn unreachable_destination_reports_no_route() {
+        let mut t = Topology::new();
+        let a = t.add_host("a");
+        let b = t.add_host("b");
+        assert!(matches!(
+            t.route(a, b),
+            Err(TsnError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn unidirectional_links_are_respected() {
+        let mut t = Topology::new();
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        t.connect_with(
+            s0,
+            s1,
+            DataRate::gbps(1),
+            DEFAULT_PROPAGATION,
+            LinkDirection::AToB,
+        )
+        .expect("link");
+        assert!(t.route(s0, s1).is_ok());
+        assert!(matches!(t.route(s1, s0), Err(TsnError::NoRoute { .. })));
+    }
+
+    #[test]
+    fn host_switch_attachment_lookup() {
+        let (t, s0, s1, _, ha, _) = line3();
+        assert_eq!(t.switch_of_host(ha), Some(s0));
+        assert_eq!(t.host_of_switch(s0), Some(ha));
+        assert_eq!(t.host_of_switch(s1), None);
+    }
+
+    #[test]
+    fn ring_routes_take_the_allowed_direction() {
+        // 3-switch directed ring: 0 -> 1 -> 2 -> 0.
+        let mut t = Topology::new();
+        let s: Vec<NodeId> = (0..3).map(|i| t.add_switch(format!("s{i}"))).collect();
+        for i in 0..3 {
+            t.connect_with(
+                s[i],
+                s[(i + 1) % 3],
+                DataRate::gbps(1),
+                DEFAULT_PROPAGATION,
+                LinkDirection::AToB,
+            )
+            .expect("link");
+        }
+        // Going "backwards" must walk the long way around.
+        let r = t.route(s[2], s[1]).expect("route exists the long way");
+        let nodes: Vec<NodeId> = r.hops().iter().map(|h| h.node).collect();
+        assert_eq!(nodes, vec![s[2], s[0], s[1]]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Point-to-point links between nodes.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use tsn_types::{DataRate, NodeId, PortId, SimDuration};
+
+/// Identifies a link within a topology.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// Creates a link id from its raw index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        LinkId(index)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// One endpoint of a link: a specific port on a specific node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkEnd {
+    /// The node this end attaches to.
+    pub node: NodeId,
+    /// The port on that node.
+    pub port: PortId,
+}
+
+impl fmt::Display for LinkEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// Whether frames may traverse the link both ways.
+///
+/// The paper's ring topology enables *unidirectional* deterministic
+/// transmission (each switch uses a single TSN port), which is what
+/// [`LinkDirection::AToB`] models for switch-to-switch ring links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkDirection {
+    /// Frames flow both directions (normal Ethernet).
+    Bidirectional,
+    /// Frames flow only from endpoint `a` to endpoint `b`.
+    AToB,
+}
+
+/// A point-to-point link.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    id: LinkId,
+    a: LinkEnd,
+    b: LinkEnd,
+    rate: DataRate,
+    propagation: SimDuration,
+    direction: LinkDirection,
+}
+
+impl Link {
+    pub(crate) fn new(
+        id: LinkId,
+        a: LinkEnd,
+        b: LinkEnd,
+        rate: DataRate,
+        propagation: SimDuration,
+        direction: LinkDirection,
+    ) -> Self {
+        Link {
+            id,
+            a,
+            b,
+            rate,
+            propagation,
+            direction,
+        }
+    }
+
+    /// The link's identifier.
+    #[must_use]
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// First endpoint (the source for unidirectional links).
+    #[must_use]
+    pub fn a(&self) -> LinkEnd {
+        self.a
+    }
+
+    /// Second endpoint (the sink for unidirectional links).
+    #[must_use]
+    pub fn b(&self) -> LinkEnd {
+        self.b
+    }
+
+    /// Link rate (the paper's testbed uses 1 Gbps everywhere).
+    #[must_use]
+    pub fn rate(&self) -> DataRate {
+        self.rate
+    }
+
+    /// One-way propagation delay.
+    #[must_use]
+    pub fn propagation(&self) -> SimDuration {
+        self.propagation
+    }
+
+    /// Direction constraint.
+    #[must_use]
+    pub fn direction(&self) -> LinkDirection {
+        self.direction
+    }
+
+    /// The endpoint opposite to the one on `node`, or `None` if `node` is
+    /// not attached to this link.
+    #[must_use]
+    pub fn peer_of(&self, node: NodeId) -> Option<LinkEnd> {
+        if self.a.node == node {
+            Some(self.b)
+        } else if self.b.node == node {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// `true` if a frame may leave `from` across this link (honouring the
+    /// direction constraint).
+    #[must_use]
+    pub fn allows_egress_from(&self, from: NodeId) -> bool {
+        match self.direction {
+            LinkDirection::Bidirectional => self.a.node == from || self.b.node == from,
+            LinkDirection::AToB => self.a.node == from,
+        }
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = match self.direction {
+            LinkDirection::Bidirectional => "<->",
+            LinkDirection::AToB => "-->",
+        };
+        write!(f, "{} {} {} @{}", self.a, arrow, self.b, self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(direction: LinkDirection) -> Link {
+        Link::new(
+            LinkId::new(0),
+            LinkEnd {
+                node: NodeId::new(0),
+                port: PortId::new(1),
+            },
+            LinkEnd {
+                node: NodeId::new(1),
+                port: PortId::new(0),
+            },
+            DataRate::gbps(1),
+            SimDuration::from_nanos(50),
+            direction,
+        )
+    }
+
+    #[test]
+    fn peer_of_finds_the_other_end() {
+        let l = link(LinkDirection::Bidirectional);
+        assert_eq!(l.peer_of(NodeId::new(0)).map(|e| e.node), Some(NodeId::new(1)));
+        assert_eq!(l.peer_of(NodeId::new(1)).map(|e| e.node), Some(NodeId::new(0)));
+        assert_eq!(l.peer_of(NodeId::new(9)), None);
+    }
+
+    #[test]
+    fn direction_gates_egress() {
+        let bi = link(LinkDirection::Bidirectional);
+        assert!(bi.allows_egress_from(NodeId::new(0)));
+        assert!(bi.allows_egress_from(NodeId::new(1)));
+
+        let uni = link(LinkDirection::AToB);
+        assert!(uni.allows_egress_from(NodeId::new(0)));
+        assert!(!uni.allows_egress_from(NodeId::new(1)));
+        assert!(!uni.allows_egress_from(NodeId::new(5)));
+    }
+
+    #[test]
+    fn display_shows_direction() {
+        assert!(link(LinkDirection::AToB).to_string().contains("-->"));
+        assert!(link(LinkDirection::Bidirectional)
+            .to_string()
+            .contains("<->"));
+    }
+}

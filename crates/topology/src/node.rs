@@ -1,0 +1,104 @@
+//! Nodes of a topology: switches and hosts.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use tsn_types::NodeId;
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A TSN switch built from the five function templates.
+    Switch,
+    /// An end device (talker/listener); the paper's testbed models these
+    /// with the TSNNic network tester.
+    Host,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Switch => f.write_str("switch"),
+            NodeKind::Host => f.write_str("host"),
+        }
+    }
+}
+
+/// One node of the topology.
+///
+/// Nodes are created through [`crate::Topology::add_switch`] /
+/// [`crate::Topology::add_host`], which assign the [`NodeId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    kind: NodeKind,
+    name: String,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, kind: NodeKind, name: impl Into<String>) -> Self {
+        Node {
+            id,
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// The node's identifier.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the node is a switch or a host.
+    #[must_use]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Human-readable name (e.g. `"sw0"`, `"host2"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` if the node is a switch.
+    #[must_use]
+    pub fn is_switch(&self) -> bool {
+        self.kind == NodeKind::Switch
+    }
+
+    /// `true` if the node is a host.
+    #[must_use]
+    pub fn is_host(&self) -> bool {
+        self.kind == NodeKind::Host
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.name, self.kind, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_accessors() {
+        let n = Node::new(NodeId::new(3), NodeKind::Switch, "sw3");
+        assert_eq!(n.id(), NodeId::new(3));
+        assert_eq!(n.kind(), NodeKind::Switch);
+        assert_eq!(n.name(), "sw3");
+        assert!(n.is_switch());
+        assert!(!n.is_host());
+    }
+
+    #[test]
+    fn node_display_contains_name_and_kind() {
+        let n = Node::new(NodeId::new(0), NodeKind::Host, "tester");
+        let text = n.to_string();
+        assert!(text.contains("tester"));
+        assert!(text.contains("host"));
+    }
+}

@@ -1,0 +1,244 @@
+//! The paper's three evaluation topologies as ready-made builders.
+//!
+//! All presets use 1 Gbps links (the paper's testbed rate) and attach at
+//! most one host per switch. Hosts model the TSNNic traffic generators and
+//! the TSN analyzer of Fig. 6.
+
+use crate::graph::{Topology, DEFAULT_PROPAGATION};
+use crate::link::LinkDirection;
+use tsn_types::{DataRate, TsnError, TsnResult};
+
+/// Link rate used by all presets (matches the paper's 1 Gbps testbed).
+pub const PRESET_RATE: DataRate = DataRate::gbps(1);
+
+fn check_counts(switches: usize, hosts: usize) -> TsnResult<()> {
+    if switches == 0 {
+        return Err(TsnError::invalid_parameter(
+            "switches",
+            "a topology needs at least one switch",
+        ));
+    }
+    if hosts > switches {
+        return Err(TsnError::invalid_parameter(
+            "hosts",
+            "at most one host per switch in preset topologies",
+        ));
+    }
+    if hosts == 0 {
+        return Err(TsnError::invalid_parameter(
+            "hosts",
+            "at least one host is needed to source or sink traffic",
+        ));
+    }
+    Ok(())
+}
+
+/// A ring of `switches` switches with **unidirectional** deterministic
+/// transmission (each switch enables a single TSN port), plus one host on
+/// each of the first `hosts` switches.
+///
+/// This is the topology of the paper's Fig. 6 when called as
+/// `ring(6, 3)`.
+///
+/// # Errors
+///
+/// Returns [`TsnError::InvalidParameter`] if `switches < 3` (a ring needs
+/// three nodes), `hosts == 0`, or `hosts > switches`.
+///
+/// # Example
+///
+/// ```
+/// use tsn_topology::presets;
+///
+/// let topo = presets::ring(6, 3)?;
+/// assert_eq!(topo.switches().len(), 6);
+/// assert_eq!(topo.hosts().len(), 3);
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+pub fn ring(switches: usize, hosts: usize) -> TsnResult<Topology> {
+    check_counts(switches, hosts)?;
+    if switches < 3 {
+        return Err(TsnError::invalid_parameter(
+            "switches",
+            "a ring needs at least three switches",
+        ));
+    }
+    let mut topo = Topology::new();
+    let sw: Vec<_> = (0..switches)
+        .map(|i| topo.add_switch(format!("sw{i}")))
+        .collect();
+    for i in 0..switches {
+        topo.connect_with(
+            sw[i],
+            sw[(i + 1) % switches],
+            PRESET_RATE,
+            DEFAULT_PROPAGATION,
+            LinkDirection::AToB,
+        )?;
+    }
+    attach_hosts(&mut topo, &sw, hosts)?;
+    Ok(topo)
+}
+
+/// A chain of `switches` switches with bidirectional forwarding, plus one
+/// host on each of the first `hosts` switches (hosts are spread from both
+/// ends so end-to-end flows exist: first host on the head, second on the
+/// tail, then inward).
+///
+/// The paper's linear scenario is `linear(6, hosts)` with 2 enabled TSN
+/// ports per interior switch.
+///
+/// # Errors
+///
+/// Returns [`TsnError::InvalidParameter`] if `switches == 0`, `hosts == 0`
+/// or `hosts > switches`.
+pub fn linear(switches: usize, hosts: usize) -> TsnResult<Topology> {
+    check_counts(switches, hosts)?;
+    let mut topo = Topology::new();
+    let sw: Vec<_> = (0..switches)
+        .map(|i| topo.add_switch(format!("sw{i}")))
+        .collect();
+    for pair in sw.windows(2) {
+        topo.connect(pair[0], pair[1], PRESET_RATE)?;
+    }
+    // Spread host attachment: ends first, then inward, so traffic can cross
+    // the whole chain even with few hosts.
+    let mut order: Vec<usize> = Vec::with_capacity(switches);
+    let (mut lo, mut hi) = (0usize, switches - 1);
+    while lo <= hi {
+        order.push(lo);
+        if lo != hi {
+            order.push(hi);
+        }
+        lo += 1;
+        if hi == 0 {
+            break;
+        }
+        hi -= 1;
+    }
+    for (host_idx, &sw_idx) in order.iter().take(hosts).enumerate() {
+        let host = topo.add_host(format!("host{host_idx}"));
+        topo.connect(host, sw[sw_idx], PRESET_RATE)?;
+    }
+    Ok(topo)
+}
+
+/// A star: one core switch with `children` child switches, one host on each
+/// of the first `hosts` children.
+///
+/// The paper's star scenario is `star(3, 3)`: 4 switches, the core with up
+/// to 3 enabled TSN ports.
+///
+/// # Errors
+///
+/// Returns [`TsnError::InvalidParameter`] if `children == 0`, `hosts == 0`
+/// or `hosts > children`.
+pub fn star(children: usize, hosts: usize) -> TsnResult<Topology> {
+    check_counts(children, hosts)?;
+    let mut topo = Topology::new();
+    let core = topo.add_switch("core");
+    let mut child_switches = Vec::with_capacity(children);
+    for i in 0..children {
+        let child = topo.add_switch(format!("sw{}", i + 1));
+        topo.connect(core, child, PRESET_RATE)?;
+        child_switches.push(child);
+    }
+    attach_hosts(&mut topo, &child_switches, hosts)?;
+    Ok(topo)
+}
+
+fn attach_hosts(
+    topo: &mut Topology,
+    switches: &[tsn_types::NodeId],
+    hosts: usize,
+) -> TsnResult<()> {
+    for (i, &sw) in switches.iter().take(hosts).enumerate() {
+        let host = topo.add_host(format!("host{i}"));
+        topo.connect(host, sw, PRESET_RATE)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_matches_paper_shape() {
+        let topo = ring(6, 3).expect("paper ring builds");
+        assert_eq!(topo.switches().len(), 6);
+        assert_eq!(topo.hosts().len(), 3);
+        // 6 ring links + 3 host links.
+        assert_eq!(topo.links().len(), 9);
+        // Every ring link is unidirectional.
+        let uni = topo
+            .links()
+            .iter()
+            .filter(|l| l.direction() == LinkDirection::AToB)
+            .count();
+        assert_eq!(uni, 6);
+    }
+
+    #[test]
+    fn ring_routes_only_clockwise() {
+        let topo = ring(6, 6).expect("full ring builds");
+        let hosts = topo.hosts();
+        // host0 -> host1 is one switch-to-switch hop; host1 -> host0 wraps.
+        let fwd = topo.route(hosts[0], hosts[1]).expect("forward route");
+        let back = topo.route(hosts[1], hosts[0]).expect("wrap-around route");
+        assert_eq!(fwd.switch_hops(), 2);
+        assert_eq!(back.switch_hops(), 6);
+    }
+
+    #[test]
+    fn linear_matches_paper_shape() {
+        let topo = linear(6, 2).expect("paper linear builds");
+        assert_eq!(topo.switches().len(), 6);
+        assert_eq!(topo.hosts().len(), 2);
+        // Hosts sit at opposite ends.
+        let hosts = topo.hosts();
+        let r = topo.route(hosts[0], hosts[1]).expect("end-to-end route");
+        assert_eq!(r.switch_hops(), 6);
+    }
+
+    #[test]
+    fn linear_is_bidirectional() {
+        let topo = linear(4, 2).expect("builds");
+        let hosts = topo.hosts();
+        assert!(topo.route(hosts[0], hosts[1]).is_ok());
+        assert!(topo.route(hosts[1], hosts[0]).is_ok());
+    }
+
+    #[test]
+    fn star_matches_paper_shape() {
+        let topo = star(3, 3).expect("paper star builds");
+        assert_eq!(topo.switches().len(), 4, "core + 3 children");
+        assert_eq!(topo.hosts().len(), 3);
+        let hosts = topo.hosts();
+        // Child-to-child crosses child, core, child = 3 switches.
+        let r = topo.route(hosts[0], hosts[1]).expect("route via core");
+        assert_eq!(r.switch_hops(), 3);
+    }
+
+    #[test]
+    fn presets_validate_counts() {
+        assert!(ring(2, 1).is_err());
+        assert!(ring(6, 7).is_err());
+        assert!(ring(6, 0).is_err());
+        assert!(linear(0, 0).is_err());
+        assert!(star(3, 4).is_err());
+    }
+
+    #[test]
+    fn linear_host_spread_reaches_both_ends() {
+        let topo = linear(5, 3).expect("builds");
+        let hosts = topo.hosts();
+        let ends: Vec<_> = hosts
+            .iter()
+            .map(|&h| topo.switch_of_host(h).expect("attached"))
+            .collect();
+        let switches = topo.switches();
+        assert!(ends.contains(&switches[0]));
+        assert!(ends.contains(&switches[4]));
+    }
+}

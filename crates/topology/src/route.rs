@@ -1,0 +1,134 @@
+//! Routes: the per-hop path a frame takes through the network.
+
+use crate::node::NodeKind;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use tsn_types::{NodeId, PortId};
+
+/// One hop of a [`Route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RouteHop {
+    /// The node traversed.
+    pub node: NodeId,
+    /// What the node is (hosts at the ends, switches in between).
+    pub kind: NodeKind,
+    /// Port the frame entered through (`None` at the source).
+    pub ingress: Option<PortId>,
+    /// Port the frame leaves through (`None` at the destination).
+    pub egress: Option<PortId>,
+}
+
+/// A loop-free path from a source node to a destination node.
+///
+/// The number of *switches* traversed is the `hop` of the paper's Eq. (1):
+/// `L_max = (hop + 1) × slot`, `L_min = (hop − 1) × slot`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    hops: Vec<RouteHop>,
+}
+
+impl Route {
+    pub(crate) fn new(hops: Vec<RouteHop>) -> Self {
+        debug_assert!(!hops.is_empty(), "a route has at least its source hop");
+        Route { hops }
+    }
+
+    /// All hops, source first.
+    #[must_use]
+    pub fn hops(&self) -> &[RouteHop] {
+        &self.hops
+    }
+
+    /// The source node.
+    #[must_use]
+    pub fn src(&self) -> NodeId {
+        self.hops[0].node
+    }
+
+    /// The destination node.
+    #[must_use]
+    pub fn dst(&self) -> NodeId {
+        self.hops[self.hops.len() - 1].node
+    }
+
+    /// Number of switches traversed (the paper's `hop`).
+    #[must_use]
+    pub fn switch_hops(&self) -> usize {
+        self.hops
+            .iter()
+            .filter(|h| h.kind == NodeKind::Switch)
+            .count()
+    }
+
+    /// Total number of nodes on the path, endpoints included.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// `true` if the route is a single node (src == dst).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hops.len() <= 1
+    }
+
+    /// Iterates over the switch hops only.
+    pub fn switch_hops_iter(&self) -> impl Iterator<Item = &RouteHop> {
+        self.hops.iter().filter(|h| h.kind == NodeKind::Switch)
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, hop) in self.hops.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" -> ")?;
+            }
+            write!(f, "{}", hop.node)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(node: u32, kind: NodeKind) -> RouteHop {
+        RouteHop {
+            node: NodeId::new(node),
+            kind,
+            ingress: None,
+            egress: None,
+        }
+    }
+
+    #[test]
+    fn switch_hops_counts_only_switches() {
+        let route = Route::new(vec![
+            hop(0, NodeKind::Host),
+            hop(1, NodeKind::Switch),
+            hop(2, NodeKind::Switch),
+            hop(3, NodeKind::Host),
+        ]);
+        assert_eq!(route.switch_hops(), 2);
+        assert_eq!(route.len(), 4);
+        assert_eq!(route.src(), NodeId::new(0));
+        assert_eq!(route.dst(), NodeId::new(3));
+        assert!(!route.is_empty());
+    }
+
+    #[test]
+    fn single_node_route_is_empty() {
+        let route = Route::new(vec![hop(0, NodeKind::Host)]);
+        assert!(route.is_empty());
+        assert_eq!(route.switch_hops(), 0);
+        assert_eq!(route.src(), route.dst());
+    }
+
+    #[test]
+    fn display_joins_nodes_with_arrows() {
+        let route = Route::new(vec![hop(0, NodeKind::Host), hop(1, NodeKind::Switch)]);
+        assert_eq!(route.to_string(), "node0 -> node1");
+    }
+}

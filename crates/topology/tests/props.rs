@@ -1,0 +1,141 @@
+//! Property tests over random topologies: routing sanity and
+//! enabled-port bounds.
+
+use proptest::prelude::*;
+use tsn_topology::{presets, NodeKind, Topology};
+use tsn_types::{DataRate, NodeId};
+
+/// A random connected topology: a host-and-switch tree plus a few extra
+/// cross links.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (
+        2usize..12,                                  // switches
+        proptest::collection::vec(any::<u16>(), 0..8), // extra link seeds
+        1usize..6,                                   // hosts
+    )
+        .prop_map(|(switches, extras, hosts)| {
+            let mut topo = Topology::new();
+            let sw: Vec<NodeId> = (0..switches)
+                .map(|i| topo.add_switch(format!("s{i}")))
+                .collect();
+            // Random tree: node i attaches to a previous node.
+            for i in 1..switches {
+                let parent = (extras.first().copied().unwrap_or(0) as usize + i * 7) % i;
+                topo.connect(sw[parent], sw[i], DataRate::gbps(1))
+                    .expect("tree link");
+            }
+            // Extra cross links (ignore duplicates/self — connect allows
+            // parallel links, which is fine).
+            for (k, seed) in extras.iter().enumerate() {
+                let a = (*seed as usize) % switches;
+                let b = (*seed as usize / 7 + k) % switches;
+                if a != b {
+                    topo.connect(sw[a], sw[b], DataRate::gbps(1))
+                        .expect("cross link");
+                }
+            }
+            for (h, &attach) in sw.iter().enumerate().take(hosts.min(switches)) {
+                let host = topo.add_host(format!("h{h}"));
+                topo.connect(host, attach, DataRate::gbps(1))
+                    .expect("host link");
+            }
+            topo
+        })
+}
+
+proptest! {
+    /// Every pair of nodes in a connected topology routes, the route is
+    /// loop-free, starts/ends correctly, and its hop ports are cabled
+    /// consistently.
+    #[test]
+    fn routes_are_consistent(topo in arb_topology()) {
+        let nodes: Vec<NodeId> = topo.nodes().iter().map(|n| n.id()).collect();
+        for &from in &nodes {
+            for &to in &nodes {
+                let route = topo.route(from, to).expect("connected graph routes");
+                prop_assert_eq!(route.src(), from);
+                prop_assert_eq!(route.dst(), to);
+                // Loop-free: nodes are unique.
+                let mut seen = std::collections::HashSet::new();
+                for hop in route.hops() {
+                    prop_assert!(seen.insert(hop.node), "route revisits {}", hop.node);
+                }
+                // Ports connect adjacent hops.
+                for pair in route.hops().windows(2) {
+                    let egress = pair[0].egress.expect("non-terminal hop has egress");
+                    let link = topo.link_at(pair[0].node, egress).expect("cabled");
+                    prop_assert_eq!(
+                        link.peer_of(pair[0].node).expect("two ends").node,
+                        pair[1].node
+                    );
+                }
+            }
+        }
+    }
+
+    /// BFS routes are minimal: no route is longer than the node count,
+    /// and a direct neighbour is always reached in one step.
+    #[test]
+    fn routes_are_short(topo in arb_topology()) {
+        let nodes: Vec<NodeId> = topo.nodes().iter().map(|n| n.id()).collect();
+        for &from in &nodes {
+            for &to in &nodes {
+                let route = topo.route(from, to).expect("routes");
+                prop_assert!(route.len() <= nodes.len());
+            }
+        }
+        for link in topo.links() {
+            let (a, b) = (link.a().node, link.b().node);
+            if link.allows_egress_from(a) {
+                let route = topo.route(a, b).expect("neighbours route");
+                prop_assert_eq!(route.len(), 2, "direct neighbours: 1 hop");
+            }
+        }
+    }
+
+    /// Enabled TSN ports never exceed the switch's cabled port count.
+    #[test]
+    fn enabled_ports_bounded_by_degree(topo in arb_topology(), flow_count in 1u32..16) {
+        use tsn_topology::EnabledPorts;
+        use tsn_types::{FlowId, FlowSet, SimDuration, TsFlowSpec};
+        let hosts = topo.hosts();
+        prop_assume!(hosts.len() >= 2);
+        let mut flows = FlowSet::new();
+        for id in 0..flow_count {
+            flows.push(
+                TsFlowSpec::new(
+                    FlowId::new(id),
+                    hosts[id as usize % hosts.len()],
+                    hosts[(id as usize + 1) % hosts.len()],
+                    SimDuration::from_millis(10),
+                    SimDuration::from_millis(8),
+                    64,
+                )
+                .expect("valid flow")
+                .into(),
+            );
+        }
+        let enabled = EnabledPorts::from_flows(&topo, &flows).expect("analysis runs");
+        for (node, count) in enabled.iter() {
+            prop_assert!(count <= topo.port_count(node));
+            prop_assert!(
+                topo.node(node).expect("exists").kind() == NodeKind::Switch,
+                "only switches enable TSN ports"
+            );
+        }
+    }
+}
+
+#[test]
+fn preset_shapes_are_stable() {
+    // Pin the preset geometry the experiments depend on.
+    for (topo, switches, hosts, links) in [
+        (presets::ring(6, 3).expect("builds"), 6, 3, 9),
+        (presets::linear(6, 2).expect("builds"), 6, 2, 7),
+        (presets::star(3, 3).expect("builds"), 4, 3, 6),
+    ] {
+        assert_eq!(topo.switches().len(), switches);
+        assert_eq!(topo.hosts().len(), hosts);
+        assert_eq!(topo.links().len(), links);
+    }
+}

@@ -1,0 +1,194 @@
+//! The shared error type of the TSN-Builder crates.
+
+use crate::ids::{FlowId, NodeId, PortId};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Convenience alias for `Result<T, TsnError>`.
+pub type TsnResult<T> = Result<T, TsnError>;
+
+/// Errors produced across the TSN-Builder workspace.
+///
+/// The enum is `#[non_exhaustive]`: downstream code must keep a catch-all
+/// arm, which lets the library add variants without breaking users.
+///
+/// # Example
+///
+/// ```
+/// use tsn_types::{TsnError, VlanId};
+///
+/// let err = VlanId::new(4095).unwrap_err();
+/// assert!(matches!(err, TsnError::InvalidVlanId(4095)));
+/// assert_eq!(err.to_string(), "invalid VLAN id 4095 (legal range is 1..=4094)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TsnError {
+    /// A string did not parse as a MAC address.
+    ParseMacError(String),
+    /// A VLAN id was outside 1..=4094.
+    InvalidVlanId(u16),
+    /// A priority code point was above 7.
+    InvalidPcp(u8),
+    /// A frame size was outside the Ethernet range (64..=1522 bytes on the
+    /// wire in this model).
+    InvalidFrameSize(u32),
+    /// A configuration parameter failed validation.
+    InvalidParameter {
+        /// Name of the offending parameter (matches the paper's API names
+        /// where applicable, e.g. `queue_depth`).
+        name: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A fixed-capacity hardware resource (table, queue, buffer pool) is
+    /// full.
+    CapacityExceeded {
+        /// Human-readable name of the resource, e.g. `"classification table"`.
+        resource: String,
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// A referenced node does not exist in the topology.
+    UnknownNode(NodeId),
+    /// A referenced port does not exist on the given node.
+    UnknownPort {
+        /// The node on which the port was looked up.
+        node: NodeId,
+        /// The missing port.
+        port: PortId,
+    },
+    /// No path exists between two nodes.
+    NoRoute {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// A flow references configuration that does not exist.
+    UnknownFlow(FlowId),
+    /// The requested set of flows cannot be scheduled with the given
+    /// resources (e.g. slot too small, queue depth insufficient).
+    ScheduleInfeasible(String),
+    /// A generated artifact (e.g. emitted Verilog) failed validation.
+    InvalidArtifact(String),
+}
+
+impl fmt::Display for TsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsnError::ParseMacError(s) => {
+                write!(f, "invalid MAC address syntax: {s:?}")
+            }
+            TsnError::InvalidVlanId(v) => {
+                write!(f, "invalid VLAN id {v} (legal range is 1..=4094)")
+            }
+            TsnError::InvalidPcp(v) => write!(f, "invalid priority code point {v} (must be 0..=7)"),
+            TsnError::InvalidFrameSize(v) => {
+                write!(f, "invalid frame size {v}B (must be 64..=1522 bytes)")
+            }
+            TsnError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            TsnError::CapacityExceeded { resource, capacity } => {
+                write!(f, "{resource} is full (capacity {capacity})")
+            }
+            TsnError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TsnError::UnknownPort { node, port } => {
+                write!(f, "unknown port {port} on {node}")
+            }
+            TsnError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            TsnError::UnknownFlow(id) => write!(f, "unknown flow {id}"),
+            TsnError::ScheduleInfeasible(why) => write!(f, "schedule infeasible: {why}"),
+            TsnError::InvalidArtifact(why) => write!(f, "invalid generated artifact: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TsnError {}
+
+impl TsnError {
+    /// Shorthand for [`TsnError::InvalidParameter`].
+    #[must_use]
+    pub fn invalid_parameter(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        TsnError::InvalidParameter {
+            name: name.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for [`TsnError::CapacityExceeded`].
+    #[must_use]
+    pub fn capacity(resource: impl Into<String>, capacity: usize) -> Self {
+        TsnError::CapacityExceeded {
+            resource: resource.into(),
+            capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<TsnError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_without_trailing_punctuation() {
+        let samples: Vec<TsnError> = vec![
+            TsnError::ParseMacError("xx".into()),
+            TsnError::InvalidVlanId(0),
+            TsnError::InvalidPcp(9),
+            TsnError::InvalidFrameSize(9000),
+            TsnError::invalid_parameter("queue_depth", "must be non-zero"),
+            TsnError::capacity("meter table", 512),
+            TsnError::UnknownNode(NodeId::new(9)),
+            TsnError::UnknownPort {
+                node: NodeId::new(1),
+                port: PortId::new(4),
+            },
+            TsnError::NoRoute {
+                from: NodeId::new(0),
+                to: NodeId::new(5),
+            },
+            TsnError::UnknownFlow(FlowId::new(77)),
+            TsnError::ScheduleInfeasible("slot smaller than one frame".into()),
+            TsnError::InvalidArtifact("unbalanced endmodule".into()),
+        ];
+        for err in samples {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                !msg.ends_with('.'),
+                "error messages should not end with a period: {msg:?}"
+            );
+            let first = msg.chars().next().expect("non-empty");
+            assert!(
+                first.is_lowercase() || !first.is_alphabetic(),
+                "error messages start lowercase: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert_eq!(
+            TsnError::invalid_parameter("a", "b"),
+            TsnError::InvalidParameter {
+                name: "a".into(),
+                reason: "b".into()
+            }
+        );
+        assert_eq!(
+            TsnError::capacity("queue", 8),
+            TsnError::CapacityExceeded {
+                resource: "queue".into(),
+                capacity: 8
+            }
+        );
+    }
+}

@@ -1,0 +1,475 @@
+//! The Ethernet frame model carried through the simulated switches.
+//!
+//! The simulator is not byte-accurate — payload contents never matter to a
+//! TSN switch — but it is *size*- and *header*-accurate: the fields the five
+//! templates actually consult (destination/source MAC, VLAN id, PCP, wire
+//! size) are first-class, plus bookkeeping the analyzer needs (flow id,
+//! sequence number, injection timestamp).
+
+use crate::error::{TsnError, TsnResult};
+use crate::ids::{FlowId, McId};
+use crate::mac::MacAddr;
+use crate::time::SimTime;
+use crate::vlan::{Pcp, VlanId};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Minimum legal frame size in this model (classic Ethernet minimum).
+pub const MIN_FRAME_BYTES: u32 = 64;
+/// Maximum legal frame size in this model (1500 B MTU + 18 B L2 header/FCS
+/// + 4 B 802.1Q tag).
+pub const MAX_FRAME_BYTES: u32 = 1522;
+/// Per-frame wire overhead that is not part of the frame itself:
+/// 7 B preamble + 1 B SFD + 12 B inter-frame gap.
+pub const ETHERNET_OVERHEAD_BYTES: u32 = 20;
+
+/// The paper's three-level flow taxonomy (Section II.A).
+///
+/// * `TimeSensitive` — periodic critical traffic; must meet deadlines with
+///   ultra-low jitter and zero loss. Highest priority.
+/// * `RateConstrained` — reserved-bandwidth traffic, shaped by credit-based
+///   shapers. Medium priority.
+/// * `BestEffort` — whatever bandwidth is left. Lowest priority.
+///
+/// # Example
+///
+/// ```
+/// use tsn_types::{TrafficClass, Pcp};
+///
+/// assert_eq!(TrafficClass::from_pcp(Pcp::HIGHEST), TrafficClass::TimeSensitive);
+/// assert_eq!(TrafficClass::from_pcp(Pcp::LOWEST), TrafficClass::BestEffort);
+/// assert!(TrafficClass::TimeSensitive.strict_priority()
+///     > TrafficClass::RateConstrained.strict_priority());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Best-effort traffic (lowest priority).
+    BestEffort,
+    /// Rate-constrained traffic (medium priority).
+    RateConstrained,
+    /// Time-sensitive traffic (highest priority).
+    TimeSensitive,
+}
+
+impl TrafficClass {
+    /// All classes, lowest priority first.
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::BestEffort,
+        TrafficClass::RateConstrained,
+        TrafficClass::TimeSensitive,
+    ];
+
+    /// The numeric strict priority used by the egress scheduler (larger
+    /// wins).
+    #[must_use]
+    pub const fn strict_priority(self) -> u8 {
+        match self {
+            TrafficClass::BestEffort => 0,
+            TrafficClass::RateConstrained => 3,
+            TrafficClass::TimeSensitive => 7,
+        }
+    }
+
+    /// The default PCP a talker stamps on frames of this class.
+    #[must_use]
+    pub const fn default_pcp(self) -> Pcp {
+        match self {
+            TrafficClass::BestEffort => Pcp::LOWEST,
+            TrafficClass::RateConstrained => Pcp::MEDIUM,
+            TrafficClass::TimeSensitive => Pcp::HIGHEST,
+        }
+    }
+
+    /// Classifies a PCP into one of the three bands: 6–7 time-sensitive,
+    /// 3–5 rate-constrained, 0–2 best-effort.
+    #[must_use]
+    pub const fn from_pcp(pcp: Pcp) -> TrafficClass {
+        match pcp.value() {
+            6..=7 => TrafficClass::TimeSensitive,
+            3..=5 => TrafficClass::RateConstrained,
+            _ => TrafficClass::BestEffort,
+        }
+    }
+
+    /// Short label used in reports (`TS` / `RC` / `BE`).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            TrafficClass::BestEffort => "BE",
+            TrafficClass::RateConstrained => "RC",
+            TrafficClass::TimeSensitive => "TS",
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One Ethernet frame travelling through the simulated network.
+///
+/// Construct frames with [`EthernetFrame::builder`]; sizes are validated
+/// against [`MIN_FRAME_BYTES`]..=[`MAX_FRAME_BYTES`].
+///
+/// # Example
+///
+/// ```
+/// use tsn_types::{EthernetFrame, MacAddr, TrafficClass, FlowId, SimTime};
+///
+/// let frame = EthernetFrame::builder()
+///     .src(MacAddr::station(1))
+///     .dst(MacAddr::station(2))
+///     .class(TrafficClass::TimeSensitive)
+///     .size_bytes(64)
+///     .flow(FlowId::new(7))
+///     .injected_at(SimTime::from_micros(10))
+///     .build()?;
+/// assert_eq!(frame.size_bytes(), 64);
+/// assert_eq!(frame.class(), TrafficClass::TimeSensitive);
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EthernetFrame {
+    dst: MacAddr,
+    src: MacAddr,
+    vlan: VlanId,
+    pcp: Pcp,
+    class: TrafficClass,
+    size_bytes: u32,
+    flow: FlowId,
+    sequence: u64,
+    mc_id: Option<McId>,
+    injected_at: SimTime,
+}
+
+impl EthernetFrame {
+    /// Starts building a frame. See the type-level example.
+    #[must_use]
+    pub fn builder() -> FrameBuilder {
+        FrameBuilder::new()
+    }
+
+    /// Destination MAC address.
+    #[must_use]
+    pub fn dst(&self) -> MacAddr {
+        self.dst
+    }
+
+    /// Source MAC address.
+    #[must_use]
+    pub fn src(&self) -> MacAddr {
+        self.src
+    }
+
+    /// 802.1Q VLAN id.
+    #[must_use]
+    pub fn vlan(&self) -> VlanId {
+        self.vlan
+    }
+
+    /// 802.1Q priority code point.
+    #[must_use]
+    pub fn pcp(&self) -> Pcp {
+        self.pcp
+    }
+
+    /// Traffic class (TS / RC / BE).
+    #[must_use]
+    pub fn class(&self) -> TrafficClass {
+        self.class
+    }
+
+    /// Frame size on the wire in bytes (header + payload + FCS).
+    #[must_use]
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// Frame size plus preamble/SFD/inter-frame gap — the bytes a link is
+    /// actually busy for.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u32 {
+        self.size_bytes + ETHERNET_OVERHEAD_BYTES
+    }
+
+    /// The application flow this frame belongs to.
+    #[must_use]
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Per-flow sequence number (0-based), used for loss accounting.
+    #[must_use]
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Multicast group index, if the destination is a group address.
+    #[must_use]
+    pub fn mc_id(&self) -> Option<McId> {
+        self.mc_id
+    }
+
+    /// When the talker handed this frame to its NIC (simulation time);
+    /// end-to-end latency is measured from this instant.
+    #[must_use]
+    pub fn injected_at(&self) -> SimTime {
+        self.injected_at
+    }
+
+    /// `true` if the destination is a group (multicast/broadcast) address.
+    #[must_use]
+    pub fn is_multicast(&self) -> bool {
+        self.dst.is_multicast()
+    }
+}
+
+impl fmt::Display for EthernetFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} seq{} {}B {}->{} {} {}]",
+            self.class, self.flow, self.sequence, self.size_bytes, self.src, self.dst, self.vlan,
+            self.pcp,
+        )
+    }
+}
+
+/// Builder for [`EthernetFrame`] (see [`EthernetFrame::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct FrameBuilder {
+    dst: MacAddr,
+    src: MacAddr,
+    vlan: VlanId,
+    pcp: Option<Pcp>,
+    class: Option<TrafficClass>,
+    size_bytes: u32,
+    flow: FlowId,
+    sequence: u64,
+    mc_id: Option<McId>,
+    injected_at: SimTime,
+}
+
+impl FrameBuilder {
+    /// Creates a builder with default VLAN 1, best-effort class and zero
+    /// identifiers. `size_bytes` must always be provided.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameBuilder::default()
+    }
+
+    /// Sets the destination MAC address.
+    #[must_use]
+    pub fn dst(mut self, dst: MacAddr) -> Self {
+        self.dst = dst;
+        self
+    }
+
+    /// Sets the source MAC address.
+    #[must_use]
+    pub fn src(mut self, src: MacAddr) -> Self {
+        self.src = src;
+        self
+    }
+
+    /// Sets the VLAN id (default: VLAN 1).
+    #[must_use]
+    pub fn vlan(mut self, vlan: VlanId) -> Self {
+        self.vlan = vlan;
+        self
+    }
+
+    /// Sets the PCP explicitly. If unset, the class's
+    /// [`TrafficClass::default_pcp`] is used.
+    #[must_use]
+    pub fn pcp(mut self, pcp: Pcp) -> Self {
+        self.pcp = Some(pcp);
+        self
+    }
+
+    /// Sets the traffic class. If unset, the class is derived from the PCP
+    /// (or defaults to best-effort when neither is given).
+    #[must_use]
+    pub fn class(mut self, class: TrafficClass) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Sets the on-wire frame size in bytes. Required.
+    #[must_use]
+    pub fn size_bytes(mut self, size_bytes: u32) -> Self {
+        self.size_bytes = size_bytes;
+        self
+    }
+
+    /// Sets the owning flow id.
+    #[must_use]
+    pub fn flow(mut self, flow: FlowId) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Sets the per-flow sequence number.
+    #[must_use]
+    pub fn sequence(mut self, sequence: u64) -> Self {
+        self.sequence = sequence;
+        self
+    }
+
+    /// Marks the frame as belonging to a multicast group.
+    #[must_use]
+    pub fn mc_id(mut self, mc_id: McId) -> Self {
+        self.mc_id = Some(mc_id);
+        self
+    }
+
+    /// Sets the injection timestamp.
+    #[must_use]
+    pub fn injected_at(mut self, at: SimTime) -> Self {
+        self.injected_at = at;
+        self
+    }
+
+    /// Validates and builds the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::InvalidFrameSize`] if `size_bytes` is outside
+    /// `64..=1522`.
+    pub fn build(self) -> TsnResult<EthernetFrame> {
+        if !(MIN_FRAME_BYTES..=MAX_FRAME_BYTES).contains(&self.size_bytes) {
+            return Err(TsnError::InvalidFrameSize(self.size_bytes));
+        }
+        let (class, pcp) = match (self.class, self.pcp) {
+            (Some(c), Some(p)) => (c, p),
+            (Some(c), None) => (c, c.default_pcp()),
+            (None, Some(p)) => (TrafficClass::from_pcp(p), p),
+            (None, None) => (TrafficClass::BestEffort, Pcp::LOWEST),
+        };
+        Ok(EthernetFrame {
+            dst: self.dst,
+            src: self.src,
+            vlan: self.vlan,
+            pcp,
+            class,
+            size_bytes: self.size_bytes,
+            flow: self.flow,
+            sequence: self.sequence,
+            mc_id: self.mc_id,
+            injected_at: self.injected_at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_frame(size: u32) -> TsnResult<EthernetFrame> {
+        EthernetFrame::builder()
+            .src(MacAddr::station(1))
+            .dst(MacAddr::station(2))
+            .size_bytes(size)
+            .build()
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        assert!(a_frame(64).is_ok());
+        assert!(a_frame(1522).is_ok());
+        assert!(matches!(a_frame(63), Err(TsnError::InvalidFrameSize(63))));
+        assert!(matches!(
+            a_frame(1523),
+            Err(TsnError::InvalidFrameSize(1523))
+        ));
+        assert!(a_frame(0).is_err());
+    }
+
+    #[test]
+    fn class_defaults_to_best_effort() {
+        let f = a_frame(64).expect("valid frame");
+        assert_eq!(f.class(), TrafficClass::BestEffort);
+        assert_eq!(f.pcp(), Pcp::LOWEST);
+    }
+
+    #[test]
+    fn class_derives_pcp_and_vice_versa() {
+        let ts = EthernetFrame::builder()
+            .size_bytes(64)
+            .class(TrafficClass::TimeSensitive)
+            .build()
+            .expect("valid");
+        assert_eq!(ts.pcp(), Pcp::HIGHEST);
+
+        let from_pcp = EthernetFrame::builder()
+            .size_bytes(64)
+            .pcp(Pcp::new(4).expect("4 is a legal pcp"))
+            .build()
+            .expect("valid");
+        assert_eq!(from_pcp.class(), TrafficClass::RateConstrained);
+    }
+
+    #[test]
+    fn explicit_class_and_pcp_are_both_kept() {
+        // A deliberately mismatched pair must be preserved verbatim: the
+        // classification table, not the wire priority, decides the queue.
+        let f = EthernetFrame::builder()
+            .size_bytes(64)
+            .class(TrafficClass::TimeSensitive)
+            .pcp(Pcp::LOWEST)
+            .build()
+            .expect("valid");
+        assert_eq!(f.class(), TrafficClass::TimeSensitive);
+        assert_eq!(f.pcp(), Pcp::LOWEST);
+    }
+
+    #[test]
+    fn wire_bytes_adds_overhead() {
+        let f = a_frame(64).expect("valid frame");
+        assert_eq!(f.wire_bytes(), 84);
+    }
+
+    #[test]
+    fn multicast_detection_follows_dst() {
+        let m = EthernetFrame::builder()
+            .dst(MacAddr::BROADCAST)
+            .size_bytes(64)
+            .build()
+            .expect("valid");
+        assert!(m.is_multicast());
+        assert!(!a_frame(64).expect("valid frame").is_multicast());
+    }
+
+    #[test]
+    fn traffic_class_priorities_are_strictly_ordered() {
+        let prios: Vec<u8> = TrafficClass::ALL
+            .iter()
+            .map(|c| c.strict_priority())
+            .collect();
+        assert!(prios.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pcp_band_mapping_covers_all_pcps() {
+        for v in 0..=7u8 {
+            let pcp = Pcp::new(v).expect("0..=7 all legal");
+            let class = TrafficClass::from_pcp(pcp);
+            match v {
+                0..=2 => assert_eq!(class, TrafficClass::BestEffort),
+                3..=5 => assert_eq!(class, TrafficClass::RateConstrained),
+                _ => assert_eq!(class, TrafficClass::TimeSensitive),
+            }
+        }
+    }
+
+    #[test]
+    fn display_mentions_flow_and_class() {
+        let f = a_frame(64).expect("valid frame");
+        let text = f.to_string();
+        assert!(text.contains("BE"));
+        assert!(text.contains("flow0"));
+        assert!(text.contains("64B"));
+    }
+}

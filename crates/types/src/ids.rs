@@ -1,0 +1,126 @@
+//! Opaque identifiers used across the switch, simulator and builder crates.
+//!
+//! Each identifier is a distinct newtype so that, for example, a
+//! [`QueueId`] can never be passed where a [`PortId`] is expected — exactly
+//! the class of mix-up the paper's per-port / per-queue resource tables
+//! invite.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name($repr);
+
+        impl $name {
+            /// Creates the identifier from its raw index.
+            #[must_use]
+            pub const fn new(index: $repr) -> Self {
+                $name(index)
+            }
+
+            /// The raw index.
+            #[must_use]
+            pub const fn index(self) -> $repr {
+                self.0
+            }
+
+            /// The raw index widened to `usize` for container indexing.
+            #[must_use]
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(index: $repr) -> Self {
+                $name(index)
+            }
+        }
+
+        impl From<$name> for $repr {
+            fn from(id: $name) -> $repr {
+                id.0
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a node (switch or end device) in a topology.
+    NodeId, "node", u32
+);
+
+id_newtype!(
+    /// Identifies a port within one node. Port numbering is local to the
+    /// node; `(NodeId, PortId)` is globally unique.
+    PortId, "port", u16
+);
+
+id_newtype!(
+    /// Identifies one of the (typically 8) egress queues of a port.
+    QueueId, "queue", u8
+);
+
+id_newtype!(
+    /// Identifies an application flow (TS, RC or BE).
+    FlowId, "flow", u32
+);
+
+id_newtype!(
+    /// Identifies an entry of the meter table in the ingress filter.
+    MeterId, "meter", u32
+);
+
+id_newtype!(
+    /// Multicast group index (`MC ID` in the paper's Fig. 4) used to look up
+    /// a set of output ports in the multicast table.
+    McId, "mc", u32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_their_raw_index() {
+        assert_eq!(NodeId::new(3).index(), 3);
+        assert_eq!(PortId::from(2u16).index(), 2);
+        assert_eq!(u8::from(QueueId::new(5)), 5);
+        assert_eq!(FlowId::new(1023).as_usize(), 1023);
+    }
+
+    #[test]
+    fn ids_display_with_their_prefix() {
+        assert_eq!(NodeId::new(0).to_string(), "node0");
+        assert_eq!(PortId::new(1).to_string(), "port1");
+        assert_eq!(QueueId::new(7).to_string(), "queue7");
+        assert_eq!(FlowId::new(42).to_string(), "flow42");
+        assert_eq!(MeterId::new(9).to_string(), "meter9");
+        assert_eq!(McId::new(4).to_string(), "mc4");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(QueueId::new(0) < QueueId::new(7));
+        assert!(FlowId::new(10) > FlowId::new(9));
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; the test documents intent.
+        fn takes_port(_p: PortId) {}
+        takes_port(PortId::new(0));
+    }
+}

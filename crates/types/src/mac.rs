@@ -1,0 +1,224 @@
+//! Ethernet MAC addresses.
+
+use crate::error::{TsnError, TsnResult};
+use core::fmt;
+use core::str::FromStr;
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// The packet-switch template keys its unicast table on
+/// `(destination MAC, VLAN id)` and consults the multicast table whenever
+/// [`MacAddr::is_multicast`] holds, exactly as described in Section III.B of
+/// the paper.
+///
+/// # Example
+///
+/// ```
+/// use tsn_types::MacAddr;
+///
+/// let a: MacAddr = "02:00:00:00:00:2a".parse()?;
+/// assert_eq!(a, MacAddr::from_u64(0x0200_0000_002a));
+/// assert!(!a.is_multicast());
+/// assert!(a.is_locally_administered());
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MacAddr([u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as a "no address" placeholder.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Creates an address from its six octets.
+    #[must_use]
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// Creates an address from the low 48 bits of `value`.
+    ///
+    /// Handy for generating dense, distinct station addresses in tests and
+    /// workload generators.
+    #[must_use]
+    pub const fn from_u64(value: u64) -> Self {
+        let b = value.to_be_bytes();
+        MacAddr([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// The address as a 48-bit integer.
+    #[must_use]
+    pub const fn to_u64(self) -> u64 {
+        let o = self.0;
+        (o[0] as u64) << 40
+            | (o[1] as u64) << 32
+            | (o[2] as u64) << 24
+            | (o[3] as u64) << 16
+            | (o[4] as u64) << 8
+            | o[5] as u64
+    }
+
+    /// The six octets of the address.
+    #[must_use]
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// `true` for group (multicast and broadcast) addresses — the I/G bit of
+    /// the first octet is set.
+    #[must_use]
+    pub const fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// `true` only for the broadcast address.
+    #[must_use]
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+
+    /// `true` for locally administered addresses — the U/L bit of the first
+    /// octet is set.
+    #[must_use]
+    pub const fn is_locally_administered(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// A deterministic locally-administered unicast station address for
+    /// test/workload generation, derived from `index`.
+    ///
+    /// The generated addresses are pairwise distinct for distinct indices
+    /// below 2^40 and never collide with multicast space.
+    #[must_use]
+    pub const fn station(index: u64) -> Self {
+        // 0x02 prefix: locally administered, unicast.
+        MacAddr::from_u64(0x0200_0000_0000 | (index & 0x00ff_ffff_ffff))
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+impl From<MacAddr> for [u8; 6] {
+    fn from(mac: MacAddr) -> Self {
+        mac.0
+    }
+}
+
+impl AsRef<[u8]> for MacAddr {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = TsnError;
+
+    /// Parses the canonical colon-separated form, e.g. `"02:00:00:00:00:01"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::ParseMacError`] if the string is not six
+    /// colon-separated hex octets.
+    fn from_str(s: &str) -> TsnResult<Self> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(|| bad_mac(s))?;
+            if part.len() != 2 {
+                return Err(bad_mac(s));
+            }
+            *slot = u8::from_str_radix(part, 16).map_err(|_| bad_mac(s))?;
+        }
+        if parts.next().is_some() {
+            return Err(bad_mac(s));
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+fn bad_mac(s: &str) -> TsnError {
+    TsnError::ParseMacError(s.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let mac = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x2a]);
+        let text = mac.to_string();
+        assert_eq!(text, "de:ad:be:ef:00:2a");
+        let parsed: MacAddr = text.parse().expect("canonical form parses");
+        assert_eq!(parsed, mac);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_strings() {
+        for bad in [
+            "",
+            "de:ad:be:ef:00",
+            "de:ad:be:ef:00:2a:00",
+            "de:ad:be:ef:00:zz",
+            "dead:be:ef:00:2a",
+            "d:ad:be:ef:00:2a",
+        ] {
+            assert!(bad.parse::<MacAddr>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn u64_conversion_roundtrip() {
+        let value = 0x0123_4567_89ab;
+        assert_eq!(MacAddr::from_u64(value).to_u64(), value);
+        // High 16 bits are dropped.
+        assert_eq!(MacAddr::from_u64(0xffff_0000_0000_0001).to_u64(), 1);
+    }
+
+    #[test]
+    fn multicast_and_broadcast_bits() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        let mcast = MacAddr::new([0x01, 0x00, 0x5e, 0, 0, 1]);
+        assert!(mcast.is_multicast());
+        assert!(!mcast.is_broadcast());
+        assert!(!MacAddr::station(7).is_multicast());
+    }
+
+    #[test]
+    fn station_addresses_are_distinct_and_local() {
+        let a = MacAddr::station(0);
+        let b = MacAddr::station(1);
+        assert_ne!(a, b);
+        assert!(a.is_locally_administered());
+        assert!(!a.is_multicast());
+    }
+
+    #[test]
+    fn conversions_to_and_from_octets() {
+        let octets = [1, 2, 3, 4, 5, 6];
+        let mac = MacAddr::from(octets);
+        let back: [u8; 6] = mac.into();
+        assert_eq!(back, octets);
+        assert_eq!(mac.as_ref(), &octets[..]);
+    }
+}

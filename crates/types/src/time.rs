@@ -1,0 +1,644 @@
+//! Nanosecond-resolution simulation time.
+//!
+//! TSN gate control, CQF slotting and gPTP synchronization all reason about
+//! absolute instants and durations with nanosecond granularity. Two newtypes
+//! keep instants and durations apart at the type level ([`SimTime`] and
+//! [`SimDuration`]), and [`DataRate`] converts frame lengths into
+//! serialization delays.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant on the simulated timeline, in nanoseconds since the
+/// simulation epoch.
+///
+/// `SimTime` is a point; [`SimDuration`] is a span. Subtracting two instants
+/// yields a duration, and adding a duration to an instant yields an instant —
+/// the remaining combinations do not compile, which rules out a family of
+/// unit bugs in gate-control arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use tsn_types::{SimTime, SimDuration};
+///
+/// let start = SimTime::ZERO + SimDuration::from_micros(10);
+/// let end = start + SimDuration::from_micros(5);
+/// assert_eq!(end - start, SimDuration::from_micros(5));
+/// assert_eq!(end.as_nanos(), 15_000);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinitely far"
+    /// sentinel for event scheduling.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after the epoch.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after the epoch.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates an instant `millis` milliseconds after the epoch.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch, truncating.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    #[must_use]
+    pub const fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        match self.0.checked_add(d.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// The index of the time slot containing this instant, for a slotted
+    /// schedule with the given `slot` length starting at the epoch.
+    ///
+    /// This is the primitive CQF uses to decide which of its queues is
+    /// currently enqueuing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is zero.
+    #[must_use]
+    pub fn slot_index(self, slot: SimDuration) -> u64 {
+        assert!(slot.0 > 0, "slot length must be non-zero");
+        self.0 / slot.0
+    }
+
+    /// The instant at which the slot containing `self` ends (equivalently,
+    /// the start of the next slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is zero.
+    #[must_use]
+    pub fn next_slot_boundary(self, slot: SimDuration) -> SimTime {
+        let idx = self.slot_index(slot);
+        SimTime((idx + 1) * slot.0)
+    }
+
+    /// Offset of this instant inside its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is zero.
+    #[must_use]
+    pub fn offset_in_slot(self, slot: SimDuration) -> SimDuration {
+        assert!(slot.0 > 0, "slot length must be non-zero");
+        SimDuration(self.0 % slot.0)
+    }
+
+    /// Rounds this instant *up* to the nearest slot boundary (an instant
+    /// already on a boundary is returned unchanged).
+    ///
+    /// CQF talkers transmit at slot starts; this is the alignment they
+    /// apply to their nominal periodic release times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is zero.
+    #[must_use]
+    pub fn align_up(self, slot: SimDuration) -> SimTime {
+        assert!(slot.0 > 0, "slot length must be non-zero");
+        if self.0.is_multiple_of(slot.0) {
+            self
+        } else {
+            self.next_slot_boundary(slot)
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use tsn_types::SimDuration;
+///
+/// let slot = SimDuration::from_micros(65); // the paper's CQF slot
+/// assert_eq!(slot * 4, SimDuration::from_micros(260));
+/// assert_eq!(SimDuration::from_millis(10) / slot, 153);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `nanos` nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration of `micros` microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// The length in nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The length in microseconds, truncating.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The length in milliseconds, truncating.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The length in (fractional) microseconds.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// `true` if this duration is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    #[must_use]
+    pub const fn checked_mul(self, rhs: u64) -> Option<SimDuration> {
+        match self.0.checked_mul(rhs) {
+            Some(v) => Some(SimDuration(v)),
+            None => None,
+        }
+    }
+
+    /// Least common multiple of two durations.
+    ///
+    /// The CQF scheduling cycle is the LCM of all flow periods (Section
+    /// III.C of the paper), so this is exposed as a first-class operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero.
+    #[must_use]
+    pub fn lcm(self, other: SimDuration) -> SimDuration {
+        assert!(
+            self.0 > 0 && other.0 > 0,
+            "lcm of a zero duration is undefined"
+        );
+        SimDuration(self.0 / gcd(self.0, other.0) * other.0)
+    }
+
+    /// Greatest common divisor of two durations.
+    #[must_use]
+    pub fn gcd(self, other: SimDuration) -> SimDuration {
+        SimDuration(gcd(self.0, other.0))
+    }
+
+    /// `true` if `other` divides this duration exactly.
+    #[must_use]
+    pub fn is_multiple_of(self, other: SimDuration) -> bool {
+        other.0 != 0 && self.0.is_multiple_of(other.0)
+    }
+}
+
+const fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == 0 {
+            write!(f, "0ns")
+        } else if ns.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s", ns / 1_000_000_000)
+        } else if ns.is_multiple_of(1_000_000) {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns.is_multiple_of(1_000) {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Mul<SimDuration> for u64 {
+    type Output = SimDuration;
+    fn mul(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self * rhs.0)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div for SimDuration {
+    type Output = u64;
+    /// How many whole `rhs` spans fit in `self`.
+    fn div(self, rhs: SimDuration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem for SimDuration {
+    type Output = SimDuration;
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+/// A link or shaper rate in bits per second.
+///
+/// # Example
+///
+/// ```
+/// use tsn_types::{DataRate, SimDuration};
+///
+/// let gig = DataRate::gbps(1);
+/// assert_eq!(gig.serialization_time(1500), SimDuration::from_nanos(12_000));
+/// assert_eq!(DataRate::mbps(100).bits_per_sec(), 100_000_000);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DataRate(u64);
+
+impl DataRate {
+    /// A zero rate (no bandwidth).
+    pub const ZERO: DataRate = DataRate(0);
+
+    /// Creates a rate of `bps` bits per second.
+    #[must_use]
+    pub const fn bps(bps: u64) -> Self {
+        DataRate(bps)
+    }
+
+    /// Creates a rate of `kbps` kilobits (10^3 bits) per second.
+    #[must_use]
+    pub const fn kbps(kbps: u64) -> Self {
+        DataRate(kbps * 1_000)
+    }
+
+    /// Creates a rate of `mbps` megabits (10^6 bits) per second.
+    #[must_use]
+    pub const fn mbps(mbps: u64) -> Self {
+        DataRate(mbps * 1_000_000)
+    }
+
+    /// Creates a rate of `gbps` gigabits (10^9 bits) per second.
+    #[must_use]
+    pub const fn gbps(gbps: u64) -> Self {
+        DataRate(gbps * 1_000_000_000)
+    }
+
+    /// The rate in bits per second.
+    #[must_use]
+    pub const fn bits_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if this rate carries no bandwidth.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The time to serialize `bytes` bytes at this rate, rounded up to the
+    /// next nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    #[must_use]
+    pub fn serialization_time(self, bytes: u32) -> SimDuration {
+        assert!(self.0 > 0, "cannot serialize on a zero-rate link");
+        let bits = u64::from(bytes) * 8;
+        // ceil(bits * 1e9 / rate) without overflow for realistic inputs.
+        let ns = (bits as u128 * 1_000_000_000).div_ceil(self.0 as u128);
+        SimDuration(ns as u64)
+    }
+
+    /// The number of whole bytes this rate can carry in `window`.
+    #[must_use]
+    pub fn bytes_in(self, window: SimDuration) -> u64 {
+        ((self.0 as u128 * window.0 as u128) / 8 / 1_000_000_000) as u64
+    }
+
+    /// This rate scaled by a load factor in `[0.0, 1.0+]` (e.g. "60 % of a
+    /// 1 Gbps link").
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> DataRate {
+        DataRate((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bps = self.0;
+        if bps >= 1_000_000_000 && bps.is_multiple_of(1_000_000) {
+            let whole = bps / 1_000_000_000;
+            let frac = bps % 1_000_000_000 / 1_000_000;
+            if frac == 0 {
+                write!(f, "{whole}Gbps")
+            } else {
+                write!(f, "{whole}.{frac:03}Gbps")
+            }
+        } else if bps >= 1_000_000 && bps.is_multiple_of(1_000_000) {
+            write!(f, "{}Mbps", bps / 1_000_000)
+        } else if bps >= 1_000 && bps.is_multiple_of(1_000) {
+            write!(f, "{}Kbps", bps / 1_000)
+        } else {
+            write!(f, "{bps}bps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrips_between_units() {
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimTime::from_nanos(1_234).as_micros(), 1);
+    }
+
+    #[test]
+    fn instant_duration_arithmetic() {
+        let a = SimTime::from_micros(100);
+        let b = a + SimDuration::from_micros(50);
+        assert_eq!(b - a, SimDuration::from_micros(50));
+        assert_eq!(b - SimDuration::from_micros(150), SimTime::ZERO);
+        let mut c = a;
+        c += SimDuration::from_nanos(1);
+        assert_eq!(c.as_nanos(), 100_001);
+    }
+
+    #[test]
+    fn saturating_since_does_not_underflow() {
+        let early = SimTime::from_nanos(5);
+        let late = SimTime::from_nanos(9);
+        assert_eq!(late.saturating_since(early).as_nanos(), 4);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn slot_index_and_boundary() {
+        let slot = SimDuration::from_micros(65);
+        let t = SimTime::from_micros(130);
+        assert_eq!(t.slot_index(slot), 2);
+        assert_eq!(SimTime::from_nanos(129_999).slot_index(slot), 1);
+        assert_eq!(
+            t.next_slot_boundary(slot),
+            SimTime::from_micros(195),
+            "boundary is the start of the next slot"
+        );
+        assert_eq!(
+            SimTime::from_micros(70).offset_in_slot(slot),
+            SimDuration::from_micros(5)
+        );
+    }
+
+    #[test]
+    fn align_up_rounds_to_boundaries() {
+        let slot = SimDuration::from_micros(65);
+        assert_eq!(
+            SimTime::from_micros(65).align_up(slot),
+            SimTime::from_micros(65),
+            "boundary stays put"
+        );
+        assert_eq!(
+            SimTime::from_micros(66).align_up(slot),
+            SimTime::from_micros(130)
+        );
+        assert_eq!(SimTime::ZERO.align_up(slot), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot length must be non-zero")]
+    fn slot_index_rejects_zero_slot() {
+        let _ = SimTime::ZERO.slot_index(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_lcm_and_gcd() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(4);
+        assert_eq!(a.lcm(b), SimDuration::from_millis(20));
+        assert_eq!(a.gcd(b), SimDuration::from_millis(2));
+        assert!(a.is_multiple_of(SimDuration::from_millis(5)));
+        assert!(!a.is_multiple_of(SimDuration::from_millis(3)));
+        assert!(!a.is_multiple_of(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn duration_division_counts_whole_spans() {
+        let period = SimDuration::from_millis(10);
+        let slot = SimDuration::from_micros(65);
+        assert_eq!(period / slot, 153);
+        assert_eq!(period % slot, SimDuration::from_micros(55));
+    }
+
+    #[test]
+    fn duration_display_picks_natural_unit() {
+        assert_eq!(SimDuration::ZERO.to_string(), "0ns");
+        assert_eq!(SimDuration::from_nanos(512).to_string(), "512ns");
+        assert_eq!(SimDuration::from_micros(65).to_string(), "65us");
+        assert_eq!(SimDuration::from_millis(10).to_string(), "10ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2s");
+    }
+
+    #[test]
+    fn serialization_time_matches_wire_math() {
+        let gig = DataRate::gbps(1);
+        assert_eq!(gig.serialization_time(64).as_nanos(), 512);
+        assert_eq!(gig.serialization_time(1500).as_nanos(), 12_000);
+        let hundred = DataRate::mbps(100);
+        assert_eq!(hundred.serialization_time(64).as_nanos(), 5_120);
+    }
+
+    #[test]
+    fn serialization_time_rounds_up() {
+        // 3 bytes = 24 bits at 7 bps -> 24/7 s, not an integer ns count.
+        let odd = DataRate::bps(7_000_000_000);
+        assert_eq!(odd.serialization_time(3).as_nanos(), 4); // ceil(24/7) = 4
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-rate link")]
+    fn serialization_on_zero_rate_panics() {
+        let _ = DataRate::ZERO.serialization_time(64);
+    }
+
+    #[test]
+    fn bytes_in_window() {
+        assert_eq!(DataRate::gbps(1).bytes_in(SimDuration::from_micros(1)), 125);
+        assert_eq!(DataRate::mbps(8).bytes_in(SimDuration::from_secs(1)), 1_000_000);
+    }
+
+    #[test]
+    fn rate_display() {
+        assert_eq!(DataRate::gbps(1).to_string(), "1Gbps");
+        assert_eq!(DataRate::mbps(1500).to_string(), "1.500Gbps");
+        assert_eq!(DataRate::mbps(100).to_string(), "100Mbps");
+        assert_eq!(DataRate::kbps(64).to_string(), "64Kbps");
+        assert_eq!(DataRate::bps(42).to_string(), "42bps");
+    }
+
+    #[test]
+    fn rate_scaling() {
+        assert_eq!(DataRate::gbps(1).scaled(0.5), DataRate::mbps(500));
+        assert_eq!(DataRate::mbps(100).scaled(0.0), DataRate::ZERO);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
+        assert_eq!(total, SimDuration::from_micros(10));
+    }
+}

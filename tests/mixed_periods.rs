@@ -1,0 +1,107 @@
+//! Mixed-period scenarios: the scheduling cycle is the LCM of the flow
+//! periods (Section III.C guideline 2), the slot-aligned talkers advance
+//! `ceil(period/slot)` slots per period, and ITP's occupancy model must
+//! match the simulator exactly — zero loss with the derived depth.
+
+use tsn_builder::{DeriveOptions, TsnBuilder};
+use tsn_sim::network::SyncSetup;
+use tsn_topology::presets;
+use tsn_types::{FlowId, FlowSet, SimDuration, TsFlowSpec, TsnError};
+
+fn mixed_flows(topology: &tsn_topology::Topology, count: u32) -> FlowSet {
+    let hosts = topology.hosts();
+    let periods_ms = [10u64, 4, 8, 2];
+    let mut flows = FlowSet::new();
+    for id in 0..count {
+        flows.push(
+            TsFlowSpec::new(
+                FlowId::new(id),
+                hosts[id as usize % hosts.len()],
+                hosts[(id as usize + 1) % hosts.len()],
+                SimDuration::from_millis(periods_ms[id as usize % periods_ms.len()]),
+                SimDuration::from_millis(2),
+                64,
+            )
+            .expect("valid flow")
+            .into(),
+        );
+    }
+    flows
+}
+
+#[test]
+fn scheduling_cycle_is_the_lcm() -> Result<(), TsnError> {
+    let topo = presets::ring(4, 2)?;
+    let flows = mixed_flows(&topo, 8);
+    assert_eq!(
+        flows.scheduling_cycle(),
+        Some(SimDuration::from_millis(40)),
+        "lcm(10, 4, 8, 2) ms"
+    );
+    Ok(())
+}
+
+#[test]
+fn mixed_periods_run_losslessly_with_the_derived_depth() -> Result<(), TsnError> {
+    let topo = presets::ring(5, 3)?;
+    let flows = mixed_flows(&topo, 96);
+    let mut options = DeriveOptions::automatic();
+    options.slot = Some(tsn_builder::PAPER_SLOT);
+    let customization = TsnBuilder::new(topo, flows, SimDuration::from_nanos(50))?
+        .derive(&options)?;
+    let derived_depth = customization.derived().resources.queue_depth();
+    // 200 ms ≥ 5 full 40 ms hyperperiods.
+    let report = customization
+        .synthesize_network(SimDuration::from_millis(200), SyncSetup::Perfect)?
+        .run();
+    assert_eq!(report.ts_lost(), 0, "ITP-derived depth must suffice");
+    assert_eq!(report.ts_deadline_misses(), 0);
+    assert!(
+        report.max_queue_high_water <= derived_depth as usize,
+        "observed occupancy {} must stay within the planned depth {}",
+        report.max_queue_high_water,
+        derived_depth
+    );
+    // The plan's predicted peak must not be an under-estimate.
+    assert!(
+        report.max_queue_high_water <= customization.derived().itp.max_occupancy as usize + 1,
+        "ITP predicted {} but the simulator observed {}",
+        customization.derived().itp.max_occupancy,
+        report.max_queue_high_water
+    );
+    Ok(())
+}
+
+#[test]
+fn short_period_flows_meet_tight_deadlines() -> Result<(), TsnError> {
+    // 2 ms period, 2 ms deadline over 2 hops: L_max = 3·65 µs = 195 µs,
+    // well inside; the derivation must accept and the run must meet every
+    // deadline.
+    let topo = presets::ring(4, 2)?;
+    let hosts = topo.hosts();
+    let mut flows = FlowSet::new();
+    for id in 0..16 {
+        flows.push(
+            TsFlowSpec::new(
+                FlowId::new(id),
+                hosts[0],
+                hosts[1],
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(2),
+                64,
+            )?
+            .into(),
+        );
+    }
+    let mut options = DeriveOptions::automatic();
+    options.slot = Some(tsn_builder::PAPER_SLOT);
+    let customization =
+        TsnBuilder::new(topo, flows, SimDuration::from_nanos(50))?.derive(&options)?;
+    let report = customization
+        .synthesize_network(SimDuration::from_millis(100), SyncSetup::Perfect)?
+        .run();
+    assert!(report.ts_injected() >= 16 * 45, "2 ms period -> ~50 frames/flow");
+    assert_eq!(report.ts_lost(), 0);
+    assert_eq!(report.ts_deadline_misses(), 0);
+    Ok(())
+}
