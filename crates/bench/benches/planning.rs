@@ -1,8 +1,8 @@
 //! Planning-pipeline benchmarks: CQF slot selection, the ITP strategies
 //! (the §V ablation axis), and the full Section III.C derivation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tsn_bench::Runner;
 use tsn_builder::{cqf::CqfPlan, derive_parameters, itp, AppRequirements, DeriveOptions};
 use tsn_topology::presets;
 use tsn_types::{DataRate, SimDuration};
@@ -14,106 +14,63 @@ fn requirements(flow_count: u32) -> AppRequirements {
     AppRequirements::new(topo, flows, SimDuration::from_nanos(50)).expect("valid requirements")
 }
 
-fn bench_cqf(c: &mut Criterion) {
-    let req = requirements(256);
-    c.bench_function("cqf/choose_slot", |b| {
-        b.iter(|| CqfPlan::choose_slot(black_box(&req), DataRate::gbps(1)).expect("feasible"));
-    });
-}
+fn main() {
+    let runner = Runner::from_env();
 
-fn bench_itp_strategies(c: &mut Criterion) {
     let req = requirements(256);
+    runner.bench("cqf/choose_slot", || {
+        CqfPlan::choose_slot(black_box(&req), DataRate::gbps(1)).expect("feasible")
+    });
+
     let plan = CqfPlan::with_slot(&req, tsn_builder::PAPER_SLOT, DataRate::gbps(1))
         .expect("slot feasible");
-    let mut group = c.benchmark_group("itp");
-    group.sample_size(20);
     for strategy in [
         itp::Strategy::AllZero,
         itp::Strategy::UniformSpread,
         itp::Strategy::GreedyLeastLoaded,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{strategy:?}")),
-            &strategy,
-            |b, &strategy| {
-                b.iter(|| itp::plan(black_box(&req), &plan, strategy).expect("plans"));
-            },
-        );
+        runner.bench(&format!("itp/{strategy:?}"), || {
+            itp::plan(black_box(&req), &plan, strategy).expect("plans")
+        });
     }
-    group.finish();
-}
 
-fn bench_itp_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("itp_scaling");
-    group.sample_size(10);
     for flows in [64u32, 256, 1024] {
         let req = requirements(flows);
         let plan = CqfPlan::with_slot(&req, tsn_builder::PAPER_SLOT, DataRate::gbps(1))
             .expect("slot feasible");
-        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
-            b.iter(|| {
-                itp::plan(black_box(&req), &plan, itp::Strategy::GreedyLeastLoaded)
-                    .expect("plans")
-            });
+        runner.bench(&format!("itp_scaling/{flows}"), || {
+            itp::plan(black_box(&req), &plan, itp::Strategy::GreedyLeastLoaded).expect("plans")
         });
     }
-    group.finish();
-}
 
-fn bench_derivation(c: &mut Criterion) {
-    let req = requirements(256);
     let options = DeriveOptions::paper();
-    let mut group = c.benchmark_group("derive");
-    group.sample_size(20);
-    group.bench_function("full_pipeline_256_flows", |b| {
-        b.iter(|| derive_parameters(black_box(&req), &options).expect("derives"));
+    runner.bench("derive/full_pipeline_256_flows", || {
+        derive_parameters(black_box(&req), &options).expect("derives")
     });
-    group.finish();
-}
 
-fn bench_tas_synthesis(c: &mut Criterion) {
-    use tsn_builder::tas::TasSchedule;
-    use tsn_switch::QueueLayout;
-    let req = requirements(256);
-    let plan = CqfPlan::with_slot(&req, tsn_builder::PAPER_SLOT, DataRate::gbps(1))
-        .expect("slot feasible");
-    let planned =
-        itp::plan(&req, &plan, itp::Strategy::GreedyLeastLoaded).expect("itp plans");
-    let layout = QueueLayout::standard8();
-    let mut group = c.benchmark_group("tas");
-    group.sample_size(20);
-    group.bench_function("synthesize_256_flows", |b| {
-        b.iter(|| {
-            TasSchedule::synthesize(black_box(&req), &plan, &planned, &layout)
-                .expect("synthesizes")
+    {
+        use tsn_builder::tas::TasSchedule;
+        use tsn_switch::QueueLayout;
+        let req = requirements(256);
+        let plan = CqfPlan::with_slot(&req, tsn_builder::PAPER_SLOT, DataRate::gbps(1))
+            .expect("slot feasible");
+        let planned = itp::plan(&req, &plan, itp::Strategy::GreedyLeastLoaded).expect("itp plans");
+        let layout = QueueLayout::standard8();
+        runner.bench("tas/synthesize_256_flows", || {
+            TasSchedule::synthesize(black_box(&req), &plan, &planned, &layout).expect("synthesizes")
         });
-    });
-    group.finish();
-}
+    }
 
-fn bench_per_switch(c: &mut Criterion) {
-    use tsn_builder::PerSwitchConfig;
-    let topo = presets::star(3, 3).expect("topology builds");
-    let flows =
-        tsn_builder::workloads::iec60802_ts_flows(&topo, 256, 42).expect("workload builds");
-    let req = tsn_builder::AppRequirements::new(topo, flows, SimDuration::from_nanos(50))
-        .expect("valid requirements");
-    let options = DeriveOptions::paper();
-    let mut group = c.benchmark_group("per_switch");
-    group.sample_size(20);
-    group.bench_function("derive_star_256_flows", |b| {
-        b.iter(|| PerSwitchConfig::derive(black_box(&req), &options).expect("derives"));
-    });
-    group.finish();
+    {
+        use tsn_builder::PerSwitchConfig;
+        let topo = presets::star(3, 3).expect("topology builds");
+        let flows =
+            tsn_builder::workloads::iec60802_ts_flows(&topo, 256, 42).expect("workload builds");
+        let req = tsn_builder::AppRequirements::new(topo, flows, SimDuration::from_nanos(50))
+            .expect("valid requirements");
+        let options = DeriveOptions::paper();
+        runner.bench("per_switch/derive_star_256_flows", || {
+            PerSwitchConfig::derive(black_box(&req), &options).expect("derives")
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_cqf,
-    bench_itp_strategies,
-    bench_itp_scaling,
-    bench_derivation,
-    bench_tas_synthesis,
-    bench_per_switch
-);
-criterion_main!(benches);

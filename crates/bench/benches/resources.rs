@@ -1,8 +1,8 @@
 //! Resource-accounting benchmarks: the arithmetic behind Table I and
 //! Table III, and the allocation-policy ablation from DESIGN.md §5.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use tsn_bench::Runner;
 use tsn_resource::{baseline, AllocationPolicy, ResourceConfig, UsageReport};
 
 fn customized(ports: u32) -> ResourceConfig {
@@ -18,50 +18,37 @@ fn customized(ports: u32) -> ResourceConfig {
     cfg
 }
 
-/// Table III: computing all four columns plus reductions.
-fn bench_table3(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_env();
+
+    // Table III: computing all four columns plus reductions.
     let commercial = baseline::bcm53154();
     let columns = [customized(3), customized(2), customized(1)];
-    c.bench_function("table3/full_comparison", |b| {
-        b.iter(|| {
-            let cots = UsageReport::of(black_box(&commercial), AllocationPolicy::PaperAccounting);
-            let mut total = 0.0;
-            for config in &columns {
-                let report = UsageReport::of(black_box(config), AllocationPolicy::PaperAccounting);
-                total += report.reduction_vs(&cots);
-            }
-            total
-        });
+    runner.bench("table3/full_comparison", || {
+        let cots = UsageReport::of(black_box(&commercial), AllocationPolicy::PaperAccounting);
+        let mut total = 0.0;
+        for config in &columns {
+            let report = UsageReport::of(black_box(config), AllocationPolicy::PaperAccounting);
+            total += report.reduction_vs(&cots);
+        }
+        total
     });
-}
 
-/// Table I: the queue/buffer delta between the two cases.
-fn bench_table1(c: &mut Criterion) {
+    // Table I: the queue/buffer delta between the two cases.
     let case1 = baseline::table1_case1();
     let case2 = baseline::table1_case2();
-    c.bench_function("table1/queue_buffer_delta", |b| {
-        b.iter(|| {
-            let policy = AllocationPolicy::PaperAccounting;
-            let a = case1.queue_bits(policy) + case1.buffer_bits(policy);
-            let b2 = case2.queue_bits(policy) + case2.buffer_bits(policy);
-            black_box(a - b2)
-        });
+    runner.bench("table1/queue_buffer_delta", || {
+        let policy = AllocationPolicy::PaperAccounting;
+        let a = case1.queue_bits(policy) + case1.buffer_bits(policy);
+        let b = case2.queue_bits(policy) + case2.buffer_bits(policy);
+        black_box(a - b)
     });
-}
 
-/// Ablation: total BRAM under the three allocation policies.
-fn bench_bram_policies(c: &mut Criterion) {
+    // Ablation: total BRAM under the three allocation policies.
     let config = baseline::bcm53154();
-    let mut group = c.benchmark_group("bram_policies");
     for policy in AllocationPolicy::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy),
-            &policy,
-            |b, &policy| b.iter(|| black_box(&config).total_bits(policy)),
-        );
+        runner.bench(&format!("bram_policies/{policy}"), || {
+            black_box(&config).total_bits(policy)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table3, bench_table1, bench_bram_policies);
-criterion_main!(benches);

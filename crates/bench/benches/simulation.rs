@@ -4,9 +4,9 @@
 //! These measure *simulator throughput*; the QoS numbers themselves come
 //! from the `tsn-experiments` binaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashMap;
 use std::hint::black_box;
+use tsn_bench::Runner;
 use tsn_builder::{itp, AppRequirements, CqfPlan, Strategy};
 use tsn_sim::network::{Network, SimConfig, SyncSetup};
 use tsn_topology::presets;
@@ -14,10 +14,7 @@ use tsn_types::{DataRate, FlowId, FlowSet, SimDuration};
 
 /// Plans injection offsets the way the real pipeline does, so the bench
 /// scenarios are lossless (ITP is part of the system under test).
-fn plan_offsets(
-    topo: &tsn_topology::Topology,
-    flows: &FlowSet,
-) -> HashMap<FlowId, SimDuration> {
+fn plan_offsets(topo: &tsn_topology::Topology, flows: &FlowSet) -> HashMap<FlowId, SimDuration> {
     let req = AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))
         .expect("valid requirements");
     let plan = CqfPlan::with_slot(&req, tsn_builder::PAPER_SLOT, DataRate::gbps(1))
@@ -53,101 +50,55 @@ fn ring_flows(ts: u32, bg_mbps: u64) -> (tsn_topology::Topology, FlowSet) {
     (topo, flows)
 }
 
-/// Fig. 7(a)-shaped run: TS flows over the ring, quiet network.
-fn bench_fig7_quiet(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_fig7");
-    group.sample_size(10);
+fn main() {
+    let runner = Runner::from_env();
+
+    // Fig. 7(a)-shaped run: TS flows over the ring, quiet network.
     for ts in [32u32, 128] {
         let (topo, flows) = ring_flows(ts, 0);
         let offsets = plan_offsets(&topo, &flows);
-        group.bench_with_input(
-            BenchmarkId::new("ts_flows", ts),
-            &(topo, flows, offsets),
-            |b, (topo, flows, offsets)| {
-                b.iter(|| {
-                    let report =
-                        Network::build(topo.clone(), flows.clone(), offsets, sim_config())
-                            .expect("network builds")
-                            .run();
-                    assert_eq!(report.ts_lost(), 0);
-                    black_box(report.events_processed)
-                });
-            },
-        );
+        runner.bench(&format!("sim_fig7/ts_flows/{ts}"), || {
+            let report = Network::build(topo.clone(), flows.clone(), &offsets, sim_config())
+                .expect("network builds")
+                .run();
+            assert_eq!(report.ts_lost(), 0);
+            black_box(report.events_processed)
+        });
     }
-    group.finish();
-}
 
-/// Fig. 2 / Fig. 7(d)-shaped run: TS flows under RC+BE background.
-fn bench_fig2_background(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_fig2");
-    group.sample_size(10);
+    // Fig. 2 / Fig. 7(d)-shaped run: TS flows under RC+BE background.
     for bg in [100u64, 400] {
         let (topo, flows) = ring_flows(64, bg);
         let offsets = plan_offsets(&topo, &flows);
-        group.bench_with_input(
-            BenchmarkId::new("bg_mbps", bg),
-            &(topo, flows, offsets),
-            |b, (topo, flows, offsets)| {
-                b.iter(|| {
-                    let report =
-                        Network::build(topo.clone(), flows.clone(), offsets, sim_config())
-                            .expect("network builds")
-                            .run();
-                    black_box(report.events_processed)
-                });
-            },
-        );
+        runner.bench(&format!("sim_fig2/bg_mbps/{bg}"), || {
+            let report = Network::build(topo.clone(), flows.clone(), &offsets, sim_config())
+                .expect("network builds")
+                .run();
+            black_box(report.events_processed)
+        });
     }
-    group.finish();
-}
 
-/// Table I-shaped run: build cost of the whole network (table
-/// programming dominates at scale).
-fn bench_network_build(c: &mut Criterion) {
-    let (topo, flows) = ring_flows(512, 0);
-    let mut group = c.benchmark_group("sim_build");
-    group.sample_size(20);
-    group.bench_function("network_build_512_flows", |b| {
-        b.iter(|| {
+    // Table I-shaped run: build cost of the whole network (table
+    // programming dominates at scale).
+    {
+        let (topo, flows) = ring_flows(512, 0);
+        runner.bench("sim_build/network_build_512_flows", || {
             Network::build(topo.clone(), flows.clone(), &HashMap::new(), sim_config())
                 .expect("network builds")
         });
-    });
-    group.finish();
-}
+    }
 
-/// Preemption machinery cost: the same loaded run with 802.3br on/off.
-fn bench_preemption(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_preemption");
-    group.sample_size(10);
+    // Preemption machinery cost: the same loaded run with 802.3br on/off.
     for preemption in [false, true] {
         let (topo, flows) = ring_flows(64, 300);
         let offsets = plan_offsets(&topo, &flows);
-        group.bench_with_input(
-            BenchmarkId::new("enabled", preemption),
-            &preemption,
-            |b, &preemption| {
-                b.iter(|| {
-                    let mut config = sim_config();
-                    config.frame_preemption = preemption;
-                    let report =
-                        Network::build(topo.clone(), flows.clone(), &offsets, config)
-                            .expect("network builds")
-                            .run();
-                    black_box(report.events_processed)
-                });
-            },
-        );
+        runner.bench(&format!("sim_preemption/enabled/{preemption}"), || {
+            let mut config = sim_config();
+            config.frame_preemption = preemption;
+            let report = Network::build(topo.clone(), flows.clone(), &offsets, config)
+                .expect("network builds")
+                .run();
+            black_box(report.events_processed)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_fig7_quiet,
-    bench_fig2_background,
-    bench_network_build,
-    bench_preemption
-);
-criterion_main!(benches);

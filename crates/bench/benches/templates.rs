@@ -1,17 +1,17 @@
 //! Per-template datapath benchmarks: what one frame costs in each of the
 //! five function templates, plus HDL emission (the synthesis stage).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tsn_bench::Runner;
 use tsn_resource::ResourceConfig;
+use tsn_switch::egress_sched::{CreditBasedShaper, EgressScheduler};
 use tsn_switch::gate_ctrl::GateCtrl;
 use tsn_switch::ingress_filter::{ClassEntry, ClassKey, IngressFilter, TokenBucketMeter};
 use tsn_switch::layout::QueueLayout;
 use tsn_switch::packet_switch::PacketSwitch;
-use tsn_switch::egress_sched::{CreditBasedShaper, EgressScheduler};
 use tsn_types::{
-    DataRate, EthernetFrame, FlowId, MacAddr, MeterId, QueueId, SimDuration, SimTime,
-    TrafficClass, VlanId,
+    DataRate, EthernetFrame, FlowId, MacAddr, MeterId, QueueId, SimDuration, SimTime, TrafficClass,
+    VlanId,
 };
 
 const SLOT: SimDuration = SimDuration::from_micros(65);
@@ -27,32 +27,32 @@ fn frame(i: u64) -> EthernetFrame {
         .expect("valid frame")
 }
 
-fn bench_packet_switch(c: &mut Criterion) {
+fn bench_packet_switch(runner: &Runner) {
     let mut ps = PacketSwitch::new(1024, 0);
     for i in 0..1024u64 {
-        ps.add_unicast(MacAddr::station(100 + i), VlanId::DEFAULT, tsn_types::PortId::new(0))
-            .expect("fits");
+        ps.add_unicast(
+            MacAddr::station(100 + i),
+            VlanId::DEFAULT,
+            tsn_types::PortId::new(0),
+        )
+        .expect("fits");
     }
     let frames: Vec<EthernetFrame> = (0..1024).map(frame).collect();
     let mut i = 0usize;
-    c.bench_function("packet_switch/lookup_hit", |b| {
-        b.iter(|| {
-            let hit = ps.lookup(black_box(&frames[i % frames.len()]));
-            i += 1;
-            hit
-        });
+    runner.bench("packet_switch/lookup_hit", || {
+        let hit = ps.lookup(black_box(&frames[i % frames.len()]));
+        i += 1;
+        hit
     });
     let miss = EthernetFrame::builder()
         .dst(MacAddr::station(99_999))
         .size_bytes(64)
         .build()
         .expect("valid frame");
-    c.bench_function("packet_switch/lookup_miss", |b| {
-        b.iter(|| ps.lookup(black_box(&miss)));
-    });
+    runner.bench("packet_switch/lookup_miss", || ps.lookup(black_box(&miss)));
 }
 
-fn bench_ingress_filter(c: &mut Criterion) {
+fn bench_ingress_filter(runner: &Runner) {
     let mut filter = IngressFilter::new(1024, 1024, QueueLayout::standard8());
     let frames: Vec<EthernetFrame> = (0..1024).map(frame).collect();
     for (i, f) in frames.iter().enumerate() {
@@ -74,38 +74,34 @@ fn bench_ingress_filter(c: &mut Criterion) {
     }
     let mut i = 0usize;
     let mut now = SimTime::ZERO;
-    c.bench_function("ingress_filter/classify_and_police", |b| {
-        b.iter(|| {
-            now += SimDuration::from_nanos(672);
-            let v = filter.classify(black_box(&frames[i % frames.len()]), now);
-            i += 1;
-            v
-        });
+    runner.bench("ingress_filter/classify_and_police", || {
+        now += SimDuration::from_nanos(672);
+        let v = filter.classify(black_box(&frames[i % frames.len()]), now);
+        i += 1;
+        v
     });
 }
 
-fn bench_gate_ctrl(c: &mut Criterion) {
+fn bench_gate_ctrl(runner: &Runner) {
     let mut now = SimTime::ZERO;
     let mut gates = GateCtrl::cqf(QueueLayout::standard8(), 1024, SLOT).expect("valid cqf");
-    c.bench_function("gate_ctrl/enqueue_dequeue_cycle", |b| {
-        b.iter(|| {
-            now += SimDuration::from_nanos(700);
-            let q = gates
-                .enqueue(QueueId::new(6), frame(0), now)
-                .expect("gate open");
-            // Drain in the next slot so the queue never fills up.
-            let later = now + SLOT;
-            if gates.eligible(q, later) {
-                gates.pop(q);
-            } else {
-                // Alternate parity: eligible two slots later.
-                gates.pop(q);
-            }
-        });
+    runner.bench("gate_ctrl/enqueue_dequeue_cycle", || {
+        now += SimDuration::from_nanos(700);
+        let q = gates
+            .enqueue(QueueId::new(6), frame(0), now)
+            .expect("gate open");
+        // Drain in the next slot so the queue never fills up.
+        let later = now + SLOT;
+        if gates.eligible(q, later) {
+            gates.pop(q);
+        } else {
+            // Alternate parity: eligible two slots later.
+            gates.pop(q);
+        }
     });
 }
 
-fn bench_egress_sched(c: &mut Criterion) {
+fn bench_egress_sched(runner: &Runner) {
     let mut gates = GateCtrl::new(
         QueueLayout::standard8(),
         64,
@@ -116,7 +112,10 @@ fn bench_egress_sched(c: &mut Criterion) {
     let mut sched = EgressScheduler::new(8, 3, 3);
     for (slot, queue) in [(0usize, 3u8), (1, 4), (2, 5)] {
         sched
-            .set_shaper(slot, CreditBasedShaper::new(DataRate::mbps(100)).expect("valid"))
+            .set_shaper(
+                slot,
+                CreditBasedShaper::new(DataRate::mbps(100)).expect("valid"),
+            )
             .expect("slot");
         sched.map_queue(QueueId::new(queue), slot).expect("map");
     }
@@ -128,42 +127,37 @@ fn bench_egress_sched(c: &mut Criterion) {
         }
     }
     let mut now = SimTime::ZERO;
-    c.bench_function("egress_sched/select", |b| {
-        b.iter(|| {
-            now += SimDuration::from_nanos(672);
-            black_box(sched.select(&gates, now))
-        });
+    runner.bench("egress_sched/select", || {
+        now += SimDuration::from_nanos(672);
+        black_box(sched.select(&gates, now))
     });
 }
 
-fn bench_time_sync(c: &mut Criterion) {
+fn bench_time_sync(runner: &Runner) {
     use tsn_switch::time_sync::{ClockModel, SyncConfig, TimeSync};
     let mut node = TimeSync::new(ClockModel::new(40.0, 500_000.0), SyncConfig::default(), 1);
     node.measure_pdelay(SimDuration::from_nanos(50));
     let mut t = SimTime::ZERO;
-    c.bench_function("time_sync/process_sync", |b| {
-        b.iter(|| {
-            t += SimDuration::from_millis(125);
-            node.process_sync(t.as_nanos() as f64, t + SimDuration::from_nanos(50));
-            black_box(node.error_ns(t))
-        });
+    runner.bench("time_sync/process_sync", || {
+        t += SimDuration::from_millis(125);
+        node.process_sync(t.as_nanos() as f64, t + SimDuration::from_nanos(50));
+        black_box(node.error_ns(t))
     });
 }
 
-fn bench_hdl(c: &mut Criterion) {
+fn bench_hdl(runner: &Runner) {
     let config = ResourceConfig::new();
-    c.bench_function("hdl/generate_bundle", |b| {
-        b.iter(|| tsn_hdl::templates::generate(black_box(&config)).expect("generates"));
+    runner.bench("hdl/generate_bundle", || {
+        tsn_hdl::templates::generate(black_box(&config)).expect("generates")
     });
 }
 
-criterion_group!(
-    benches,
-    bench_packet_switch,
-    bench_ingress_filter,
-    bench_gate_ctrl,
-    bench_egress_sched,
-    bench_time_sync,
-    bench_hdl
-);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_env();
+    bench_packet_switch(&runner);
+    bench_ingress_filter(&runner);
+    bench_gate_ctrl(&runner);
+    bench_egress_sched(&runner);
+    bench_time_sync(&runner);
+    bench_hdl(&runner);
+}

@@ -128,11 +128,7 @@ impl Customization {
     ///
     /// Propagates network-assembly errors (they indicate a derivation
     /// bug: the derived resources must always fit their own scenario).
-    pub fn synthesize_network(
-        &self,
-        duration: SimDuration,
-        sync: SyncSetup,
-    ) -> TsnResult<Network> {
+    pub fn synthesize_network(&self, duration: SimDuration, sync: SyncSetup) -> TsnResult<Network> {
         self.synthesize_network_configured(duration, sync, |_| {})
     }
 

@@ -13,7 +13,6 @@
 //! bounds.
 
 use crate::requirements::AppRequirements;
-use serde::{Deserialize, Serialize};
 use tsn_types::{DataRate, SimDuration, TsnError, TsnResult};
 
 /// The paper's slot length (65 µs).
@@ -42,7 +41,7 @@ pub fn latency_bounds(hop: u64, slot: SimDuration) -> (SimDuration, SimDuration)
 }
 
 /// A planned CQF configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CqfPlan {
     /// Slot length.
     pub slot: SimDuration,
@@ -219,9 +218,7 @@ mod tests {
     fn slot_must_fit_a_frame() {
         let req = scenario(8);
         // 64+20 bytes at 1 Gbps = 672 ns; a 500 ns slot cannot carry it.
-        assert!(
-            CqfPlan::with_slot(&req, SimDuration::from_nanos(500), DataRate::gbps(1)).is_err()
-        );
+        assert!(CqfPlan::with_slot(&req, SimDuration::from_nanos(500), DataRate::gbps(1)).is_err());
     }
 
     #[test]

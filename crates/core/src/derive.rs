@@ -13,13 +13,12 @@ use crate::cqf::CqfPlan;
 use crate::itp::{self, ItpResult, Strategy};
 use crate::requirements::AppRequirements;
 use crate::tas::TasSchedule;
-use serde::{Deserialize, Serialize};
 use tsn_resource::ResourceConfig;
 use tsn_topology::EnabledPorts;
 use tsn_types::{DataRate, SimDuration, TsnResult};
 
 /// Which gate-control program the switches run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GateMode {
     /// Cyclic Queuing and Forwarding: two GCL entries, the paper's
     /// evaluation mode.
@@ -31,7 +30,7 @@ pub enum GateMode {
 }
 
 /// Knobs of the derivation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeriveOptions {
     /// Slot to use; `None` lets [`CqfPlan::choose_slot`] pick the largest
     /// feasible one.
@@ -231,7 +230,11 @@ mod tests {
     use tsn_topology::presets;
     use tsn_types::{FlowId, FlowSet, RcFlowSpec, TsFlowSpec};
 
-    fn requirements(topology: tsn_topology::Topology, ts_flows: u32, rc_flows: u32) -> AppRequirements {
+    fn requirements(
+        topology: tsn_topology::Topology,
+        ts_flows: u32,
+        rc_flows: u32,
+    ) -> AppRequirements {
         let hosts = topology.hosts();
         let mut flows = FlowSet::new();
         for id in 0..ts_flows {
@@ -261,8 +264,7 @@ mod tests {
                 .into(),
             );
         }
-        AppRequirements::new(topology, flows, SimDuration::from_nanos(50))
-            .expect("valid scenario")
+        AppRequirements::new(topology, flows, SimDuration::from_nanos(50)).expect("valid scenario")
     }
 
     #[test]
@@ -320,7 +322,11 @@ mod tests {
         assert_eq!(derived.resources.cbs_size(), 3, "capped at the 3 RC queues");
 
         let paper = derive_parameters(&no_rc, &DeriveOptions::paper()).expect("derives");
-        assert_eq!(paper.resources.cbs_size(), 3, "paper provisions all RC queues");
+        assert_eq!(
+            paper.resources.cbs_size(),
+            3,
+            "paper provisions all RC queues"
+        );
     }
 
     #[test]

@@ -11,12 +11,11 @@
 
 use crate::cqf::CqfPlan;
 use crate::requirements::AppRequirements;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tsn_types::{FlowId, NodeId, PortId, SimDuration, TsnResult};
 
 /// Offset-selection strategy (the ablation axis).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// The ITP greedy: each flow takes the offset that minimizes the
     /// worst occupancy along its own path.
@@ -29,7 +28,7 @@ pub enum Strategy {
 }
 
 /// The planning result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ItpResult {
     /// Chosen injection offset per TS flow.
     pub offsets: HashMap<FlowId, SimDuration>,
@@ -135,12 +134,7 @@ pub fn plan(
                 let base_phase = o + n * per_slots;
                 for &(node, port, k) in &cells {
                     let phase = (base_phase + k) % hyper;
-                    worst = worst.max(
-                        occupancy
-                            .get(&(node, port, phase))
-                            .copied()
-                            .unwrap_or(0),
-                    );
+                    worst = worst.max(occupancy.get(&(node, port, phase)).copied().unwrap_or(0));
                 }
             }
             worst

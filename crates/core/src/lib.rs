@@ -49,16 +49,18 @@ pub mod derive;
 pub mod itp;
 pub mod per_switch;
 pub mod requirements;
+pub mod scenario;
 pub mod tas;
 pub mod workloads;
 
 pub use builder::{Customization, TsnBuilder};
 pub use cqf::{latency_bounds, CqfPlan, PAPER_SLOT};
 pub use derive::{derive_parameters, DeriveOptions, DerivedConfig, GateMode};
-pub use tas::TasSchedule;
 pub use itp::{ItpResult, Strategy};
 pub use per_switch::PerSwitchConfig;
 pub use requirements::AppRequirements;
+pub use scenario::{run_scenarios, ResourcePlan, Scenario, ScenarioOutcome, SweepPlanner};
+pub use tas::TasSchedule;
 
 // Re-export the workspace layers under one roof for downstream users.
 pub use tsn_resource as resource;

@@ -35,10 +35,7 @@ impl PerSwitchConfig {
     ///
     /// Propagates the uniform derivation's errors, plus parameter
     /// validation when scaling ports.
-    pub fn derive(
-        requirements: &AppRequirements,
-        options: &DeriveOptions,
-    ) -> TsnResult<Self> {
+    pub fn derive(requirements: &AppRequirements, options: &DeriveOptions) -> TsnResult<Self> {
         let uniform = derive_parameters(requirements, options)?;
         let mut per_switch = BTreeMap::new();
         for switch in requirements.topology().switches() {
@@ -61,10 +58,7 @@ impl PerSwitchConfig {
     /// Total network BRAM bits under `policy` with per-switch sizing.
     #[must_use]
     pub fn network_total_bits(&self, policy: AllocationPolicy) -> u64 {
-        self.per_switch
-            .values()
-            .map(|r| r.total_bits(policy))
-            .sum()
+        self.per_switch.values().map(|r| r.total_bits(policy)).sum()
     }
 
     /// Total network BRAM bits if every switch used the uniform
@@ -115,11 +109,13 @@ mod tests {
     #[test]
     fn star_core_gets_three_ports_children_one() {
         let req = scenario(presets::star(3, 3).expect("builds"));
-        let cfg =
-            PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
+        let cfg = PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
         assert_eq!(cfg.switch_count(), 4);
-        let port_counts: Vec<u32> =
-            cfg.per_switch.values().map(ResourceConfig::port_num).collect();
+        let port_counts: Vec<u32> = cfg
+            .per_switch
+            .values()
+            .map(ResourceConfig::port_num)
+            .collect();
         // Core first (node 0), then children.
         assert_eq!(port_counts, vec![3, 1, 1, 1]);
     }
@@ -127,8 +123,7 @@ mod tests {
     #[test]
     fn per_switch_beats_uniform_on_the_star() {
         let req = scenario(presets::star(3, 3).expect("builds"));
-        let cfg =
-            PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
+        let cfg = PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
         let policy = AllocationPolicy::PaperAccounting;
         let saving = cfg.saving_vs_uniform(policy);
         assert!(
@@ -141,8 +136,7 @@ mod tests {
     #[test]
     fn ring_gains_nothing_every_switch_is_identical() {
         let req = scenario(presets::ring(6, 3).expect("builds"));
-        let cfg =
-            PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
+        let cfg = PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
         let policy = AllocationPolicy::PaperAccounting;
         // Every ring switch enables exactly one port: per-switch == uniform.
         assert_eq!(cfg.saving_vs_uniform(policy), 0.0);
@@ -154,8 +148,7 @@ mod tests {
     #[test]
     fn per_switch_reports_match_table_iii_rows() {
         let req = scenario(presets::star(3, 3).expect("builds"));
-        let cfg =
-            PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
+        let cfg = PerSwitchConfig::derive(&req, &DeriveOptions::paper()).expect("derives");
         let core = req.topology().switches()[0];
         let report = cfg
             .report_for(core, AllocationPolicy::PaperAccounting)
@@ -165,6 +158,10 @@ mod tests {
         let child_report = cfg
             .report_for(child, AllocationPolicy::PaperAccounting)
             .expect("child exists");
-        assert_eq!(child_report.total_kb(), 2106.0, "children are the ring column");
+        assert_eq!(
+            child_report.total_kb(),
+            2106.0,
+            "children are the ring column"
+        );
     }
 }

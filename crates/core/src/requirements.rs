@@ -45,11 +45,7 @@ impl AppRequirements {
     /// * [`TsnError::InvalidParameter`] for endpoint/flow-set problems.
     /// * [`TsnError::NoRoute`] / [`TsnError::UnknownNode`] for unroutable
     ///   flows.
-    pub fn new(
-        topology: Topology,
-        flows: FlowSet,
-        sync_precision: SimDuration,
-    ) -> TsnResult<Self> {
+    pub fn new(topology: Topology, flows: FlowSet, sync_precision: SimDuration) -> TsnResult<Self> {
         if flows.ts_count() == 0 {
             return Err(TsnError::invalid_parameter(
                 "flows",
@@ -147,8 +143,8 @@ mod tests {
         let topo = presets::ring(4, 2).expect("builds");
         let mut flows = FlowSet::new();
         flows.push(a_flow(&topo, 0));
-        let req = AppRequirements::new(topo, flows, SimDuration::from_nanos(50))
-            .expect("valid scenario");
+        let req =
+            AppRequirements::new(topo, flows, SimDuration::from_nanos(50)).expect("valid scenario");
         assert_eq!(req.max_ts_hops().expect("routable"), 2);
     }
 

@@ -1,0 +1,444 @@
+//! Scenario descriptors and the parallel scenario sweep.
+//!
+//! The paper's customization loop (Fig. 1) — and every evaluation table
+//! and figure — is a sweep over `(topology × workload × resources)`
+//! points. This module gives that loop a first-class API: describe each
+//! point as a [`Scenario`], hand the list to [`run_scenarios`], and get
+//! per-scenario [`ScenarioOutcome`]s back **in input order**, computed on
+//! a bounded worker pool ([`tsn_sim::sweep`]) with shared planning work
+//! (CQF slot feasibility, ITP injection plans, derived resource
+//! configurations) memoized behind concurrent caches: two sweep points
+//! that plan the same flows at the same slot plan them once.
+//!
+//! # Example
+//!
+//! ```
+//! use tsn_builder::scenario::{run_scenarios, Scenario};
+//! use tsn_builder::workloads;
+//! use tsn_sim::network::{SimConfig, SyncSetup};
+//! use tsn_topology::presets;
+//! use tsn_types::SimDuration;
+//!
+//! let mut scenarios = Vec::new();
+//! for hops in 1..=2u64 {
+//!     let topo = presets::ring(3, 2)?;
+//!     let flows = workloads::iec60802_ts_flows(&topo, 8, 7)?;
+//!     let mut config = SimConfig::paper_defaults();
+//!     config.duration = SimDuration::from_millis(20);
+//!     config.sync = SyncSetup::Perfect;
+//!     scenarios.push(Scenario::explicit(format!("hops={hops}"), topo, flows, config));
+//! }
+//! let outcomes = run_scenarios(&scenarios, 2);
+//! assert_eq!(outcomes.len(), 2);
+//! for outcome in outcomes {
+//!     assert_eq!(outcome?.report.ts_lost(), 0);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::cqf::CqfPlan;
+use crate::derive::{derive_parameters, DeriveOptions, DerivedConfig};
+use crate::itp::{self, ItpResult, Strategy};
+use crate::requirements::AppRequirements;
+use std::hash::{DefaultHasher, Hasher};
+use tsn_resource::ResourceConfig;
+use tsn_sim::network::{Network, SimConfig};
+use tsn_sim::report::SimReport;
+use tsn_sim::sweep::{run_sweep, PlanCache, SweepError};
+use tsn_topology::Topology;
+use tsn_types::{DataRate, SimDuration, TsnResult};
+
+/// How a scenario gets its `ResourceConfig` (and CQF slot).
+#[derive(Debug, Clone)]
+pub enum ResourcePlan {
+    /// Use `config.slot` and `config.resources` exactly as given; only
+    /// the ITP injection offsets are planned.
+    Explicit,
+    /// Run the full TSN-Builder derivation (`derive_parameters`) with
+    /// these options; the derived slot, resources, aggregation mode and
+    /// injection offsets replace whatever the `SimConfig` carries.
+    Derive(DeriveOptions),
+}
+
+/// One sweep point: a complete, self-contained simulation input.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display label carried into the outcome (e.g. `"hops=3"`).
+    pub label: String,
+    /// The network.
+    pub topology: Topology,
+    /// The workload.
+    pub flows: FlowSet,
+    /// Required synchronization precision (validation input).
+    pub sync_precision: SimDuration,
+    /// Link rate used for CQF slot feasibility under [`ResourcePlan::Explicit`].
+    pub link_rate: DataRate,
+    /// Injection-offset strategy under [`ResourcePlan::Explicit`].
+    pub strategy: Strategy,
+    /// Resource selection mode.
+    pub plan: ResourcePlan,
+    /// Simulation parameters (duration, sync, preemption, …).
+    pub config: SimConfig,
+}
+
+use tsn_types::FlowSet;
+
+impl Scenario {
+    /// A scenario that simulates exactly `config` (slot + resources as
+    /// given), planning only the ITP offsets.
+    #[must_use]
+    pub fn explicit(
+        label: impl Into<String>,
+        topology: Topology,
+        flows: FlowSet,
+        config: SimConfig,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            topology,
+            flows,
+            sync_precision: SimDuration::from_nanos(50),
+            link_rate: DataRate::gbps(1),
+            strategy: Strategy::GreedyLeastLoaded,
+            plan: ResourcePlan::Explicit,
+            config,
+        }
+    }
+
+    /// A scenario that derives its resources via TSN-Builder first.
+    #[must_use]
+    pub fn derived(
+        label: impl Into<String>,
+        topology: Topology,
+        flows: FlowSet,
+        options: DeriveOptions,
+        config: SimConfig,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            topology,
+            flows,
+            sync_precision: SimDuration::from_nanos(50),
+            link_rate: DataRate::gbps(1),
+            strategy: Strategy::GreedyLeastLoaded,
+            plan: ResourcePlan::Derive(options),
+            config,
+        }
+    }
+
+    /// Overrides the injection-offset strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the required synchronization precision.
+    #[must_use]
+    pub fn with_sync_precision(mut self, precision: SimDuration) -> Self {
+        self.sync_precision = precision;
+        self
+    }
+}
+
+/// What one scenario produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario's label.
+    pub label: String,
+    /// The resources the simulation actually ran with (derived or
+    /// explicit).
+    pub resources: ResourceConfig,
+    /// The full derivation, when [`ResourcePlan::Derive`] was used.
+    pub derived: Option<DerivedConfig>,
+    /// The injection plan the talkers used.
+    pub itp: ItpResult,
+    /// The simulation report.
+    pub report: SimReport,
+}
+
+/// In-process fingerprint of a value's structure, used as a memo key.
+/// Debug output is deterministic and complete for the plain-data types
+/// fingerprinted here (topology, flow set, derive options).
+fn fingerprint(value: &impl std::fmt::Debug) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    hasher.write(format!("{value:?}").as_bytes());
+    hasher.finish()
+}
+
+type CqfKey = (u64, u64, SimDuration, DataRate);
+type ItpKey = (u64, u64, SimDuration, DataRate, Strategy);
+type DeriveKey = (u64, u64, u64);
+
+/// The shared planning caches for one sweep (or one long-lived session).
+///
+/// Keys are structural fingerprints of `(topology, flows, …)`; values are
+/// the full planning results, cloned out to each scenario that hits. Use
+/// one planner per sweep ([`run_scenarios`] does) or keep one across
+/// sweeps to share plans between them.
+#[derive(Debug, Default)]
+pub struct SweepPlanner {
+    cqf: PlanCache<CqfKey, TsnResult<CqfPlan>>,
+    itp: PlanCache<ItpKey, TsnResult<ItpResult>>,
+    derived: PlanCache<DeriveKey, TsnResult<DerivedConfig>>,
+}
+
+impl SweepPlanner {
+    /// A planner with empty caches.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepPlanner::default()
+    }
+
+    /// Total planning-cache hits (CQF + ITP + derivation).
+    #[must_use]
+    pub fn planning_hits(&self) -> u64 {
+        self.cqf.hits() + self.itp.hits() + self.derived.hits()
+    }
+
+    /// Total planning-cache misses, i.e. plans actually computed.
+    #[must_use]
+    pub fn planning_misses(&self) -> u64 {
+        self.cqf.misses() + self.itp.misses() + self.derived.misses()
+    }
+
+    /// Plans and runs one scenario (synchronously, on the caller's
+    /// thread), sharing any cached planning work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, planning and network-assembly errors.
+    pub fn run_one(&self, scenario: &Scenario) -> TsnResult<ScenarioOutcome> {
+        let requirements = AppRequirements::new(
+            scenario.topology.clone(),
+            scenario.flows.clone(),
+            scenario.sync_precision,
+        )?;
+        let topo_fp = fingerprint(&scenario.topology);
+        let flows_fp = fingerprint(&scenario.flows);
+
+        match &scenario.plan {
+            ResourcePlan::Derive(options) => {
+                let key = (topo_fp, flows_fp, fingerprint(options));
+                let derived = self
+                    .derived
+                    .get_or_compute(key, || derive_parameters(&requirements, options))?;
+                let mut config = scenario.config.clone();
+                config.slot = derived.cqf.slot;
+                config.resources = derived.resources.clone();
+                config.aggregate_switch_tbl = derived.aggregate_switch_tbl;
+                let network = match &derived.tas {
+                    None => Network::build(
+                        scenario.topology.clone(),
+                        scenario.flows.clone(),
+                        &derived.itp.offsets,
+                        config,
+                    ),
+                    Some(schedule) => Network::build_with_schedule(
+                        scenario.topology.clone(),
+                        scenario.flows.clone(),
+                        &derived.itp.offsets,
+                        config,
+                        schedule.gcls(),
+                    ),
+                }?;
+                Ok(ScenarioOutcome {
+                    label: scenario.label.clone(),
+                    resources: derived.resources.clone(),
+                    itp: derived.itp.clone(),
+                    derived: Some(derived),
+                    report: network.run(),
+                })
+            }
+            ResourcePlan::Explicit => {
+                let slot = scenario.config.slot;
+                let cqf_key = (topo_fp, flows_fp, slot, scenario.link_rate);
+                let plan = self.cqf.get_or_compute(cqf_key, || {
+                    CqfPlan::with_slot(&requirements, slot, scenario.link_rate)
+                })?;
+                let itp_key = (
+                    topo_fp,
+                    flows_fp,
+                    slot,
+                    scenario.link_rate,
+                    scenario.strategy,
+                );
+                let planned = self.itp.get_or_compute(itp_key, || {
+                    itp::plan(&requirements, &plan, scenario.strategy)
+                })?;
+                let report = Network::build(
+                    scenario.topology.clone(),
+                    scenario.flows.clone(),
+                    &planned.offsets,
+                    scenario.config.clone(),
+                )?
+                .run();
+                Ok(ScenarioOutcome {
+                    label: scenario.label.clone(),
+                    resources: scenario.config.resources.clone(),
+                    derived: None,
+                    itp: planned,
+                    report,
+                })
+            }
+        }
+    }
+
+    /// Runs every scenario across at most `workers` threads; results are
+    /// in input order and a failing or panicking scenario only loses its
+    /// own slot.
+    pub fn run(
+        &self,
+        scenarios: &[Scenario],
+        workers: usize,
+    ) -> Vec<Result<ScenarioOutcome, SweepError>> {
+        run_sweep(scenarios, workers, |_idx, scenario| self.run_one(scenario))
+    }
+}
+
+/// Runs a scenario sweep with a fresh [`SweepPlanner`]. See the module
+/// docs for an example.
+pub fn run_scenarios(
+    scenarios: &[Scenario],
+    workers: usize,
+) -> Vec<Result<ScenarioOutcome, SweepError>> {
+    SweepPlanner::new().run(scenarios, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use tsn_sim::network::SyncSetup;
+    use tsn_topology::presets;
+
+    fn small_config() -> SimConfig {
+        let mut config = SimConfig::paper_defaults();
+        config.duration = SimDuration::from_millis(20);
+        config.sync = SyncSetup::Perfect;
+        config
+    }
+
+    fn sweep_inputs(n: u64) -> Vec<Scenario> {
+        (0..n)
+            .map(|i| {
+                let topo = presets::ring(3, 2).expect("builds");
+                let flows =
+                    workloads::iec60802_ts_flows(&topo, 8 + (i % 3) as u32, 7).expect("workload");
+                Scenario::explicit(format!("s{i}"), topo, flows, small_config())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn worker_count_does_not_change_reports() {
+        let scenarios = sweep_inputs(6);
+        let serial: Vec<SimReport> = scenarios
+            .iter()
+            .map(|s| {
+                SweepPlanner::new()
+                    .run_one(s)
+                    .expect("scenario runs")
+                    .report
+            })
+            .collect();
+        for workers in [1, 4] {
+            let swept = run_scenarios(&scenarios, workers);
+            assert_eq!(swept.len(), serial.len());
+            for (got, want) in swept.into_iter().zip(&serial) {
+                let got = got.expect("scenario runs");
+                assert_eq!(
+                    &got.report, want,
+                    "sweep with {workers} workers must reproduce the serial loop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_builds_of_the_same_scenario_are_identical() {
+        let scenarios = sweep_inputs(1);
+        let a = SweepPlanner::new().run_one(&scenarios[0]).expect("runs");
+        let b = SweepPlanner::new().run_one(&scenarios[0]).expect("runs");
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn duplicate_planning_inputs_hit_the_cache() {
+        // 6 scenarios over 2 distinct (topology, flows, slot) planning
+        // inputs: 2 misses per cache, the rest hits.
+        let topo = presets::ring(3, 2).expect("builds");
+        let flows_a = workloads::iec60802_ts_flows(&topo, 8, 7).expect("workload");
+        let flows_b = workloads::iec60802_ts_flows(&topo, 12, 7).expect("workload");
+        let scenarios: Vec<Scenario> = (0..6)
+            .map(|i| {
+                let flows = if i % 2 == 0 { &flows_a } else { &flows_b };
+                Scenario::explicit(format!("s{i}"), topo.clone(), flows.clone(), small_config())
+            })
+            .collect();
+        let planner = SweepPlanner::new();
+        let results = planner.run(&scenarios, 3);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(planner.planning_misses(), 4, "2 CQF plans + 2 ITP plans");
+        assert_eq!(planner.planning_hits(), 8, "4 CQF hits + 4 ITP hits");
+    }
+
+    #[test]
+    fn derivation_is_cached_by_flows_and_options() {
+        let topo = presets::ring(6, 3).expect("builds");
+        let flows = workloads::iec60802_ts_flows(&topo, 64, 7).expect("workload");
+        let mut options = DeriveOptions::automatic();
+        options.slot = Some(crate::cqf::PAPER_SLOT);
+        let scenarios: Vec<Scenario> = (0..3)
+            .map(|i| {
+                Scenario::derived(
+                    format!("d{i}"),
+                    topo.clone(),
+                    flows.clone(),
+                    options.clone(),
+                    small_config(),
+                )
+            })
+            .collect();
+        let planner = SweepPlanner::new();
+        let results = planner.run(&scenarios, 3);
+        for result in &results {
+            let outcome = result.as_ref().expect("scenario runs");
+            assert!(outcome.derived.is_some());
+            assert_eq!(outcome.report.ts_lost(), 0);
+        }
+        assert_eq!(
+            planner.derived.misses(),
+            1,
+            "one derivation for 3 scenarios"
+        );
+        assert_eq!(planner.derived.hits(), 2);
+    }
+
+    #[test]
+    fn a_bad_scenario_only_loses_its_own_slot() {
+        let mut scenarios = sweep_inputs(3);
+        // Middle scenario: flows whose endpoints are switches — invalid.
+        let topo = presets::ring(3, 2).expect("builds");
+        let sw = topo.switches()[0];
+        let host = topo.hosts()[0];
+        let mut flows = FlowSet::new();
+        flows.push(
+            tsn_types::TsFlowSpec::new(
+                tsn_types::FlowId::new(0),
+                host,
+                sw,
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(2),
+                64,
+            )
+            .expect("spec valid in isolation")
+            .into(),
+        );
+        scenarios[1] = Scenario::explicit("bad", topo, flows, small_config());
+        let results = run_scenarios(&scenarios, 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(SweepError::Failed(_))));
+        assert!(results[2].is_ok());
+    }
+}

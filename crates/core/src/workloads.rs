@@ -9,12 +9,10 @@
 //! as 1024 B." Flow features follow IEC 60802's production-cell/line
 //! profile.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use tsn_topology::Topology;
 use tsn_types::{
-    BeFlowSpec, DataRate, FlowId, FlowSet, RcFlowSpec, SimDuration, TsFlowSpec, TsnError,
-    TsnResult,
+    BeFlowSpec, DataRate, FlowId, FlowSet, RcFlowSpec, SimDuration, SplitMix64, TsFlowSpec,
+    TsnError, TsnResult,
 };
 
 /// The paper's TS period (10 ms).
@@ -62,12 +60,12 @@ pub fn ts_flows_sized(
     seed: u64,
 ) -> TsnResult<FlowSet> {
     let hosts = hosts_of(topology)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut flows = FlowSet::new();
     for id in 0..count {
         let src = hosts[id as usize % hosts.len()];
         let dst = hosts[(id as usize + 1) % hosts.len()];
-        let deadline_ms = DEADLINES_MS[rng.random_range(0..DEADLINES_MS.len())];
+        let deadline_ms = DEADLINES_MS[rng.gen_range(DEADLINES_MS.len() as u64) as usize];
         flows.push(
             TsFlowSpec::new(
                 FlowId::new(id),
@@ -228,7 +226,9 @@ mod tests {
         let hosts = topo.hosts();
         let flows = ts_flows_fixed_path(16, hosts[0], hosts[3], 256, SimDuration::from_millis(8))
             .expect("workload builds");
-        assert!(flows.ts_flows().all(|f| f.src() == hosts[0] && f.dst() == hosts[3]));
+        assert!(flows
+            .ts_flows()
+            .all(|f| f.src() == hosts[0] && f.dst() == hosts[3]));
         assert!(flows.ts_flows().all(|f| f.frame_bytes() == 256));
     }
 
@@ -242,8 +242,8 @@ mod tests {
         let rc_only = background_flows(&topo, DataRate::mbps(100), DataRate::ZERO, 5000)
             .expect("workload builds");
         assert_eq!(rc_only.len(), 1);
-        let none = background_flows(&topo, DataRate::ZERO, DataRate::ZERO, 5000)
-            .expect("workload builds");
+        let none =
+            background_flows(&topo, DataRate::ZERO, DataRate::ZERO, 5000).expect("workload builds");
         assert!(none.is_empty());
     }
 

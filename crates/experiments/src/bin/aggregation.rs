@@ -5,16 +5,18 @@
 //! table entries could be aggregated according to the transmission
 //! path." — one aggregated any-VLAN entry per *destination* replaces one
 //! exact entry per *flow* in the switch table; QoS must be unchanged.
+//!
+//! Both modes derive and simulate in parallel through the scenario sweep.
 
-use serde::Serialize;
-use tsn_builder::{workloads, DeriveOptions, TsnBuilder};
-use tsn_experiments::util::dump_json;
-use tsn_resource::AllocationPolicy;
-use tsn_sim::network::SyncSetup;
+use tsn_builder::{run_scenarios, workloads, DeriveOptions, Scenario};
+use tsn_experiments::json::{Json, ToJson};
+use tsn_experiments::util::{dump_json, expect_outcomes};
+use tsn_resource::{AllocationPolicy, UsageReport};
+use tsn_sim::network::{SimConfig, SyncSetup};
+use tsn_sim::sweep::workers_from_env;
 use tsn_topology::presets;
 use tsn_types::SimDuration;
 
-#[derive(Serialize)]
 struct AggRow {
     mode: String,
     unicast_size: u32,
@@ -24,29 +26,39 @@ struct AggRow {
     mean_us: f64,
 }
 
-fn run(aggregate: bool) -> AggRow {
+impl ToJson for AggRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", self.mode.to_json()),
+            ("unicast_size", self.unicast_size.to_json()),
+            ("switch_tbl_kb", self.switch_tbl_kb.to_json()),
+            ("total_kb", self.total_kb.to_json()),
+            ("ts_lost", self.ts_lost.to_json()),
+            ("mean_us", self.mean_us.to_json()),
+        ])
+    }
+}
+
+fn scenario(aggregate: bool) -> Scenario {
     let topo = presets::ring(6, 3).expect("topology builds");
     let flows = workloads::iec60802_ts_flows(&topo, 1024, 42).expect("workload builds");
     let mut options = DeriveOptions::automatic();
     options.slot = Some(tsn_builder::PAPER_SLOT);
     options.aggregate_switch_tbl = aggregate;
-    let customization = TsnBuilder::new(topo, flows, SimDuration::from_nanos(50))
-        .expect("valid requirements")
-        .derive(&options)
-        .expect("derivation succeeds");
-    let report = customization.usage_report(AllocationPolicy::PaperAccounting);
-    let sim = customization
-        .synthesize_network(SimDuration::from_millis(60), SyncSetup::Perfect)
-        .expect("network builds")
-        .run();
-    AggRow {
-        mode: if aggregate { "aggregated (per destination)" } else { "exact (per flow)" }.into(),
-        unicast_size: customization.derived().resources.unicast_size(),
-        switch_tbl_kb: report.row("Switch Tbl").expect("row").kb(),
-        total_kb: report.total_kb(),
-        ts_lost: sim.ts_lost(),
-        mean_us: sim.ts_latency().mean_us(),
-    }
+    let mut config = SimConfig::paper_defaults();
+    config.duration = SimDuration::from_millis(60);
+    config.sync = SyncSetup::Perfect;
+    Scenario::derived(
+        if aggregate {
+            "aggregated (per destination)"
+        } else {
+            "exact (per flow)"
+        },
+        topo,
+        flows,
+        options,
+        config,
+    )
 }
 
 fn main() {
@@ -55,7 +67,22 @@ fn main() {
         "{:<30} {:>12} {:>14} {:>10} {:>8} {:>10}",
         "mode", "entries", "switch BRAM", "total", "TS loss", "avg(us)"
     );
-    let rows = vec![run(false), run(true)];
+    let scenarios = vec![scenario(false), scenario(true)];
+    let outcomes = expect_outcomes("aggregation", run_scenarios(&scenarios, workers_from_env()));
+    let rows: Vec<AggRow> = outcomes
+        .iter()
+        .map(|outcome| {
+            let report = UsageReport::of(&outcome.resources, AllocationPolicy::PaperAccounting);
+            AggRow {
+                mode: outcome.label.clone(),
+                unicast_size: outcome.resources.unicast_size(),
+                switch_tbl_kb: report.row("Switch Tbl").expect("row").kb(),
+                total_kb: report.total_kb(),
+                ts_lost: outcome.report.ts_lost(),
+                mean_us: outcome.report.ts_latency().mean_us(),
+            }
+        })
+        .collect();
     for r in &rows {
         println!(
             "{:<30} {:>12} {:>12}Kb {:>8}Kb {:>8} {:>10.1}",

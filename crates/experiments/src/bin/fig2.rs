@@ -4,92 +4,134 @@
 //! The paper's claim: "the latency and jitter of TS flows with the
 //! highest priority are very stable despite the interference of other
 //! flows" — the four series must all be flat over 0–900 Mbps.
+//!
+//! All 40 points (2 cases × 2 classes × 10 loads) run as one parallel
+//! sweep; the two resource cases share each load point's topology, flows
+//! and slot, so the planner computes every CQF/ITP plan once and serves
+//! the second case from cache.
 
-use serde::Serialize;
-use std::collections::HashMap;
-use tsn_builder::{cqf::PAPER_SLOT, itp, workloads, AppRequirements, CqfPlan};
-use tsn_experiments::util::{dump_json, figure_config, ring_with_analyzers, run_network, print_series, QosPoint};
+use tsn_builder::{cqf::PAPER_SLOT, workloads, Scenario, SweepPlanner};
+use tsn_experiments::json::{Json, ToJson};
+use tsn_experiments::util::{
+    dump_json, expect_outcomes, figure_config, print_series, ring_with_analyzers, QosPoint,
+};
 use tsn_resource::{baseline, ResourceConfig};
-use tsn_types::{DataRate, FlowId, SimDuration, TrafficClass};
+use tsn_sim::sweep::workers_from_env;
+use tsn_types::{DataRate, SimDuration, TrafficClass};
 
-#[derive(Serialize)]
 struct Series {
     case: String,
     background: String,
     points: Vec<QosPoint>,
 }
 
-fn sweep(case: &str, resources: &ResourceConfig, class: TrafficClass) -> Series {
-    let mut points = Vec::new();
-    for mbps in (0..=900).step_by(100) {
-        let (topo, tester, analyzers) =
-            ring_with_analyzers(3, &[2]).expect("topology builds");
-        // 1023 TS + at most 1 RC filter entry = the 1024-entry table.
-        let ts = workloads::ts_flows_fixed_path(
-            1023,
-            tester,
-            analyzers[0],
-            64,
-            SimDuration::from_millis(8),
-        )
-        .expect("workload builds");
-        let (rc, be) = match class {
-            TrafficClass::RateConstrained => (DataRate::mbps(mbps), DataRate::ZERO),
-            _ => (DataRate::ZERO, DataRate::mbps(mbps)),
-        };
-        let mut bg = workloads::background_flows(&topo, rc, be, 5000).expect("workload builds");
-        // Background shares the tester/analyzer path.
-        bg = bg
-            .into_iter()
-            .map(|f| match f {
-                tsn_types::FlowSpec::Rc(r) => tsn_types::RcFlowSpec::new(
-                    r.id(), tester, analyzers[0], r.reserved_rate(), r.frame_bytes(),
-                )
-                .expect("valid")
-                .into(),
-                tsn_types::FlowSpec::Be(b) => tsn_types::BeFlowSpec::new(
-                    b.id(), tester, analyzers[0], b.offered_rate(), b.frame_bytes(),
-                )
-                .expect("valid")
-                .into(),
-                other => other,
-            })
-            .collect();
-        let flows = workloads::merge(ts, bg);
-
-        let requirements =
-            AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))
-                .expect("valid requirements");
-        let plan = CqfPlan::with_slot(&requirements, PAPER_SLOT, DataRate::gbps(1))
-            .expect("slot feasible");
-        let offsets: HashMap<FlowId, SimDuration> =
-            itp::plan(&requirements, &plan, itp::Strategy::GreedyLeastLoaded)
-                .expect("itp plans")
-                .offsets;
-        let report = run_network(topo, flows, &offsets, figure_config(PAPER_SLOT, resources.clone()));
-        points.push(QosPoint::from_report(mbps, &report));
-    }
-    Series {
-        case: case.to_owned(),
-        background: format!("{} background", class.label()),
-        points,
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("case", self.case.to_json()),
+            ("background", self.background.to_json()),
+            ("points", self.points.to_json()),
+        ])
     }
 }
 
+fn point_scenario(
+    case: &str,
+    resources: &ResourceConfig,
+    class: TrafficClass,
+    mbps: u64,
+) -> Scenario {
+    let (topo, tester, analyzers) = ring_with_analyzers(3, &[2]).expect("topology builds");
+    // 1023 TS + at most 1 RC filter entry = the 1024-entry table.
+    let ts =
+        workloads::ts_flows_fixed_path(1023, tester, analyzers[0], 64, SimDuration::from_millis(8))
+            .expect("workload builds");
+    let (rc, be) = match class {
+        TrafficClass::RateConstrained => (DataRate::mbps(mbps), DataRate::ZERO),
+        _ => (DataRate::ZERO, DataRate::mbps(mbps)),
+    };
+    let bg = workloads::background_flows(&topo, rc, be, 5000)
+        .expect("workload builds")
+        .into_iter()
+        // Background shares the tester/analyzer path.
+        .map(|f| match f {
+            tsn_types::FlowSpec::Rc(r) => tsn_types::RcFlowSpec::new(
+                r.id(),
+                tester,
+                analyzers[0],
+                r.reserved_rate(),
+                r.frame_bytes(),
+            )
+            .expect("valid")
+            .into(),
+            tsn_types::FlowSpec::Be(b) => tsn_types::BeFlowSpec::new(
+                b.id(),
+                tester,
+                analyzers[0],
+                b.offered_rate(),
+                b.frame_bytes(),
+            )
+            .expect("valid")
+            .into(),
+            other => other,
+        })
+        .collect();
+    let flows = workloads::merge(ts, bg);
+    Scenario::explicit(
+        format!("{case}/{}/bg={mbps}", class.label()),
+        topo,
+        flows,
+        figure_config(PAPER_SLOT, resources.clone()),
+    )
+}
+
 fn main() {
-    let mut all = Vec::new();
-    for (case, resources) in [
+    let cases = [
         ("Case 1", baseline::table1_case1()),
         ("Case 2", baseline::table1_case2()),
-    ] {
-        for class in [TrafficClass::BestEffort, TrafficClass::RateConstrained] {
-            let series = sweep(case, &resources, class);
+    ];
+    let classes = [TrafficClass::BestEffort, TrafficClass::RateConstrained];
+    let loads: Vec<u64> = (0..=900).step_by(100).collect();
+
+    let mut scenarios = Vec::new();
+    for (case, resources) in &cases {
+        for &class in &classes {
+            for &mbps in &loads {
+                scenarios.push(point_scenario(case, resources, class, mbps));
+            }
+        }
+    }
+
+    let planner = SweepPlanner::new();
+    let outcomes = expect_outcomes("fig2", planner.run(&scenarios, workers_from_env()));
+    println!(
+        "[{} scenarios, {} plans computed, {} served from cache]",
+        scenarios.len(),
+        planner.planning_misses(),
+        planner.planning_hits()
+    );
+
+    let mut all = Vec::new();
+    let mut cursor = outcomes.into_iter();
+    for (case, _) in &cases {
+        for class in classes {
+            let points: Vec<QosPoint> = loads
+                .iter()
+                .map(|&mbps| {
+                    let outcome = cursor.next().expect("one outcome per scenario");
+                    QosPoint::from_report(mbps, &outcome.report)
+                })
+                .collect();
             print_series(
                 &format!("Fig. 2 — {case}, {} as background", class.label()),
                 "bg Mbps",
-                &series.points,
+                &points,
             );
-            all.push(series);
+            all.push(Series {
+                case: (*case).to_owned(),
+                background: format!("{} background", class.label()),
+                points,
+            });
         }
     }
 
@@ -104,7 +146,11 @@ fn main() {
             "{} / {}: mean-latency spread over the sweep = {spread:.2}us, total TS loss = {loss} ({})",
             series.case,
             series.background,
-            if spread < 15.0 && loss == 0 { "stable, as in the paper" } else { "UNSTABLE" }
+            if spread < 15.0 && loss == 0 {
+                "stable, as in the paper"
+            } else {
+                "UNSTABLE"
+            }
         );
     }
     dump_json("fig2", &all);

@@ -6,48 +6,63 @@
 //!
 //! Each slot gets its own TSN-Builder derivation (larger slots
 //! concentrate more frames per phase, so ITP re-derives the queue depth
-//! and buffer count — the customization loop in action).
+//! and buffer count — the customization loop in action); the four
+//! derive-and-simulate scenarios run in parallel through the sweep.
 
-use tsn_builder::{itp, workloads, AppRequirements, CqfPlan, DeriveOptions};
-use tsn_experiments::util::{dump_json, figure_config, print_series, ring_with_analyzers, run_network, QosPoint};
-use tsn_types::{DataRate, SimDuration};
+use tsn_builder::{run_scenarios, workloads, DeriveOptions, Scenario};
+use tsn_experiments::util::{
+    dump_json, expect_outcomes, figure_config, print_series, ring_with_analyzers, QosPoint,
+};
+use tsn_resource::ResourceConfig;
+use tsn_sim::sweep::workers_from_env;
+use tsn_types::SimDuration;
+
+const SLOTS_US: [u64; 4] = [33, 65, 130, 195];
 
 fn main() {
+    let scenarios: Vec<Scenario> = SLOTS_US
+        .iter()
+        .map(|&slot_us| {
+            let slot = SimDuration::from_micros(slot_us);
+            let (topo, tester, analyzers) = ring_with_analyzers(6, &[2]).expect("topology builds");
+            let flows = workloads::ts_flows_fixed_path(
+                1024,
+                tester,
+                analyzers[0],
+                64,
+                SimDuration::from_millis(8),
+            )
+            .expect("workload builds");
+            let mut options = DeriveOptions::automatic();
+            options.slot = Some(slot);
+            // The derivation replaces the config's slot and resources.
+            Scenario::derived(
+                format!("slot={slot_us}us"),
+                topo,
+                flows,
+                options,
+                figure_config(slot, ResourceConfig::new()),
+            )
+        })
+        .collect();
+
+    let outcomes = expect_outcomes("fig7c", run_scenarios(&scenarios, workers_from_env()));
     let mut points = Vec::new();
     let mut depths = Vec::new();
-    for slot_us in [33u64, 65, 130, 195] {
-        let slot = SimDuration::from_micros(slot_us);
-        let (topo, tester, analyzers) = ring_with_analyzers(6, &[2]).expect("topology builds");
-        let flows = workloads::ts_flows_fixed_path(
-            1024,
-            tester,
-            analyzers[0],
-            64,
-            SimDuration::from_millis(8),
-        )
-        .expect("workload builds");
-        let requirements =
-            AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))
-                .expect("valid requirements");
-        let plan = CqfPlan::with_slot(&requirements, slot, DataRate::gbps(1)).expect("feasible");
-        let planned = itp::plan(&requirements, &plan, itp::Strategy::GreedyLeastLoaded)
-            .expect("itp plans");
-
-        let mut options = DeriveOptions::automatic();
-        options.slot = Some(slot);
-        let derived = tsn_builder::derive_parameters(&requirements, &options).expect("derives");
-        depths.push((slot_us, derived.resources.queue_depth(), derived.resources.buffer_num()));
-
-        let report = run_network(
-            topo,
-            flows,
-            &planned.offsets,
-            figure_config(slot, derived.resources),
-        );
-        points.push(QosPoint::from_report(slot_us, &report));
+    for (outcome, &slot_us) in outcomes.iter().zip(&SLOTS_US) {
+        points.push(QosPoint::from_report(slot_us, &outcome.report));
+        depths.push((
+            slot_us,
+            outcome.resources.queue_depth(),
+            outcome.resources.buffer_num(),
+        ));
     }
 
-    print_series("Fig. 7(c) — latency vs slot size (3 hops)", "slot us", &points);
+    print_series(
+        "Fig. 7(c) — latency vs slot size (3 hops)",
+        "slot us",
+        &points,
+    );
 
     println!("\nper-slot derived resources (ITP re-sizing):");
     for (slot_us, depth, buffers) in &depths {
@@ -55,7 +70,11 @@ fn main() {
     }
     println!("\nlinearity check (mean latency / slot):");
     for p in &points {
-        println!("  slot {}us: mean/slot = {:.2}", p.x, p.mean_us / p.x as f64);
+        println!(
+            "  slot {}us: mean/slot = {:.2}",
+            p.x,
+            p.mean_us / p.x as f64
+        );
     }
     let loss: u64 = points.iter().map(|p| p.loss).sum();
     println!("total TS loss across the sweep: {loss}");

@@ -3,67 +3,75 @@
 //! RC and BE background is injected simultaneously at equal bandwidth
 //! (the paper sweeps the load); "there is no affection on the latency and
 //! jitter of critical TS flows" and packet loss stays zero.
+//!
+//! The five load points run in parallel through the scenario sweep.
 
-use tsn_builder::{cqf, itp, workloads, AppRequirements, CqfPlan};
-use tsn_experiments::util::{dump_json, figure_config, print_series, ring_with_analyzers, run_network, QosPoint};
+use tsn_builder::{cqf, run_scenarios, workloads, Scenario};
+use tsn_experiments::util::{
+    dump_json, expect_outcomes, figure_config, print_series, ring_with_analyzers, QosPoint,
+};
 use tsn_resource::ResourceConfig;
+use tsn_sim::sweep::workers_from_env;
 use tsn_types::{BeFlowSpec, DataRate, FlowId, RcFlowSpec, SimDuration};
+
+const LOADS_MBPS: [u64; 5] = [0, 100, 200, 300, 400];
 
 fn main() {
     let slot = cqf::PAPER_SLOT;
-    let mut points = Vec::new();
-    for mbps in (0..=400).step_by(100) {
-        let (topo, tester, analyzers) = ring_with_analyzers(6, &[2]).expect("topology builds");
-        // 1023 TS + 1 RC stream = 1024 classification entries, the
-        // paper's table budget (BE takes the PCP fallback).
-        let mut flows = workloads::ts_flows_fixed_path(
-            1023,
-            tester,
-            analyzers[0],
-            64,
-            SimDuration::from_millis(8),
-        )
-        .expect("workload builds");
-        if mbps > 0 {
-            // RC and BE at the same bandwidth, sharing the TS path.
-            flows.push(
-                RcFlowSpec::new(
-                    FlowId::new(5000),
-                    tester,
-                    analyzers[0],
-                    DataRate::mbps(mbps),
-                    workloads::BACKGROUND_FRAME_BYTES,
-                )
-                .expect("valid rc")
-                .into(),
-            );
-            flows.push(
-                BeFlowSpec::new(
-                    FlowId::new(5001),
-                    tester,
-                    analyzers[0],
-                    DataRate::mbps(mbps),
-                    workloads::BACKGROUND_FRAME_BYTES,
-                )
-                .expect("valid be")
-                .into(),
-            );
-        }
-        let requirements =
-            AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))
-                .expect("valid requirements");
-        let plan = CqfPlan::with_slot(&requirements, slot, DataRate::gbps(1)).expect("feasible");
-        let offsets = itp::plan(&requirements, &plan, itp::Strategy::GreedyLeastLoaded)
-            .expect("itp plans")
-            .offsets;
-        let report = run_network(
-            topo,
-            flows,
-            &offsets,
-            figure_config(slot, ResourceConfig::new()),
-        );
-        points.push(QosPoint::from_report(mbps, &report));
-    }
+    let scenarios: Vec<Scenario> = LOADS_MBPS
+        .iter()
+        .map(|&mbps| {
+            let (topo, tester, analyzers) = ring_with_analyzers(6, &[2]).expect("topology builds");
+            // 1023 TS + 1 RC stream = 1024 classification entries, the
+            // paper's table budget (BE takes the PCP fallback).
+            let mut flows = workloads::ts_flows_fixed_path(
+                1023,
+                tester,
+                analyzers[0],
+                64,
+                SimDuration::from_millis(8),
+            )
+            .expect("workload builds");
+            if mbps > 0 {
+                // RC and BE at the same bandwidth, sharing the TS path.
+                flows.push(
+                    RcFlowSpec::new(
+                        FlowId::new(5000),
+                        tester,
+                        analyzers[0],
+                        DataRate::mbps(mbps),
+                        workloads::BACKGROUND_FRAME_BYTES,
+                    )
+                    .expect("valid rc")
+                    .into(),
+                );
+                flows.push(
+                    BeFlowSpec::new(
+                        FlowId::new(5001),
+                        tester,
+                        analyzers[0],
+                        DataRate::mbps(mbps),
+                        workloads::BACKGROUND_FRAME_BYTES,
+                    )
+                    .expect("valid be")
+                    .into(),
+                );
+            }
+            Scenario::explicit(
+                format!("bg={mbps}Mbps"),
+                topo,
+                flows,
+                figure_config(slot, ResourceConfig::new()),
+            )
+        })
+        .collect();
+
+    let outcomes = expect_outcomes("fig7d", run_scenarios(&scenarios, workers_from_env()));
+    let points: Vec<QosPoint> = outcomes
+        .iter()
+        .zip(&LOADS_MBPS)
+        .map(|(o, &mbps)| QosPoint::from_report(mbps, &o.report))
+        .collect();
 
     print_series(
         "Fig. 7(d) — latency vs background load (RC+BE, each at x Mbps, 3 hops)",

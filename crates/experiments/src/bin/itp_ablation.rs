@@ -4,22 +4,35 @@
 //! Compares the three offset strategies on the paper's 1024-flow ring
 //! workload: the peak slot occupancy each produces is the `queue_depth`
 //! (and, times 8 queues, the `buffer_num`) that must be provisioned —
-//! plus the BRAM each provisioning costs.
+//! plus the BRAM each provisioning costs. The three plans run in
+//! parallel through the sweep runner.
 
-use serde::Serialize;
 use tsn_builder::{cqf::PAPER_SLOT, itp, workloads, AppRequirements, CqfPlan};
+use tsn_experiments::json::{Json, ToJson};
 use tsn_experiments::util::dump_json;
 use tsn_resource::{AllocationPolicy, ResourceConfig};
+use tsn_sim::sweep::{run_sweep, workers_from_env};
 use tsn_topology::presets;
 use tsn_types::{DataRate, SimDuration};
 
-#[derive(Serialize)]
 struct AblationRow {
     strategy: String,
     max_occupancy: u32,
     queue_depth: u32,
     buffer_num: u32,
     queue_buffer_kb: f64,
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("strategy", self.strategy.to_json()),
+            ("max_occupancy", self.max_occupancy.to_json()),
+            ("queue_depth", self.queue_depth.to_json()),
+            ("buffer_num", self.buffer_num.to_json()),
+            ("queue_buffer_kb", self.queue_buffer_kb.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -34,38 +47,35 @@ fn main() {
         "{:<20} {:>14} {:>12} {:>12} {:>14}",
         "strategy", "peak occupancy", "queue depth", "buffers", "queue+buf BRAM"
     );
-    let mut rows = Vec::new();
-    for strategy in [
+    let strategies = [
         itp::Strategy::AllZero,
         itp::Strategy::UniformSpread,
         itp::Strategy::GreedyLeastLoaded,
-    ] {
-        let result = itp::plan(&requirements, &plan, strategy).expect("itp plans");
+    ];
+    let rows: Vec<AblationRow> = run_sweep(&strategies, workers_from_env(), |_idx, &strategy| {
+        let result = itp::plan(&requirements, &plan, strategy)?;
         let depth = result.recommended_queue_depth();
         let buffers = depth * 8;
         let mut resources = ResourceConfig::new();
-        resources
-            .set_queues(depth, 8, 1)
-            .expect("valid")
-            .set_buffers(buffers, 1)
-            .expect("valid");
+        resources.set_queues(depth, 8, 1)?.set_buffers(buffers, 1)?;
         let policy = AllocationPolicy::PaperAccounting;
         let kb = (resources.queue_bits(policy) + resources.buffer_bits(policy)) as f64 / 1024.0;
-        println!(
-            "{:<20} {:>14} {:>12} {:>12} {:>12}Kb",
-            format!("{strategy:?}"),
-            result.max_occupancy,
-            depth,
-            buffers,
-            kb
-        );
-        rows.push(AblationRow {
+        Ok(AblationRow {
             strategy: format!("{strategy:?}"),
             max_occupancy: result.max_occupancy,
             queue_depth: depth,
             buffer_num: buffers,
             queue_buffer_kb: kb,
-        });
+        })
+    })
+    .into_iter()
+    .map(|r| r.expect("itp plans"))
+    .collect();
+    for row in &rows {
+        println!(
+            "{:<20} {:>14} {:>12} {:>12} {:>12}Kb",
+            row.strategy, row.max_occupancy, row.queue_depth, row.buffer_num, row.queue_buffer_kb
+        );
     }
     let naive = rows[0].queue_buffer_kb;
     let greedy = rows[2].queue_buffer_kb;

@@ -6,72 +6,112 @@
 //! minimum fragment (~0.7 µs). The TS *mean* barely moves (CQF already
 //! hides the blocking inside the slot), but max latency and jitter tighten
 //! — the future-work knob the paper's platform would add next.
+//!
+//! All ten runs (2 modes × 5 loads) go through one parallel sweep; the
+//! on/off pairs share each load's topology and flows, so every CQF/ITP
+//! plan is computed once.
 
-use serde::Serialize;
-use tsn_builder::{cqf, itp, workloads, AppRequirements, CqfPlan};
-use tsn_experiments::util::{dump_json, figure_config, print_series, ring_with_analyzers, QosPoint};
+use tsn_builder::{cqf, workloads, Scenario, SweepPlanner};
+use tsn_experiments::json::{Json, ToJson};
+use tsn_experiments::util::{
+    dump_json, expect_outcomes, figure_config, print_series, ring_with_analyzers, QosPoint,
+};
 use tsn_resource::ResourceConfig;
-use tsn_sim::network::Network;
+use tsn_sim::sweep::workers_from_env;
 use tsn_types::{BeFlowSpec, DataRate, FlowId, RcFlowSpec, SimDuration};
 
-#[derive(Serialize)]
+const LOADS_MBPS: [u64; 5] = [0, 100, 200, 300, 400];
+
 struct Series {
     preemption: bool,
     points: Vec<QosPoint>,
     total_preemptions: u64,
 }
 
-fn sweep(preemption: bool) -> Series {
-    let slot = cqf::PAPER_SLOT;
-    let mut points = Vec::new();
-    let mut total_preemptions = 0;
-    for mbps in (0..=400).step_by(100) {
-        let (topo, tester, analyzers) = ring_with_analyzers(6, &[2]).expect("topology builds");
-        let mut flows = workloads::ts_flows_fixed_path(
-            512,
-            tester,
-            analyzers[0],
-            64,
-            SimDuration::from_millis(8),
-        )
-        .expect("workload builds");
-        if mbps > 0 {
-            flows.push(
-                RcFlowSpec::new(FlowId::new(5000), tester, analyzers[0], DataRate::mbps(mbps), 1500)
-                    .expect("valid rc")
-                    .into(),
-            );
-            flows.push(
-                BeFlowSpec::new(FlowId::new(5001), tester, analyzers[0], DataRate::mbps(mbps), 1500)
-                    .expect("valid be")
-                    .into(),
-            );
-        }
-        let requirements =
-            AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))
-                .expect("valid requirements");
-        let plan = CqfPlan::with_slot(&requirements, slot, DataRate::gbps(1)).expect("feasible");
-        let offsets = itp::plan(&requirements, &plan, itp::Strategy::GreedyLeastLoaded)
-            .expect("itp plans")
-            .offsets;
-        let mut config = figure_config(slot, ResourceConfig::new());
-        config.frame_preemption = preemption;
-        let report = Network::build(topo, flows, &offsets, config)
-            .expect("network builds")
-            .run();
-        total_preemptions += report.preemptions;
-        points.push(QosPoint::from_report(mbps, &report));
-    }
-    Series {
-        preemption,
-        points,
-        total_preemptions,
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("preemption", self.preemption.to_json()),
+            ("points", self.points.to_json()),
+            ("total_preemptions", self.total_preemptions.to_json()),
+        ])
     }
 }
 
+fn point_scenario(preemption: bool, mbps: u64) -> Scenario {
+    let slot = cqf::PAPER_SLOT;
+    let (topo, tester, analyzers) = ring_with_analyzers(6, &[2]).expect("topology builds");
+    let mut flows =
+        workloads::ts_flows_fixed_path(512, tester, analyzers[0], 64, SimDuration::from_millis(8))
+            .expect("workload builds");
+    if mbps > 0 {
+        flows.push(
+            RcFlowSpec::new(
+                FlowId::new(5000),
+                tester,
+                analyzers[0],
+                DataRate::mbps(mbps),
+                1500,
+            )
+            .expect("valid rc")
+            .into(),
+        );
+        flows.push(
+            BeFlowSpec::new(
+                FlowId::new(5001),
+                tester,
+                analyzers[0],
+                DataRate::mbps(mbps),
+                1500,
+            )
+            .expect("valid be")
+            .into(),
+        );
+    }
+    let mut config = figure_config(slot, ResourceConfig::new());
+    config.frame_preemption = preemption;
+    Scenario::explicit(
+        format!("preemption={preemption}/bg={mbps}"),
+        topo,
+        flows,
+        config,
+    )
+}
+
 fn main() {
-    let off = sweep(false);
-    let on = sweep(true);
+    let mut scenarios = Vec::new();
+    for preemption in [false, true] {
+        for &mbps in &LOADS_MBPS {
+            scenarios.push(point_scenario(preemption, mbps));
+        }
+    }
+    let planner = SweepPlanner::new();
+    let outcomes = expect_outcomes("preemption", planner.run(&scenarios, workers_from_env()));
+    println!(
+        "[{} scenarios, {} plans computed, {} served from cache]",
+        scenarios.len(),
+        planner.planning_misses(),
+        planner.planning_hits()
+    );
+
+    let mut series = Vec::new();
+    let mut cursor = outcomes.into_iter();
+    for preemption in [false, true] {
+        let mut points = Vec::new();
+        let mut total_preemptions = 0;
+        for &mbps in &LOADS_MBPS {
+            let outcome = cursor.next().expect("one outcome per scenario");
+            total_preemptions += outcome.report.preemptions;
+            points.push(QosPoint::from_report(mbps, &outcome.report));
+        }
+        series.push(Series {
+            preemption,
+            points,
+            total_preemptions,
+        });
+    }
+    let (off, on) = (&series[0], &series[1]);
+
     print_series(
         "Fig. 7(d) workload, store-and-forward (no preemption)",
         "bg Mbps",
@@ -92,5 +132,5 @@ fn main() {
             a.x, a.max_us, b.max_us, a.jitter_us, b.jitter_us
         );
     }
-    dump_json("preemption", &vec![off, on]);
+    dump_json("preemption", &series);
 }

@@ -5,14 +5,19 @@
 //! of 64 B at 10 ms period injected by the tester. Case 1 provisions
 //! depth 16 / 128 buffers, Case 2 depth 12 / 96 buffers — 540 Kb less
 //! BRAM. Both must show identical latency/jitter and zero loss.
+//!
+//! Both cases run in parallel; they share the same topology, flows and
+//! slot, so the planner computes the CQF/ITP plan once.
 
-use serde::Serialize;
-use tsn_builder::{cqf::PAPER_SLOT, itp, AppRequirements, CqfPlan};
-use tsn_experiments::util::{dump_json, figure_config, ring_with_analyzers, run_network, QosPoint};
+use tsn_builder::{cqf::PAPER_SLOT, workloads, Scenario, SweepPlanner};
+use tsn_experiments::json::{Json, ToJson};
+use tsn_experiments::util::{
+    dump_json, expect_outcomes, figure_config, ring_with_analyzers, QosPoint,
+};
 use tsn_resource::{baseline, AllocationPolicy, ResourceConfig};
-use tsn_types::{DataRate, SimDuration, TsnResult};
+use tsn_sim::sweep::workers_from_env;
+use tsn_types::SimDuration;
 
-#[derive(Serialize)]
 struct CaseResult {
     name: String,
     queue_depth: u32,
@@ -21,40 +26,66 @@ struct CaseResult {
     qos: QosPoint,
 }
 
-fn measure(name: &str, resources: ResourceConfig) -> TsnResult<CaseResult> {
+impl ToJson for CaseResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("queue_depth", self.queue_depth.to_json()),
+            ("buffer_num", self.buffer_num.to_json()),
+            ("queue_buffer_kb", self.queue_buffer_kb.to_json()),
+            ("qos", self.qos.to_json()),
+        ])
+    }
+}
+
+fn case_scenario(name: &str, resources: &ResourceConfig) -> Scenario {
     // Three switches in a chain (ring of 3, traffic one way), tester on
     // sw0, analyzer on sw2 — "three TSN switches with one enabled port
     // connected with each other".
-    let (topo, tester, analyzers) = ring_with_analyzers(3, &[2])?;
-    let flows = tsn_builder::workloads::ts_flows_fixed_path(
-        1024,
-        tester,
-        analyzers[0],
-        64,
-        SimDuration::from_millis(8),
-    )?;
-    let requirements = AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))?;
-    let plan = CqfPlan::with_slot(&requirements, PAPER_SLOT, DataRate::gbps(1))?;
-    let offsets = itp::plan(&requirements, &plan, itp::Strategy::GreedyLeastLoaded)?.offsets;
-
-    let policy = AllocationPolicy::PaperAccounting;
-    let queue_buffer_kb =
-        (resources.queue_bits(policy) + resources.buffer_bits(policy)) as f64 / 1024.0;
-    let report = run_network(topo, flows, &offsets, figure_config(PAPER_SLOT, resources.clone()));
-    Ok(CaseResult {
-        name: name.to_owned(),
-        queue_depth: resources.queue_depth(),
-        buffer_num: resources.buffer_num(),
-        queue_buffer_kb,
-        qos: QosPoint::from_report(u64::from(resources.queue_depth()), &report),
-    })
+    let (topo, tester, analyzers) = ring_with_analyzers(3, &[2]).expect("topology builds");
+    let flows =
+        workloads::ts_flows_fixed_path(1024, tester, analyzers[0], 64, SimDuration::from_millis(8))
+            .expect("workload builds");
+    Scenario::explicit(
+        name,
+        topo,
+        flows,
+        figure_config(PAPER_SLOT, resources.clone()),
+    )
 }
 
 fn main() {
-    let cases = vec![
-        measure("Case 1", baseline::table1_case1()).expect("case 1 runs"),
-        measure("Case 2", baseline::table1_case2()).expect("case 2 runs"),
+    let configs = [
+        ("Case 1", baseline::table1_case1()),
+        ("Case 2", baseline::table1_case2()),
     ];
+    let scenarios: Vec<Scenario> = configs
+        .iter()
+        .map(|(name, resources)| case_scenario(name, resources))
+        .collect();
+    let planner = SweepPlanner::new();
+    let outcomes = expect_outcomes("table1", planner.run(&scenarios, workers_from_env()));
+    assert!(
+        planner.planning_hits() > 0,
+        "the two cases share one planning input"
+    );
+
+    let policy = AllocationPolicy::PaperAccounting;
+    let cases: Vec<CaseResult> = outcomes
+        .iter()
+        .map(|outcome| {
+            let resources = &outcome.resources;
+            CaseResult {
+                name: outcome.label.clone(),
+                queue_depth: resources.queue_depth(),
+                buffer_num: resources.buffer_num(),
+                queue_buffer_kb: (resources.queue_bits(policy) + resources.buffer_bits(policy))
+                    as f64
+                    / 1024.0,
+                qos: QosPoint::from_report(u64::from(resources.queue_depth()), &outcome.report),
+            }
+        })
+        .collect();
 
     println!("TABLE I — CONFIGURATION OF QUEUE AND PACKET BUFFER");
     println!(
@@ -64,8 +95,14 @@ fn main() {
     for c in &cases {
         println!(
             "{:<8} {:>14} {:>14} {:>11}Kb {:>12.1} {:>12.2} {:>12.1} {:>8}",
-            c.name, c.queue_depth, c.buffer_num, c.queue_buffer_kb, c.qos.mean_us, c.qos.jitter_us,
-            c.qos.max_us, c.qos.loss
+            c.name,
+            c.queue_depth,
+            c.buffer_num,
+            c.queue_buffer_kb,
+            c.qos.mean_us,
+            c.qos.jitter_us,
+            c.qos.max_us,
+            c.qos.loss
         );
     }
     let saved = cases[0].queue_buffer_kb - cases[1].queue_buffer_kb;

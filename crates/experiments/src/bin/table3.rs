@@ -4,22 +4,35 @@
 //! columns (star 3 ports, linear 2 ports, ring 1 port) with their BRAM
 //! totals and reduction percentages, then cross-checks that the full
 //! TSN-Builder derivation pipeline (requirements → parameters) lands on
-//! the same columns.
+//! the same columns. The three derivations run in parallel through the
+//! sweep runner.
 
-use serde::Serialize;
 use tsn_builder::{workloads, DeriveOptions, TsnBuilder};
+use tsn_experiments::json::{Json, ToJson};
 use tsn_experiments::util::dump_json;
 use tsn_resource::{baseline, AllocationPolicy, ResourceConfig, UsageReport};
+use tsn_sim::sweep::{run_sweep, workers_from_env};
 use tsn_topology::presets;
 use tsn_types::SimDuration;
 
-#[derive(Serialize)]
 struct Column {
     scenario: String,
     ports: u32,
     total_kb: f64,
     reduction_pct: f64,
     rows: Vec<(String, String, f64)>,
+}
+
+impl ToJson for Column {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.to_json()),
+            ("ports", self.ports.to_json()),
+            ("total_kb", self.total_kb.to_json()),
+            ("reduction_pct", self.reduction_pct.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
 }
 
 fn customized(ports: u32) -> ResourceConfig {
@@ -70,7 +83,11 @@ fn main() {
     println!("TABLE III — COMPARISON OF RESOURCE USAGE UNDER DIFFERENT SCENARIOS");
     println!(
         "{:<12} {:<24} {:<24} {:<24} {:<24}",
-        "Resource", columns[0].scenario, columns[1].scenario, columns[2].scenario, columns[3].scenario
+        "Resource",
+        columns[0].scenario,
+        columns[1].scenario,
+        columns[2].scenario,
+        columns[3].scenario
     );
     for i in 0..columns[0].rows.len() {
         print!("{:<12}", columns[0].rows[i].0);
@@ -96,25 +113,33 @@ fn main() {
     println!("\nPaper reference: 10818Kb | 5778Kb (-46.59%) | 3942Kb (-63.56%) | 2106Kb (-80.53%)");
 
     // Cross-check: the derivation pipeline reproduces the same columns
-    // from raw requirements.
+    // from raw requirements; the three pipelines run concurrently.
     println!("\nDerivation cross-check (requirements -> parameters):");
-    for (name, topology, expect_ports, expect_total) in [
+    let cross_checks = [
         ("star", presets::star(3, 3).expect("builds"), 3u32, 5778.0),
         ("linear", presets::linear(6, 2).expect("builds"), 2, 3942.0),
         ("ring", presets::ring(6, 3).expect("builds"), 1, 2106.0),
-    ] {
-        let flows = workloads::iec60802_ts_flows(&topology, 1024, 42).expect("workload");
-        let customization = TsnBuilder::new(topology, flows, SimDuration::from_nanos(50))
-            .expect("requirements valid")
-            .derive(&DeriveOptions::paper())
-            .expect("derivation succeeds");
-        let report = customization.usage_report(AllocationPolicy::PaperAccounting);
-        let derived_ports = customization.derived().resources.port_num();
+    ];
+    let derived = run_sweep(
+        &cross_checks,
+        workers_from_env(),
+        |_idx, (_, topology, _, _)| {
+            let flows = workloads::iec60802_ts_flows(topology, 1024, 42)?;
+            let customization =
+                TsnBuilder::new(topology.clone(), flows, SimDuration::from_nanos(50))?
+                    .derive(&DeriveOptions::paper())?;
+            let report = customization.usage_report(AllocationPolicy::PaperAccounting);
+            Ok((
+                customization.derived().resources.port_num(),
+                report.total_kb(),
+            ))
+        },
+    );
+    for (result, (name, _, expect_ports, expect_total)) in derived.into_iter().zip(&cross_checks) {
+        let (derived_ports, total_kb) = result.expect("derivation succeeds");
         println!(
-            "  {name:<7} derived port_num={derived_ports} total={}Kb (expected {expect_total}Kb, {} ports) {}",
-            report.total_kb(),
-            expect_ports,
-            if derived_ports == expect_ports && report.total_kb() == expect_total {
+            "  {name:<7} derived port_num={derived_ports} total={total_kb}Kb (expected {expect_total}Kb, {expect_ports} ports) {}",
+            if derived_ports == *expect_ports && total_kb == *expect_total {
                 "OK"
             } else {
                 "MISMATCH"

@@ -15,5 +15,9 @@
 //! | `itp_ablation` | §V — injection planning strategies vs queue depth |
 //!
 //! Each binary prints a paper-style table and writes `results/<name>.json`.
+//! The multi-point binaries run their sweep in parallel through
+//! [`tsn_builder::scenario`]; set `TSN_SWEEP_WORKERS=1` to force a serial
+//! run (the reports are identical either way).
 
+pub mod json;
 pub mod util;

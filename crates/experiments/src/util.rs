@@ -1,15 +1,17 @@
 //! Shared plumbing for the experiment regenerators.
 
-use serde::Serialize;
+use crate::json::{Json, ToJson};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use tsn_builder::ScenarioOutcome;
 use tsn_sim::network::{Network, SimConfig, SyncSetup};
+use tsn_sim::sweep::SweepError;
 use tsn_sim::SimReport;
 use tsn_topology::{LinkDirection, Topology};
 use tsn_types::{DataRate, FlowId, FlowSet, NodeId, SimDuration, TrafficClass, TsnResult};
 
 /// One measured point of a latency figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QosPoint {
     /// X-axis label (hops, bytes, slot µs, background Mbps, …).
     pub x: u64,
@@ -47,6 +49,20 @@ impl QosPoint {
     }
 }
 
+impl ToJson for QosPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("x", self.x.to_json()),
+            ("mean_us", self.mean_us.to_json()),
+            ("jitter_us", self.jitter_us.to_json()),
+            ("min_us", self.min_us.to_json()),
+            ("max_us", self.max_us.to_json()),
+            ("loss", self.loss.to_json()),
+            ("injected", self.injected.to_json()),
+        ])
+    }
+}
+
 /// Prints a QoS series as an aligned table.
 pub fn print_series(title: &str, x_label: &str, points: &[QosPoint]) {
     println!("\n== {title} ==");
@@ -64,20 +80,30 @@ pub fn print_series(title: &str, x_label: &str, points: &[QosPoint]) {
 
 /// Writes an experiment's JSON record to `results/<name>.json`, so
 /// EXPERIMENTS.md entries are reproducible.
-pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+pub fn dump_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let dir = PathBuf::from("results");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(text) => {
-            if std::fs::write(&path, text).is_ok() {
-                println!("[results written to {}]", path.display());
-            }
-        }
-        Err(err) => eprintln!("could not serialize {name}: {err}"),
+    if std::fs::write(&path, value.to_json().pretty()).is_ok() {
+        println!("[results written to {}]", path.display());
     }
+}
+
+/// Unwraps a sweep's results, panicking with the failing scenario's label
+/// and error on the first bad entry (a failed build is a broken
+/// experiment, not a user error). Results keep their input order.
+#[must_use]
+pub fn expect_outcomes(
+    what: &str,
+    results: Vec<Result<ScenarioOutcome, SweepError>>,
+) -> Vec<ScenarioOutcome> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("{what}: scenario #{i} failed: {e}")))
+        .collect()
 }
 
 /// A unidirectional ring of `switches` switches with one *tester* host on

@@ -284,10 +284,7 @@ fn emit_item(out: &mut String, item: &Item) {
         } => {
             out.push_str(&format!("    {module}"));
             if !params.is_empty() {
-                let p: Vec<String> = params
-                    .iter()
-                    .map(|(k, v)| format!(".{k}({v})"))
-                    .collect();
+                let p: Vec<String> = params.iter().map(|(k, v)| format!(".{k}({v})")).collect();
                 out.push_str(&format!(" #({})", p.join(", ")));
             }
             out.push_str(&format!(" {name} (\n"));

@@ -105,9 +105,26 @@ pub struct ParsedModule {
 }
 
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "inout", "reg", "wire", "assign", "always",
-    "begin", "end", "if", "else", "parameter", "localparam", "posedge", "negedge",
-    "initial", "forever", "integer",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "reg",
+    "wire",
+    "assign",
+    "always",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "parameter",
+    "localparam",
+    "posedge",
+    "negedge",
+    "initial",
+    "forever",
+    "integer",
 ];
 
 struct Parser {
@@ -249,7 +266,11 @@ impl Parser {
                 Some(Tok::Sym(')')) => break,
                 Some(Tok::Sym(',')) => {}
                 Some(Tok::Ident(dir_kw)) if ["input", "output"].contains(&dir_kw.as_str()) => {
-                    let mut dir = if dir_kw == "input" { Dir::Input } else { Dir::Output };
+                    let mut dir = if dir_kw == "input" {
+                        Dir::Input
+                    } else {
+                        Dir::Output
+                    };
                     // Optional `reg`.
                     if self.peek() == Some(&Tok::Ident("reg".to_owned())) {
                         self.pos += 1;
@@ -404,7 +425,14 @@ mod tests {
         assert_eq!(m.params.len(), 2);
         assert_eq!(m.params[0], ("WIDTH".to_owned(), "32".to_owned()));
         assert_eq!(m.ports.len(), 3);
-        assert_eq!(m.ports[0], ParsedPort { dir: Dir::Input, has_range: false, name: "clk".into() });
+        assert_eq!(
+            m.ports[0],
+            ParsedPort {
+                dir: Dir::Input,
+                has_range: false,
+                name: "clk".into()
+            }
+        );
         assert_eq!(m.ports[2].dir, Dir::OutputReg);
         assert!(m.ports[2].has_range);
         assert_eq!(m.memories, vec!["mem".to_owned()]);
@@ -490,7 +518,11 @@ mod tests {
         // gate_ctrl holds the 8 per-queue FIFOs.
         let gates = &all[5];
         assert_eq!(
-            gates.instances.iter().filter(|i| i.module == "meta_fifo").count(),
+            gates
+                .instances
+                .iter()
+                .filter(|i| i.module == "meta_fifo")
+                .count(),
             8
         );
         // Memories: GCLs in gate_ctrl, meter table in the filter.
@@ -513,7 +545,11 @@ mod tests {
         assert_eq!(depth.as_deref(), Some("24"));
         let top = parse_modules(bundle.file("tsn_switch_top.v").expect("file")).expect("parses");
         assert_eq!(
-            top[0].instances.iter().filter(|i| i.module == "gate_ctrl").count(),
+            top[0]
+                .instances
+                .iter()
+                .filter(|i| i.module == "gate_ctrl")
+                .count(),
             2,
             "two enabled ports, two gate controllers"
         );

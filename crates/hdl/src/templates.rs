@@ -87,8 +87,7 @@ pub fn generate(config: &ResourceConfig) -> TsnResult<HdlBundle> {
         .map(|(name, module)| (name.to_owned(), module.emit()))
         .collect();
     for (name, src) in &files {
-        check_source(src)
-            .map_err(|e| TsnError::InvalidArtifact(format!("{name}: {e}")))?;
+        check_source(src).map_err(|e| TsnError::InvalidArtifact(format!("{name}: {e}")))?;
     }
     let bundle = HdlBundle { files };
     check_source(&bundle.concatenated())?;
@@ -237,7 +236,8 @@ fn time_sync() -> Module {
                 "        offset_reg <= corr_offset;".into(),
                 "        rate_reg <= corr_rate;".into(),
                 "    end".into(),
-                "    ptp_time <= raw_time + offset_reg + ((raw_time * rate_reg) >> FRAC_WIDTH);".into(),
+                "    ptp_time <= raw_time + offset_reg + ((raw_time * rate_reg) >> FRAC_WIDTH);"
+                    .into(),
                 "end".into(),
             ],
         });
@@ -606,9 +606,7 @@ fn egress_sched(config: &ResourceConfig) -> Module {
         })
         .item(Item::Always {
             sensitivity: "posedge clk".into(),
-            body: vec![
-                "if (cfg_wr) cbs_tbl[cfg_addr] <= cfg_data;".into(),
-            ],
+            body: vec!["if (cfg_wr) cbs_tbl[cfg_addr] <= cfg_data;".into()],
         })
         .item(Item::Wire {
             width: "QUEUE_NUM".into(),
@@ -854,7 +852,11 @@ fn testbench(config: &ResourceConfig) -> Module {
         name: "cfg_data".into(),
     })
     .item(Item::Wire {
-        width: format!("{}*{}", config.port_num().max(1), config.widths().queue_meta_bits),
+        width: format!(
+            "{}*{}",
+            config.port_num().max(1),
+            config.widths().queue_meta_bits
+        ),
         name: "tx_meta".into(),
     })
     .item(Item::Instance {
@@ -913,7 +915,11 @@ mod tests {
         assert_eq!(clog2(8), 3);
         assert_eq!(clog2(1024), 10);
         assert_eq!(clog2(1025), 11);
-        assert_eq!(addr_width(1), 1, "a 1-deep memory still needs an address bit");
+        assert_eq!(
+            addr_width(1),
+            1,
+            "a 1-deep memory still needs an address bit"
+        );
     }
 
     #[test]

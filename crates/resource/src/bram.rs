@@ -9,7 +9,6 @@
 //! derivation and cross-checks.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Bits in one 18 Kb BRAM primitive.
 pub const BRAM18_BITS: u64 = 18 * 1024;
@@ -35,9 +34,7 @@ pub const PAPER_BUFFER_COST_BITS: u64 = 17_280;
 /// `PaperAccounting` regenerates the paper's tables; the other policies
 /// exist for the ablation benches ("how sensitive are the headline savings
 /// to the allocator?").
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AllocationPolicy {
     /// The paper's accounting: every table/queue instance is rounded up to
     /// whole 18 Kb primitives independently; packet buffers cost
@@ -135,7 +132,7 @@ mod tests {
         assert_eq!(p.table_cost_bits(1024, 117), 126 * KB_BITS); // classification
         assert_eq!(p.table_cost_bits(512, 68), 36 * KB_BITS); // meter, commercial
         assert_eq!(p.table_cost_bits(1024, 68), 72 * KB_BITS); // meter, customized
-        // Tiny tables still take one whole primitive.
+                                                               // Tiny tables still take one whole primitive.
         assert_eq!(p.table_cost_bits(2, 17), BRAM18_BITS);
         assert_eq!(p.table_cost_bits(0, 17), 0);
     }
@@ -196,6 +193,9 @@ mod tests {
         assert_eq!(AllocationPolicy::PaperAccounting.to_string(), "paper");
         assert_eq!(AllocationPolicy::ExactBits.to_string(), "exact");
         assert_eq!(AllocationPolicy::Bram36.to_string(), "bram36");
-        assert_eq!(AllocationPolicy::default(), AllocationPolicy::PaperAccounting);
+        assert_eq!(
+            AllocationPolicy::default(),
+            AllocationPolicy::PaperAccounting
+        );
     }
 }

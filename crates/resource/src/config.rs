@@ -6,12 +6,11 @@
 //! paper's Table II exactly.
 
 use crate::bram::AllocationPolicy;
-use serde::{Deserialize, Serialize};
 use tsn_types::{TsnError, TsnResult};
 
 /// Per-entry widths (in bits) of each memory object, as used in the paper's
 /// prototype (Section IV.B). Customizable for other targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EntryWidths {
     /// Unicast/multicast switch-table entry (dst MAC + VID → outport).
     pub switch_tbl_bits: u32,
@@ -70,7 +69,7 @@ impl Default for EntryWidths {
 /// assert_eq!(cfg.buffer_num(), 96);
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ResourceConfig {
     widths: EntryWidths,
     unicast_size: u32,

@@ -3,10 +3,9 @@
 use crate::bram::{format_kb, AllocationPolicy, KB_BITS};
 use crate::config::ResourceConfig;
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// One row of a usage report (one resource category).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ResourceRow {
     /// Resource name as printed in Table III (e.g. `"Gate Tbl"`).
     pub name: String,
@@ -38,7 +37,7 @@ impl ResourceRow {
 /// assert_eq!(report.rows().len(), 7);
 /// println!("{report}");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UsageReport {
     policy: AllocationPolicy,
     rows: Vec<ResourceRow>,
@@ -236,7 +235,10 @@ mod tests {
     #[test]
     fn parameters_render_like_the_paper() {
         let report = UsageReport::of(&baseline::bcm53154(), AllocationPolicy::PaperAccounting);
-        assert_eq!(report.row("Switch Tbl").expect("row").parameters, "16384, 0");
+        assert_eq!(
+            report.row("Switch Tbl").expect("row").parameters,
+            "16384, 0"
+        );
         assert_eq!(report.row("Gate Tbl").expect("row").parameters, "2, 8, 4");
         assert_eq!(report.row("Queues").expect("row").parameters, "16, 8, 4");
         assert_eq!(report.row("Buffers").expect("row").parameters, "128, 4");

@@ -9,10 +9,9 @@
 use crate::bram::{format_kb, AllocationPolicy};
 use crate::config::ResourceConfig;
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// One memory object inside a component.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryObject {
     /// Object name as in Fig. 4 (e.g. `"Unicast Table"`).
     pub name: String,
@@ -25,7 +24,7 @@ pub struct MemoryObject {
 }
 
 /// One of the five components with its memory objects.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ComponentView {
     /// Component name (Fig. 3/4: Packet Switch, Ingress Filter, Gate
     /// Ctrl, Egress Sched, Time Sync).
@@ -55,7 +54,7 @@ impl ComponentView {
 /// assert!(text.contains("Packet Switch"));
 /// assert!(text.contains("Unicast/Multicast Table"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResourceView {
     policy: AllocationPolicy,
     components: Vec<ComponentView>,
@@ -237,7 +236,13 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["Packet Switch", "Ingress Filter", "Gate Ctrl", "Egress Sched", "Time Sync"]
+            vec![
+                "Packet Switch",
+                "Ingress Filter",
+                "Gate Ctrl",
+                "Egress Sched",
+                "Time Sync"
+            ]
         );
     }
 
@@ -261,7 +266,9 @@ mod tests {
         // have multiple tables" (Section III.B).
         let view = ResourceView::of(&ResourceConfig::new(), AllocationPolicy::PaperAccounting);
         assert_eq!(
-            view.component("Time Sync").expect("component exists").total_bits(),
+            view.component("Time Sync")
+                .expect("component exists")
+                .total_bits(),
             0
         );
     }

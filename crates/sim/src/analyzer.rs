@@ -5,12 +5,11 @@
 //! reports average latency, jitter as the standard deviation of latency,
 //! and packet loss.
 
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tsn_types::{FlowId, SimDuration, SimTime, TrafficClass};
 
 /// Streaming latency statistics (Welford's algorithm).
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct LatencyStats {
     count: u64,
     mean_ns: f64,
@@ -109,7 +108,7 @@ impl LatencyStats {
 }
 
 /// Per-flow record: injections, deliveries, latency, deadline misses.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowRecord {
     /// The flow's class.
     pub class: TrafficClass,
@@ -164,9 +163,13 @@ impl FlowRecord {
 /// assert_eq!(record.lost(), 0);
 /// assert_eq!(record.latency.mean_us(), 130.0);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Analyzer {
-    flows: HashMap<FlowId, FlowRecord>,
+    // BTreeMap, not HashMap: class aggregation merges Welford f64 state in
+    // iteration order, and float merging is not associative — a keyed-by-
+    // hash order would make "the same run" produce different aggregate
+    // stats across processes.
+    flows: BTreeMap<FlowId, FlowRecord>,
 }
 
 impl Analyzer {
@@ -394,7 +397,10 @@ mod tests {
                 );
             }
         }
-        assert_eq!(an.class_mean_flow_jitter_ns(TrafficClass::TimeSensitive), 0.0);
+        assert_eq!(
+            an.class_mean_flow_jitter_ns(TrafficClass::TimeSensitive),
+            0.0
+        );
         assert!(an.class_latency(TrafficClass::TimeSensitive).std_ns() > 0.0);
         assert_eq!(an.class_mean_flow_jitter_ns(TrafficClass::BestEffort), 0.0);
     }

@@ -13,7 +13,8 @@
 //!   RC/BE generators, strict-priority NIC);
 //! * [`network`] — assembly (table programming, shapers, gPTP domain) and
 //!   the event loop;
-//! * [`analyzer`] / [`report`] — measurement.
+//! * [`analyzer`] / [`report`] — measurement;
+//! * [`sweep`] — the parallel scenario-sweep runner and planning cache.
 //!
 //! # Example
 //!
@@ -45,8 +46,10 @@ pub mod event;
 pub mod host;
 pub mod network;
 pub mod report;
+pub mod sweep;
 
 pub use analyzer::{Analyzer, FlowRecord, LatencyStats};
 pub use host::{Generator, Host};
 pub use network::{mac_for, vlan_for, Network, SimConfig, SyncSetup};
 pub use report::SimReport;
+pub use sweep::{run_sweep, PlanCache, SweepError};

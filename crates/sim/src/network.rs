@@ -12,7 +12,7 @@ use crate::analyzer::Analyzer;
 use crate::event::{Event, EventQueue};
 use crate::host::{Generator, Host};
 use crate::report::SimReport;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use tsn_resource::ResourceConfig;
 use tsn_switch::gate_ctrl::GateControlList;
 use tsn_switch::ingress_filter::{ClassEntry, ClassKey, TokenBucketMeter};
@@ -20,7 +20,7 @@ use tsn_switch::pipeline::{PortKind, SwitchSpec, TsnSwitchCore};
 use tsn_switch::time_sync::{ClockModel, SyncConfig, SyncDomain};
 use tsn_topology::{NodeKind, Topology};
 use tsn_types::{
-    DataRate, EthernetFrame, FlowId, FlowSpec, FlowSet, MacAddr, MeterId, NodeId, PortId, QueueId,
+    DataRate, EthernetFrame, FlowId, FlowSet, FlowSpec, MacAddr, MeterId, NodeId, PortId, QueueId,
     SimDuration, SimTime, TrafficClass, TsnError, TsnResult, VlanId,
 };
 
@@ -306,8 +306,7 @@ impl Network {
                         )
                     })
                     .collect();
-                let mut domain =
-                    SyncDomain::chain(clocks, *sc, SimDuration::from_nanos(50))?;
+                let mut domain = SyncDomain::chain(clocks, *sc, SimDuration::from_nanos(50))?;
                 // Pre-converge, then rebase so t=0 of the experiment is
                 // already synchronized (the paper syncs before measuring).
                 domain.run_until(SimTime::ZERO + *warmup);
@@ -336,9 +335,11 @@ impl Network {
 
     fn install_flows(&mut self, offsets: &HashMap<FlowId, SimDuration>) -> TsnResult<()> {
         // Per-switch running meter allocation and per-(switch, port, queue)
-        // reserved-rate accumulation for the shapers.
-        let mut next_meter: HashMap<NodeId, u32> = HashMap::new();
-        let mut rc_reservations: HashMap<(NodeId, PortId, QueueId), u64> = HashMap::new();
+        // reserved-rate accumulation for the shapers. BTreeMaps: switch
+        // programming must not depend on hash iteration order, or two
+        // builds of the same scenario configure their switches differently.
+        let mut next_meter: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut rc_reservations: BTreeMap<(NodeId, PortId, QueueId), u64> = BTreeMap::new();
 
         let flows = self.flows.clone();
         for flow in flows.iter() {
@@ -417,7 +418,10 @@ impl Network {
             }
 
             // Attach the generator on the talker host.
-            let offset = offsets.get(&flow.id()).copied().unwrap_or(SimDuration::ZERO);
+            let offset = offsets
+                .get(&flow.id())
+                .copied()
+                .unwrap_or(SimDuration::ZERO);
             let generator = match flow {
                 FlowSpec::Ts(ts) => Generator::time_sensitive(
                     ts.id(),
@@ -466,10 +470,8 @@ impl Network {
 
         // Install the credit-based shapers: one CBS slot per RC queue in
         // use on each port, idleSlope = sum of reservations through it.
-        let mut slots_by_port: HashMap<(NodeId, PortId), usize> = HashMap::new();
-        let mut reservations: Vec<_> = rc_reservations.into_iter().collect();
-        reservations.sort_by_key(|&((n, p, q), _)| (n, p, q));
-        for ((node, port, queue), bits_per_sec) in reservations {
+        let mut slots_by_port: BTreeMap<(NodeId, PortId), usize> = BTreeMap::new();
+        for ((node, port, queue), bits_per_sec) in rc_reservations {
             let NodeRole::Switch { core, .. } = &mut self.roles[node.as_usize()] else {
                 unreachable!("reservations only name switches");
             };
@@ -582,8 +584,7 @@ impl Network {
         }
         let sent = rate.bytes_in(now.saturating_since(active.started));
         if sent < MIN_FRAGMENT_WIRE_BYTES {
-            let earliest = active.started
-                + rate.serialization_time(MIN_FRAGMENT_WIRE_BYTES as u32);
+            let earliest = active.started + rate.serialization_time(MIN_FRAGMENT_WIRE_BYTES as u32);
             return PreemptOutcome::RetryAt(earliest);
         }
         if u64::from(active.wire_bytes) <= sent + MIN_TAIL_WIRE_BYTES {
@@ -699,8 +700,7 @@ impl Network {
             }
         }
         let preemption = self.config.frame_preemption;
-        let suspended_waiting =
-            self.wires[node.as_usize()][0].suspended.is_some();
+        let suspended_waiting = self.wires[node.as_usize()][0].suspended.is_some();
         let NodeRole::Host(host) = &mut self.roles[node.as_usize()] else {
             return;
         };
@@ -786,8 +786,9 @@ impl Network {
             }
         }
         let preemption = self.config.frame_preemption;
-        let suspended_waiting =
-            self.wires[node.as_usize()][port.as_usize()].suspended.is_some();
+        let suspended_waiting = self.wires[node.as_usize()][port.as_usize()]
+            .suspended
+            .is_some();
         let NodeRole::Switch { core, .. } = &mut self.roles[node.as_usize()] else {
             return;
         };

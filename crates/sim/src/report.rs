@@ -7,7 +7,7 @@ use tsn_types::{NodeId, PortId, SimTime, TrafficClass};
 
 /// Everything a finished simulation reports — the data behind the paper's
 /// Fig. 2 and Fig. 7 series.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Per-flow latency / jitter / loss records.
     pub analyzer: Analyzer,

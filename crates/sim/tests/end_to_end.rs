@@ -7,7 +7,7 @@ use tsn_sim::network::{Network, SimConfig, SyncSetup};
 use tsn_sim::SimReport;
 use tsn_topology::{presets, Topology};
 use tsn_types::{
-    BeFlowSpec, DataRate, FlowId, FlowSet, RcFlowSpec, SimDuration, TsFlowSpec, TrafficClass,
+    BeFlowSpec, DataRate, FlowId, FlowSet, RcFlowSpec, SimDuration, TrafficClass, TsFlowSpec,
 };
 
 const SLOT: SimDuration = SimDuration::from_micros(65);
@@ -290,9 +290,15 @@ fn simulation_is_deterministic() {
             flows.push(ts_flow(id, hosts[0], hosts[1]).into());
         }
         flows.push(
-            BeFlowSpec::new(FlowId::new(9), hosts[2], hosts[0], DataRate::mbps(300), 1024)
-                .expect("valid be")
-                .into(),
+            BeFlowSpec::new(
+                FlowId::new(9),
+                hosts[2],
+                hosts[0],
+                DataRate::mbps(300),
+                1024,
+            )
+            .expect("valid be")
+            .into(),
         );
         run(topo, flows, short_config())
     };
@@ -310,9 +316,15 @@ fn link_utilization_tracks_the_offered_load() {
     let mut flows = FlowSet::new();
     flows.push(ts_flow(0, hosts[0], hosts[1]).into());
     flows.push(
-        BeFlowSpec::new(FlowId::new(1), hosts[0], hosts[1], DataRate::mbps(400), 1024)
-            .expect("valid be")
-            .into(),
+        BeFlowSpec::new(
+            FlowId::new(1),
+            hosts[0],
+            hosts[1],
+            DataRate::mbps(400),
+            1024,
+        )
+        .expect("valid be")
+        .into(),
     );
     let mut config = short_config();
     config.sync = SyncSetup::Perfect;
@@ -396,5 +408,8 @@ fn injection_offsets_shift_arrival_slots() {
     assert_eq!(zero.ts_lost(), 0);
     assert_eq!(shifted.ts_lost(), 0);
     let delta = (zero.ts_latency().mean_ns() - shifted.ts_latency().mean_ns()).abs();
-    assert!(delta > 1_000.0, "a 32 µs offset must move the phase, delta {delta} ns");
+    assert!(
+        delta > 1_000.0,
+        "a 32 µs offset must move the phase, delta {delta} ns"
+    );
 }

@@ -6,9 +6,7 @@ use std::collections::HashMap;
 use tsn_sim::network::{Network, SimConfig, SyncSetup};
 use tsn_sim::SimReport;
 use tsn_topology::presets;
-use tsn_types::{
-    BeFlowSpec, DataRate, FlowId, FlowSet, SimDuration, TrafficClass, TsFlowSpec,
-};
+use tsn_types::{BeFlowSpec, DataRate, FlowId, FlowSet, SimDuration, TrafficClass, TsFlowSpec};
 
 fn loaded_scenario(preemption: bool) -> SimReport {
     let topo = presets::ring(6, 3).expect("ring builds");
@@ -31,9 +29,15 @@ fn loaded_scenario(preemption: bool) -> SimReport {
     // Saturating MTU-sized best-effort traffic on the same path: each
     // 1500 B frame blocks the wire for ~12 µs without preemption.
     flows.push(
-        BeFlowSpec::new(FlowId::new(100), hosts[0], hosts[1], DataRate::mbps(600), 1500)
-            .expect("valid be")
-            .into(),
+        BeFlowSpec::new(
+            FlowId::new(100),
+            hosts[0],
+            hosts[1],
+            DataRate::mbps(600),
+            1500,
+        )
+        .expect("valid be")
+        .into(),
     );
     let mut config = SimConfig::paper_defaults();
     config.duration = SimDuration::from_millis(60);
@@ -63,8 +67,7 @@ fn preemption_reduces_ts_worst_case_latency() {
     );
     // The blocking bounded by one MTU (~12.3 µs) shrinks to roughly one
     // minimum fragment (~0.7 µs): expect several µs of improvement.
-    let delta_ns =
-        max_without.as_nanos() as f64 - max_with.as_nanos() as f64;
+    let delta_ns = max_without.as_nanos() as f64 - max_with.as_nanos() as f64;
     assert!(
         delta_ns > 5_000.0,
         "expected >5us worst-case improvement, got {delta_ns}ns"
@@ -85,7 +88,11 @@ fn preempted_traffic_is_still_delivered_in_full() {
     );
     // And BE latency only grows by the preemption pauses, not unboundedly.
     let be = with.analyzer.class_latency(TrafficClass::BestEffort);
-    assert!(be.mean_us() < 1_000.0, "BE mean stays sane: {}us", be.mean_us());
+    assert!(
+        be.mean_us() < 1_000.0,
+        "BE mean stays sane: {}us",
+        be.mean_us()
+    );
 }
 
 #[test]

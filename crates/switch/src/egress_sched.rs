@@ -11,7 +11,6 @@
 //! non-negative (802.1Qav semantics).
 
 use crate::gate_ctrl::GateCtrl;
-use serde::{Deserialize, Serialize};
 use tsn_types::{DataRate, QueueId, SimTime, TsnError, TsnResult};
 
 /// One credit-based shaper (one CBS-table entry).
@@ -20,7 +19,7 @@ use tsn_types::{DataRate, QueueId, SimTime, TsnError, TsnResult};
 /// queue has backlog (or while recovering from negative credit), fall by
 /// the frame size minus the idle-slope contribution during transmission,
 /// and reset to zero when the queue goes idle with positive credit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CreditBasedShaper {
     idle_slope: DataRate,
     credit_bits: f64,
@@ -307,13 +306,25 @@ mod tests {
         let mut gates = open_gates();
         let mut sched = EgressScheduler::new(8, 3, 3);
         gates
-            .enqueue(QueueId::new(0), frame(TrafficClass::BestEffort, 64), SimTime::ZERO)
+            .enqueue(
+                QueueId::new(0),
+                frame(TrafficClass::BestEffort, 64),
+                SimTime::ZERO,
+            )
             .expect("open");
         gates
-            .enqueue(QueueId::new(3), frame(TrafficClass::RateConstrained, 64), SimTime::ZERO)
+            .enqueue(
+                QueueId::new(3),
+                frame(TrafficClass::RateConstrained, 64),
+                SimTime::ZERO,
+            )
             .expect("open");
         gates
-            .enqueue(QueueId::new(6), frame(TrafficClass::TimeSensitive, 64), SimTime::ZERO)
+            .enqueue(
+                QueueId::new(6),
+                frame(TrafficClass::TimeSensitive, 64),
+                SimTime::ZERO,
+            )
             .expect("open");
         assert_eq!(sched.select(&gates, SimTime::ZERO), Some(QueueId::new(6)));
         gates.pop(QueueId::new(6));
@@ -329,21 +340,33 @@ mod tests {
         let mut gates = open_gates();
         let mut sched = EgressScheduler::new(8, 3, 3);
         sched
-            .set_shaper(0, CreditBasedShaper::new(DataRate::mbps(100)).expect("valid"))
+            .set_shaper(
+                0,
+                CreditBasedShaper::new(DataRate::mbps(100)).expect("valid"),
+            )
             .expect("slot");
         sched.map_queue(QueueId::new(3), 0).expect("map");
 
         let t0 = SimTime::ZERO;
         for _ in 0..2 {
             gates
-                .enqueue(QueueId::new(3), frame(TrafficClass::RateConstrained, 1024), t0)
+                .enqueue(
+                    QueueId::new(3),
+                    frame(TrafficClass::RateConstrained, 1024),
+                    t0,
+                )
                 .expect("open");
         }
         // First frame transmits: credit starts at 0 which is eligible.
         assert_eq!(sched.select(&gates, t0), Some(QueueId::new(3)));
         let popped = gates.pop(QueueId::new(3)).expect("frame");
         let tx_end = t0 + SimDuration::from_nanos(u64::from(popped.size_bytes()) * 8);
-        sched.on_transmitted(QueueId::new(3), u64::from(popped.size_bytes()) * 8, t0, tx_end);
+        sched.on_transmitted(
+            QueueId::new(3),
+            u64::from(popped.size_bytes()) * 8,
+            t0,
+            tx_end,
+        );
         // Immediately after, credit is deeply negative: blocked.
         assert_eq!(sched.select(&gates, tx_end), None);
         // 100 Mbps refills 8192 bits in ~82 us.
@@ -375,7 +398,11 @@ mod tests {
         let mut gates = open_gates();
         let mut sched = EgressScheduler::new(8, 3, 3);
         gates
-            .enqueue(QueueId::new(0), frame(TrafficClass::BestEffort, 64), SimTime::ZERO)
+            .enqueue(
+                QueueId::new(0),
+                frame(TrafficClass::BestEffort, 64),
+                SimTime::ZERO,
+            )
             .expect("open");
         assert_eq!(sched.select(&gates, SimTime::ZERO), Some(QueueId::new(0)));
     }
@@ -384,7 +411,10 @@ mod tests {
     fn cbs_map_capacity_is_enforced() {
         let mut sched = EgressScheduler::new(8, 2, 3);
         sched
-            .set_shaper(0, CreditBasedShaper::new(DataRate::mbps(10)).expect("valid"))
+            .set_shaper(
+                0,
+                CreditBasedShaper::new(DataRate::mbps(10)).expect("valid"),
+            )
             .expect("slot");
         sched.map_queue(QueueId::new(3), 0).expect("entry 1");
         sched.map_queue(QueueId::new(4), 0).expect("entry 2");
@@ -398,7 +428,10 @@ mod tests {
     fn cbs_table_bounds_are_enforced() {
         let mut sched = EgressScheduler::new(8, 3, 1);
         assert!(sched
-            .set_shaper(1, CreditBasedShaper::new(DataRate::mbps(10)).expect("valid"))
+            .set_shaper(
+                1,
+                CreditBasedShaper::new(DataRate::mbps(10)).expect("valid")
+            )
             .is_err());
         assert!(sched.map_queue(QueueId::new(3), 1).is_err());
         assert!(sched.map_queue(QueueId::new(99), 0).is_err());
@@ -413,9 +446,15 @@ mod tests {
     fn mapped_queue_without_installed_shaper_is_unshaped() {
         let mut gates = open_gates();
         let mut sched = EgressScheduler::new(8, 3, 3);
-        sched.map_queue(QueueId::new(3), 2).expect("map to empty slot");
+        sched
+            .map_queue(QueueId::new(3), 2)
+            .expect("map to empty slot");
         gates
-            .enqueue(QueueId::new(3), frame(TrafficClass::RateConstrained, 64), SimTime::ZERO)
+            .enqueue(
+                QueueId::new(3),
+                frame(TrafficClass::RateConstrained, 64),
+                SimTime::ZERO,
+            )
             .expect("open");
         assert_eq!(sched.select(&gates, SimTime::ZERO), Some(QueueId::new(3)));
     }

@@ -13,15 +13,12 @@
 //! is bounded by the slot length.
 
 use crate::layout::QueueLayout;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use tsn_types::{
-    EthernetFrame, QueueId, SimDuration, SimTime, TrafficClass, TsnError, TsnResult,
-};
+use tsn_types::{EthernetFrame, QueueId, SimDuration, SimTime, TrafficClass, TsnError, TsnResult};
 
 /// One gate-control-list entry: the set of queues whose gate is open
 /// during one time slot (bit *q* = queue *q* open).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GateEntry {
     mask: u64,
 }
@@ -95,7 +92,7 @@ impl GateEntry {
 /// assert!(gcl.is_open(q7, SimTime::from_micros(65)));
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GateControlList {
     entries: Vec<GateEntry>,
     slot: SimDuration,
@@ -136,8 +133,15 @@ impl GateControlList {
     }
 
     /// The entry in force at `now`.
+    ///
+    /// An entry-less list (impossible via [`GateControlList::new`], which
+    /// rejects it, but conceivable through future construction paths)
+    /// behaves as all-open instead of panicking on `% 0`.
     #[must_use]
     pub fn entry_at(&self, now: SimTime) -> GateEntry {
+        if self.entries.is_empty() {
+            return GateEntry::all_open();
+        }
         let idx = (now.slot_index(self.slot) as usize) % self.entries.len();
         self.entries[idx]
     }
@@ -174,15 +178,17 @@ impl GateControlList {
         self.slot
     }
 
-    /// Full cycle length (`len × slot`).
+    /// Full cycle length (`len × slot`). An entry-less list reports one
+    /// slot rather than a zero-length cycle, so callers that step by
+    /// `cycle()` can never loop in place.
     #[must_use]
     pub fn cycle(&self) -> SimDuration {
-        self.slot * self.entries.len() as u64
+        self.slot * (self.entries.len() as u64).max(1)
     }
 }
 
 /// Why Gate Ctrl refused a frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GateDrop {
     /// No queue of the frame's class had an open ingress gate.
     GateClosed,
@@ -326,10 +332,7 @@ impl GateCtrl {
         frame: EthernetFrame,
         now: SimTime,
     ) -> Result<QueueId, GateDrop> {
-        let class = self
-            .layout
-            .class_of(target)
-            .ok_or(GateDrop::UnknownQueue)?;
+        let class = self.layout.class_of(target).ok_or(GateDrop::UnknownQueue)?;
         let queue = if class == TrafficClass::TimeSensitive {
             let entry = self.in_gcl.entry_at(now);
             match self
@@ -380,7 +383,9 @@ impl GateCtrl {
     /// Occupancy of one queue.
     #[must_use]
     pub fn queue_len(&self, queue: QueueId) -> usize {
-        self.queues.get(queue.as_usize()).map_or(0, |q| q.frames.len())
+        self.queues
+            .get(queue.as_usize())
+            .map_or(0, |q| q.frames.len())
     }
 
     /// Total frames buffered across all queues of the port (what the
@@ -394,7 +399,9 @@ impl GateCtrl {
     /// basis for right-sizing `queue_depth`.
     #[must_use]
     pub fn high_water(&self, queue: QueueId) -> usize {
-        self.queues.get(queue.as_usize()).map_or(0, |q| q.high_water)
+        self.queues
+            .get(queue.as_usize())
+            .map_or(0, |q| q.high_water)
     }
 
     /// Frames dropped because the target queue was full.
@@ -430,7 +437,9 @@ impl GateCtrl {
     /// The next instant at which any gate state changes.
     #[must_use]
     pub fn next_gate_change(&self, now: SimTime) -> SimTime {
-        self.in_gcl.next_change(now).min(self.out_gcl.next_change(now))
+        self.in_gcl
+            .next_change(now)
+            .min(self.out_gcl.next_change(now))
     }
 }
 
@@ -608,5 +617,26 @@ mod tests {
         let gc = cqf_gate();
         let now = SimTime::from_micros(10);
         assert_eq!(gc.next_gate_change(now), SimTime::ZERO + SLOT);
+    }
+    #[test]
+    fn gcl_rejects_empty_entries_and_zero_slot() {
+        assert!(GateControlList::new(vec![], SLOT).is_err());
+        assert!(GateControlList::new(vec![GateEntry::all_open()], SimDuration::ZERO).is_err());
+    }
+
+    #[test]
+    fn entry_less_gcl_is_all_open_not_a_panic() {
+        // The public constructors make this state unreachable; build it
+        // directly to pin the defensive behavior of entry_at/cycle.
+        let gcl = GateControlList {
+            entries: vec![],
+            slot: SLOT,
+        };
+        let entry = gcl.entry_at(SimTime::from_micros(500));
+        for q in 0..8u8 {
+            assert!(entry.is_open(QueueId::new(q)));
+        }
+        assert!(gcl.is_open(QueueId::new(0), SimTime::ZERO));
+        assert_eq!(gcl.cycle(), SLOT);
     }
 }

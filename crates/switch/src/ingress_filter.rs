@@ -10,14 +10,13 @@
 
 use crate::layout::QueueLayout;
 use crate::table::CapTable;
-use serde::{Deserialize, Serialize};
 use tsn_types::{
     DataRate, EthernetFrame, MacAddr, MeterId, Pcp, QueueId, SimTime, TrafficClass, TsnError,
     TsnResult, VlanId,
 };
 
 /// Classification key: the 4-tuple the paper's classifier matches on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClassKey {
     /// Source MAC address.
     pub src: MacAddr,
@@ -44,7 +43,7 @@ impl ClassKey {
 
 /// A classification entry: where the flow's frames go and which meter
 /// polices them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClassEntry {
     /// Target queue.
     pub queue: QueueId,
@@ -72,7 +71,7 @@ pub struct ClassEntry {
 /// assert!(meter.police(t0 + SimDuration::from_micros(1_500), 1_500));
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TokenBucketMeter {
     rate: DataRate,
     burst_bits: u64,
@@ -172,7 +171,7 @@ impl TokenBucketMeter {
 }
 
 /// Why the ingress filter dropped a frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FilterDrop {
     /// The frame's meter was out of tokens.
     MeterRed,
@@ -183,7 +182,7 @@ pub enum FilterDrop {
 }
 
 /// Outcome of classifying one frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FilterVerdict {
     /// Frame accepted, to be enqueued on `queue` of the egress port.
     Accept {
@@ -401,10 +400,7 @@ mod tests {
         .expect("fits");
 
         let t0 = SimTime::ZERO;
-        assert!(matches!(
-            f.classify(&frm, t0),
-            FilterVerdict::Accept { .. }
-        ));
+        assert!(matches!(f.classify(&frm, t0), FilterVerdict::Accept { .. }));
         assert_eq!(
             f.classify(&frm, t0),
             FilterVerdict::Drop(FilterDrop::MeterRed)

@@ -5,7 +5,6 @@
 //! queues for RC flows in each port", Section IV.B), and the rest for
 //! best-effort traffic.
 
-use serde::{Deserialize, Serialize};
 use tsn_types::{QueueId, TrafficClass, TsnError, TsnResult};
 
 /// Assignment of traffic classes to the queues of one port.
@@ -22,7 +21,7 @@ use tsn_types::{QueueId, TrafficClass, TsnError, TsnResult};
 /// assert_eq!(layout.rc_queues().len(), 3);
 /// assert_eq!(layout.class_of(QueueId::new(0)), Some(TrafficClass::BestEffort));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueueLayout {
     classes: Vec<TrafficClass>,
     ts: Vec<QueueId>,
@@ -70,7 +69,12 @@ impl QueueLayout {
                 "CQF needs at least two time-sensitive queues",
             ));
         }
-        Ok(QueueLayout { classes, ts, rc, be })
+        Ok(QueueLayout {
+            classes,
+            ts,
+            rc,
+            be,
+        })
     }
 
     /// The paper's 8-queue layout: queues 0–2 best-effort, 3–5
@@ -185,7 +189,10 @@ mod tests {
     #[test]
     fn default_queues_per_class() {
         let l = QueueLayout::standard8();
-        assert_eq!(l.default_queue(TrafficClass::TimeSensitive), QueueId::new(6));
+        assert_eq!(
+            l.default_queue(TrafficClass::TimeSensitive),
+            QueueId::new(6)
+        );
         assert_eq!(
             l.default_queue(TrafficClass::RateConstrained),
             QueueId::new(3)
@@ -228,7 +235,10 @@ mod tests {
     fn class_of_out_of_range_is_none() {
         let l = QueueLayout::standard8();
         assert_eq!(l.class_of(QueueId::new(8)), None);
-        assert_eq!(l.class_of(QueueId::new(7)), Some(TrafficClass::TimeSensitive));
+        assert_eq!(
+            l.class_of(QueueId::new(7)),
+            Some(TrafficClass::TimeSensitive)
+        );
     }
 
     #[test]
@@ -240,6 +250,9 @@ mod tests {
         .expect("valid");
         // No RC/BE queues: default falls back to a TS queue.
         assert_eq!(l.default_queue(TrafficClass::BestEffort), QueueId::new(0));
-        assert_eq!(l.spread_queue(TrafficClass::RateConstrained, 5), QueueId::new(0));
+        assert_eq!(
+            l.spread_queue(TrafficClass::RateConstrained, 5),
+            QueueId::new(0)
+        );
     }
 }

@@ -7,7 +7,6 @@
 //! of outports from the multicast table." (Sections III.A/III.B)
 
 use crate::table::CapTable;
-use serde::{Deserialize, Serialize};
 use tsn_types::{EthernetFrame, MacAddr, McId, Pcp, PortId, TsnResult, VlanId};
 
 /// The header fields the parser submodule extracts from a frame.
@@ -15,7 +14,7 @@ use tsn_types::{EthernetFrame, MacAddr, McId, Pcp, PortId, TsnResult, VlanId};
 /// On the FPGA this is the output of the parser pipeline stage; here it is
 /// a plain struct so the lookup stage (and tests) can be driven without a
 /// full frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PacketFields {
     /// Destination MAC address.
     pub dst: MacAddr,
@@ -44,7 +43,7 @@ impl PacketFields {
 }
 
 /// Result of a forwarding lookup.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LookupOutcome {
     /// Forward out of a single port.
     Unicast(PortId),
@@ -225,7 +224,10 @@ mod tests {
             ps.lookup(&frame_to(dst)),
             LookupOutcome::Unicast(PortId::new(1))
         );
-        assert_eq!(ps.lookup(&frame_to(MacAddr::station(8))), LookupOutcome::Miss);
+        assert_eq!(
+            ps.lookup(&frame_to(MacAddr::station(8))),
+            LookupOutcome::Miss
+        );
         // A full miss probes both the exact and the aggregated entry,
         // like the two-pass hardware lookup it models.
         assert_eq!(ps.miss_count(), 2);
@@ -337,7 +339,10 @@ mod tests {
 
     #[test]
     fn outcome_ports_view() {
-        assert_eq!(LookupOutcome::Unicast(PortId::new(3)).ports(), &[PortId::new(3)]);
+        assert_eq!(
+            LookupOutcome::Unicast(PortId::new(3)).ports(),
+            &[PortId::new(3)]
+        );
         assert!(LookupOutcome::Miss.ports().is_empty());
         assert!(LookupOutcome::Miss.is_miss());
     }

@@ -14,7 +14,6 @@ use crate::ingress_filter::{ClassEntry, ClassKey, FilterDrop, FilterVerdict, Ing
 use crate::layout::QueueLayout;
 use crate::packet_switch::PacketSwitch;
 use crate::stats::{DropReason, SwitchStats};
-use serde::{Deserialize, Serialize};
 use tsn_types::{
     DataRate, EthernetFrame, MacAddr, McId, MeterId, PortId, QueueId, SimDuration, SimTime,
     TrafficClass, TsnError, TsnResult, VlanId,
@@ -22,7 +21,7 @@ use tsn_types::{
 
 /// Whether a physical port runs the TSN machinery (CQF gate control) or is
 /// a plain store-and-forward edge port (e.g. facing a host).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortKind {
     /// Deterministic port: CQF in/out GCLs on the TS queue pair.
     Tsn,
@@ -49,7 +48,11 @@ impl SwitchSpec {
     /// A spec with `ports` roles, the paper's default resources, and the
     /// given CQF slot.
     #[must_use]
-    pub fn new(resources: tsn_resource::ResourceConfig, ports: Vec<PortKind>, slot: SimDuration) -> Self {
+    pub fn new(
+        resources: tsn_resource::ResourceConfig,
+        ports: Vec<PortKind>,
+        slot: SimDuration,
+    ) -> Self {
         SwitchSpec {
             resources,
             ports,
@@ -76,7 +79,7 @@ impl SwitchSpec {
 }
 
 /// Outcome of presenting one frame to the switch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Disposition {
     /// Enqueued on `queue` of egress `port`.
     Enqueued {
@@ -176,10 +179,8 @@ impl TsnSwitchCore {
             res.meter_size() as usize,
             layout.clone(),
         );
-        let packet_switch = PacketSwitch::new(
-            res.unicast_size() as usize,
-            res.multicast_size() as usize,
-        );
+        let packet_switch =
+            PacketSwitch::new(res.unicast_size() as usize, res.multicast_size() as usize);
         for (port, _, _) in &spec.gcl_overrides {
             if port.as_usize() >= spec.ports.len() {
                 return Err(TsnError::UnknownPort {
@@ -204,17 +205,9 @@ impl TsnSwitchCore {
                         if in_gcl.len() > res.gate_size() as usize
                             || out_gcl.len() > res.gate_size() as usize
                         {
-                            return Err(TsnError::capacity(
-                                "gate table",
-                                res.gate_size() as usize,
-                            ));
+                            return Err(TsnError::capacity("gate table", res.gate_size() as usize));
                         }
-                        GateCtrl::new(
-                            layout.clone(),
-                            res.queue_depth() as usize,
-                            in_gcl,
-                            out_gcl,
-                        )?
+                        GateCtrl::new(layout.clone(), res.queue_depth() as usize, in_gcl, out_gcl)?
                     }
                     (None, PortKind::Tsn) => {
                         GateCtrl::cqf(layout.clone(), res.queue_depth() as usize, spec.slot)?
@@ -447,14 +440,14 @@ impl TsnSwitchCore {
     ) -> Option<(QueueId, EthernetFrame)> {
         let egress = self.ports.get_mut(port.as_usize())?;
         let layout = egress.gates.layout().clone();
-        let queue = egress.sched.select_filtered(&egress.gates, now, |q| {
-            match express {
+        let queue = egress
+            .sched
+            .select_filtered(&egress.gates, now, |q| match express {
                 None => true,
                 Some(want_ts) => {
                     (layout.class_of(q) == Some(TrafficClass::TimeSensitive)) == want_ts
                 }
-            }
-        })?;
+            })?;
         let frame = egress.gates.pop(queue)?;
         self.stats.transmitted += 1;
         Some((queue, frame))
@@ -568,8 +561,7 @@ impl TsnSwitchCore {
         self.ports
             .iter()
             .flat_map(|p| {
-                (0..p.gates.layout().queue_num())
-                    .map(|q| p.gates.high_water(QueueId::new(q as u8)))
+                (0..p.gates.layout().queue_num()).map(|q| p.gates.high_water(QueueId::new(q as u8)))
             })
             .max()
             .unwrap_or(0)
@@ -836,6 +828,8 @@ mod tests {
         assert!(sw
             .add_unicast(MacAddr::station(9), VlanId::DEFAULT, PortId::new(7))
             .is_err());
-        assert!(sw.set_shaper(PortId::new(7), 0, DataRate::mbps(10)).is_err());
+        assert!(sw
+            .set_shaper(PortId::new(7), 0, DataRate::mbps(10))
+            .is_err());
     }
 }

@@ -1,10 +1,9 @@
 //! Per-switch data-plane statistics.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Why the data plane dropped a frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DropReason {
     /// No forwarding entry matched (a TSN switch must not flood
     /// deterministic traffic).
@@ -52,7 +51,7 @@ impl fmt::Display for DropReason {
 }
 
 /// Counters for one switch.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SwitchStats {
     /// Frames handed to the pipeline.
     pub received: u64,

@@ -16,12 +16,11 @@
 //! estimation error times the sync interval — exactly the regime real gPTP
 //! hardware operates in.
 
-use serde::{Deserialize, Serialize};
 use tsn_types::{SimDuration, SimTime, TsnError, TsnResult};
 
 /// Deterministic xorshift PRNG for timestamp noise (keeps the template
 /// self-contained and reproducible without external dependencies).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct XorShift64(u64);
 
 impl XorShift64 {
@@ -46,7 +45,7 @@ impl XorShift64 {
 
 /// A free-running local oscillator: frequency error in parts-per-million
 /// plus an initial phase offset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClockModel {
     drift_ppm: f64,
     initial_offset_ns: f64,
@@ -83,7 +82,7 @@ impl ClockModel {
 }
 
 /// Configuration of the sync protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyncConfig {
     /// Interval between Sync messages (gPTP default is 125 ms; industrial
     /// profiles often use 31.25 ms).
@@ -121,7 +120,7 @@ impl Default for SyncConfig {
 /// let err = slave.error_ns(SimTime::from_millis(300));
 /// assert!(err.abs() < 100.0, "converged to within 100 ns, got {err}");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSync {
     clock: ClockModel,
     config: SyncConfig,
@@ -383,7 +382,10 @@ mod tests {
         // Probe the worst case: just before the next sync.
         let probe = t + config.sync_interval - SimDuration::from_nanos(1);
         let err = node.error_ns(probe).abs();
-        assert!(err < 50.0, "paper-level precision (<50 ns), got {err:.1} ns");
+        assert!(
+            err < 50.0,
+            "paper-level precision (<50 ns), got {err:.1} ns"
+        );
     }
 
     #[test]
@@ -446,8 +448,9 @@ mod tests {
 
     #[test]
     fn domain_requires_at_least_one_slave() {
-        assert!(SyncDomain::chain(vec![], SyncConfig::default(), SimDuration::from_nanos(50))
-            .is_err());
+        assert!(
+            SyncDomain::chain(vec![], SyncConfig::default(), SimDuration::from_nanos(50)).is_err()
+        );
     }
 
     #[test]

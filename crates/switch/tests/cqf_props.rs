@@ -1,12 +1,16 @@
-//! Property tests over the gate-control and scheduling invariants of the
-//! switch templates under randomized traffic.
+//! Property-style tests over the gate-control and scheduling invariants
+//! of the switch templates under seeded randomized traffic.
+//!
+//! Inputs are drawn from [`tsn_types::SplitMix64`] with fixed seeds, so
+//! every run explores the same (broad) input sets deterministically and
+//! failures are reproducible without a shrinker.
 
-use proptest::prelude::*;
 use tsn_switch::gate_ctrl::GateCtrl;
 use tsn_switch::layout::QueueLayout;
 use tsn_switch::pipeline::{PortKind, SwitchSpec, TsnSwitchCore};
 use tsn_types::{
-    EthernetFrame, FlowId, MacAddr, PortId, QueueId, SimDuration, SimTime, TrafficClass, VlanId,
+    EthernetFrame, FlowId, MacAddr, PortId, QueueId, SimDuration, SimTime, SplitMix64,
+    TrafficClass, VlanId,
 };
 
 fn frame(class: TrafficClass, seq: u64) -> EthernetFrame {
@@ -21,34 +25,47 @@ fn frame(class: TrafficClass, seq: u64) -> EthernetFrame {
         .expect("valid frame")
 }
 
-proptest! {
-    /// CQF invariant: a TS frame enqueued in slot `i` is dequeueable in
-    /// slot `i+1` and NOT in slot `i`, for any slot length and enqueue
-    /// instant.
-    #[test]
-    fn cqf_one_slot_forwarding(slot_us in 1u64..1000, offset_ns in 0u64..1_000_000_000) {
+/// CQF invariant: a TS frame enqueued in slot `i` is dequeueable in slot
+/// `i+1` and NOT in slot `i`, for any slot length and enqueue instant.
+#[test]
+fn cqf_one_slot_forwarding() {
+    let mut rng = SplitMix64::seed_from_u64(0x5107);
+    for _ in 0..256 {
+        let slot_us = rng.gen_range_in(1, 1000);
+        let offset_ns = rng.gen_range(1_000_000_000);
         let slot = SimDuration::from_micros(slot_us);
         let mut gates = GateCtrl::cqf(QueueLayout::standard8(), 64, slot).expect("valid cqf");
         let t = SimTime::from_nanos(offset_ns);
         let queue = gates
             .enqueue(QueueId::new(6), frame(TrafficClass::TimeSensitive, 0), t)
             .expect("one TS in-gate is always open under CQF");
-        prop_assert!(!gates.eligible(queue, t), "no same-slot forwarding");
+        assert!(
+            !gates.eligible(queue, t),
+            "no same-slot forwarding (slot_us={slot_us}, offset_ns={offset_ns})"
+        );
         let next_slot = t.next_slot_boundary(slot);
-        prop_assert!(gates.eligible(queue, next_slot), "next slot forwards");
+        assert!(
+            gates.eligible(queue, next_slot),
+            "next slot forwards (slot_us={slot_us}, offset_ns={offset_ns})"
+        );
         // And the slot after that it is closed again (if not drained).
         let after = next_slot.next_slot_boundary(slot);
-        prop_assert!(!gates.eligible(queue, after) || gates.queue_len(queue) == 0);
+        assert!(!gates.eligible(queue, after) || gates.queue_len(queue) == 0);
     }
+}
 
-    /// The CQF pair absorbs any interleaving of TS enqueues across slots
-    /// without ever putting two *different-slot* batches into the same
-    /// queue (as long as each batch is drained in its window).
-    #[test]
-    fn cqf_batches_never_mix(
-        slot_us in 5u64..200,
-        batches in proptest::collection::vec(1usize..8, 1..12),
-    ) {
+/// The CQF pair absorbs any interleaving of TS enqueues across slots
+/// without ever putting two *different-slot* batches into the same queue
+/// (as long as each batch is drained in its window).
+#[test]
+fn cqf_batches_never_mix() {
+    let mut rng = SplitMix64::seed_from_u64(0xba7c);
+    for _ in 0..128 {
+        let slot_us = rng.gen_range_in(5, 200);
+        let batch_count = rng.gen_range_in(1, 12) as usize;
+        let batches: Vec<usize> = (0..batch_count)
+            .map(|_| rng.gen_range_in(1, 8) as usize)
+            .collect();
         let slot = SimDuration::from_micros(slot_us);
         let mut gates = GateCtrl::cqf(QueueLayout::standard8(), 64, slot).expect("valid cqf");
         let mut seq = 0u64;
@@ -57,33 +74,43 @@ proptest! {
             let mut batch_queue = None;
             for _ in 0..batch {
                 let q = gates
-                    .enqueue(QueueId::new(7), frame(TrafficClass::TimeSensitive, seq), now)
+                    .enqueue(
+                        QueueId::new(7),
+                        frame(TrafficClass::TimeSensitive, seq),
+                        now,
+                    )
                     .expect("gate open");
                 seq += 1;
                 if let Some(prev) = batch_queue {
-                    prop_assert_eq!(prev, q, "one batch, one queue");
+                    assert_eq!(prev, q, "one batch, one queue");
                 }
                 batch_queue = Some(q);
             }
             // Drain the previous slot's batch (CQF guarantees it is
             // eligible now).
             let queue = batch_queue.expect("batch non-empty");
-            let other = if queue == QueueId::new(6) { QueueId::new(7) } else { QueueId::new(6) };
+            let other = if queue == QueueId::new(6) {
+                QueueId::new(7)
+            } else {
+                QueueId::new(6)
+            };
             while gates.eligible(other, now) {
                 gates.pop(other);
             }
         }
     }
+}
 
-    /// Strict priority with random backlogs: the selected queue is always
-    /// the highest-priority eligible one.
-    #[test]
-    fn scheduler_picks_the_top_eligible_queue(
-        backlogs in proptest::collection::vec(0usize..4, 8),
-        probe_slot in 0u64..4,
-    ) {
-        use tsn_switch::egress_sched::EgressScheduler;
-        use tsn_switch::gate_ctrl::GateControlList;
+/// Strict priority with random backlogs: the selected queue is always the
+/// highest-priority eligible one.
+#[test]
+fn scheduler_picks_the_top_eligible_queue() {
+    use tsn_switch::egress_sched::EgressScheduler;
+    use tsn_switch::gate_ctrl::GateControlList;
+    let mut rng = SplitMix64::seed_from_u64(0x5e1ec7);
+    for _ in 0..256 {
+        let backlogs: Vec<usize> = (0..8).map(|_| rng.gen_range(4) as usize).collect();
+        let probe_slot = rng.gen_range(4);
         let slot = SimDuration::from_micros(65);
         let mut gates = GateCtrl::new(
             QueueLayout::standard8(),
@@ -113,13 +140,22 @@ proptest! {
             .rev()
             .map(QueueId::new)
             .find(|&q| gates.queue_len(q) > 0);
-        prop_assert_eq!(sched.select(&gates, now), expected);
+        assert_eq!(sched.select(&gates, now), expected);
     }
+}
 
-    /// The pipeline conserves frames: received = enqueued + dropped, and
-    /// buffered + transmitted = enqueued, for any burst size.
-    #[test]
-    fn pipeline_conserves_frames(burst in 1u64..200) {
+/// The pipeline conserves frames: received = enqueued + dropped, and
+/// buffered + transmitted = enqueued, for any burst size.
+#[test]
+fn pipeline_conserves_frames() {
+    let mut rng = SplitMix64::seed_from_u64(0xf1a3);
+    for case in 0..64 {
+        // Cover the boundaries explicitly, then sample the range.
+        let burst = match case {
+            0 => 1,
+            1 => 199,
+            _ => rng.gen_range_in(1, 200),
+        };
         let spec = SwitchSpec::new(
             tsn_resource::ResourceConfig::new(),
             vec![PortKind::Tsn],
@@ -127,7 +163,8 @@ proptest! {
         );
         let mut sw = TsnSwitchCore::new(&spec).expect("valid spec");
         let dst = MacAddr::station(9);
-        sw.add_unicast(dst, VlanId::DEFAULT, PortId::new(0)).expect("fits");
+        sw.add_unicast(dst, VlanId::DEFAULT, PortId::new(0))
+            .expect("fits");
         let t0 = SimTime::ZERO;
         for seq in 0..burst {
             let f = EthernetFrame::builder()
@@ -141,8 +178,8 @@ proptest! {
             sw.receive(f, t0);
         }
         let stats = *sw.stats();
-        prop_assert_eq!(stats.received, burst);
-        prop_assert_eq!(stats.enqueued + stats.total_drops(), burst);
+        assert_eq!(stats.received, burst);
+        assert_eq!(stats.enqueued + stats.total_drops(), burst);
         // Drain everything over the next slots.
         let mut drained = 0u64;
         let mut now = t0;
@@ -152,6 +189,6 @@ proptest! {
                 drained += 1;
             }
         }
-        prop_assert_eq!(drained, stats.enqueued);
+        assert_eq!(drained, stats.enqueued);
     }
 }

@@ -9,7 +9,6 @@
 
 use crate::graph::Topology;
 use crate::route::Route;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use tsn_types::{FlowSet, NodeId, PortId, TsnResult};
 
@@ -33,7 +32,7 @@ use tsn_types::{FlowSet, NodeId, PortId, TsnResult};
 /// assert_eq!(enabled.max_per_switch(), 1); // the paper's ring column
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct EnabledPorts {
     per_switch: BTreeMap<NodeId, BTreeSet<PortId>>,
 }
@@ -97,7 +96,11 @@ impl EnabledPorts {
     /// for star/linear/ring).
     #[must_use]
     pub fn max_per_switch(&self) -> usize {
-        self.per_switch.values().map(BTreeSet::len).max().unwrap_or(0)
+        self.per_switch
+            .values()
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates over `(switch, enabled port count)` pairs, ordered by node

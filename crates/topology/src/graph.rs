@@ -3,7 +3,6 @@
 use crate::link::{Link, LinkDirection, LinkEnd, LinkId};
 use crate::node::{Node, NodeKind};
 use crate::route::{Route, RouteHop};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use tsn_types::{DataRate, NodeId, PortId, SimDuration, TsnError, TsnResult};
 
@@ -33,7 +32,7 @@ pub const DEFAULT_PROPAGATION: SimDuration = SimDuration::from_nanos(50);
 /// assert_eq!(route.switch_hops(), 1);
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -73,7 +72,13 @@ impl Topology {
     /// Returns [`TsnError::UnknownNode`] if either endpoint does not exist,
     /// or [`TsnError::InvalidParameter`] for a self-link or zero rate.
     pub fn connect(&mut self, a: NodeId, b: NodeId, rate: DataRate) -> TsnResult<LinkId> {
-        self.connect_with(a, b, rate, DEFAULT_PROPAGATION, LinkDirection::Bidirectional)
+        self.connect_with(
+            a,
+            b,
+            rate,
+            DEFAULT_PROPAGATION,
+            LinkDirection::Bidirectional,
+        )
     }
 
     /// Connects two nodes with full control over propagation delay and
@@ -110,8 +115,14 @@ impl Topology {
         let port_b = PortId::new(self.ports[b.as_usize()].len() as u16);
         let link = Link::new(
             id,
-            LinkEnd { node: a, port: port_a },
-            LinkEnd { node: b, port: port_b },
+            LinkEnd {
+                node: a,
+                port: port_a,
+            },
+            LinkEnd {
+                node: b,
+                port: port_b,
+            },
             rate,
             propagation,
             direction,
@@ -410,10 +421,7 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_host("a");
         let b = t.add_host("b");
-        assert!(matches!(
-            t.route(a, b),
-            Err(TsnError::NoRoute { .. })
-        ));
+        assert!(matches!(t.route(a, b), Err(TsnError::NoRoute { .. })));
     }
 
     #[test]

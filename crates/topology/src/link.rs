@@ -1,13 +1,10 @@
 //! Point-to-point links between nodes.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 use tsn_types::{DataRate, NodeId, PortId, SimDuration};
 
 /// Identifies a link within a topology.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(u32);
 
 impl LinkId {
@@ -31,7 +28,7 @@ impl fmt::Display for LinkId {
 }
 
 /// One endpoint of a link: a specific port on a specific node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkEnd {
     /// The node this end attaches to.
     pub node: NodeId,
@@ -50,7 +47,7 @@ impl fmt::Display for LinkEnd {
 /// The paper's ring topology enables *unidirectional* deterministic
 /// transmission (each switch uses a single TSN port), which is what
 /// [`LinkDirection::AToB`] models for switch-to-switch ring links.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkDirection {
     /// Frames flow both directions (normal Ethernet).
     Bidirectional,
@@ -59,7 +56,7 @@ pub enum LinkDirection {
 }
 
 /// A point-to-point link.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Link {
     id: LinkId,
     a: LinkEnd,
@@ -182,8 +179,14 @@ mod tests {
     #[test]
     fn peer_of_finds_the_other_end() {
         let l = link(LinkDirection::Bidirectional);
-        assert_eq!(l.peer_of(NodeId::new(0)).map(|e| e.node), Some(NodeId::new(1)));
-        assert_eq!(l.peer_of(NodeId::new(1)).map(|e| e.node), Some(NodeId::new(0)));
+        assert_eq!(
+            l.peer_of(NodeId::new(0)).map(|e| e.node),
+            Some(NodeId::new(1))
+        );
+        assert_eq!(
+            l.peer_of(NodeId::new(1)).map(|e| e.node),
+            Some(NodeId::new(0))
+        );
         assert_eq!(l.peer_of(NodeId::new(9)), None);
     }
 

@@ -1,11 +1,10 @@
 //! Nodes of a topology: switches and hosts.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 use tsn_types::NodeId;
 
 /// What a node is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// A TSN switch built from the five function templates.
     Switch,
@@ -27,7 +26,7 @@ impl fmt::Display for NodeKind {
 ///
 /// Nodes are created through [`crate::Topology::add_switch`] /
 /// [`crate::Topology::add_host`], which assign the [`NodeId`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Node {
     id: NodeId,
     kind: NodeKind,

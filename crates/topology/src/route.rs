@@ -2,11 +2,10 @@
 
 use crate::node::NodeKind;
 use core::fmt;
-use serde::{Deserialize, Serialize};
 use tsn_types::{NodeId, PortId};
 
 /// One hop of a [`Route`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RouteHop {
     /// The node traversed.
     pub node: NodeId,
@@ -22,7 +21,7 @@ pub struct RouteHop {
 ///
 /// The number of *switches* traversed is the `hop` of the paper's Eq. (1):
 /// `L_max = (hop + 1) × slot`, `L_min = (hop − 1) × slot`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Route {
     hops: Vec<RouteHop>,
 }

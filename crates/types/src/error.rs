@@ -2,7 +2,6 @@
 
 use crate::ids::{FlowId, NodeId, PortId};
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Convenience alias for `Result<T, TsnError>`.
 pub type TsnResult<T> = Result<T, TsnError>;
@@ -21,7 +20,7 @@ pub type TsnResult<T> = Result<T, TsnError>;
 /// assert!(matches!(err, TsnError::InvalidVlanId(4095)));
 /// assert_eq!(err.to_string(), "invalid VLAN id 4095 (legal range is 1..=4094)");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum TsnError {
     /// A string did not parse as a MAC address.

@@ -10,7 +10,6 @@ use crate::error::{TsnError, TsnResult};
 use crate::frame::{MAX_FRAME_BYTES, MIN_FRAME_BYTES};
 use crate::ids::{FlowId, NodeId};
 use crate::time::{DataRate, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// A periodic time-sensitive flow (highest priority).
 ///
@@ -33,7 +32,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(flow.period(), SimDuration::from_millis(10));
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TsFlowSpec {
     id: FlowId,
     src: NodeId,
@@ -126,7 +125,7 @@ impl TsFlowSpec {
 
 /// A rate-constrained flow (medium priority), shaped by a credit-based
 /// shaper at each hop.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RcFlowSpec {
     id: FlowId,
     src: NodeId,
@@ -200,7 +199,7 @@ impl RcFlowSpec {
 
 /// A best-effort flow (lowest priority). `offered_rate` is the load the
 /// talker tries to inject; the network gives it whatever is left.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BeFlowSpec {
     id: FlowId,
     src: NodeId,
@@ -273,7 +272,7 @@ impl BeFlowSpec {
 }
 
 /// Any of the three flow kinds.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum FlowSpec {
     /// Time-sensitive flow.
     Ts(TsFlowSpec),
@@ -404,7 +403,7 @@ impl From<BeFlowSpec> for FlowSpec {
 /// assert_eq!(set.scheduling_cycle(), Some(SimDuration::from_millis(20)));
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct FlowSet {
     flows: Vec<FlowSpec>,
 }
@@ -604,10 +603,14 @@ mod tests {
             63
         )
         .is_err());
-        assert!(
-            RcFlowSpec::new(FlowId::new(0), NodeId::new(0), NodeId::new(1), DataRate::mbps(10), 1024)
-                .is_ok()
-        );
+        assert!(RcFlowSpec::new(
+            FlowId::new(0),
+            NodeId::new(0),
+            NodeId::new(1),
+            DataRate::mbps(10),
+            1024
+        )
+        .is_ok());
     }
 
     #[test]

@@ -12,7 +12,6 @@ use crate::mac::MacAddr;
 use crate::time::SimTime;
 use crate::vlan::{Pcp, VlanId};
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Minimum legal frame size in this model (classic Ethernet minimum).
 pub const MIN_FRAME_BYTES: u32 = 64;
@@ -41,7 +40,7 @@ pub const ETHERNET_OVERHEAD_BYTES: u32 = 20;
 /// assert!(TrafficClass::TimeSensitive.strict_priority()
 ///     > TrafficClass::RateConstrained.strict_priority());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TrafficClass {
     /// Best-effort traffic (lowest priority).
     BestEffort,
@@ -130,7 +129,7 @@ impl fmt::Display for TrafficClass {
 /// assert_eq!(frame.class(), TrafficClass::TimeSensitive);
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EthernetFrame {
     dst: MacAddr,
     src: MacAddr,
@@ -231,7 +230,13 @@ impl fmt::Display for EthernetFrame {
         write!(
             f,
             "[{} {} seq{} {}B {}->{} {} {}]",
-            self.class, self.flow, self.sequence, self.size_bytes, self.src, self.dst, self.vlan,
+            self.class,
+            self.flow,
+            self.sequence,
+            self.size_bytes,
+            self.src,
+            self.dst,
+            self.vlan,
             self.pcp,
         )
     }

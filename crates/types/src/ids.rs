@@ -6,15 +6,12 @@
 //! invite.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 macro_rules! id_newtype {
     ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
         $(#[$doc])*
         #[derive(
-            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
-        )]
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name($repr);
 
         impl $name {

@@ -40,6 +40,7 @@ pub mod flow;
 pub mod frame;
 pub mod ids;
 pub mod mac;
+pub mod rng;
 pub mod time;
 pub mod vlan;
 
@@ -48,5 +49,6 @@ pub use flow::{BeFlowSpec, FlowSet, FlowSpec, RcFlowSpec, TsFlowSpec};
 pub use frame::{EthernetFrame, FrameBuilder, TrafficClass, ETHERNET_OVERHEAD_BYTES};
 pub use ids::{FlowId, McId, MeterId, NodeId, PortId, QueueId};
 pub use mac::MacAddr;
+pub use rng::SplitMix64;
 pub use time::{DataRate, SimDuration, SimTime};
 pub use vlan::{Pcp, VlanId};

@@ -3,7 +3,6 @@
 use crate::error::{TsnError, TsnResult};
 use core::fmt;
 use core::str::FromStr;
-use serde::{Deserialize, Serialize};
 
 /// A 48-bit IEEE 802 MAC address.
 ///
@@ -23,9 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(a.is_locally_administered());
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MacAddr([u8; 6]);
 
 impl MacAddr {

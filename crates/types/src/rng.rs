@@ -1,0 +1,105 @@
+//! A small deterministic PRNG for workload generation and tests.
+//!
+//! The repo is built to run hermetically — workload draws (deadline sets,
+//! fuzz-style test inputs) come from this SplitMix64 generator instead of
+//! an external crate, so the same seed always produces the same scenario
+//! on every platform.
+
+/// SplitMix64: tiny, fast, and statistically solid for non-cryptographic
+/// use (Steele, Lea & Flood, OOPSLA 2014). One `u64` of state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator. Identical seeds yield identical streams.
+    #[must_use]
+    pub const fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..bound` (`bound` must be non-zero).
+    ///
+    /// Uses the widening-multiply trick with a rejection step, so the
+    /// distribution is exactly uniform.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be non-zero");
+        // Lemire's method: multiply-shift with rejection of the biased zone.
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(bound);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(bound);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform draw from `lo..hi` (`lo < hi`).
+    pub fn gen_range_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range_in needs lo < hi");
+        lo + self.gen_range(hi - lo)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            let v = rng.gen_range(4);
+            assert!(v < 4);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 4 values drawn in 256 tries");
+    }
+
+    #[test]
+    fn next_f64_unit_interval() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

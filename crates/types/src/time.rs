@@ -9,7 +9,6 @@
 use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
 
 /// An absolute instant on the simulated timeline, in nanoseconds since the
 /// simulation epoch.
@@ -29,9 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(end - start, SimDuration::from_micros(5));
 /// assert_eq!(end.as_nanos(), 15_000);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -189,9 +186,7 @@ impl Sub for SimTime {
 /// assert_eq!(slot * 4, SimDuration::from_micros(260));
 /// assert_eq!(SimDuration::from_millis(10) / slot, 153);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -402,9 +397,7 @@ impl Sum for SimDuration {
 /// assert_eq!(gig.serialization_time(1500), SimDuration::from_nanos(12_000));
 /// assert_eq!(DataRate::mbps(100).bits_per_sec(), 100_000_000);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DataRate(u64);
 
 impl DataRate {
@@ -618,7 +611,10 @@ mod tests {
     #[test]
     fn bytes_in_window() {
         assert_eq!(DataRate::gbps(1).bytes_in(SimDuration::from_micros(1)), 125);
-        assert_eq!(DataRate::mbps(8).bytes_in(SimDuration::from_secs(1)), 1_000_000);
+        assert_eq!(
+            DataRate::mbps(8).bytes_in(SimDuration::from_secs(1)),
+            1_000_000
+        );
     }
 
     #[test]

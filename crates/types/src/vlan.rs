@@ -2,7 +2,6 @@
 
 use crate::error::{TsnError, TsnResult};
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// A 12-bit 802.1Q VLAN identifier (1..=4094; 0 and 4095 are reserved).
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(VlanId::new(4095).is_err());
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VlanId(u16);
 
 impl VlanId {
@@ -91,9 +90,7 @@ impl From<VlanId> for u16 {
 /// assert!(Pcp::new(8).is_err());
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pcp(u8);
 
 impl Pcp {

@@ -3,15 +3,18 @@
 //! customization argument of the paper, beyond its three fixed examples.
 //!
 //! Builds stars with 1..=8 child switches, derives a customization for
-//! each, and prints the Table III-style totals against the BCM53154
-//! baseline under all three BRAM allocation policies.
+//! each **in parallel** through the sweep runner, and prints the
+//! Table III-style totals against the BCM53154 baseline under all three
+//! BRAM allocation policies.
 //!
 //! ```text
 //! cargo run --release --example cots_vs_custom
+//! TSN_SWEEP_WORKERS=1 cargo run --release --example cots_vs_custom   # serial
 //! ```
 
 use tsn_builder::{workloads, DeriveOptions, TsnBuilder};
 use tsn_resource::{baseline, AllocationPolicy, UsageReport};
+use tsn_sim::sweep::{run_sweep, workers_from_env};
 use tsn_topology::presets;
 use tsn_types::{SimDuration, TsnError};
 
@@ -22,7 +25,8 @@ fn main() -> Result<(), TsnError> {
         "{:<22} {:>10} {:>14} {:>14} {:>14}",
         "scenario", "TSN ports", "paper policy", "exact bits", "bram36"
     );
-    for children in 2..=8usize {
+    let children: Vec<usize> = (2..=8).collect();
+    let rows = run_sweep(&children, workers_from_env(), |_idx, &children| {
         let topology = presets::star(children, children)?;
         let flow_count = (children * 64) as u32;
         let flows = workloads::iec60802_ts_flows(&topology, flow_count, 11)?;
@@ -41,14 +45,17 @@ fn main() -> Result<(), TsnError> {
                 custom.reduction_vs(&reference)
             ));
         }
-        println!(
+        Ok(format!(
             "{:<22} {:>10} {:>14} {:>14} {:>14}",
             format!("star({children}) x{flow_count} flows"),
             customization.derived().resources.port_num(),
             cells[0],
             cells[1],
             cells[2]
-        );
+        ))
+    });
+    for row in rows {
+        println!("{}", row.expect("derivation succeeds"));
     }
 
     println!(

@@ -31,11 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // written out.
         check_source(source).map_err(|e| TsnError::InvalidArtifact(format!("{name}: {e}")))?;
         fs::write(out_dir.join(name), source)?;
-        println!(
-            "wrote {:<20} {:>5} lines",
-            name,
-            source.lines().count()
-        );
+        println!("wrote {:<20} {:>5} lines", name, source.lines().count());
     }
     println!(
         "\n{} files, {} total lines under {}/",

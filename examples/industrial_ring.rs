@@ -21,12 +21,8 @@ fn main() -> Result<(), TsnError> {
     // from {1,2,4,8} ms) plus ~450 Mbps of RC and BE background each.
     let topology = presets::ring(6, 3)?;
     let ts = workloads::iec60802_ts_flows(&topology, 1022, 2024)?;
-    let background = workloads::background_flows(
-        &topology,
-        DataRate::mbps(450),
-        DataRate::mbps(450),
-        100_000,
-    )?;
+    let background =
+        workloads::background_flows(&topology, DataRate::mbps(450), DataRate::mbps(450), 100_000)?;
     let flows = workloads::merge(ts, background);
 
     let customization = TsnBuilder::new(topology, flows, SimDuration::from_nanos(50))?
@@ -54,10 +50,7 @@ fn main() -> Result<(), TsnError> {
     assert_eq!(report.ts_deadline_misses(), 0, "every deadline met");
     let worst_hops = customization.requirements().max_ts_hops()? as u64;
     let (_, l_max) = latency_bounds(worst_hops, derived.cqf.slot);
-    let measured_max = report
-        .ts_latency()
-        .max()
-        .expect("TS frames were delivered");
+    let measured_max = report.ts_latency().max().expect("TS frames were delivered");
     assert!(
         measured_max <= l_max,
         "measured max {measured_max} must respect Eq. (1) L_max {l_max}"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The repository's CI gate. Run from the workspace root:
+#
+#   ./scripts/ci.sh
+#
+# Everything is offline — no crates are fetched. TSN_SWEEP_WORKERS and
+# TSN_BENCH_MS can be exported beforehand to pin worker counts / bench
+# budgets on constrained machines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace --all-targets
+run cargo test -q --workspace
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo fmt --check
+
+echo "CI gate passed."

@@ -47,8 +47,8 @@ fn mixed_periods_run_losslessly_with_the_derived_depth() -> Result<(), TsnError>
     let flows = mixed_flows(&topo, 96);
     let mut options = DeriveOptions::automatic();
     options.slot = Some(tsn_builder::PAPER_SLOT);
-    let customization = TsnBuilder::new(topo, flows, SimDuration::from_nanos(50))?
-        .derive(&options)?;
+    let customization =
+        TsnBuilder::new(topo, flows, SimDuration::from_nanos(50))?.derive(&options)?;
     let derived_depth = customization.derived().resources.queue_depth();
     // 200 ms ≥ 5 full 40 ms hyperperiods.
     let report = customization
@@ -100,7 +100,10 @@ fn short_period_flows_meet_tight_deadlines() -> Result<(), TsnError> {
     let report = customization
         .synthesize_network(SimDuration::from_millis(100), SyncSetup::Perfect)?
         .run();
-    assert!(report.ts_injected() >= 16 * 45, "2 ms period -> ~50 frames/flow");
+    assert!(
+        report.ts_injected() >= 16 * 45,
+        "2 ms period -> ~50 frames/flow"
+    );
     assert_eq!(report.ts_lost(), 0);
     assert_eq!(report.ts_deadline_misses(), 0);
     Ok(())

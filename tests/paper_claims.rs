@@ -46,8 +46,13 @@ fn table_i_same_qos_with_540kb_less() -> Result<(), TsnError> {
     for resources in [case1, case2] {
         let topo = presets::ring(3, 2)?;
         let hosts = topo.hosts();
-        let flows =
-            workloads::ts_flows_fixed_path(256, hosts[0], hosts[1], 64, SimDuration::from_millis(8))?;
+        let flows = workloads::ts_flows_fixed_path(
+            256,
+            hosts[0],
+            hosts[1],
+            64,
+            SimDuration::from_millis(8),
+        )?;
         let customization =
             TsnBuilder::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))?
                 .derive(&DeriveOptions::paper())?;
@@ -55,13 +60,12 @@ fn table_i_same_qos_with_540kb_less() -> Result<(), TsnError> {
         config.duration = SimDuration::from_millis(30);
         config.resources = resources;
         config.sync = SyncSetup::Perfect;
-        let report = Network::build(topo, flows, &customization.derived().itp.offsets, config)?
-            .run();
+        let report =
+            Network::build(topo, flows, &customization.derived().itp.offsets, config)?.run();
         assert_eq!(report.ts_lost(), 0);
         reports.push(report);
     }
-    let delta =
-        (reports[0].ts_latency().mean_ns() - reports[1].ts_latency().mean_ns()).abs();
+    let delta = (reports[0].ts_latency().mean_ns() - reports[1].ts_latency().mean_ns()).abs();
     assert!(
         delta < 1.0,
         "identical traffic and gates: means must match, delta {delta} ns"
@@ -92,14 +96,14 @@ fn eq1_upper_bound_holds_across_hops() -> Result<(), TsnError> {
             flows.clone(),
             SimDuration::from_nanos(50),
         )?;
-        let plan = tsn_builder::CqfPlan::with_slot(
+        let plan =
+            tsn_builder::CqfPlan::with_slot(&requirements, slot, tsn_types::DataRate::gbps(1))?;
+        let offsets = tsn_builder::itp::plan(
             &requirements,
-            slot,
-            tsn_types::DataRate::gbps(1),
-        )?;
-        let offsets =
-            tsn_builder::itp::plan(&requirements, &plan, tsn_builder::Strategy::GreedyLeastLoaded)?
-                .offsets;
+            &plan,
+            tsn_builder::Strategy::GreedyLeastLoaded,
+        )?
+        .offsets;
         let mut config = SimConfig::paper_defaults();
         config.duration = SimDuration::from_millis(40);
         config.sync = SyncSetup::Perfect;
@@ -149,7 +153,11 @@ fn sync_precision_below_50ns_during_traffic() -> Result<(), TsnError> {
 /// zero TS loss and zero deadline misses.
 #[test]
 fn derived_configurations_are_self_sufficient() -> Result<(), TsnError> {
-    for topology in [presets::star(3, 3)?, presets::linear(4, 2)?, presets::ring(5, 3)?] {
+    for topology in [
+        presets::star(3, 3)?,
+        presets::linear(4, 2)?,
+        presets::ring(5, 3)?,
+    ] {
         let flows = workloads::iec60802_ts_flows(&topology, 128, 9)?;
         let customization = TsnBuilder::new(topology, flows, SimDuration::from_nanos(50))?
             .derive(&DeriveOptions::paper())?;
@@ -159,8 +167,7 @@ fn derived_configurations_are_self_sufficient() -> Result<(), TsnError> {
         assert_eq!(report.ts_lost(), 0);
         assert_eq!(report.ts_deadline_misses(), 0);
         assert!(
-            report.max_queue_high_water
-                <= customization.derived().resources.queue_depth() as usize
+            report.max_queue_high_water <= customization.derived().resources.queue_depth() as usize
         );
     }
     Ok(())
@@ -174,8 +181,11 @@ fn per_switch_sizing_is_lossless() -> Result<(), TsnError> {
     use tsn_builder::PerSwitchConfig;
     let topo = presets::star(3, 3)?;
     let flows = workloads::iec60802_ts_flows(&topo, 96, 11)?;
-    let requirements =
-        tsn_builder::AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))?;
+    let requirements = tsn_builder::AppRequirements::new(
+        topo.clone(),
+        flows.clone(),
+        SimDuration::from_nanos(50),
+    )?;
     let cfg = PerSwitchConfig::derive(&requirements, &DeriveOptions::paper())?;
 
     let mut sim = SimConfig::paper_defaults();
@@ -184,7 +194,11 @@ fn per_switch_sizing_is_lossless() -> Result<(), TsnError> {
     sim.resources = cfg.uniform.resources.clone();
     sim.per_switch_resources = cfg.per_switch.clone().into_iter().collect();
     let report = Network::build(topo, flows, &cfg.uniform.itp.offsets, sim)?.run();
-    assert_eq!(report.ts_lost(), 0, "1-port children must still carry the load");
+    assert_eq!(
+        report.ts_lost(),
+        0,
+        "1-port children must still carry the load"
+    );
     assert_eq!(report.ts_deadline_misses(), 0);
     Ok(())
 }
@@ -204,7 +218,10 @@ fn hdl_reflects_derivation() -> Result<(), TsnError> {
     let gate = bundle.file("gate_ctrl.v").expect("gate_ctrl emitted");
     assert!(gate.contains(&format!("parameter QUEUE_DEPTH = {derived_depth}")));
     let top = bundle.file("tsn_switch_top.v").expect("top emitted");
-    assert!(top.contains("parameter PORT_NUM = 2"), "linear: 2 TSN ports");
+    assert!(
+        top.contains("parameter PORT_NUM = 2"),
+        "linear: 2 TSN ports"
+    );
     for (name, src) in bundle.files() {
         tsn_hdl::validate::check_source(src)
             .unwrap_or_else(|e| panic!("{name} failed validation: {e}"));

@@ -130,7 +130,10 @@ fn tas_protects_against_off_schedule_traffic() -> Result<(), TsnError> {
     // And the on-time frame transmits exactly in its egress window.
     assert!(sw.dequeue(PortId::new(0), SimTime::ZERO).is_none());
     assert!(sw
-        .dequeue(PortId::new(0), SimTime::ZERO + slot + SimDuration::from_micros(1))
+        .dequeue(
+            PortId::new(0),
+            SimTime::ZERO + slot + SimDuration::from_micros(1)
+        )
         .is_some());
     Ok(())
 }
@@ -163,8 +166,7 @@ fn tas_costs_more_gate_bram_only_at_scale() -> Result<(), TsnError> {
     // long hyperperiods the gate table grows.
     let topo = presets::ring(6, 3)?;
     let flows = workloads::iec60802_ts_flows(&topo, 64, 5)?;
-    let tas = TsnBuilder::new(topo, flows, SimDuration::from_nanos(50))?
-        .derive(&tas_options())?;
+    let tas = TsnBuilder::new(topo, flows, SimDuration::from_nanos(50))?.derive(&tas_options())?;
     let tas_report = tas.usage_report(AllocationPolicy::PaperAccounting);
 
     let topo = presets::ring(6, 3)?;
@@ -183,8 +185,7 @@ fn tas_costs_more_gate_bram_only_at_scale() -> Result<(), TsnError> {
     let tas_exact = tas.usage_report(AllocationPolicy::ExactBits);
     let cqf_exact = cqf.usage_report(AllocationPolicy::ExactBits);
     assert!(
-        tas_exact.row("Gate Tbl").expect("row").bits
-            > cqf_exact.row("Gate Tbl").expect("row").bits
+        tas_exact.row("Gate Tbl").expect("row").bits > cqf_exact.row("Gate Tbl").expect("row").bits
     );
     Ok(())
 }
