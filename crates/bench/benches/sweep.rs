@@ -54,17 +54,22 @@ fn main() {
     println!("sweep/scaling: {n} scenarios, {cores} workers available");
 
     // Serial baseline: one planner, scenarios one after another.
+    let serial_planner = SweepPlanner::new();
     let (serial_ns, serial_reports) = runner.time_once(|| {
-        let planner = SweepPlanner::new();
         scenarios
             .iter()
             .map(|s| {
-                let outcome = planner.run_one(s).expect("scenario runs");
+                let outcome = serial_planner.run_one(s).expect("scenario runs");
                 format!("{:?}", outcome.report)
             })
             .collect::<Vec<String>>()
     });
-    println!("  serial               {:>10}", fmt_ns(serial_ns));
+    println!(
+        "  serial               {:>10}   cache {} hits / {} misses",
+        fmt_ns(serial_ns),
+        serial_planner.planning_hits(),
+        serial_planner.planning_misses(),
+    );
 
     // Oversubscribed counts still run (threads timeshare) and must still
     // produce identical reports; only counts <= cores can show speedup.
@@ -74,9 +79,15 @@ fn main() {
     }
 
     let mut best_speedup = 0.0f64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
     for &workers in &worker_counts {
+        // A fresh planner per worker count (as `run_scenarios` would
+        // use) so each run's cache hit/miss split is visible on its own.
+        let planner = SweepPlanner::new();
         let (ns, reports) = runner.time_once(|| {
-            tsn_builder::run_scenarios(&scenarios, workers)
+            planner
+                .run(&scenarios, workers)
                 .into_iter()
                 .map(|r| format!("{:?}", r.expect("scenario runs").report))
                 .collect::<Vec<String>>()
@@ -87,9 +98,13 @@ fn main() {
         );
         let speedup = serial_ns / ns;
         best_speedup = best_speedup.max(speedup);
+        cache_hits += planner.planning_hits();
+        cache_misses += planner.planning_misses();
         println!(
-            "  workers={workers:<2}           {:>10}   speedup {speedup:.2}x",
-            fmt_ns(ns)
+            "  workers={workers:<2}           {:>10}   speedup {speedup:.2}x   cache {} hits / {} misses",
+            fmt_ns(ns),
+            planner.planning_hits(),
+            planner.planning_misses(),
         );
     }
 
@@ -101,5 +116,8 @@ fn main() {
     } else {
         println!("  ({cores} cores: skipping the 2x-speedup assertion)");
     }
-    println!("  best speedup: {best_speedup:.2}x (reports identical across all runs)");
+    println!(
+        "  best speedup: {best_speedup:.2}x | planning cache {cache_hits} hits / \
+         {cache_misses} misses across parallel runs (reports identical across all runs)"
+    );
 }

@@ -75,6 +75,12 @@ impl Runner {
         Runner { filters, budget_ms }
     }
 
+    /// The per-benchmark time budget in milliseconds (`TSN_BENCH_MS`).
+    #[must_use]
+    pub fn budget_ms(&self) -> u64 {
+        self.budget_ms
+    }
+
     /// Whether `name` passes the CLI filter.
     #[must_use]
     pub fn selected(&self, name: &str) -> bool {

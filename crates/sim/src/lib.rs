@@ -49,7 +49,8 @@ pub mod report;
 pub mod sweep;
 
 pub use analyzer::{Analyzer, FlowRecord, LatencyStats};
+pub use event::EventQueueKind;
 pub use host::{Generator, Host};
 pub use network::{mac_for, vlan_for, Network, SimConfig, SyncSetup};
-pub use report::SimReport;
+pub use report::{EventStats, SimReport};
 pub use sweep::{run_sweep, PlanCache, SweepError};

@@ -9,9 +9,9 @@
 //! then executes the discrete-event loop and returns a [`SimReport`].
 
 use crate::analyzer::Analyzer;
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, EventQueueKind};
 use crate::host::{Generator, Host};
-use crate::report::SimReport;
+use crate::report::{EventStats, SimReport};
 use std::collections::{BTreeMap, HashMap};
 use tsn_resource::ResourceConfig;
 use tsn_switch::gate_ctrl::GateControlList;
@@ -76,6 +76,11 @@ pub struct SimConfig {
     /// interrupt in-flight preemptable (RC/BE) frames at fragment
     /// boundaries, on switch egress ports and host NICs alike.
     pub frame_preemption: bool,
+    /// Which future-event-list implementation drives the run. Both
+    /// backends realize the identical `(time, seq)` total order, so
+    /// reports are byte-identical; the calendar queue is the fast
+    /// default, the binary heap the reference.
+    pub event_queue: EventQueueKind,
 }
 
 impl SimConfig {
@@ -93,6 +98,7 @@ impl SimConfig {
             aggregate_switch_tbl: false,
             per_switch_resources: HashMap::new(),
             frame_preemption: false,
+            event_queue: EventQueueKind::default(),
         }
     }
 }
@@ -180,6 +186,14 @@ pub struct Network {
     sync_domain: Option<SyncDomain>,
     config: SimConfig,
     events_processed: u64,
+    /// Per-event-type counters and suppression instrumentation.
+    stats: EventStats,
+    /// TS deadline per flow, precomputed at build so the hot delivery
+    /// path avoids the linear `FlowSet` scan.
+    deadlines: HashMap<FlowId, SimDuration>,
+    /// Reusable scratch buffer for switch dispositions (one allocation
+    /// for the whole run instead of one per arriving frame).
+    scratch: Vec<tsn_switch::pipeline::Disposition>,
     now: SimTime,
 }
 
@@ -314,11 +328,15 @@ impl Network {
             }
         };
 
+        let deadlines: HashMap<FlowId, SimDuration> = flows
+            .iter()
+            .filter_map(|f| f.as_ts().map(|ts| (ts.id(), ts.deadline())))
+            .collect();
         let mut network = Network {
             topology,
             roles,
             flows,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_kind(config.event_queue),
             analyzer: Analyzer::new(),
             busy_until,
             tx_bytes,
@@ -327,6 +345,9 @@ impl Network {
             sync_domain,
             config,
             events_processed: 0,
+            stats: EventStats::default(),
+            deadlines,
+            scratch: Vec::new(),
             now: SimTime::ZERO,
         };
         network.install_flows(offsets)?;
@@ -502,11 +523,26 @@ impl Network {
 
     fn handle(&mut self, now: SimTime, event: Event) {
         match event {
-            Event::Inject { node, generator } => self.on_inject(node, generator, now),
-            Event::HostKick { node } => self.on_host_kick(node, now),
-            Event::FrameArrive { node, port, frame } => self.on_arrive(node, port, frame, now),
-            Event::PortKick { node, port } => self.on_port_kick(node, port, now),
-            Event::TxComplete { node, port, gen } => self.on_tx_complete(node, port, gen, now),
+            Event::Inject { node, generator } => {
+                self.stats.injects += 1;
+                self.on_inject(node, generator, now);
+            }
+            Event::HostKick { node } => {
+                self.stats.host_kicks += 1;
+                self.on_host_kick(node, now);
+            }
+            Event::FrameArrive { node, port, frame } => {
+                self.stats.frame_arrives += 1;
+                self.on_arrive(node, port, frame, now);
+            }
+            Event::PortKick { node, port } => {
+                self.stats.port_kicks += 1;
+                self.on_port_kick(node, port, now);
+            }
+            Event::TxComplete { node, port, gen } => {
+                self.stats.tx_completes += 1;
+                self.on_tx_complete(node, port, gen, now);
+            }
         }
     }
 
@@ -552,16 +588,21 @@ impl Network {
             .schedule(end, Event::TxComplete { node, port, gen });
         // A preemptable segment on a switch port may need interrupting at
         // the next gate change (an express frame becoming eligible
-        // mid-segment); arm a kick for it.
+        // mid-segment); arm a kick for it. Ports whose queues are empty
+        // or whose GCL never changes need no mid-segment check: any new
+        // express frame arrives through `on_arrive`, which kicks the port
+        // itself when preemption is on.
         if self.config.frame_preemption && !express {
             if let NodeRole::Switch { core, .. } = &self.roles[node.as_usize()] {
                 let corrected = self.corrected_time(node, now);
-                if let Some(next) = core.next_dequeue_opportunity(port, corrected) {
+                if let Some(next) = core.next_preemption_check(port, corrected) {
                     let wait = next.saturating_since(corrected) + SimDuration::from_nanos(100);
                     if now + wait < end {
                         self.queue
                             .schedule(now + wait, Event::PortKick { node, port });
                     }
+                } else {
+                    self.stats.kicks_suppressed += 1;
                 }
             }
         }
@@ -571,6 +612,7 @@ impl Network {
     /// port)` at `now` (802.3br rules: a minimum fragment must already be
     /// out, and a minimum tail must remain).
     fn try_preempt(&mut self, node: NodeId, port: PortId, now: SimTime) -> PreemptOutcome {
+        self.stats.preempt_attempts += 1;
         let Ok(link) = self.topology.link_at(node, port) else {
             return PreemptOutcome::No;
         };
@@ -635,7 +677,7 @@ impl Network {
             Event::FrameArrive {
                 node: peer.node,
                 port: peer.port,
-                frame: active.frame.clone(),
+                frame: active.frame,
             },
         );
         // Charge the credit-based shaper over the segment's span.
@@ -645,13 +687,28 @@ impl Network {
             let frame_bits = u64::from(active.frame.size_bytes()) * 8;
             core.note_transmitted(port, queue, frame_bits, active.started, now);
         }
-        // The wire is free: try to send the next segment.
+        // The wire is free: try to send the next segment — but only when
+        // the transmitter actually has one (buffered frames or a
+        // suspended fragment). An idle port is re-kicked by the next
+        // enqueue, so the kick would be a guaranteed no-op.
+        let suspended = self.wires[node.as_usize()][port.as_usize()]
+            .suspended
+            .is_some();
         match &self.roles[node.as_usize()] {
-            NodeRole::Switch { .. } => {
-                self.queue.schedule(now, Event::PortKick { node, port });
+            NodeRole::Switch { core, .. } => {
+                let backlog = core.gates(port).is_some_and(|g| g.total_buffered() > 0);
+                if backlog || suspended {
+                    self.queue.schedule(now, Event::PortKick { node, port });
+                } else {
+                    self.stats.kicks_suppressed += 1;
+                }
             }
-            NodeRole::Host(_) => {
-                self.queue.schedule(now, Event::HostKick { node });
+            NodeRole::Host(host) => {
+                if host.queued() > 0 || suspended {
+                    self.queue.schedule(now, Event::HostKick { node });
+                } else {
+                    self.stats.kicks_suppressed += 1;
+                }
             }
         }
     }
@@ -690,12 +747,15 @@ impl Network {
                         return;
                     }
                     PreemptOutcome::No => {
-                        self.queue.schedule(busy, Event::HostKick { node });
+                        // The pending TxComplete re-kicks at `busy`.
+                        self.stats.kicks_suppressed += 1;
                         return;
                     }
                 }
             } else {
-                self.queue.schedule(busy, Event::HostKick { node });
+                // The pending TxComplete re-kicks at `busy` if frames
+                // are still queued; no need to schedule a retry.
+                self.stats.kicks_suppressed += 1;
                 return;
             }
         }
@@ -730,34 +790,41 @@ impl Network {
     }
 
     fn on_arrive(&mut self, node: NodeId, _port: PortId, frame: EthernetFrame, now: SimTime) {
-        match &mut self.roles[node.as_usize()] {
-            NodeRole::Host(_) => {
-                let deadline = self
-                    .flows
-                    .get(frame.flow())
-                    .and_then(FlowSpec::as_ts)
-                    .map(|ts| ts.deadline());
-                self.analyzer.note_delivered(
-                    frame.flow(),
-                    frame.class(),
-                    frame.injected_at(),
-                    now,
-                    deadline,
-                );
-            }
-            NodeRole::Switch { core, sync_index } => {
-                let corrected = match &self.sync_domain {
-                    None => now,
-                    Some(domain) => domain.nodes()[*sync_index].now(now),
-                };
-                let dispositions = core.receive(frame, corrected);
-                for d in dispositions {
-                    if let tsn_switch::pipeline::Disposition::Enqueued { port, .. } = d {
-                        self.queue.schedule(now, Event::PortKick { node, port });
-                    }
+        if matches!(&self.roles[node.as_usize()], NodeRole::Host(_)) {
+            let deadline = self.deadlines.get(&frame.flow()).copied();
+            self.analyzer.note_delivered(
+                frame.flow(),
+                frame.class(),
+                frame.injected_at(),
+                now,
+                deadline,
+            );
+            return;
+        }
+        let corrected = self.corrected_time(node, now);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let NodeRole::Switch { core, .. } = &mut self.roles[node.as_usize()] else {
+            unreachable!("checked above");
+        };
+        core.receive_into(frame, corrected, &mut scratch);
+        for d in &scratch {
+            if let tsn_switch::pipeline::Disposition::Enqueued { port, .. } = d {
+                let port = *port;
+                // A busy port needs no kick: its pending TxComplete will
+                // service the backlog. Under frame preemption the kick
+                // stays, so an arriving express frame can interrupt the
+                // in-flight preemptable segment.
+                if now < self.busy_until[node.as_usize()][port.as_usize()]
+                    && !self.config.frame_preemption
+                {
+                    self.stats.kicks_suppressed += 1;
+                } else {
+                    self.queue.schedule(now, Event::PortKick { node, port });
                 }
             }
         }
+        self.scratch = scratch;
     }
 
     fn on_port_kick(&mut self, node: NodeId, port: PortId, now: SimTime) {
@@ -776,12 +843,15 @@ impl Network {
                         return;
                     }
                     PreemptOutcome::No => {
-                        self.queue.schedule(busy, Event::PortKick { node, port });
+                        // The pending TxComplete re-kicks at `busy`.
+                        self.stats.kicks_suppressed += 1;
                         return;
                     }
                 }
             } else {
-                self.queue.schedule(busy, Event::PortKick { node, port });
+                // The pending TxComplete re-kicks at `busy` if the port
+                // still has backlog; no need to schedule a retry.
+                self.stats.kicks_suppressed += 1;
                 return;
             }
         }
@@ -879,6 +949,8 @@ impl Network {
             .as_ref()
             .map(|d| d.max_abs_error_ns(self.now))
             .unwrap_or(0.0);
+        let mut events = self.stats;
+        events.queue_high_water = self.queue.high_water();
         SimReport {
             analyzer: self.analyzer,
             preemptions: self.preemptions,
@@ -889,6 +961,7 @@ impl Network {
             host_overflow_drops: host_overflow,
             sync_worst_error_ns,
             events_processed: self.events_processed,
+            events,
             ended_at: self.now,
         }
     }

@@ -5,6 +5,39 @@ use core::fmt;
 use tsn_switch::SwitchStats;
 use tsn_types::{NodeId, PortId, SimTime, TrafficClass};
 
+/// Event-core instrumentation: where the discrete-event loop spent its
+/// run. Cheap counters only — bumping them is a handful of integer adds
+/// per event, so they stay on in every build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventStats {
+    /// `FrameArrive` events handled.
+    pub frame_arrives: u64,
+    /// `PortKick` events handled.
+    pub port_kicks: u64,
+    /// `HostKick` events handled.
+    pub host_kicks: u64,
+    /// `Inject` events handled.
+    pub injects: u64,
+    /// `TxComplete` events handled.
+    pub tx_completes: u64,
+    /// Kicks that were *not* scheduled because the port was provably
+    /// going to be woken anyway (busy wire with a pending completion, or
+    /// an idle port with nothing buffered).
+    pub kicks_suppressed: u64,
+    /// 802.3br preemption attempts (successful or not).
+    pub preempt_attempts: u64,
+    /// Most events simultaneously pending in the scheduler.
+    pub queue_high_water: usize,
+}
+
+impl EventStats {
+    /// Total events handled, summed over every event type.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.frame_arrives + self.port_kicks + self.host_kicks + self.injects + self.tx_completes
+    }
+}
+
 /// Everything a finished simulation reports — the data behind the paper's
 /// Fig. 2 and Fig. 7 series.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +64,9 @@ pub struct SimReport {
     pub sync_worst_error_ns: f64,
     /// Events the simulator processed.
     pub events_processed: u64,
+    /// Event-core instrumentation (per-type counts, suppression,
+    /// scheduler high-water mark).
+    pub events: EventStats,
     /// Simulation time at which the run ended.
     pub ended_at: SimTime,
 }
@@ -102,7 +138,7 @@ impl fmt::Display for SimReport {
                 )?;
             }
         }
-        write!(
+        writeln!(
             f,
             "switches: {} | queue high-water {} | sync err {:.1}ns | {} events to {}",
             self.switch_stats,
@@ -110,6 +146,19 @@ impl fmt::Display for SimReport {
             self.sync_worst_error_ns,
             self.events_processed,
             self.ended_at,
+        )?;
+        write!(
+            f,
+            "events: arrive={} port-kick={} host-kick={} inject={} tx-done={} | \
+             kicks suppressed {} | preempt tries {} | evq high-water {}",
+            self.events.frame_arrives,
+            self.events.port_kicks,
+            self.events.host_kicks,
+            self.events.injects,
+            self.events.tx_completes,
+            self.events.kicks_suppressed,
+            self.events.preempt_attempts,
+            self.events.queue_high_water,
         )
     }
 }

@@ -194,20 +194,30 @@ impl EgressScheduler {
         now: SimTime,
         filter: impl Fn(QueueId) -> bool,
     ) -> Option<QueueId> {
-        let queue_num = self.cbs_map.len();
-        // Sync every shaper first so credits are current.
-        for q in 0..queue_num {
-            if let Some(slot) = self.cbs_map[q] {
-                let backlogged = gates.queue_len(QueueId::new(q as u8)) > 0;
-                if let Some(shaper) = self.shapers.get_mut(slot).and_then(Option::as_mut) {
-                    shaper.sync(now, backlogged);
+        // Sync every shaper first so credits are current (skipped
+        // entirely on the common unshaped port).
+        if self.mapped > 0 {
+            for q in 0..self.cbs_map.len() {
+                if let Some(slot) = self.cbs_map[q] {
+                    let backlogged = gates.queue_len(QueueId::new(q as u8)) > 0;
+                    if let Some(shaper) = self.shapers.get_mut(slot).and_then(Option::as_mut) {
+                        shaper.sync(now, backlogged);
+                    }
                 }
             }
         }
-        (0..queue_num)
-            .rev() // strict priority: highest queue id first
-            .map(|q| QueueId::new(q as u8))
-            .find(|&q| filter(q) && gates.eligible(q, now) && self.credit_ok(q))
+        // One AND yields every non-empty queue with an open gate; walk
+        // the set bits highest-first (strict priority).
+        let mut mask = gates.eligible_mask(now);
+        while mask != 0 {
+            let q = 63 - mask.leading_zeros();
+            let queue = QueueId::new(q as u8);
+            if filter(queue) && self.credit_ok(queue) {
+                return Some(queue);
+            }
+            mask &= !(1u64 << q);
+        }
+        None
     }
 
     fn credit_ok(&self, queue: QueueId) -> bool {
@@ -243,20 +253,44 @@ impl EgressScheduler {
     #[must_use]
     pub fn next_credit_recovery(&self, gates: &GateCtrl, now: SimTime) -> Option<SimTime> {
         let mut earliest: Option<SimTime> = None;
-        for (q, slot) in self.cbs_map.iter().enumerate() {
-            let Some(slot) = slot else { continue };
-            let Some(shaper) = self.shapers.get(*slot).and_then(Option::as_ref) else {
-                continue;
-            };
-            if gates.queue_len(QueueId::new(q as u8)) == 0 || shaper.eligible() {
+        for q in 0..self.cbs_map.len() {
+            let queue = QueueId::new(q as u8);
+            if gates.queue_len(queue) == 0 {
                 continue;
             }
-            let deficit_bits = -shaper.credit_bits();
-            let ns = (deficit_bits * 1e9 / shaper.idle_slope().bits_per_sec() as f64).ceil();
-            let ready = now + tsn_types::SimDuration::from_nanos(ns as u64 + 1);
-            earliest = Some(earliest.map_or(ready, |e: SimTime| e.min(ready)));
+            if let Some(ready) = self.queue_credit_recovery(queue, now) {
+                earliest = Some(earliest.map_or(ready, |e: SimTime| e.min(ready)));
+            }
         }
         earliest
+    }
+
+    /// The instant `queue`'s shaper recovers to non-negative credit, or
+    /// `None` if the queue is unshaped or already eligible. The caller is
+    /// responsible for knowing the queue is backlogged.
+    #[must_use]
+    pub fn queue_credit_recovery(&self, queue: QueueId, now: SimTime) -> Option<SimTime> {
+        let slot = self.cbs_map.get(queue.as_usize()).copied().flatten()?;
+        let shaper = self.shapers.get(slot).and_then(Option::as_ref)?;
+        if shaper.eligible() {
+            return None;
+        }
+        let deficit_bits = -shaper.credit_bits();
+        let ns = (deficit_bits * 1e9 / shaper.idle_slope().bits_per_sec() as f64).ceil();
+        Some(now + tsn_types::SimDuration::from_nanos(ns as u64 + 1))
+    }
+
+    /// Settles a shaper's idle period when its queue transitions from
+    /// empty to backlogged: negative credit has recovered (capped at 0),
+    /// positive credit has reset to 0 (802.1Qav). Calling this at enqueue
+    /// time makes the credit trajectory independent of how often the
+    /// scheduler happened to be polled while the queue sat empty.
+    pub fn note_backlog_start(&mut self, queue: QueueId, now: SimTime) {
+        if let Some(slot) = self.cbs_map.get(queue.as_usize()).copied().flatten() {
+            if let Some(shaper) = self.shapers.get_mut(slot).and_then(Option::as_mut) {
+                shaper.sync(now, false);
+            }
+        }
     }
 
     /// Read access to a shaper slot.

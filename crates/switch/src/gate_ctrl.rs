@@ -67,6 +67,12 @@ impl GateEntry {
     pub const fn is_open(self, queue: QueueId) -> bool {
         self.mask & (1 << queue.index()) != 0
     }
+
+    /// The raw open-gate bitmask (bit *q* = queue *q* open).
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.mask
+    }
 }
 
 /// A gate control list: equally sized time slots, one [`GateEntry`] per
@@ -96,7 +102,25 @@ impl GateEntry {
 pub struct GateControlList {
     entries: Vec<GateEntry>,
     slot: SimDuration,
+    /// All entries are identical, so the gate state never changes — true
+    /// for every always-open list. Lets the hot path skip the
+    /// `slot_index` division entirely.
+    uniform: bool,
+    /// OR of every entry: a queue absent here can never open.
+    open_union: GateEntry,
+    /// Transition table, `[entry_idx * 64 + queue]` → slots ahead until
+    /// `queue`'s gate is next open (0 = open in that entry,
+    /// [`NEVER_OPENS`] = the queue is closed in every entry). Empty for
+    /// uniform lists (nothing to look up) and for lists longer than
+    /// [`MAX_TABLE_ENTRIES`] (which fall back to scanning).
+    next_open_tbl: Vec<u16>,
 }
+
+/// Sentinel in [`GateControlList::next_open_tbl`]: the queue never opens.
+const NEVER_OPENS: u16 = u16::MAX;
+/// Longest list the precomputed transition table covers; anything longer
+/// (far beyond any real `gate_size`) scans entries on demand instead.
+const MAX_TABLE_ENTRIES: usize = 4096;
 
 impl GateControlList {
     /// Creates a GCL from its entries and slot length.
@@ -115,20 +139,68 @@ impl GateControlList {
         if slot.is_zero() {
             return Err(TsnError::invalid_parameter("slot", "must be non-zero"));
         }
-        Ok(GateControlList { entries, slot })
+        Ok(GateControlList::with_tables(entries, slot))
     }
 
     /// A degenerate single-entry list that keeps every gate open — what a
     /// non-TSN port effectively runs.
     #[must_use]
     pub fn always_open(slot: SimDuration) -> Self {
-        GateControlList {
-            entries: vec![GateEntry::all_open()],
-            slot: if slot.is_zero() {
+        GateControlList::with_tables(
+            vec![GateEntry::all_open()],
+            if slot.is_zero() {
                 SimDuration::from_micros(1)
             } else {
                 slot
             },
+        )
+    }
+
+    /// Builds the list and precomputes its transition tables (done once
+    /// per port at network-build time, so per-event lookups are O(1)).
+    fn with_tables(entries: Vec<GateEntry>, slot: SimDuration) -> Self {
+        let uniform = entries.windows(2).all(|w| w[0] == w[1]);
+        let open_union = if entries.is_empty() {
+            GateEntry::all_open()
+        } else {
+            entries
+                .iter()
+                .fold(GateEntry::all_closed(), |acc, e| GateEntry {
+                    mask: acc.mask | e.mask,
+                })
+        };
+        let len = entries.len();
+        let next_open_tbl = if uniform || len > MAX_TABLE_ENTRIES {
+            Vec::new()
+        } else {
+            let mut tbl = vec![NEVER_OPENS; len * 64];
+            for q in 0..64u8 {
+                let queue = QueueId::new(q);
+                if !open_union.is_open(queue) {
+                    continue;
+                }
+                // Two backward passes over the cycle fill the distance to
+                // the next open slot (wrapping across the cycle end).
+                let mut dist = NEVER_OPENS;
+                for idx in (0..len * 2).rev() {
+                    if entries[idx % len].is_open(queue) {
+                        dist = 0;
+                    } else if dist != NEVER_OPENS {
+                        dist += 1;
+                    }
+                    if idx < len {
+                        tbl[idx * 64 + q as usize] = dist;
+                    }
+                }
+            }
+            tbl
+        };
+        GateControlList {
+            entries,
+            slot,
+            uniform,
+            open_union,
+            next_open_tbl,
         }
     }
 
@@ -139,11 +211,60 @@ impl GateControlList {
     /// behaves as all-open instead of panicking on `% 0`.
     #[must_use]
     pub fn entry_at(&self, now: SimTime) -> GateEntry {
-        if self.entries.is_empty() {
-            return GateEntry::all_open();
+        if self.uniform {
+            // Covers single-entry lists (the common always-open case) and
+            // the defensive entry-less case without any division.
+            return self
+                .entries
+                .first()
+                .copied()
+                .unwrap_or(GateEntry::all_open());
         }
         let idx = (now.slot_index(self.slot) as usize) % self.entries.len();
         self.entries[idx]
+    }
+
+    /// `true` when every entry is identical, i.e. the gate state never
+    /// changes (always-open edge-port lists in particular).
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.uniform
+    }
+
+    /// The union of every entry: queues that can ever be open.
+    #[must_use]
+    pub fn open_union(&self) -> GateEntry {
+        self.open_union
+    }
+
+    /// The earliest instant `>= now` at which `queue`'s gate is open:
+    /// `now` itself if it is open already, the start of the slot where it
+    /// next opens otherwise, `None` if it is closed in every entry. A
+    /// table lookup instead of a boundary-by-boundary scan.
+    #[must_use]
+    pub fn next_open(&self, queue: QueueId, now: SimTime) -> Option<SimTime> {
+        if !self.open_union.is_open(queue) {
+            return None;
+        }
+        if self.uniform {
+            return Some(now); // open in every slot
+        }
+        let global = now.slot_index(self.slot);
+        let len = self.entries.len();
+        let idx = (global as usize) % len;
+        let dist = if self.next_open_tbl.is_empty() {
+            // Oversized list: scan the cycle once.
+            (0..len)
+                .find(|&d| self.entries[(idx + d) % len].is_open(queue))
+                .unwrap_or(0) as u64
+        } else {
+            u64::from(self.next_open_tbl[idx * 64 + queue.as_usize()])
+        };
+        if dist == 0 {
+            Some(now)
+        } else {
+            Some(SimTime::ZERO + self.slot * (global + dist))
+        }
     }
 
     /// Whether `queue`'s gate is open at `now`.
@@ -242,6 +363,15 @@ pub struct GateCtrl {
     out_gcl: GateControlList,
     layout: QueueLayout,
     gate_closed_drops: u64,
+    /// Bit *q* set ⇔ queue *q* holds at least one frame. Lets the
+    /// scheduler compute per-instant eligibility with one AND instead of
+    /// per-queue length checks.
+    occupied: u64,
+    /// Total frames buffered across all queues (kept incrementally so
+    /// buffer-pool checks are O(1)).
+    buffered: usize,
+    /// Bit mask of the layout's time-sensitive queues.
+    ts_mask: u64,
 }
 
 impl GateCtrl {
@@ -267,12 +397,19 @@ impl GateCtrl {
         let queues = (0..layout.queue_num())
             .map(|_| GatedQueue::new(queue_depth))
             .collect();
+        let ts_mask = layout
+            .ts_queues()
+            .iter()
+            .fold(0u64, |m, q| m | 1 << q.index());
         Ok(GateCtrl {
             queues,
             in_gcl,
             out_gcl,
             layout,
             gate_closed_drops: 0,
+            occupied: 0,
+            buffered: 0,
+            ts_mask,
         })
     }
 
@@ -356,6 +493,8 @@ impl GateCtrl {
             target
         };
         self.queues[queue.as_usize()].push(frame)?;
+        self.occupied |= 1 << queue.index();
+        self.buffered += 1;
         Ok(queue)
     }
 
@@ -369,6 +508,25 @@ impl GateCtrl {
             && self.out_gcl.is_open(queue, now)
     }
 
+    /// Bitmask of queues that may transmit at `now` (non-empty AND egress
+    /// gate open) — the scheduler's whole eligibility scan in one AND.
+    #[must_use]
+    pub fn eligible_mask(&self, now: SimTime) -> u64 {
+        self.occupied & self.out_gcl.entry_at(now).bits()
+    }
+
+    /// Bitmask of non-empty queues.
+    #[must_use]
+    pub fn occupied_mask(&self) -> u64 {
+        self.occupied
+    }
+
+    /// Bitmask of the layout's time-sensitive (express) queues.
+    #[must_use]
+    pub fn ts_mask(&self) -> u64 {
+        self.ts_mask
+    }
+
     /// The head frame of a queue without removing it.
     #[must_use]
     pub fn peek(&self, queue: QueueId) -> Option<&EthernetFrame> {
@@ -377,7 +535,13 @@ impl GateCtrl {
 
     /// Removes and returns the head frame of a queue.
     pub fn pop(&mut self, queue: QueueId) -> Option<EthernetFrame> {
-        self.queues.get_mut(queue.as_usize())?.frames.pop_front()
+        let q = self.queues.get_mut(queue.as_usize())?;
+        let frame = q.frames.pop_front()?;
+        self.buffered -= 1;
+        if q.frames.is_empty() {
+            self.occupied &= !(1 << queue.index());
+        }
+        Some(frame)
     }
 
     /// Occupancy of one queue.
@@ -392,7 +556,7 @@ impl GateCtrl {
     /// packet-buffer pool must hold).
     #[must_use]
     pub fn total_buffered(&self) -> usize {
-        self.queues.iter().map(|q| q.frames.len()).sum()
+        self.buffered
     }
 
     /// The highest simultaneous occupancy any queue has reached — the
@@ -618,6 +782,84 @@ mod tests {
         let now = SimTime::from_micros(10);
         assert_eq!(gc.next_gate_change(now), SimTime::ZERO + SLOT);
     }
+
+    #[test]
+    fn next_open_matches_a_boundary_scan() {
+        let gc = cqf_gate();
+        let out = gc.out_gcl();
+        for q in [QueueId::new(6), QueueId::new(7)] {
+            for step in 0..8u64 {
+                let now = SimTime::ZERO + SLOT * step + SimDuration::from_micros(3);
+                let fast = out
+                    .next_open(q, now)
+                    .expect("cqf pair opens every other slot");
+                // Reference: walk slot boundaries until the gate opens.
+                let mut t = now;
+                let slow = loop {
+                    if out.is_open(q, t) {
+                        break t;
+                    }
+                    t = out.next_change(t);
+                };
+                assert_eq!(fast, slow, "queue {q} at slot {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn always_open_lists_are_uniform_and_open_now() {
+        let gcl = GateControlList::always_open(SLOT);
+        assert!(gcl.is_uniform());
+        let t = SimTime::from_micros(123);
+        assert_eq!(gcl.next_open(QueueId::new(0), t), Some(t));
+        assert!(!cqf_gate().out_gcl().is_uniform());
+    }
+
+    #[test]
+    fn never_open_queue_has_no_next_open() {
+        let e = GateEntry::all_open().with_closed(QueueId::new(5));
+        let gcl =
+            GateControlList::new(vec![e, e.with_closed(QueueId::new(4))], SLOT).expect("valid");
+        assert_eq!(gcl.next_open(QueueId::new(5), SimTime::ZERO), None);
+        assert!(!gcl.open_union().is_open(QueueId::new(5)));
+        // q4 is closed only in entry 1: from an odd slot it opens at the
+        // next boundary.
+        let odd = SimTime::ZERO + SLOT + SimDuration::from_micros(1);
+        assert_eq!(
+            gcl.next_open(QueueId::new(4), odd),
+            Some(SimTime::ZERO + SLOT * 2)
+        );
+    }
+
+    #[test]
+    fn occupancy_mask_tracks_push_and_pop() {
+        let mut gc = cqf_gate();
+        assert_eq!(gc.occupied_mask(), 0);
+        gc.enqueue(QueueId::new(0), be_frame(), SimTime::ZERO)
+            .expect("open");
+        gc.enqueue(QueueId::new(0), be_frame(), SimTime::ZERO)
+            .expect("open");
+        assert_eq!(gc.occupied_mask(), 1);
+        assert_eq!(gc.total_buffered(), 2);
+        gc.pop(QueueId::new(0));
+        assert_eq!(gc.occupied_mask(), 1, "one frame left");
+        gc.pop(QueueId::new(0));
+        assert_eq!(gc.occupied_mask(), 0);
+        assert_eq!(gc.total_buffered(), 0);
+    }
+
+    #[test]
+    fn eligible_mask_combines_occupancy_and_out_gates() {
+        let mut gc = cqf_gate();
+        let q = gc
+            .enqueue(QueueId::new(6), ts_frame(0), SimTime::ZERO)
+            .expect("open");
+        // While filling, the out gate is closed: nothing eligible.
+        assert_eq!(gc.eligible_mask(SimTime::ZERO), 0);
+        // Next slot it drains.
+        assert_eq!(gc.eligible_mask(SimTime::ZERO + SLOT), 1 << q.index());
+        assert_eq!(gc.ts_mask(), (1 << 6) | (1 << 7));
+    }
     #[test]
     fn gcl_rejects_empty_entries_and_zero_slot() {
         assert!(GateControlList::new(vec![], SLOT).is_err());
@@ -628,10 +870,7 @@ mod tests {
     fn entry_less_gcl_is_all_open_not_a_panic() {
         // The public constructors make this state unreachable; build it
         // directly to pin the defensive behavior of entry_at/cycle.
-        let gcl = GateControlList {
-            entries: vec![],
-            slot: SLOT,
-        };
+        let gcl = GateControlList::with_tables(vec![], SLOT);
         let entry = gcl.entry_at(SimTime::from_micros(500));
         for q in 0..8u8 {
             assert!(entry.is_open(QueueId::new(q)));

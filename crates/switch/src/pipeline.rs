@@ -341,6 +341,15 @@ impl TsnSwitchCore {
     /// [`Disposition`] per target (one for unicast, several for
     /// multicast, exactly one `Dropped` for pre-lookup drops).
     pub fn receive(&mut self, frame: EthernetFrame, now: SimTime) -> Vec<Disposition> {
+        let mut dispositions = Vec::new();
+        self.receive_into(frame, now, &mut dispositions);
+        dispositions
+    }
+
+    /// As [`TsnSwitchCore::receive`], appending the dispositions to a
+    /// caller-provided buffer — the allocation-free form the simulator's
+    /// per-frame hot path uses.
+    pub fn receive_into(&mut self, frame: EthernetFrame, now: SimTime, out: &mut Vec<Disposition>) {
         self.stats.received += 1;
 
         // Ingress Filter: classify and police.
@@ -352,29 +361,31 @@ impl TsnSwitchCore {
                     FilterDrop::DanglingMeter => DropReason::DanglingMeter,
                 };
                 self.stats.count_drop(reason);
-                return vec![Disposition::Dropped { port: None, reason }];
+                out.push(Disposition::Dropped { port: None, reason });
+                return;
             }
         };
 
-        // Packet Switch: find the outport(s).
-        let outcome = self.packet_switch.lookup(&frame);
-        if outcome.is_miss() {
-            self.stats.count_drop(DropReason::LookupMiss);
-            return vec![Disposition::Dropped {
-                port: None,
-                reason: DropReason::LookupMiss,
-            }];
+        // Packet Switch: find the outport(s), then Gate Ctrl: enqueue per
+        // target port, respecting the buffer pool.
+        match self.packet_switch.lookup(&frame) {
+            crate::packet_switch::LookupOutcome::Unicast(port) => {
+                out.push(self.enqueue_on(port, queue, frame, now));
+            }
+            crate::packet_switch::LookupOutcome::Multicast(ports) => {
+                out.reserve(ports.len());
+                for port in ports {
+                    out.push(self.enqueue_on(port, queue, frame, now));
+                }
+            }
+            crate::packet_switch::LookupOutcome::Miss => {
+                self.stats.count_drop(DropReason::LookupMiss);
+                out.push(Disposition::Dropped {
+                    port: None,
+                    reason: DropReason::LookupMiss,
+                });
+            }
         }
-        let targets: Vec<PortId> = outcome.ports().to_vec();
-        drop(outcome);
-
-        // Gate Ctrl: enqueue per target port, respecting the buffer pool.
-        let mut dispositions = Vec::with_capacity(targets.len());
-        for port in targets {
-            let disposition = self.enqueue_on(port, queue, frame.clone(), now);
-            dispositions.push(disposition);
-        }
-        dispositions
     }
 
     fn enqueue_on(
@@ -400,6 +411,12 @@ impl TsnSwitchCore {
         }
         match egress.gates.enqueue(queue, frame, now) {
             Ok(actual_queue) => {
+                if egress.gates.queue_len(actual_queue) == 1 {
+                    // Empty → backlogged transition: settle the queue's
+                    // shaper over the idle period so credit accrual does
+                    // not depend on polling cadence.
+                    egress.sched.note_backlog_start(actual_queue, now);
+                }
                 self.stats.enqueued += 1;
                 Disposition::Enqueued {
                     port,
@@ -439,16 +456,13 @@ impl TsnSwitchCore {
         express: Option<bool>,
     ) -> Option<(QueueId, EthernetFrame)> {
         let egress = self.ports.get_mut(port.as_usize())?;
-        let layout = egress.gates.layout().clone();
-        let queue = egress
-            .sched
-            .select_filtered(&egress.gates, now, |q| match express {
-                None => true,
-                Some(want_ts) => {
-                    (layout.class_of(q) == Some(TrafficClass::TimeSensitive)) == want_ts
-                }
-            })?;
-        let frame = egress.gates.pop(queue)?;
+        let EgressPort { gates, sched, .. } = egress;
+        let ts_mask = gates.ts_mask();
+        let queue = sched.select_filtered(gates, now, |q| match express {
+            None => true,
+            Some(want_ts) => (ts_mask >> q.index()) & 1 == u64::from(want_ts),
+        })?;
+        let frame = gates.pop(queue)?;
         self.stats.transmitted += 1;
         Some((queue, frame))
     }
@@ -461,12 +475,7 @@ impl TsnSwitchCore {
         let Some(egress) = self.ports.get(port.as_usize()) else {
             return false;
         };
-        egress
-            .gates
-            .layout()
-            .ts_queues()
-            .iter()
-            .any(|&q| egress.gates.eligible(q, now))
+        egress.gates.eligible_mask(now) & egress.gates.ts_mask() != 0
     }
 
     /// Records a completed transmission so shapers are charged.
@@ -495,19 +504,58 @@ impl TsnSwitchCore {
     }
 
     /// The earliest future instant at which a dequeue on `port` could
-    /// newly succeed: the next gate change or the next credit recovery of
-    /// a blocked shaped queue. `None` when the port holds no frames.
+    /// newly succeed, computed gate-aware per occupied queue: a
+    /// gate-closed queue wakes exactly when its gate opens (transition
+    /// table lookup, not boundary polling); a gate-open queue that was
+    /// still passed over must be credit-blocked and wakes at its shaper's
+    /// recovery. `None` when the port holds no frames or no held frame
+    /// can ever become eligible.
     #[must_use]
     pub fn next_dequeue_opportunity(&self, port: PortId, now: SimTime) -> Option<SimTime> {
         let p = self.ports.get(port.as_usize())?;
-        if p.gates.total_buffered() == 0 {
+        let occupied = p.gates.occupied_mask();
+        if occupied == 0 {
             return None;
         }
-        let gate = p.gates.next_gate_change(now);
-        Some(match p.sched.next_credit_recovery(&p.gates, now) {
-            Some(credit) => gate.min(credit),
-            None => gate,
-        })
+        let out = p.gates.out_gcl();
+        let open_now = out.entry_at(now).bits();
+        let mut earliest: Option<SimTime> = None;
+        let mut merge = |t: SimTime| {
+            earliest = Some(earliest.map_or(t, |e| e.min(t)));
+        };
+        let mut mask = occupied;
+        while mask != 0 {
+            let q = mask.trailing_zeros();
+            mask &= mask - 1;
+            let queue = QueueId::new(q as u8);
+            if (open_now >> q) & 1 == 1 {
+                // Open but skipped by the dequeue that prompted this
+                // call: a shaper is blocking. Fall back to the next slot
+                // boundary if no recovery instant exists, so a frame can
+                // never be stranded by an unmodeled blocker.
+                match p.sched.queue_credit_recovery(queue, now) {
+                    Some(t) => merge(t),
+                    None => merge(out.next_change(now)),
+                }
+            } else if let Some(t) = out.next_open(queue, now) {
+                merge(t);
+            }
+        }
+        earliest
+    }
+
+    /// The next instant worth re-checking an in-flight *preemptable*
+    /// segment on `port` for an express frame that became eligible
+    /// mid-segment: the next gate change, or `None` when the port buffers
+    /// nothing or its egress gates never change (always-open list —
+    /// arrivals trigger their own kicks).
+    #[must_use]
+    pub fn next_preemption_check(&self, port: PortId, now: SimTime) -> Option<SimTime> {
+        let p = self.ports.get(port.as_usize())?;
+        if p.gates.total_buffered() == 0 || p.gates.out_gcl().is_uniform() {
+            return None;
+        }
+        Some(p.gates.next_gate_change(now))
     }
 
     /// Whether any queue of `port` holds frames.

@@ -129,7 +129,7 @@ impl fmt::Display for TrafficClass {
 /// assert_eq!(frame.class(), TrafficClass::TimeSensitive);
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EthernetFrame {
     dst: MacAddr,
     src: MacAddr,

@@ -19,4 +19,11 @@ run cargo test -q --workspace
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo fmt --check
 
+# Docs must build warning-free (broken intra-doc links, missing docs).
+RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
+
+# Bench smoke: a tiny TSN_BENCH_MS budget just proves the harness and
+# every scenario still run end to end (and refreshes BENCH_2.json).
+TSN_BENCH_MS="${TSN_BENCH_MS:-25}" run cargo bench -q -p tsn-bench --bench simulation
+
 echo "CI gate passed."
