@@ -139,6 +139,16 @@ impl Scenario {
         self.sync_precision = precision;
         self
     }
+
+    /// Arms fault injection ([`tsn_sim::FaultConfig`]) for this scenario.
+    /// The default is [`tsn_sim::FaultConfig::none()`], which leaves the
+    /// simulation bit-for-bit identical to a build without the fault
+    /// subsystem.
+    #[must_use]
+    pub fn with_faults(mut self, faults: tsn_sim::FaultConfig) -> Self {
+        self.config.faults = faults;
+        self
+    }
 }
 
 /// What one scenario produced.
@@ -413,6 +423,26 @@ mod tests {
             "one derivation for 3 scenarios"
         );
         assert_eq!(planner.derived.hits(), 2);
+    }
+
+    #[test]
+    fn with_faults_arms_degradation_reporting() {
+        let mut scenarios = sweep_inputs(1);
+        let faults = tsn_sim::FaultConfig {
+            seed: 5,
+            wire: tsn_sim::LinkFaultProfile {
+                loss_prob: 0.05,
+                corrupt_prob: 0.05,
+            },
+            ..tsn_sim::FaultConfig::none()
+        };
+        let scenario = scenarios.remove(0).with_faults(faults);
+        let outcome = SweepPlanner::new().run_one(&scenario).expect("runs");
+        assert!(outcome.report.degradation.faults_enabled);
+        assert!(
+            outcome.report.degradation.frames_lost_to_faults() > 0,
+            "5% wire faults over 20ms of traffic must claim at least one frame"
+        );
     }
 
     #[test]

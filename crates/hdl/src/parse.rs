@@ -162,7 +162,9 @@ impl Parser {
     }
 
     /// Collects tokens until one of `stops` appears at depth 0 (brackets
-    /// tracked), rendering them back to text.
+    /// tracked), rendering them back to text. Running out of tokens ends
+    /// the scan: truncated input surfaces as a structured parse error at
+    /// the caller (which will miss its stop symbol), never as a panic.
     fn text_until(&mut self, stops: &[char]) -> String {
         let mut depth = 0i32;
         let mut out = String::new();
@@ -174,7 +176,8 @@ impl Parser {
                     }
                 }
             }
-            match self.next().expect("peeked") {
+            let Some(tok) = self.next() else { break };
+            match tok {
                 Tok::Sym(c) => {
                     match c {
                         '(' | '[' | '{' => depth += 1,
@@ -553,5 +556,44 @@ mod tests {
             2,
             "two enabled ports, two gate controllers"
         );
+    }
+
+    #[test]
+    fn truncated_verilog_errors_instead_of_panicking() {
+        // Every prefix of a real generated file must parse to Ok or a
+        // structured error — cutting the token stream mid-construct used
+        // to hit `self.next().expect("peeked")`.
+        let bundle = generate(&ResourceConfig::new()).expect("generates");
+        let src = bundle.file("gate_ctrl.v").expect("file");
+        for cut in (0..src.len()).step_by(97).chain([src.len() - 1]) {
+            let Some(prefix) = src.get(..cut) else {
+                continue; // not a char boundary
+            };
+            let _ = parse_modules(prefix); // Ok or Err, never a panic
+        }
+    }
+
+    #[test]
+    fn garbage_input_errors_instead_of_panicking() {
+        let cases = [
+            "module",
+            "module m",
+            "module m #(",
+            "module m #( parameter W = ",
+            "module m #( parameter W = 8",
+            "module m #( parameter W = [8",
+            "module m (",
+            "module m ( input ",
+            "module m ( input [7:0",
+            "module m ( input clk ); reg [7:0] mem [0:3",
+            "module m ( input clk ); sub #( .W(8",
+            "module m ( input clk ); sub u0 ( .a(b",
+            ")))]]]}}}",
+            "module ; ( ) # = , .",
+            "/ // /// #(((",
+        ];
+        for src in cases {
+            let _ = parse_modules(src); // must return, never panic
+        }
     }
 }

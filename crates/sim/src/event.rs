@@ -12,6 +12,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use tsn_topology::LinkId;
 use tsn_types::{EthernetFrame, NodeId, PortId, SimTime};
 
 /// What can happen in the simulated network.
@@ -56,6 +57,18 @@ pub enum Event {
         port: PortId,
         /// Generation the segment was started under.
         gen: u64,
+    },
+    /// Fault injection: the link goes dark. Frames in flight are lost;
+    /// routes are recomputed around it.
+    LinkDown {
+        /// The failing link.
+        link: LinkId,
+    },
+    /// Fault injection: the link is repaired; routes are recomputed to
+    /// use it again.
+    LinkUp {
+        /// The restored link.
+        link: LinkId,
     },
 }
 

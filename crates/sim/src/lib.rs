@@ -9,6 +9,8 @@
 //! packet loss per flow.
 //!
 //! * [`event`] — deterministic future-event list;
+//! * [`fault`] — seeded fault injection (link outages/flaps, wire loss
+//!   and corruption, clock perturbation) with graceful degradation;
 //! * [`host`] — the TSNNic model (periodic TS generators, constant-rate
 //!   RC/BE generators, strict-priority NIC);
 //! * [`network`] — assembly (table programming, shapers, gPTP domain) and
@@ -43,6 +45,7 @@
 
 pub mod analyzer;
 pub mod event;
+pub mod fault;
 pub mod host;
 pub mod network;
 pub mod report;
@@ -50,7 +53,8 @@ pub mod sweep;
 
 pub use analyzer::{Analyzer, FlowRecord, LatencyStats};
 pub use event::EventQueueKind;
+pub use fault::{FaultConfig, FlowDegradation, LinkFaultProfile, LinkFlap, LinkOutage};
 pub use host::{Generator, Host};
 pub use network::{mac_for, vlan_for, Network, SimConfig, SyncSetup};
-pub use report::{EventStats, SimReport};
+pub use report::{DegradationReport, EventStats, SimReport};
 pub use sweep::{run_sweep, PlanCache, SweepError};

@@ -10,15 +10,17 @@
 
 use crate::analyzer::Analyzer;
 use crate::event::{Event, EventQueue, EventQueueKind};
+use crate::fault::{FaultConfig, FaultEngine, WireEffect};
 use crate::host::{Generator, Host};
-use crate::report::{EventStats, SimReport};
+use crate::report::{DegradationReport, EventStats, SimReport};
 use std::collections::{BTreeMap, HashMap};
 use tsn_resource::ResourceConfig;
 use tsn_switch::gate_ctrl::GateControlList;
 use tsn_switch::ingress_filter::{ClassEntry, ClassKey, TokenBucketMeter};
 use tsn_switch::pipeline::{PortKind, SwitchSpec, TsnSwitchCore};
-use tsn_switch::time_sync::{ClockModel, SyncConfig, SyncDomain};
-use tsn_topology::{NodeKind, Topology};
+use tsn_switch::stats::DropReason;
+use tsn_switch::time_sync::{ClockModel, SyncConfig, SyncDomain, SyncFaultProfile};
+use tsn_topology::{Link, LinkId, NodeKind, Route, Topology};
 use tsn_types::{
     DataRate, EthernetFrame, FlowId, FlowSet, FlowSpec, MacAddr, MeterId, NodeId, PortId, QueueId,
     SimDuration, SimTime, TrafficClass, TsnError, TsnResult, VlanId,
@@ -81,6 +83,11 @@ pub struct SimConfig {
     /// reports are byte-identical; the calendar queue is the fast
     /// default, the binary heap the reference.
     pub event_queue: EventQueueKind,
+    /// Fault injection (link outages/flaps, wire loss/corruption, clock
+    /// perturbation). [`FaultConfig::none`] — the default — adds zero
+    /// work and zero PRNG draws, so fault-free runs are byte-identical
+    /// to pre-fault-subsystem behaviour.
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -99,6 +106,7 @@ impl SimConfig {
             per_switch_resources: HashMap::new(),
             frame_preemption: false,
             event_queue: EventQueueKind::default(),
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -184,6 +192,9 @@ pub struct Network {
     /// Preemptions performed (802.3br).
     preemptions: u64,
     sync_domain: Option<SyncDomain>,
+    /// The fault-injection engine; `None` on healthy runs, which
+    /// therefore skip every per-frame fault check.
+    fault: Option<FaultEngine>,
     config: SimConfig,
     events_processed: u64,
     /// Per-event-type counters and suppression instrumentation.
@@ -308,15 +319,23 @@ impl Network {
             }
         }
 
+        let faults_on = config.faults.enabled();
         let sync_domain = match &config.sync {
             SyncSetup::Perfect => None,
             SyncSetup::Gptp { config: sc, warmup } => {
+                // `drift_scale` perturbs every oscillator; 1.0 keeps the
+                // standard population bit-for-bit (×1.0 is exact in f64).
+                let scale = if faults_on {
+                    config.faults.drift_scale
+                } else {
+                    1.0
+                };
                 let clocks: Vec<ClockModel> = (0..switches.len())
                     .map(|i| {
                         let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
                         ClockModel::new(
-                            sign * (15.0 + 11.0 * i as f64),
-                            sign * 250_000.0 * (i as f64 + 1.0),
+                            sign * (15.0 + 11.0 * i as f64) * scale,
+                            sign * 250_000.0 * (i as f64 + 1.0) * scale,
                         )
                     })
                     .collect();
@@ -324,14 +343,30 @@ impl Network {
                 // Pre-converge, then rebase so t=0 of the experiment is
                 // already synchronized (the paper syncs before measuring).
                 domain.run_until(SimTime::ZERO + *warmup);
+                // Sync faults arm only after convergence: the measured
+                // regime is "healthy domain degrades", not "domain never
+                // converged".
+                if faults_on {
+                    domain.set_faults(
+                        SyncFaultProfile {
+                            message_loss_prob: config.faults.sync_loss_prob,
+                            extra_jitter_ns: config.faults.sync_jitter_ns,
+                        },
+                        config.faults.seed ^ 0x9e37_79b9_7f4a_7c15,
+                    );
+                }
                 Some(domain)
             }
         };
 
-        let deadlines: HashMap<FlowId, SimDuration> = flows
-            .iter()
-            .filter_map(|f| f.as_ts().map(|ts| (ts.id(), ts.deadline())))
-            .collect();
+        let mut deadlines: HashMap<FlowId, SimDuration> = HashMap::with_capacity(flows.len());
+        deadlines.extend(
+            flows
+                .iter()
+                .filter_map(|f| f.as_ts().map(|ts| (ts.id(), ts.deadline()))),
+        );
+        let fault = faults_on.then(|| FaultEngine::new(config.faults.clone(), &topology));
+        let horizon = SimTime::ZERO + config.duration + config.drain;
         let mut network = Network {
             topology,
             roles,
@@ -343,6 +378,7 @@ impl Network {
             wires,
             preemptions: 0,
             sync_domain,
+            fault,
             config,
             events_processed: 0,
             stats: EventStats::default(),
@@ -351,6 +387,18 @@ impl Network {
             now: SimTime::ZERO,
         };
         network.install_flows(offsets)?;
+        // The link up/down timeline is pre-generated from the fault seed
+        // at build, so it is identical whatever the run does.
+        if let Some(engine) = &mut network.fault {
+            for (at, link, goes_down) in engine.timeline(horizon) {
+                let event = if goes_down {
+                    Event::LinkDown { link }
+                } else {
+                    Event::LinkUp { link }
+                };
+                network.queue.schedule(at, event);
+            }
+        }
         Ok(network)
     }
 
@@ -362,7 +410,9 @@ impl Network {
         let mut next_meter: BTreeMap<NodeId, u32> = BTreeMap::new();
         let mut rc_reservations: BTreeMap<(NodeId, PortId, QueueId), u64> = BTreeMap::new();
 
-        let flows = self.flows.clone();
+        // Move the flow set out instead of cloning it: at 512 flows the
+        // clone dominated build time (the PR-2 bench regression).
+        let flows = std::mem::replace(&mut self.flows, FlowSet::new());
         for flow in flows.iter() {
             let src = flow.src();
             let dst = flow.dst();
@@ -380,6 +430,12 @@ impl Network {
                 }
             }
             let route = self.topology.route(src, dst)?;
+            if self.fault.is_some() {
+                let links = self.route_links(&route);
+                if let Some(engine) = &mut self.fault {
+                    engine.set_primary(flow.id(), links);
+                }
+            }
             let vlan = vlan_for(flow.id());
             let dst_mac = mac_for(dst);
             let src_mac = mac_for(src);
@@ -399,12 +455,13 @@ impl Network {
                     core.add_unicast(dst_mac, vlan, egress)?;
                 }
 
-                let layout = core
+                // `spread_queue` yields a `Copy` id, so the shared borrow
+                // of `core` ends immediately — no layout clone needed.
+                let queue = core
                     .gates(egress)
                     .expect("egress port exists")
                     .layout()
-                    .clone();
-                let queue = layout.spread_queue(class, u64::from(flow.id().index()));
+                    .spread_queue(class, u64::from(flow.id().index()));
                 let meter = match flow {
                     FlowSpec::Rc(rc) => {
                         let slot_counter = next_meter.entry(hop.node).or_insert(0);
@@ -489,6 +546,8 @@ impl Network {
             }
         }
 
+        self.flows = flows;
+
         // Install the credit-based shapers: one CBS slot per RC queue in
         // use on each port, idleSlope = sum of reservations through it.
         let mut slots_by_port: BTreeMap<(NodeId, PortId), usize> = BTreeMap::new();
@@ -502,6 +561,18 @@ impl Network {
             *slot += 1;
         }
         Ok(())
+    }
+
+    /// The links a route traverses, in path order.
+    fn route_links(&self, route: &Route) -> Vec<LinkId> {
+        route
+            .hops()
+            .iter()
+            .filter_map(|hop| {
+                let egress = hop.egress?;
+                self.topology.link_at(hop.node, egress).ok().map(Link::id)
+            })
+            .collect()
     }
 
     /// Runs the event loop to completion and returns the report.
@@ -543,7 +614,124 @@ impl Network {
                 self.stats.tx_completes += 1;
                 self.on_tx_complete(node, port, gen, now);
             }
+            Event::LinkDown { link } => {
+                self.stats.link_transitions += 1;
+                self.on_link_transition(link, true, now);
+            }
+            Event::LinkUp { link } => {
+                self.stats.link_transitions += 1;
+                self.on_link_transition(link, false, now);
+            }
         }
+    }
+
+    /// A link changed availability: kill traffic being serialized on a
+    /// dying wire, wake transmitters on a recovering one, and re-route
+    /// every flow around the set of currently-dead links.
+    fn on_link_transition(&mut self, link: LinkId, goes_down: bool, now: SimTime) {
+        let Some(engine) = &mut self.fault else {
+            return;
+        };
+        if !engine.transition(link, goes_down) {
+            return; // nested overlap: effective state unchanged
+        }
+        let Some(ends) = self.topology.link(link).map(|l| [l.a(), l.b()]) else {
+            return;
+        };
+        if goes_down {
+            // Frames mid-serialization (and suspended fragments) on the
+            // dead wire are lost on both ends.
+            for end in ends {
+                let ws = &mut self.wires[end.node.as_usize()][end.port.as_usize()];
+                ws.gen += 1; // stale TxComplete becomes a no-op
+                let engine = self.fault.as_mut().expect("checked above");
+                if let Some(active) = ws.active.take() {
+                    engine.frames_lost_on_dead_links += 1;
+                    engine.note_flow_loss(active.frame.flow());
+                }
+                if let Some(suspended) = ws.suspended.take() {
+                    engine.frames_lost_on_dead_links += 1;
+                    engine.note_flow_loss(suspended.frame.flow());
+                }
+                self.busy_until[end.node.as_usize()][end.port.as_usize()] = now;
+                // Keep the transmitter draining: queued frames headed
+                // into the dead wire drop one by one at `start_tx` until
+                // the re-route takes effect.
+                match &self.roles[end.node.as_usize()] {
+                    NodeRole::Switch { .. } => self.queue.schedule(
+                        now,
+                        Event::PortKick {
+                            node: end.node,
+                            port: end.port,
+                        },
+                    ),
+                    NodeRole::Host(_) => {
+                        self.queue.schedule(now, Event::HostKick { node: end.node })
+                    }
+                }
+            }
+        } else {
+            // The wire is back: wake both transmitters.
+            for end in ends {
+                match &self.roles[end.node.as_usize()] {
+                    NodeRole::Switch { .. } => self.queue.schedule(
+                        now,
+                        Event::PortKick {
+                            node: end.node,
+                            port: end.port,
+                        },
+                    ),
+                    NodeRole::Host(_) => {
+                        self.queue.schedule(now, Event::HostKick { node: end.node })
+                    }
+                }
+            }
+        }
+        self.reprogram_routes();
+    }
+
+    /// Recomputes every flow's route avoiding the currently-dead links
+    /// and reprograms the forwarding tables along changed paths.
+    /// Deterministic: flows are visited in `FlowSet` order and the BFS
+    /// is seedless.
+    fn reprogram_routes(&mut self) {
+        let flows = std::mem::replace(&mut self.flows, FlowSet::new());
+        for flow in flows.iter() {
+            let engine = self.fault.as_mut().expect("caller holds an engine");
+            let route = self
+                .topology
+                .route_avoiding(flow.src(), flow.dst(), |l| engine.is_down(l));
+            let Ok(route) = route else {
+                engine.note_unroutable(flow.id());
+                continue;
+            };
+            let links = self.route_links(&route);
+            let engine = self.fault.as_mut().expect("caller holds an engine");
+            if !engine.set_current(flow.id(), links) {
+                continue; // path unchanged: tables already agree
+            }
+            let vlan = vlan_for(flow.id());
+            let dst_mac = mac_for(flow.dst());
+            for hop in route.switch_hops_iter() {
+                let Some(egress) = hop.egress else { continue };
+                let NodeRole::Switch { core, .. } = &mut self.roles[hop.node.as_usize()] else {
+                    continue;
+                };
+                // Table-capacity misses on detour switches degrade to a
+                // blackhole towards the old path — graceful, counted.
+                let programmed = if self.config.aggregate_switch_tbl {
+                    core.add_unicast_any_vlan(dst_mac, egress)
+                } else {
+                    core.add_unicast(dst_mac, vlan, egress)
+                };
+                if programmed.is_err() {
+                    if let Some(engine) = &mut self.fault {
+                        engine.reroute_failures += 1;
+                    }
+                }
+            }
+        }
+        self.flows = flows;
     }
 
     /// The corrected (gate-driving) clock of `node` at true time `now` —
@@ -571,6 +759,24 @@ impl Network {
         let Ok(link) = self.topology.link_at(node, port) else {
             return;
         };
+        // A dead wire has no carrier: the frame is lost immediately and
+        // the transmitter keeps draining (the re-route that follows a
+        // LinkDown steers subsequent frames elsewhere).
+        if let Some(engine) = &mut self.fault {
+            if engine.is_down(link.id()) {
+                engine.frames_lost_on_dead_links += 1;
+                engine.note_flow_loss(frame.flow());
+                match &self.roles[node.as_usize()] {
+                    NodeRole::Switch { .. } => {
+                        self.queue.schedule(now, Event::PortKick { node, port });
+                    }
+                    NodeRole::Host(_) => {
+                        self.queue.schedule(now, Event::HostKick { node });
+                    }
+                }
+                return;
+            }
+        }
         let tx = link.rate().serialization_time(wire_bytes);
         let express = frame.class() == TrafficClass::TimeSensitive;
         let end = now + tx;
@@ -672,14 +878,34 @@ impl Network {
         } else {
             SimDuration::ZERO
         };
-        self.queue.schedule(
-            now + link.propagation() + proc,
-            Event::FrameArrive {
-                node: peer.node,
-                port: peer.port,
-                frame: active.frame,
-            },
-        );
+        // The wire itself may destroy or damage the frame (fault
+        // injection). The sender still spent the serialization time and
+        // shaper credit either way.
+        let mut delivered = Some(active.frame);
+        if let Some(engine) = &mut self.fault {
+            match engine.wire_effect(link.id()) {
+                WireEffect::Intact => {}
+                WireEffect::Lost => {
+                    engine.frames_lost_to_wire += 1;
+                    engine.note_flow_loss(active.frame.flow());
+                    delivered = None;
+                }
+                WireEffect::Corrupted => {
+                    engine.frames_corrupted += 1;
+                    delivered = Some(active.frame.with_corruption());
+                }
+            }
+        }
+        if let Some(frame) = delivered {
+            self.queue.schedule(
+                now + link.propagation() + proc,
+                Event::FrameArrive {
+                    node: peer.node,
+                    port: peer.port,
+                    frame,
+                },
+            );
+        }
         // Charge the credit-based shaper over the segment's span.
         if let (Some(queue), NodeRole::Switch { core, .. }) =
             (active.queue, &mut self.roles[node.as_usize()])
@@ -791,7 +1017,25 @@ impl Network {
 
     fn on_arrive(&mut self, node: NodeId, _port: PortId, frame: EthernetFrame, now: SimTime) {
         if matches!(&self.roles[node.as_usize()], NodeRole::Host(_)) {
+            // A receiving NIC verifies the FCS before handing the frame
+            // up; corrupted frames are dropped, never delivered.
+            if frame.is_corrupted() {
+                if let Some(engine) = &mut self.fault {
+                    engine.fcs_drops_host += 1;
+                    engine.note_flow_loss(frame.flow());
+                }
+                return;
+            }
             let deadline = self.deadlines.get(&frame.flow()).copied();
+            if let (Some(deadline), Some(engine)) =
+                (self.deadlines.get(&frame.flow()), self.fault.as_mut())
+            {
+                // Attribute the miss by the flow's route state at
+                // delivery time: detour-induced vs. plain congestion.
+                if now.saturating_since(frame.injected_at()) > *deadline {
+                    engine.note_miss(frame.flow());
+                }
+            }
             self.analyzer.note_delivered(
                 frame.flow(),
                 frame.class(),
@@ -949,6 +1193,38 @@ impl Network {
             .as_ref()
             .map(|d| d.max_abs_error_ns(self.now))
             .unwrap_or(0.0);
+        let degradation = match &self.fault {
+            None => DegradationReport::default(),
+            Some(engine) => {
+                let (syncs_lost, sync_high_water) = self
+                    .sync_domain
+                    .as_ref()
+                    .map(|d| {
+                        (
+                            d.syncs_lost(),
+                            d.offset_high_water_ns().max(sync_worst_error_ns),
+                        )
+                    })
+                    .unwrap_or((0, 0.0));
+                DegradationReport {
+                    faults_enabled: true,
+                    link_down_events: engine.link_down_events,
+                    link_up_events: engine.link_up_events,
+                    frames_lost_on_dead_links: engine.frames_lost_on_dead_links,
+                    frames_lost_to_wire: engine.frames_lost_to_wire,
+                    frames_corrupted: engine.frames_corrupted,
+                    fcs_drops: merged.drops(DropReason::FcsError) + engine.fcs_drops_host,
+                    reroutes: engine.reroutes,
+                    reroute_failures: engine.reroute_failures,
+                    frames_lost_to_capacity: merged.drops(DropReason::QueueOverflow)
+                        + merged.drops(DropReason::BufferExhausted)
+                        + host_overflow,
+                    syncs_lost,
+                    sync_offset_high_water_ns: sync_high_water,
+                    per_flow: engine.per_flow(),
+                }
+            }
+        };
         let mut events = self.stats;
         events.queue_high_water = self.queue.high_water();
         SimReport {
@@ -962,6 +1238,7 @@ impl Network {
             sync_worst_error_ns,
             events_processed: self.events_processed,
             events,
+            degradation,
             ended_at: self.now,
         }
     }

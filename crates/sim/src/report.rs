@@ -1,9 +1,10 @@
 //! Simulation results.
 
 use crate::analyzer::{Analyzer, LatencyStats};
+use crate::fault::FlowDegradation;
 use core::fmt;
 use tsn_switch::SwitchStats;
-use tsn_types::{NodeId, PortId, SimTime, TrafficClass};
+use tsn_types::{FlowId, NodeId, PortId, SimTime, TrafficClass};
 
 /// Event-core instrumentation: where the discrete-event loop spent its
 /// run. Cheap counters only — bumping them is a handful of integer adds
@@ -26,6 +27,9 @@ pub struct EventStats {
     pub kicks_suppressed: u64,
     /// 802.3br preemption attempts (successful or not).
     pub preempt_attempts: u64,
+    /// Fault-injection `LinkDown`/`LinkUp` events handled (0 in healthy
+    /// runs).
+    pub link_transitions: u64,
     /// Most events simultaneously pending in the scheduler.
     pub queue_high_water: usize,
 }
@@ -34,7 +38,99 @@ impl EventStats {
     /// Total events handled, summed over every event type.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.frame_arrives + self.port_kicks + self.host_kicks + self.injects + self.tx_completes
+        self.frame_arrives
+            + self.port_kicks
+            + self.host_kicks
+            + self.injects
+            + self.tx_completes
+            + self.link_transitions
+    }
+}
+
+/// How the network degraded under injected faults — everything a "QoS
+/// vs. fault intensity" plot needs. All zeros (the [`Default`]) when the
+/// run was fault-free.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DegradationReport {
+    /// Whether a fault engine was armed at all.
+    pub faults_enabled: bool,
+    /// Link-down transitions applied (nested overlaps included).
+    pub link_down_events: u64,
+    /// Link-up transitions applied.
+    pub link_up_events: u64,
+    /// Frames destroyed mid-serialization or at the head of a dead
+    /// link's queue.
+    pub frames_lost_on_dead_links: u64,
+    /// Frames that vanished to stochastic wire loss.
+    pub frames_lost_to_wire: u64,
+    /// Frames delivered with flipped bits (every one must also show up
+    /// in [`fcs_drops`](DegradationReport::fcs_drops) — corruption is
+    /// never silently delivered).
+    pub frames_corrupted: u64,
+    /// Corrupted frames caught by an FCS check: switch ingress filters
+    /// plus receiving host NICs.
+    pub fcs_drops: u64,
+    /// Flow reroutes performed by the failover logic (both onto detours
+    /// and back onto primary paths).
+    pub reroutes: u64,
+    /// Reroute attempts that found no surviving path (the flow
+    /// blackholes until a link returns).
+    pub reroute_failures: u64,
+    /// Frames lost to *capacity* (queue overflow, buffer exhaustion,
+    /// host output overflow) — the baseline loss mechanism, separated
+    /// so fault losses are attributable.
+    pub frames_lost_to_capacity: u64,
+    /// gPTP sync messages destroyed (downstream hops held over).
+    pub syncs_lost: u64,
+    /// Worst absolute sync offset (ns) observed at any sync round or at
+    /// the end of the run.
+    pub sync_offset_high_water_ns: f64,
+    /// Per-flow deadline-miss and loss accounting, sorted by flow id.
+    pub per_flow: Vec<(FlowId, FlowDegradation)>,
+}
+
+impl DegradationReport {
+    /// All frames destroyed by faults (dead links + wire loss + FCS
+    /// discards of corrupted frames).
+    #[must_use]
+    pub fn frames_lost_to_faults(&self) -> u64 {
+        self.frames_lost_on_dead_links + self.frames_lost_to_wire + self.fcs_drops
+    }
+
+    /// Deadline misses attributed to detours, summed over flows.
+    #[must_use]
+    pub fn misses_on_detour(&self) -> u64 {
+        self.per_flow.iter().map(|(_, d)| d.misses_on_detour).sum()
+    }
+
+    /// Deadline misses on primary paths, summed over flows.
+    #[must_use]
+    pub fn misses_on_primary(&self) -> u64 {
+        self.per_flow.iter().map(|(_, d)| d.misses_on_primary).sum()
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults: link down/up {}/{} | lost dead={} wire={} fcs={} capacity={} | \
+             corrupted {} | reroutes {} (failed {}) | misses detour={} primary={} | \
+             syncs lost {} | sync high-water {:.1}ns",
+            self.link_down_events,
+            self.link_up_events,
+            self.frames_lost_on_dead_links,
+            self.frames_lost_to_wire,
+            self.fcs_drops,
+            self.frames_lost_to_capacity,
+            self.frames_corrupted,
+            self.reroutes,
+            self.reroute_failures,
+            self.misses_on_detour(),
+            self.misses_on_primary(),
+            self.syncs_lost,
+            self.sync_offset_high_water_ns,
+        )
     }
 }
 
@@ -67,6 +163,9 @@ pub struct SimReport {
     /// Event-core instrumentation (per-type counts, suppression,
     /// scheduler high-water mark).
     pub events: EventStats,
+    /// Fault-injection consequences (all-zero when no faults were
+    /// configured).
+    pub degradation: DegradationReport,
     /// Simulation time at which the run ended.
     pub ended_at: SimTime,
 }
@@ -159,6 +258,10 @@ impl fmt::Display for SimReport {
             self.events.kicks_suppressed,
             self.events.preempt_attempts,
             self.events.queue_high_water,
-        )
+        )?;
+        if self.degradation.faults_enabled {
+            write!(f, "\n{}", self.degradation)?;
+        }
+        Ok(())
     }
 }

@@ -179,6 +179,9 @@ pub enum FilterDrop {
     /// table (configuration error surfaced at runtime, like hardware
     /// would).
     DanglingMeter,
+    /// The frame-check sequence did not verify: the frame was corrupted in
+    /// transit and must not be delivered.
+    FcsError,
 }
 
 /// Outcome of classifying one frame.
@@ -266,6 +269,11 @@ impl IngressFilter {
     /// A miss falls back to the PCP → class → default-queue mapping (the
     /// frame is not dropped: BE traffic does not need table entries).
     pub fn classify(&mut self, frame: &EthernetFrame, now: SimTime) -> FilterVerdict {
+        // FCS check runs before classification: a corrupted header cannot
+        // be trusted to index any table.
+        if frame.is_corrupted() {
+            return FilterVerdict::Drop(FilterDrop::FcsError);
+        }
         let key = ClassKey::of(frame);
         match self.class_table.lookup(&key).copied() {
             Some(entry) => {
@@ -414,6 +422,27 @@ mod tests {
         let meter = f.meter(MeterId::new(1)).expect("installed");
         assert_eq!(meter.passed(), 2);
         assert_eq!(meter.dropped(), 1);
+    }
+
+    #[test]
+    fn corrupted_frames_fail_the_fcs_check() {
+        let mut f = filter();
+        let frm = frame(7, 64);
+        f.add_class_entry(
+            ClassKey::of(&frm),
+            ClassEntry {
+                queue: QueueId::new(6),
+                meter: None,
+            },
+        )
+        .expect("fits");
+        // Even a frame with a matching table entry is refused once marked
+        // corrupted — and it does not count as a fallback hit either.
+        assert_eq!(
+            f.classify(&frm.with_corruption(), SimTime::ZERO),
+            FilterVerdict::Drop(FilterDrop::FcsError)
+        );
+        assert_eq!(f.fallback_hits(), 0);
     }
 
     #[test]

@@ -53,4 +53,4 @@ pub use layout::QueueLayout;
 pub use packet_switch::{LookupOutcome, PacketSwitch};
 pub use pipeline::{Disposition, PortKind, SwitchSpec, TsnSwitchCore};
 pub use stats::{DropReason, SwitchStats};
-pub use time_sync::{ClockModel, SyncConfig, SyncDomain, TimeSync};
+pub use time_sync::{ClockModel, SyncConfig, SyncDomain, SyncFaultProfile, TimeSync};

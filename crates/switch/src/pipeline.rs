@@ -359,6 +359,7 @@ impl TsnSwitchCore {
                 let reason = match cause {
                     FilterDrop::MeterRed => DropReason::MeterRed,
                     FilterDrop::DanglingMeter => DropReason::DanglingMeter,
+                    FilterDrop::FcsError => DropReason::FcsError,
                 };
                 self.stats.count_drop(reason);
                 out.push(Disposition::Dropped { port: None, reason });

@@ -20,11 +20,14 @@ pub enum DropReason {
     BufferExhausted,
     /// Classification pointed at a queue that does not exist.
     UnknownQueue,
+    /// Frame-check-sequence mismatch: the frame was corrupted on the wire
+    /// (fault injection) and the ingress filter refused it.
+    FcsError,
 }
 
 impl DropReason {
     /// All reasons, for iteration in reports.
-    pub const ALL: [DropReason; 7] = [
+    pub const ALL: [DropReason; 8] = [
         DropReason::LookupMiss,
         DropReason::MeterRed,
         DropReason::DanglingMeter,
@@ -32,6 +35,7 @@ impl DropReason {
         DropReason::QueueOverflow,
         DropReason::BufferExhausted,
         DropReason::UnknownQueue,
+        DropReason::FcsError,
     ];
 }
 
@@ -45,6 +49,7 @@ impl fmt::Display for DropReason {
             DropReason::QueueOverflow => "queue-overflow",
             DropReason::BufferExhausted => "buffer-exhausted",
             DropReason::UnknownQueue => "unknown-queue",
+            DropReason::FcsError => "fcs-error",
         };
         f.write_str(s)
     }
@@ -60,7 +65,7 @@ pub struct SwitchStats {
     pub enqueued: u64,
     /// Frames transmitted out of an egress port.
     pub transmitted: u64,
-    drops: [u64; 7],
+    drops: [u64; 8],
 }
 
 impl SwitchStats {

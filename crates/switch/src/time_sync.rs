@@ -16,6 +16,7 @@
 //! estimation error times the sync interval — exactly the regime real gPTP
 //! hardware operates in.
 
+use tsn_types::rng::SplitMix64;
 use tsn_types::{SimDuration, SimTime, TsnError, TsnResult};
 
 /// Deterministic xorshift PRNG for timestamp noise (keeps the template
@@ -43,12 +44,24 @@ impl XorShift64 {
     }
 }
 
+/// Fractional bits of the fixed-point clock representation: drift is kept
+/// as 2^-63 ns per ns, so a sub-ns drift product stays exact out to any
+/// representable [`SimTime`] (at `t = 10^15 ns` the quantization error is
+/// `10^15 / 2^63 ≈ 10^-4 ns`, versus the 0.125 ns ulp of an f64 there).
+const CLOCK_FP_SHIFT: u32 = 63;
+
 /// A free-running local oscillator: frequency error in parts-per-million
 /// plus an initial phase offset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClockModel {
     drift_ppm: f64,
     initial_offset_ns: f64,
+    /// Drift as fixed-point ns-per-ns (`2^-63` units); derived from
+    /// `drift_ppm` at construction so integer clock reads never round
+    /// through a 53-bit mantissa.
+    drift_fp: i128,
+    /// Initial offset in `2^-63` ns units.
+    offset_fp: i128,
 }
 
 impl ClockModel {
@@ -56,9 +69,12 @@ impl ClockModel {
     /// Crystal oscillators are typically within ±100 ppm.
     #[must_use]
     pub fn new(drift_ppm: f64, initial_offset_ns: f64) -> Self {
+        let scale = (1u128 << CLOCK_FP_SHIFT) as f64;
         ClockModel {
             drift_ppm,
             initial_offset_ns,
+            drift_fp: ((drift_ppm * 1e-6) * scale).round() as i128,
+            offset_fp: (initial_offset_ns * scale).round() as i128,
         }
     }
 
@@ -69,9 +85,42 @@ impl ClockModel {
     }
 
     /// The raw (uncorrected) local reading at true time `t`.
+    ///
+    /// This is the f64 form the gPTP servo consumes; over the bounded
+    /// spans a servo differences (sync intervals, not absolute epochs)
+    /// its rounding is harmless. Absolute reads at large `t` should use
+    /// [`ClockModel::now`] / [`ClockModel::raw_offset_ns`], which evaluate
+    /// in integer fixed-point.
     #[must_use]
     pub fn raw_ns(&self, t: SimTime) -> f64 {
         t.as_nanos() as f64 * (1.0 + self.drift_ppm * 1e-6) + self.initial_offset_ns
+    }
+
+    /// The raw clock's exact offset from true time at `t`, in `2^-63` ns
+    /// fixed-point units: `t·drift + initial_offset`, evaluated in i128 so
+    /// sub-ns drift products survive at any simulated epoch.
+    #[must_use]
+    pub fn offset_fp(&self, t: SimTime) -> i128 {
+        i128::from(t.as_nanos()) * self.drift_fp + self.offset_fp
+    }
+
+    /// The raw clock's offset from true time at `t`, in ns. Exact to the
+    /// fixed-point quantum (≈ `t / 2^63` ns), unlike the f64 evaluation
+    /// in [`ClockModel::raw_ns`] whose 53-bit mantissa quantizes sub-ns
+    /// offsets to 0.125 ns steps by `t = 10^15 ns`.
+    #[must_use]
+    pub fn raw_offset_ns(&self, t: SimTime) -> f64 {
+        self.offset_fp(t) as f64 / (1u128 << CLOCK_FP_SHIFT) as f64
+    }
+
+    /// The raw local reading at true time `t` as an integer [`SimTime`]
+    /// (floor of the exact fixed-point value, clamped at zero).
+    #[must_use]
+    pub fn now(&self, t: SimTime) -> SimTime {
+        // Arithmetic shift right floors negative offsets correctly.
+        let offset_ns = self.offset_fp(t) >> CLOCK_FP_SHIFT;
+        let raw = i128::from(t.as_nanos()) + offset_ns;
+        SimTime::from_nanos(u64::try_from(raw.max(0)).unwrap_or(u64::MAX))
     }
 
     /// Frequency error in ppm.
@@ -257,6 +306,36 @@ impl TimeSync {
     }
 }
 
+/// Fault perturbation applied to a sync domain (driven by the simulator's
+/// fault-injection layer): Sync messages can be lost — the affected hop
+/// and everything downstream of it *hold over* on their last servo state
+/// for that round — and relayed timestamps can carry extra jitter, the
+/// path-delay-variation regime of software/virtualized TSN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncFaultProfile {
+    /// Probability that a Sync/Follow_Up dies on any one hop's wire.
+    pub message_loss_prob: f64,
+    /// Extra uniform ±jitter (ns) on each hop's relayed master timestamp.
+    pub extra_jitter_ns: f64,
+}
+
+impl SyncFaultProfile {
+    /// `true` when the profile perturbs nothing.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.message_loss_prob <= 0.0 && self.extra_jitter_ns <= 0.0
+    }
+}
+
+/// Runtime state of an active [`SyncFaultProfile`] on a domain.
+#[derive(Debug, Clone)]
+struct SyncFaultState {
+    profile: SyncFaultProfile,
+    rng: SplitMix64,
+    syncs_lost: u64,
+    offset_high_water_ns: f64,
+}
+
 /// A synchronization domain: a grandmaster plus a chain of slaves, each
 /// syncing to its upstream neighbour (the topology of the paper's ring and
 /// linear testbeds).
@@ -270,6 +349,9 @@ pub struct SyncDomain {
     link_delay: SimDuration,
     next_sync: SimTime,
     config: SyncConfig,
+    /// Fault perturbation; `None` leaves the healthy path untouched (no
+    /// extra PRNG draws, bit-identical trajectories).
+    faults: Option<SyncFaultState>,
 }
 
 impl SyncDomain {
@@ -304,7 +386,39 @@ impl SyncDomain {
             link_delay,
             next_sync: SimTime::ZERO,
             config,
+            faults: None,
         })
+    }
+
+    /// Arms fault perturbation on the domain: every subsequent sync round
+    /// draws losses/jitter from a [`SplitMix64`] stream seeded with
+    /// `seed`, so perturbed runs stay deterministic.
+    pub fn set_faults(&mut self, profile: SyncFaultProfile, seed: u64) {
+        self.faults = if profile.is_none() {
+            None
+        } else {
+            Some(SyncFaultState {
+                profile,
+                rng: SplitMix64::seed_from_u64(seed),
+                syncs_lost: 0,
+                offset_high_water_ns: 0.0,
+            })
+        };
+    }
+
+    /// Sync receptions that never happened because the message was lost
+    /// (each affected hop counts once per round).
+    #[must_use]
+    pub fn syncs_lost(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.syncs_lost)
+    }
+
+    /// Largest absolute offset observed at any sync-round boundary (the
+    /// instant errors peak: just before the correction). Only tracked
+    /// while faults are armed; 0 otherwise.
+    #[must_use]
+    pub fn offset_high_water_ns(&self) -> f64 {
+        self.faults.as_ref().map_or(0.0, |f| f.offset_high_water_ns)
     }
 
     /// Runs all pending sync rounds with send times `<= until`.
@@ -316,12 +430,36 @@ impl SyncDomain {
     }
 
     fn sync_round(&mut self, gm_send: SimTime) {
+        if self.faults.is_some() {
+            // Errors peak right before the correction lands: sample the
+            // high-water mark here.
+            let worst = self.max_abs_error_ns(gm_send);
+            if let Some(f) = self.faults.as_mut() {
+                f.offset_high_water_ns = f.offset_high_water_ns.max(worst);
+            }
+        }
         // The grandmaster's clock is the time scale itself.
         let mut upstream_time = gm_send.as_nanos() as f64;
         let mut true_send = gm_send;
-        for node in &mut self.nodes {
+        let chain_len = self.nodes.len();
+        for (idx, node) in self.nodes.iter_mut().enumerate() {
             let true_arrival = true_send + self.link_delay;
-            node.process_sync(upstream_time, true_arrival);
+            let mut relayed = upstream_time;
+            if let Some(f) = self.faults.as_mut() {
+                if f.profile.message_loss_prob > 0.0
+                    && f.rng.next_f64() < f.profile.message_loss_prob
+                {
+                    // The Sync dies on this hop's wire: this node and every
+                    // node further down the chain hold over this round on
+                    // their last servo state.
+                    f.syncs_lost += (chain_len - idx) as u64;
+                    return;
+                }
+                if f.profile.extra_jitter_ns > 0.0 {
+                    relayed += (f.rng.next_f64() * 2.0 - 1.0) * f.profile.extra_jitter_ns;
+                }
+            }
+            node.process_sync(relayed, true_arrival);
             // This node relays sync downstream: it re-stamps with its own
             // corrected clock (the 802.1AS end-to-end transparent path
             // accumulates residence time; the model forwards immediately).
@@ -444,6 +582,125 @@ mod tests {
             worst < 50.0,
             "6-hop domain precision should be < 50 ns, got {worst:.1} ns"
         );
+    }
+
+    #[test]
+    fn fixed_point_clock_is_exact_at_large_sim_times() {
+        // drift = 2^-10 ppm (exactly representable): the true offset at
+        // t = 10^15 ns is 10^9 / 2^10 = 976562.5 ns. An f64 at that
+        // magnitude has a 0.125 ns ulp; the fixed-point path must keep
+        // the .5 fraction and floor the integer read deterministically.
+        let clock = ClockModel::new(0.000_976_562_5, 0.0);
+        let t = SimTime::from_nanos(1_000_000_000_000_000);
+        assert!((clock.raw_offset_ns(t) - 976_562.5).abs() < 1e-3);
+        assert_eq!(
+            clock.now(t),
+            SimTime::from_nanos(1_000_000_000_976_562),
+            "integer read floors the exact fixed-point value"
+        );
+    }
+
+    #[test]
+    fn fixed_point_clock_keeps_sub_ns_drift_products() {
+        // A 1.03e-9 ppm drift accumulates 1.03 ns over 10^15 ns. The f64
+        // evaluation quantizes the result to a multiple of 0.125 ns
+        // (1.0 or 1.125 — ≥ 0.03 ns of error); fixed-point keeps it.
+        let drift_ppm = 1.03e-9;
+        let clock = ClockModel::new(drift_ppm, 0.0);
+        let t = SimTime::from_nanos(1_000_000_000_000_000);
+        let f64_style = t.as_nanos() as f64 * (1.0 + drift_ppm * 1e-6) - t.as_nanos() as f64;
+        assert!(
+            (f64_style - 1.03).abs() > 0.02,
+            "f64 math quantizes the sub-ns product (got {f64_style})"
+        );
+        assert!((clock.raw_offset_ns(t) - 1.03).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fixed_point_clock_handles_negative_drift_and_offset() {
+        let clock = ClockModel::new(-40.0, -1_000.5);
+        let t = SimTime::from_nanos(1_000_000_000); // 1 s
+                                                    // Offset: -40e-6 * 1e9 - 1000.5 = -41_000.5 ns.
+        assert!((clock.raw_offset_ns(t) - (-41_000.5)).abs() < 1e-6);
+        assert_eq!(clock.now(t), SimTime::from_nanos(1_000_000_000 - 41_001));
+        // Clamped at zero near the epoch.
+        assert_eq!(clock.now(SimTime::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sync_loss_triggers_holdover_and_high_water_tracking() {
+        let config = SyncConfig {
+            sync_interval: SimDuration::from_millis(31),
+            timestamp_noise_ns: 4.0,
+        };
+        let clocks: Vec<ClockModel> = (0..6).map(drifty).collect();
+        let mut healthy =
+            SyncDomain::chain(clocks.clone(), config, SimDuration::from_nanos(50)).expect("valid");
+        let mut lossy =
+            SyncDomain::chain(clocks, config, SimDuration::from_nanos(50)).expect("valid");
+        lossy.set_faults(
+            SyncFaultProfile {
+                message_loss_prob: 0.5,
+                extra_jitter_ns: 0.0,
+            },
+            7,
+        );
+        let end = SimTime::from_millis(2000);
+        healthy.run_until(end);
+        lossy.run_until(end);
+        assert!(lossy.syncs_lost() > 0, "losses actually happened");
+        assert!(
+            lossy.offset_high_water_ns() > healthy.max_abs_error_ns(end),
+            "holdover degrades precision: high-water {} vs healthy {}",
+            lossy.offset_high_water_ns(),
+            healthy.max_abs_error_ns(end)
+        );
+        // Holdover keeps running on the servo's last state — corrected
+        // time still advances, it just drifts.
+        assert!(lossy.max_abs_error_ns(end) < 1_000_000.0);
+    }
+
+    #[test]
+    fn faulted_domains_are_deterministic_per_seed() {
+        let config = SyncConfig::default();
+        let profile = SyncFaultProfile {
+            message_loss_prob: 0.3,
+            extra_jitter_ns: 100.0,
+        };
+        let mk = |seed| {
+            let clocks: Vec<ClockModel> = (0..4).map(drifty).collect();
+            let mut d =
+                SyncDomain::chain(clocks, config, SimDuration::from_nanos(50)).expect("valid");
+            d.set_faults(profile, seed);
+            d.run_until(SimTime::from_millis(3000));
+            (
+                d.syncs_lost(),
+                d.offset_high_water_ns().to_bits(),
+                d.max_abs_error_ns(SimTime::from_millis(3000)).to_bits(),
+            )
+        };
+        assert_eq!(mk(9), mk(9), "same seed, same trajectory");
+        assert_ne!(mk(9).0, mk(10).0, "different seeds diverge");
+    }
+
+    #[test]
+    fn empty_fault_profile_disarms_tracking() {
+        let mut d = SyncDomain::chain(
+            vec![drifty(0)],
+            SyncConfig::default(),
+            SimDuration::from_nanos(50),
+        )
+        .expect("valid");
+        d.set_faults(
+            SyncFaultProfile {
+                message_loss_prob: 0.0,
+                extra_jitter_ns: 0.0,
+            },
+            1,
+        );
+        d.run_until(SimTime::from_millis(500));
+        assert_eq!(d.syncs_lost(), 0);
+        assert_eq!(d.offset_high_water_ns(), 0.0);
     }
 
     #[test]

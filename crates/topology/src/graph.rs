@@ -238,6 +238,23 @@ impl Topology {
     /// * [`TsnError::UnknownNode`] if either endpoint does not exist.
     /// * [`TsnError::NoRoute`] if `to` is unreachable from `from`.
     pub fn route(&self, from: NodeId, to: NodeId) -> TsnResult<Route> {
+        self.route_avoiding(from, to, |_| false)
+    }
+
+    /// Like [`route`](Topology::route), but links for which `blocked` returns
+    /// `true` are treated as cut — the failover primitive used by the
+    /// simulator's fault engine to steer traffic around down links.
+    ///
+    /// # Errors
+    ///
+    /// * [`TsnError::UnknownNode`] if either endpoint does not exist.
+    /// * [`TsnError::NoRoute`] if every path crosses a blocked link.
+    pub fn route_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        blocked: impl Fn(LinkId) -> bool,
+    ) -> TsnResult<Route> {
         self.check_node(from)?;
         self.check_node(to)?;
         if from == to {
@@ -256,7 +273,19 @@ impl Topology {
         visited[from.as_usize()] = true;
         let mut queue = VecDeque::from([from]);
         'search: while let Some(current) = queue.pop_front() {
-            for (egress, peer) in self.egress_neighbors(current) {
+            let ports = self
+                .ports
+                .get(current.as_usize())
+                .map_or(&[][..], Vec::as_slice);
+            for (port_idx, link_id) in ports.iter().enumerate() {
+                let link = &self.links[link_id.index() as usize];
+                if blocked(*link_id) || !link.allows_egress_from(current) {
+                    continue;
+                }
+                let Some(peer) = link.peer_of(current) else {
+                    continue;
+                };
+                let egress = PortId::new(port_idx as u16);
                 if !visited[peer.node.as_usize()] {
                     visited[peer.node.as_usize()] = true;
                     prev[peer.node.as_usize()] = Some((current, egress, peer.port));
@@ -439,6 +468,33 @@ mod tests {
         .expect("link");
         assert!(t.route(s0, s1).is_ok());
         assert!(matches!(t.route(s1, s0), Err(TsnError::NoRoute { .. })));
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_blocked_links() {
+        // Square of switches: two disjoint s0→s3 paths (via s1 or s2).
+        let mut t = Topology::new();
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let s3 = t.add_switch("s3");
+        let l01 = t.connect(s0, s1, DataRate::gbps(1)).expect("link");
+        t.connect(s1, s3, DataRate::gbps(1)).expect("link");
+        t.connect(s0, s2, DataRate::gbps(1)).expect("link");
+        t.connect(s2, s3, DataRate::gbps(1)).expect("link");
+
+        let healthy = t.route(s0, s3).expect("path exists");
+        assert_eq!(healthy.hops()[1].node, s1, "BFS prefers the first cable");
+
+        let detour = t.route_avoiding(s0, s3, |l| l == l01).expect("detour");
+        let nodes: Vec<NodeId> = detour.hops().iter().map(|h| h.node).collect();
+        assert_eq!(nodes, vec![s0, s2, s3]);
+
+        // Blocking both upper and lower first hops severs the pair.
+        assert!(matches!(
+            t.route_avoiding(s0, s3, |l| l.index() != 3),
+            Err(TsnError::NoRoute { .. })
+        ));
     }
 
     #[test]

@@ -141,6 +141,7 @@ pub struct EthernetFrame {
     sequence: u64,
     mc_id: Option<McId>,
     injected_at: SimTime,
+    corrupted: bool,
 }
 
 impl EthernetFrame {
@@ -222,6 +223,22 @@ impl EthernetFrame {
     #[must_use]
     pub fn is_multicast(&self) -> bool {
         self.dst.is_multicast()
+    }
+
+    /// `true` if the payload was damaged on a wire (fault injection): the
+    /// FCS no longer matches, and any standards-compliant receiver must
+    /// discard the frame instead of delivering it.
+    #[must_use]
+    pub fn is_corrupted(&self) -> bool {
+        self.corrupted
+    }
+
+    /// Returns a copy of this frame with the FCS-mismatch marker set, as if
+    /// bits were flipped in transit.
+    #[must_use]
+    pub fn with_corruption(mut self) -> EthernetFrame {
+        self.corrupted = true;
+        self
     }
 }
 
@@ -364,6 +381,7 @@ impl FrameBuilder {
             sequence: self.sequence,
             mc_id: self.mc_id,
             injected_at: self.injected_at,
+            corrupted: false,
         })
     }
 }
@@ -467,6 +485,16 @@ mod tests {
                 _ => assert_eq!(class, TrafficClass::TimeSensitive),
             }
         }
+    }
+
+    #[test]
+    fn corruption_marker_round_trips() {
+        let f = a_frame(64).expect("valid frame");
+        assert!(!f.is_corrupted());
+        let bad = f.with_corruption();
+        assert!(bad.is_corrupted());
+        assert!(!f.is_corrupted(), "marker applies to the copy only");
+        assert_eq!(bad.size_bytes(), f.size_bytes());
     }
 
     #[test]

@@ -22,8 +22,30 @@ run cargo fmt --check
 # Docs must build warning-free (broken intra-doc links, missing docs).
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
 
-# Bench smoke: a tiny TSN_BENCH_MS budget just proves the harness and
-# every scenario still run end to end (and refreshes BENCH_2.json).
+# Fault-sweep smoke: the full intensity grid on a short horizon. The
+# binary itself asserts monotone deadline-miss growth and that all three
+# fault families fired, so a broken fault model fails CI here.
+run cargo run -q --release -p tsn-experiments --bin fault_sweep -- --smoke
+
+# Bench smoke: a tiny TSN_BENCH_MS budget proves the harness and every
+# scenario still run end to end, and gates on the geomean: the smoke's
+# geomean speedup vs the b8cca7c baselines recorded in BENCH_2.json must
+# stay >= 0.95x. The tracked (full-budget) BENCH_2.json is restored
+# afterwards so a smoke run never overwrites the recorded numbers.
+tracked_bench="$(mktemp)"
+cp BENCH_2.json "$tracked_bench"
 TSN_BENCH_MS="${TSN_BENCH_MS:-25}" run cargo bench -q -p tsn-bench --bench simulation
+smoke_geomean="$(sed -n 's/.*"geomean_speedup": \([0-9.]*\).*/\1/p' BENCH_2.json)"
+cp "$tracked_bench" BENCH_2.json
+rm -f "$tracked_bench"
+if [ -z "$smoke_geomean" ]; then
+    echo "bench smoke wrote no geomean_speedup" >&2
+    exit 1
+fi
+echo "==> bench smoke geomean ${smoke_geomean}x vs b8cca7c baselines (gate: >= 0.95)"
+if ! awk -v g="$smoke_geomean" 'BEGIN { exit !(g >= 0.95) }'; then
+    echo "bench smoke geomean ${smoke_geomean}x regressed below 0.95x baseline" >&2
+    exit 1
+fi
 
 echo "CI gate passed."
