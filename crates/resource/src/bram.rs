@@ -62,32 +62,37 @@ impl AllocationPolicy {
     /// queue) holding `entries` entries of `width_bits` each.
     ///
     /// An instance with zero entries costs nothing under every policy.
+    /// Arithmetic saturates at `u64::MAX` rather than wrapping, so absurd
+    /// inputs report an absurd (but ordered) cost instead of a small one.
     #[must_use]
     pub fn table_cost_bits(self, entries: u64, width_bits: u64) -> u64 {
-        let raw = entries * width_bits;
+        let raw = entries.saturating_mul(width_bits);
         if raw == 0 {
             return 0;
         }
         match self {
-            AllocationPolicy::PaperAccounting => raw.div_ceil(BRAM18_BITS) * BRAM18_BITS,
+            AllocationPolicy::PaperAccounting => {
+                raw.div_ceil(BRAM18_BITS).saturating_mul(BRAM18_BITS)
+            }
             AllocationPolicy::ExactBits => raw,
-            AllocationPolicy::Bram36 => raw.div_ceil(BRAM36_BITS) * BRAM36_BITS,
+            AllocationPolicy::Bram36 => raw.div_ceil(BRAM36_BITS).saturating_mul(BRAM36_BITS),
         }
     }
 
     /// Cost in bits of one per-port packet-buffer pool of `buffers`
-    /// buffers.
+    /// buffers. Saturates like [`AllocationPolicy::table_cost_bits`].
     #[must_use]
     pub fn buffer_pool_cost_bits(self, buffers: u64) -> u64 {
         if buffers == 0 {
             return 0;
         }
         match self {
-            AllocationPolicy::PaperAccounting => buffers * PAPER_BUFFER_COST_BITS,
-            AllocationPolicy::ExactBits => buffers * BUFFER_BYTES * 8,
-            AllocationPolicy::Bram36 => {
-                (buffers * BUFFER_BYTES * 8).div_ceil(BRAM36_BITS) * BRAM36_BITS
-            }
+            AllocationPolicy::PaperAccounting => buffers.saturating_mul(PAPER_BUFFER_COST_BITS),
+            AllocationPolicy::ExactBits => buffers.saturating_mul(BUFFER_BYTES * 8),
+            AllocationPolicy::Bram36 => buffers
+                .saturating_mul(BUFFER_BYTES * 8)
+                .div_ceil(BRAM36_BITS)
+                .saturating_mul(BRAM36_BITS),
         }
     }
 

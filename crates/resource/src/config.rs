@@ -355,7 +355,7 @@ impl ResourceConfig {
             u64::from(self.gate_size),
             u64::from(self.widths.gate_tbl_bits),
         );
-        2 * u64::from(self.port_num) * per_table
+        (2 * u64::from(self.port_num)).saturating_mul(per_table)
     }
 
     /// BRAM bits of all CBS map + CBS tables (both per port).
@@ -369,7 +369,7 @@ impl ResourceConfig {
             u64::from(self.cbs_size),
             u64::from(self.widths.cbs_tbl_bits),
         );
-        u64::from(self.port_num) * (map + cbs)
+        u64::from(self.port_num).saturating_mul(map.saturating_add(cbs))
     }
 
     /// BRAM bits of all metadata queues (`queue_num` per port).
@@ -379,25 +379,27 @@ impl ResourceConfig {
             u64::from(self.queue_depth),
             u64::from(self.widths.queue_meta_bits),
         );
-        u64::from(self.port_num) * u64::from(self.queue_num) * per_queue
+        (u64::from(self.port_num) * u64::from(self.queue_num)).saturating_mul(per_queue)
     }
 
     /// BRAM bits of all per-port packet-buffer pools.
     #[must_use]
     pub fn buffer_bits(&self, policy: AllocationPolicy) -> u64 {
-        u64::from(self.port_num) * policy.buffer_pool_cost_bits(u64::from(self.buffer_num))
+        u64::from(self.port_num)
+            .saturating_mul(policy.buffer_pool_cost_bits(u64::from(self.buffer_num)))
     }
 
-    /// Total BRAM bits of the whole switch under `policy`.
+    /// Total BRAM bits of the whole switch under `policy`. Saturates at
+    /// `u64::MAX` instead of wrapping on absurd configurations.
     #[must_use]
     pub fn total_bits(&self, policy: AllocationPolicy) -> u64 {
         self.switch_tbl_bits(policy)
-            + self.class_tbl_bits(policy)
-            + self.meter_tbl_bits(policy)
-            + self.gate_tbl_bits(policy)
-            + self.cbs_tbl_bits(policy)
-            + self.queue_bits(policy)
-            + self.buffer_bits(policy)
+            .saturating_add(self.class_tbl_bits(policy))
+            .saturating_add(self.meter_tbl_bits(policy))
+            .saturating_add(self.gate_tbl_bits(policy))
+            .saturating_add(self.cbs_tbl_bits(policy))
+            .saturating_add(self.queue_bits(policy))
+            .saturating_add(self.buffer_bits(policy))
     }
 }
 

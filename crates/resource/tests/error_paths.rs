@@ -1,0 +1,136 @@
+//! Error-path and saturation coverage for the customization API.
+//!
+//! Every `ResourceConfig` setter must reject meaningless inputs with
+//! [`TsnError::InvalidParameter`] — never panic — and must leave the
+//! configuration untouched when it does. The cost queries must saturate
+//! at `u64::MAX` on absurd configurations instead of wrapping to a small
+//! (and therefore dangerously plausible) number.
+
+use tsn_resource::{AllocationPolicy, ResourceConfig};
+use tsn_types::TsnError;
+
+/// Asserts the result is the `InvalidParameter` error naming `param`.
+fn assert_invalid<T: std::fmt::Debug>(result: Result<T, TsnError>, param: &str) {
+    match result {
+        Err(TsnError::InvalidParameter { ref name, .. }) => {
+            assert_eq!(name, param, "wrong parameter blamed: {result:?}")
+        }
+        other => panic!("expected InvalidParameter({param}), got {other:?}"),
+    }
+}
+
+#[test]
+fn every_setter_rejects_zero_with_invalid_parameter() {
+    let mut cfg = ResourceConfig::new();
+
+    // A switch with no forwarding state at all is meaningless; either
+    // table alone may be empty.
+    assert_invalid(
+        cfg.set_switch_tbl(0, 0).map(|_| ()),
+        "unicast_size/multicast_size",
+    );
+
+    assert_invalid(cfg.set_class_tbl(0).map(|_| ()), "class_size");
+    assert_invalid(cfg.set_meter_tbl(0).map(|_| ()), "meter_size");
+
+    // set_gate_tbl: all three arguments required, blamed individually.
+    assert_invalid(cfg.set_gate_tbl(0, 8, 1).map(|_| ()), "gate_size");
+    assert_invalid(cfg.set_gate_tbl(2, 0, 1).map(|_| ()), "queue_num");
+    assert_invalid(cfg.set_gate_tbl(2, 8, 0).map(|_| ()), "port_num");
+
+    // set_cbs_tbl: only port_num is mandatory (0/0 disables shaping).
+    assert_invalid(cfg.set_cbs_tbl(3, 3, 0).map(|_| ()), "port_num");
+
+    // set_queues: all three arguments required.
+    assert_invalid(cfg.set_queues(0, 8, 1).map(|_| ()), "queue_depth");
+    assert_invalid(cfg.set_queues(12, 0, 1).map(|_| ()), "queue_num");
+    assert_invalid(cfg.set_queues(12, 8, 0).map(|_| ()), "port_num");
+
+    // set_buffers: both arguments required.
+    assert_invalid(cfg.set_buffers(0, 1).map(|_| ()), "buffer_num");
+    assert_invalid(cfg.set_buffers(96, 0).map(|_| ()), "port_num");
+}
+
+#[test]
+fn failed_setters_leave_the_configuration_untouched() {
+    let pristine = ResourceConfig::new();
+    let mut cfg = ResourceConfig::new();
+    let _ = cfg.set_switch_tbl(0, 0);
+    let _ = cfg.set_class_tbl(0);
+    let _ = cfg.set_meter_tbl(0);
+    let _ = cfg.set_gate_tbl(2, 8, 0); // two valid args before the bad one
+    let _ = cfg.set_cbs_tbl(3, 3, 0);
+    let _ = cfg.set_queues(12, 8, 0);
+    let _ = cfg.set_buffers(96, 0);
+    assert_eq!(cfg, pristine, "a rejected setter mutated the config");
+}
+
+#[test]
+fn deliberate_zeroes_that_mean_something_are_accepted() {
+    let mut cfg = ResourceConfig::new();
+    // Unicast-only and multicast-only switch tables are both valid.
+    cfg.set_switch_tbl(16 * 1024, 0).expect("unicast-only");
+    cfg.set_switch_tbl(0, 512).expect("multicast-only");
+    // A 0/0 CBS pair disables credit-based shaping entirely.
+    cfg.set_cbs_tbl(0, 0, 2).expect("shaping disabled");
+    assert_eq!(cfg.cbs_map_size(), 0);
+    assert_eq!(cfg.cbs_size(), 0);
+    assert_eq!(cfg.port_num(), 2);
+}
+
+#[test]
+fn policy_cost_primitives_saturate_instead_of_wrapping() {
+    for policy in AllocationPolicy::ALL {
+        // entries * width overflows u64 by many orders of magnitude: a
+        // wrapping multiply would report a small cost here.
+        assert_eq!(
+            policy.table_cost_bits(u64::MAX, 8),
+            u64::MAX,
+            "{policy}: table cost wrapped"
+        );
+        // Near-MAX raw bits: the round-up multiply after div_ceil is the
+        // overflow site, not the entries*width product.
+        assert!(
+            policy.table_cost_bits(u64::MAX / 2, 2) >= u64::MAX - 36 * 1024,
+            "{policy}: round-up wrapped"
+        );
+        assert_eq!(
+            policy.buffer_pool_cost_bits(u64::MAX),
+            u64::MAX,
+            "{policy}: buffer cost wrapped"
+        );
+        // Zero instances still cost nothing.
+        assert_eq!(policy.table_cost_bits(0, u64::MAX), 0);
+        assert_eq!(policy.buffer_pool_cost_bits(0), 0);
+    }
+}
+
+#[test]
+fn maxed_out_configuration_saturates_total_bits() {
+    let mut cfg = ResourceConfig::new();
+    cfg.set_switch_tbl(u32::MAX, u32::MAX)
+        .expect("valid")
+        .set_class_tbl(u32::MAX)
+        .expect("valid")
+        .set_meter_tbl(u32::MAX)
+        .expect("valid")
+        .set_gate_tbl(u32::MAX, u32::MAX, u32::MAX)
+        .expect("valid")
+        .set_cbs_tbl(u32::MAX, u32::MAX, u32::MAX)
+        .expect("valid")
+        .set_queues(u32::MAX, u32::MAX, u32::MAX)
+        .expect("valid")
+        .set_buffers(u32::MAX, u32::MAX)
+        .expect("valid");
+
+    for policy in AllocationPolicy::ALL {
+        // port_num * queue_num * per-queue cost alone exceeds u64::MAX,
+        // so the total must pin to the ceiling — not wrap past it.
+        assert_eq!(cfg.queue_bits(policy), u64::MAX, "{policy}: queues wrapped");
+        assert_eq!(cfg.total_bits(policy), u64::MAX, "{policy}: total wrapped");
+        // And an absurd configuration must still cost at least as much as
+        // a sane one under the same policy (ordering survives saturation).
+        let sane = ResourceConfig::new();
+        assert!(cfg.total_bits(policy) >= sane.total_bits(policy));
+    }
+}

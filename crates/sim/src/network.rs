@@ -20,7 +20,7 @@ use tsn_switch::ingress_filter::{ClassEntry, ClassKey, TokenBucketMeter};
 use tsn_switch::pipeline::{PortKind, SwitchSpec, TsnSwitchCore};
 use tsn_switch::stats::DropReason;
 use tsn_switch::time_sync::{ClockModel, SyncConfig, SyncDomain, SyncFaultProfile};
-use tsn_topology::{Link, LinkId, NodeKind, Route, Topology};
+use tsn_topology::{EnabledPorts, Link, LinkId, NodeKind, Route, Topology};
 use tsn_types::{
     DataRate, EthernetFrame, FlowId, FlowSet, FlowSpec, MacAddr, MeterId, NodeId, PortId, QueueId,
     SimDuration, SimTime, TrafficClass, TsnError, TsnResult, VlanId,
@@ -266,6 +266,11 @@ impl Network {
         let mut tx_bytes = Vec::with_capacity(topology.nodes().len());
         let mut wires = Vec::with_capacity(topology.nodes().len());
         let switches = topology.switches();
+        // Guideline (5): gate-control hardware exists only on the egress
+        // ports the TS routes actually use — the same analysis that sized
+        // `port_num` during derivation. Other switch-to-switch ports stay
+        // ungated (always-open), like un-provisioned ports on the FPGA.
+        let enabled_ports = EnabledPorts::from_flows(&topology, &flows)?;
 
         for node in topology.nodes() {
             busy_until.push(vec![SimTime::ZERO; topology.port_count(node.id())]);
@@ -282,7 +287,10 @@ impl Network {
                                 .peer_of(node.id())
                                 .and_then(|peer| topology.node(peer.node).ok())
                                 .is_some_and(tsn_topology::Node::is_switch);
-                            if peer_is_switch && link.allows_egress_from(node.id()) {
+                            if peer_is_switch
+                                && link.allows_egress_from(node.id())
+                                && enabled_ports.is_enabled(node.id(), PortId::new(p as u16))
+                            {
                                 PortKind::Tsn
                             } else {
                                 PortKind::Edge

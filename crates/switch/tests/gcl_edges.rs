@@ -1,0 +1,113 @@
+//! Gate-control-list edge cases: constructor rejections, the oversized
+//! scan fallback behind `next_open`, never-opening queues, and the
+//! zero-slot guard in `always_open`.
+//!
+//! These are the boundaries the randomized harness (`tsn-verify`) steers
+//! away from by construction, so they get deterministic coverage here.
+
+use tsn_switch::{GateControlList, GateEntry};
+use tsn_types::{QueueId, SimDuration, SimTime, TsnError};
+
+fn q(n: u8) -> QueueId {
+    QueueId::new(n)
+}
+
+#[test]
+fn constructor_rejects_empty_entries_and_zero_slot() {
+    let empty = GateControlList::new(vec![], SimDuration::from_micros(65));
+    assert!(
+        matches!(empty, Err(TsnError::InvalidParameter { ref name, .. }) if name == "entries"),
+        "{empty:?}"
+    );
+    let zero_slot = GateControlList::new(vec![GateEntry::all_open()], SimDuration::ZERO);
+    assert!(
+        matches!(zero_slot, Err(TsnError::InvalidParameter { ref name, .. }) if name == "slot"),
+        "{zero_slot:?}"
+    );
+}
+
+#[test]
+fn always_open_survives_a_zero_slot() {
+    // The convenience constructor can't fail, so it substitutes a sane
+    // slot instead of dividing by a zero-length one later.
+    let gcl = GateControlList::always_open(SimDuration::ZERO);
+    assert!(gcl.slot() > SimDuration::ZERO);
+    assert!(gcl.is_open(q(0), SimTime::ZERO));
+    assert_eq!(gcl.next_open(q(7), SimTime::ZERO), Some(SimTime::ZERO));
+    assert!(gcl.cycle() > SimDuration::ZERO);
+}
+
+#[test]
+fn never_opening_queue_reports_none_not_a_bogus_instant() {
+    // Queue 3 opens on odd slots; queue 5 never opens at all.
+    let entries = vec![
+        GateEntry::all_closed().with_open(q(0)),
+        GateEntry::all_closed().with_open(q(3)),
+    ];
+    let gcl = GateControlList::new(entries, SimDuration::from_micros(10)).expect("valid");
+    assert_eq!(gcl.next_open(q(5), SimTime::ZERO), None);
+    assert!(!gcl.is_open(q(5), SimTime::ZERO));
+    // The queues that do open still resolve correctly.
+    assert_eq!(gcl.next_open(q(0), SimTime::ZERO), Some(SimTime::ZERO));
+    assert_eq!(
+        gcl.next_open(q(3), SimTime::ZERO),
+        Some(SimTime::ZERO + SimDuration::from_micros(10))
+    );
+}
+
+/// Lists longer than the precomputed transition table (4096 entries) fall
+/// back to scanning the cycle on demand; the two paths must agree.
+#[test]
+fn oversized_list_scan_fallback_matches_the_table_path() {
+    const LONG: usize = 5000; // > MAX_TABLE_ENTRIES = 4096
+    const SHORT: usize = 100;
+    let slot = SimDuration::from_micros(1);
+
+    // Queue 2 opens only in the last entry of the cycle; everything else
+    // stays closed, making the scan traverse nearly the whole list.
+    let pattern = |len: usize| -> Vec<GateEntry> {
+        let mut entries = vec![GateEntry::all_closed().with_open(q(0)); len];
+        entries[len - 1] = entries[len - 1].with_open(q(2));
+        entries
+    };
+
+    let long = GateControlList::new(pattern(LONG), slot).expect("valid");
+    let short = GateControlList::new(pattern(SHORT), slot).expect("valid");
+    assert_eq!(long.len(), LONG);
+    assert_eq!(long.cycle(), slot * LONG as u64);
+
+    for (gcl, len) in [(&long, LONG), (&short, SHORT)] {
+        let last_slot_start = SimTime::ZERO + slot * (len as u64 - 1);
+        // From mid-cycle, queue 2 next opens at the start of the final slot.
+        let mid = SimTime::ZERO + slot * (len as u64 / 2);
+        assert_eq!(gcl.next_open(q(2), mid), Some(last_slot_start), "len {len}");
+        // Inside the open slot it is open right now.
+        assert_eq!(
+            gcl.next_open(q(2), last_slot_start),
+            Some(last_slot_start),
+            "len {len}"
+        );
+        // Queue 0 is open in every entry; queue 7 in none.
+        assert_eq!(gcl.next_open(q(0), mid), Some(mid), "len {len}");
+        assert_eq!(gcl.next_open(q(7), mid), None, "len {len}");
+        // From the open slot, the *next* opening wraps into the following
+        // cycle's final entry.
+        let after = last_slot_start + slot;
+        assert_eq!(
+            gcl.next_open(q(2), after),
+            Some(SimTime::ZERO + slot * (2 * len as u64 - 1)),
+            "len {len}"
+        );
+    }
+}
+
+#[test]
+fn uniform_list_short_circuits_to_now() {
+    let entry = GateEntry::all_closed().with_open(q(1)).with_open(q(4));
+    let gcl = GateControlList::new(vec![entry; 16], SimDuration::from_micros(65)).expect("valid");
+    assert!(gcl.is_uniform());
+    let t = SimTime::ZERO + SimDuration::from_micros(12_345);
+    assert_eq!(gcl.next_open(q(1), t), Some(t));
+    assert_eq!(gcl.next_open(q(4), t), Some(t));
+    assert_eq!(gcl.next_open(q(0), t), None);
+}

@@ -91,6 +91,15 @@ impl EnabledPorts {
         self.per_switch.get(&switch).map_or(0, BTreeSet::len)
     }
 
+    /// Whether a specific egress port on `switch` carries TS traffic
+    /// towards another switch — i.e. needs gate-control hardware.
+    #[must_use]
+    pub fn is_enabled(&self, switch: NodeId, port: PortId) -> bool {
+        self.per_switch
+            .get(&switch)
+            .is_some_and(|ports| ports.contains(&port))
+    }
+
     /// The maximum enabled-port count over all switches — the `port_num`
     /// the customized configuration must provision (Table III uses 3/2/1
     /// for star/linear/ring).

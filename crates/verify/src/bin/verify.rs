@@ -1,0 +1,274 @@
+//! The `verify` CLI: replay the committed corpus, then run every oracle
+//! and ported property on fresh random cases, shrinking and persisting
+//! any failure.
+//!
+//! ```text
+//! verify [--smoke] [--oracle NAME] [--seed N] [--cases N] [--corpus DIR]
+//! ```
+//!
+//! * `--smoke` — budget the live runs to `TSN_VERIFY_MS` milliseconds of
+//!   wall clock (default 4000); cases that do not fit are skipped, never
+//!   silently: the per-oracle table prints the skip counts.
+//! * `--oracle NAME` — run (and replay) only one oracle or property.
+//! * `--seed N` — master seed; case 0 uses it exactly, so
+//!   `--oracle X --seed <failing-seed> --cases 1` reproduces a reported
+//!   failure.
+//! * `--cases N` — override the per-oracle case count.
+//!
+//! Exit codes: 0 all green, 1 property failures or corpus regressions,
+//! 2 usage / corpus-format errors.
+
+use std::fmt::Debug;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use tsn_types::SplitMix64;
+use tsn_verify::case::ScenarioCase;
+use tsn_verify::corpus::{self, CaseCodec, CorpusEntry};
+use tsn_verify::oracles::{self, ORACLES};
+use tsn_verify::props::{self, PROPERTIES};
+use tsn_verify::runner::{PropertyReport, Runner, Verdict};
+use tsn_verify::shrink::Shrink;
+
+/// Live cases per cross-layer oracle (simulations; the expensive kind).
+const ORACLE_CASES: u64 = 20;
+/// Live cases per ported data-structure property (microseconds each).
+const PROP_CASES: u64 = 128;
+/// Smoke-mode reductions.
+const SMOKE_ORACLE_CASES: u64 = 8;
+const SMOKE_PROP_CASES: u64 = 64;
+/// Default smoke budget (`TSN_VERIFY_MS` overrides).
+const DEFAULT_BUDGET_MS: u64 = 4000;
+/// Default master seed of the live runs.
+const DEFAULT_SEED: u64 = 0x7e57;
+
+struct Options {
+    smoke: bool,
+    only: Option<String>,
+    seed: u64,
+    cases: Option<u64>,
+    corpus: PathBuf,
+}
+
+fn default_corpus_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("TSN_VERIFY_CORPUS") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../verify/corpus"))
+}
+
+fn parse_u64(raw: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    parsed.map_err(|_| format!("not an integer: {raw:?}"))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        smoke: false,
+        only: None,
+        seed: DEFAULT_SEED,
+        cases: None,
+        corpus: default_corpus_dir(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--smoke" => options.smoke = true,
+            "--oracle" => options.only = Some(value("--oracle")?),
+            "--seed" => options.seed = parse_u64(&value("--seed")?)?,
+            "--cases" => options.cases = Some(parse_u64(&value("--cases")?)?),
+            "--corpus" => options.corpus = PathBuf::from(value("--corpus")?),
+            "--help" | "-h" => {
+                println!("verify [--smoke] [--oracle NAME] [--seed N] [--cases N] [--corpus DIR]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn known_name(name: &str) -> bool {
+    oracles::oracle_by_name(name).is_some() || props::property_by_name(name).is_some()
+}
+
+/// Replays one corpus entry against whichever registry owns its oracle.
+fn replay_entry(entry: &CorpusEntry) -> Result<(u64, u64), String> {
+    if let Some(oracle) = oracles::oracle_by_name(&entry.oracle) {
+        let stats = Runner::replay(entry, &ScenarioCase::generate, oracle)?;
+        return Ok((stats.executed, stats.discarded));
+    }
+    if let Some(prop) = props::property_by_name(&entry.oracle) {
+        let stats = Runner::replay(
+            entry,
+            &|rng: &mut SplitMix64| prop.spec.generate(rng),
+            |case| (prop.oracle)(case),
+        )?;
+        return Ok((stats.executed, stats.discarded));
+    }
+    Err(format!(
+        "{}: corpus entry names an unknown oracle",
+        entry.oracle
+    ))
+}
+
+fn print_report<C>(report: &PropertyReport<C>) -> bool
+where
+    C: Debug,
+{
+    let status = if report.passed() { "pass" } else { "FAIL" };
+    println!(
+        "  {:<22} {status}  executed {:>4}  discarded {:>3}  skipped {:>3}",
+        report.name, report.executed, report.discarded, report.skipped
+    );
+    let Some(failure) = &report.failure else {
+        return true;
+    };
+    println!("    seed: 0x{:x}", failure.seed);
+    println!("    message: {}", failure.shrunk.message);
+    println!("    original: {:?}", failure.original);
+    println!(
+        "    shrunk ({} steps, {} oracle calls): {:?}",
+        failure.shrunk.steps, failure.shrunk.attempts, failure.shrunk.case
+    );
+    println!(
+        "    reproduce: cargo run -q --release -p tsn-verify --bin verify -- \
+         --oracle {} --seed 0x{:x} --cases 1",
+        report.name, failure.seed
+    );
+    false
+}
+
+fn live_runner(options: &Options, cases: u64, deadline: Option<Instant>) -> Runner {
+    let mut runner = Runner::new(options.cases.unwrap_or(cases), options.seed);
+    runner.deadline = deadline;
+    runner.corpus_dir = Some(options.corpus.clone());
+    runner
+}
+
+fn run_live<C, G>(runner: &Runner, name: &str, gen: &G, oracle: impl FnMut(&C) -> Verdict) -> bool
+where
+    C: Shrink + CaseCodec + Clone + Debug,
+    G: tsn_verify::Gen<Output = C>,
+{
+    let report = runner.run(name, gen, oracle);
+    print_report(&report)
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("verify: {message}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(name) = &options.only {
+        if !known_name(name) {
+            eprintln!("verify: unknown oracle {name:?}");
+            eprintln!(
+                "known: {}",
+                ORACLES
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .chain(PROPERTIES.iter().map(|p| p.name))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let mut failed = false;
+
+    // Phase 1: the committed regression corpus, replayed in full (never
+    // time-budgeted — these are the regression tests).
+    match corpus::load_dir(&options.corpus) {
+        Ok(entries) => {
+            let mut replayed = 0u64;
+            let mut executed = 0u64;
+            let mut discarded = 0u64;
+            println!(
+                "corpus: {} ({} entries)",
+                options.corpus.display(),
+                entries.len()
+            );
+            for (path, entry) in &entries {
+                if options.only.as_deref().is_some_and(|o| o != entry.oracle) {
+                    continue;
+                }
+                replayed += 1;
+                match replay_entry(entry) {
+                    Ok((e, d)) => {
+                        executed += e;
+                        discarded += d;
+                    }
+                    Err(message) => {
+                        failed = true;
+                        println!("  FAIL {}: {message}", path.display());
+                    }
+                }
+            }
+            println!(
+                "  replayed {replayed} entries: {executed} cases executed, \
+                 {discarded} discarded"
+            );
+        }
+        Err(message) => {
+            eprintln!("verify: corpus unreadable: {message}");
+            std::process::exit(2);
+        }
+    }
+
+    // Phase 2: live randomized runs, shrinking + persisting failures.
+    let deadline = options.smoke.then(|| {
+        let budget_ms = std::env::var("TSN_VERIFY_MS")
+            .ok()
+            .and_then(|raw| raw.parse().ok())
+            .unwrap_or(DEFAULT_BUDGET_MS);
+        println!("smoke budget: {budget_ms} ms (TSN_VERIFY_MS)");
+        Instant::now() + Duration::from_millis(budget_ms)
+    });
+    let (oracle_cases, prop_cases) = if options.smoke {
+        (SMOKE_ORACLE_CASES, SMOKE_PROP_CASES)
+    } else {
+        (ORACLE_CASES, PROP_CASES)
+    };
+
+    println!("cross-layer oracles (seed 0x{:x}):", options.seed);
+    let runner = live_runner(&options, oracle_cases, deadline);
+    for (name, oracle) in ORACLES {
+        if options.only.as_deref().is_some_and(|o| o != *name) {
+            continue;
+        }
+        failed |= !run_live(&runner, name, &ScenarioCase::generate, *oracle);
+    }
+
+    println!("ported properties (seed 0x{:x}):", options.seed);
+    let runner = live_runner(&options, prop_cases, deadline);
+    for prop in PROPERTIES {
+        if options.only.as_deref().is_some_and(|o| o != prop.name) {
+            continue;
+        }
+        failed |= !run_live(
+            &runner,
+            prop.name,
+            &|rng: &mut SplitMix64| prop.spec.generate(rng),
+            |case| (prop.oracle)(case),
+        );
+    }
+
+    if failed {
+        println!(
+            "verify: FAILED (shrunk cases persisted to {})",
+            options.corpus.display()
+        );
+        std::process::exit(1);
+    }
+    println!("verify: all oracles green");
+}

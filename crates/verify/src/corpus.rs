@@ -1,0 +1,290 @@
+//! The committed regression corpus.
+//!
+//! Every failure the runner finds is persisted as one plain-text file
+//! under `verify/corpus/` holding the oracle name, the case seed and the
+//! shrunk case, and the corpus is replayed on every CI run: a case that
+//! failed once is a regression test forever after its fix. Seed-pin
+//! entries (no `case.*` fields) replay `cases` generated inputs from a
+//! fixed master seed instead — that is how the pre-shrinker property
+//! seeds from `tests/properties.rs` are preserved.
+//!
+//! The format is deliberately trivial — `key = value` lines, `#`
+//! comments — so entries diff cleanly in review and need no JSON layer.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Conversion between a case and the corpus' flat `key = value` fields.
+pub trait CaseCodec: Sized {
+    /// The case as ordered `(key, value)` pairs.
+    fn to_fields(&self) -> Vec<(String, String)>;
+
+    /// Rebuilds a case from its fields.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the missing or malformed field.
+    fn from_fields(fields: &[(String, String)]) -> Result<Self, String>;
+}
+
+/// Looks up one field and parses it as `u64` (decimal or `0x…` hex).
+///
+/// # Errors
+///
+/// Names the missing or malformed key.
+pub fn field_u64(fields: &[(String, String)], key: &str) -> Result<u64, String> {
+    let raw = fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| format!("missing field {key:?}"))?;
+    parse_u64(raw).ok_or_else(|| format!("field {key:?}: {raw:?} is not an integer"))
+}
+
+fn parse_u64(raw: &str) -> Option<u64> {
+    if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// One corpus entry: a shrunk failing case (with `fields`) or a seed pin
+/// (`fields` empty, replaying `cases` generated inputs from `seed`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The oracle or property this entry belongs to.
+    pub oracle: String,
+    /// The case seed (shrunk entries) or master seed (seed pins).
+    pub seed: u64,
+    /// Generated cases to replay for seed pins; 1 for shrunk entries.
+    pub cases: u64,
+    /// Free-text provenance (the original failure message, typically).
+    pub note: String,
+    /// The shrunk case as `case.*` fields; empty for seed pins.
+    pub fields: Vec<(String, String)>,
+}
+
+impl CorpusEntry {
+    /// A seed-pin entry replaying `cases` inputs from `seed`.
+    #[must_use]
+    pub fn seed_pin(oracle: &str, seed: u64, cases: u64, note: &str) -> Self {
+        CorpusEntry {
+            oracle: oracle.to_owned(),
+            seed,
+            cases,
+            note: note.to_owned(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// A shrunk-case entry.
+    #[must_use]
+    pub fn shrunk_case(oracle: &str, seed: u64, note: &str, case: &impl CaseCodec) -> Self {
+        CorpusEntry {
+            oracle: oracle.to_owned(),
+            seed,
+            cases: 1,
+            note: note.to_owned(),
+            fields: case.to_fields(),
+        }
+    }
+
+    /// Whether this is a seed pin (replay through the generator) rather
+    /// than an explicit shrunk case.
+    #[must_use]
+    pub fn is_seed_pin(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Renders the entry in corpus file format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("oracle = {}\n", self.oracle));
+        out.push_str(&format!("seed = 0x{:x}\n", self.seed));
+        out.push_str(&format!("cases = {}\n", self.cases));
+        if !self.note.is_empty() {
+            for line in self.note.lines() {
+                out.push_str(&format!("# {line}\n"));
+            }
+        }
+        for (key, value) in &self.fields {
+            out.push_str(&format!("case.{key} = {value}\n"));
+        }
+        out
+    }
+
+    /// Parses an entry from corpus file format.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut oracle = None;
+        let mut seed = None;
+        let mut cases = 1;
+        let mut note = String::new();
+        let mut fields = Vec::new();
+        for (number, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                if !note.is_empty() {
+                    note.push('\n');
+                }
+                note.push_str(comment.trim());
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", number + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "oracle" => oracle = Some(value.to_owned()),
+                "seed" => {
+                    seed = Some(
+                        parse_u64(value)
+                            .ok_or_else(|| format!("line {}: bad seed {value:?}", number + 1))?,
+                    );
+                }
+                "cases" => {
+                    cases = parse_u64(value)
+                        .ok_or_else(|| format!("line {}: bad cases {value:?}", number + 1))?;
+                }
+                _ => {
+                    let field = key
+                        .strip_prefix("case.")
+                        .ok_or_else(|| format!("line {}: unknown key {key:?}", number + 1))?;
+                    fields.push((field.to_owned(), value.to_owned()));
+                }
+            }
+        }
+        Ok(CorpusEntry {
+            oracle: oracle.ok_or("missing `oracle`")?,
+            seed: seed.ok_or("missing `seed`")?,
+            cases,
+            note,
+            fields,
+        })
+    }
+
+    /// The canonical file name for this entry.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("{}-{:016x}.case", self.oracle, self.seed)
+    }
+}
+
+/// Loads every `*.case` file under `dir`, sorted by file name so replay
+/// order is stable across platforms. A missing directory is an empty
+/// corpus, not an error.
+///
+/// # Errors
+///
+/// I/O failures and parse errors, prefixed with the offending path.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusEntry)>, String> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    let mut entries = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let entry = CorpusEntry::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        entries.push((path, entry));
+    }
+    Ok(entries)
+}
+
+/// Writes `entry` into `dir` (created if needed) under its canonical
+/// name, returning the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn store(dir: &Path, entry: &CorpusEntry) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(entry.file_name());
+    fs::write(&path, entry.render())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        a: u64,
+        b: u64,
+    }
+
+    impl CaseCodec for Toy {
+        fn to_fields(&self) -> Vec<(String, String)> {
+            vec![
+                ("a".to_owned(), self.a.to_string()),
+                ("b".to_owned(), self.b.to_string()),
+            ]
+        }
+
+        fn from_fields(fields: &[(String, String)]) -> Result<Self, String> {
+            Ok(Toy {
+                a: field_u64(fields, "a")?,
+                b: field_u64(fields, "b")?,
+            })
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_text() {
+        let entry = CorpusEntry::shrunk_case(
+            "toy-oracle",
+            0xdead_beef,
+            "a + b overflowed\nsecond line",
+            &Toy { a: 3, b: 4 },
+        );
+        let parsed = CorpusEntry::parse(&entry.render()).expect("round-trips");
+        assert_eq!(parsed, entry);
+        let toy = Toy::from_fields(&parsed.fields).expect("decodes");
+        assert_eq!((toy.a, toy.b), (3, 4));
+
+        let pin = CorpusEntry::seed_pin("toy-oracle", 0x1de, 256, "legacy seed");
+        let parsed = CorpusEntry::parse(&pin.render()).expect("round-trips");
+        assert!(parsed.is_seed_pin());
+        assert_eq!(parsed.cases, 256);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(CorpusEntry::parse("oracle = x\nseed = zzz").is_err());
+        assert!(CorpusEntry::parse("oracle = x\nnonsense").is_err());
+        assert!(CorpusEntry::parse("seed = 1").is_err(), "oracle required");
+        assert!(CorpusEntry::parse("oracle = x").is_err(), "seed required");
+        assert!(CorpusEntry::parse("oracle = x\nseed = 1\nweird = 2").is_err());
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("tsn-verify-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let entry = CorpusEntry::shrunk_case("o1", 7, "note", &Toy { a: 1, b: 2 });
+        let pin = CorpusEntry::seed_pin("o2", 9, 64, "");
+        store(&dir, &entry).expect("writes");
+        store(&dir, &pin).expect("writes");
+        let loaded = load_dir(&dir).expect("loads");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].1, entry, "sorted by file name: o1 first");
+        assert_eq!(loaded[1].1, pin);
+        let _ = fs::remove_dir_all(&dir);
+        assert!(load_dir(&dir).expect("missing dir is empty").is_empty());
+    }
+}

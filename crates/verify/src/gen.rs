@@ -1,0 +1,96 @@
+//! Case generation: the [`Gen`] trait over [`SplitMix64`].
+//!
+//! A generator is a pure function from a PRNG stream to a case. Because
+//! [`SplitMix64`] is seed-deterministic on every platform, a case is
+//! fully identified by the `u64` that seeded its stream — that single
+//! number is what the runner persists and what `verify --seed` replays.
+
+use tsn_types::SplitMix64;
+
+/// A deterministic case generator.
+///
+/// Implementations must draw *only* from `rng` (no ambient randomness,
+/// clocks or global state), so the same seed always produces the same
+/// case.
+pub trait Gen {
+    /// The case type this generator produces.
+    type Output;
+
+    /// Produces one case from the PRNG stream.
+    fn generate(&self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+/// Blanket impl so plain closures work as generators:
+/// `|rng: &mut SplitMix64| -> C`.
+impl<C, F> Gen for F
+where
+    F: Fn(&mut SplitMix64) -> C,
+{
+    type Output = C;
+
+    fn generate(&self, rng: &mut SplitMix64) -> C {
+        self(rng)
+    }
+}
+
+/// An inclusive `u64` range, the building block of parameterized
+/// generators ([`crate::props::ParamSpec`] in particular).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    /// Smallest value drawn — also the shrinking floor.
+    pub lo: u64,
+    /// Largest value drawn (inclusive).
+    pub hi: u64,
+}
+
+impl Range {
+    /// `lo..=hi` (requires `lo <= hi`).
+    #[must_use]
+    pub const fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "Range needs lo <= hi");
+        Range { lo, hi }
+    }
+
+    /// Uniform draw from the range (the full-`u64` range included).
+    pub fn draw(&self, rng: &mut SplitMix64) -> u64 {
+        let span = self.hi - self.lo;
+        if span == u64::MAX {
+            rng.next_u64()
+        } else {
+            self.lo + rng.gen_range(span + 1)
+        }
+    }
+
+    /// Whether `value` lies inside the range.
+    #[must_use]
+    pub fn contains(&self, value: u64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_generators() {
+        let gen = |rng: &mut SplitMix64| rng.gen_range(10);
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(1);
+        assert_eq!(gen.generate(&mut a), gen.generate(&mut b));
+    }
+
+    #[test]
+    fn range_draws_cover_bounds() {
+        let r = Range::new(3, 5);
+        let mut rng = SplitMix64::seed_from_u64(77);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            let v = r.draw(&mut rng);
+            assert!(r.contains(v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(Range::new(9, 9).draw(&mut rng), 9);
+    }
+}

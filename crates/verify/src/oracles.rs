@@ -1,0 +1,531 @@
+//! The five cross-layer differential oracles.
+//!
+//! Each oracle consumes a random [`ScenarioCase`] and cross-checks two
+//! independent layers of the stack against each other, so neither layer's
+//! own implementation is trusted as ground truth:
+//!
+//! 1. [`sim_vs_analytic`] — delivered CQF latencies vs. Eq. (1) bounds.
+//! 2. [`qos_invariance`] — metamorphic: over-provisioning resources must
+//!    not change a derived scenario's report at all.
+//! 3. [`backend_equivalence`] — calendar-queue vs. binary-heap event
+//!    cores on the same scenario.
+//! 4. [`hdl_fixpoint`] — customize → emit → parse → re-emit must be
+//!    byte-stable and parameter-consistent with the resource config.
+//! 5. [`fault_monotonicity`] — longer link outages never reduce the
+//!    deadline-failure count.
+//!
+//! Verdict policy: anything that stops a case *before* a validated
+//! configuration exists (preset/workload/planning infeasibility on random
+//! inputs) is a [`Verdict::Discard`]; once derivation or planning
+//! succeeded, every downstream error is a [`Verdict::Fail`].
+
+use tsn_builder::cqf::latency_bounds;
+use tsn_builder::derive::{derive_parameters, DeriveOptions, DerivedConfig};
+use tsn_builder::requirements::AppRequirements;
+use tsn_hdl::ParsedModule;
+use tsn_resource::ResourceConfig;
+use tsn_sim::network::Network;
+use tsn_sim::report::SimReport;
+use tsn_sim::{EventQueueKind, FaultConfig, LinkOutage};
+use tsn_topology::{LinkId, Topology};
+use tsn_types::{FlowId, FlowSet, SimDuration, SimTime, TsFlowSpec, TsnError, TsnResult};
+
+use crate::case::ScenarioCase;
+use crate::runner::Verdict;
+
+/// An oracle: a named check over [`ScenarioCase`]s.
+pub type Oracle = fn(&ScenarioCase) -> Verdict;
+
+/// Every oracle, with its corpus/CLI name.
+pub const ORACLES: &[(&str, Oracle)] = &[
+    ("sim-vs-analytic", sim_vs_analytic),
+    ("qos-invariance", qos_invariance),
+    ("backend-equivalence", backend_equivalence),
+    ("hdl-fixpoint", hdl_fixpoint),
+    ("fault-monotonicity", fault_monotonicity),
+];
+
+/// Looks an oracle up by name.
+#[must_use]
+pub fn oracle_by_name(name: &str) -> Option<Oracle> {
+    ORACLES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, oracle)| *oracle)
+}
+
+/// Builds topology, flows and the full TSN-Builder derivation for a case.
+/// Any error here happens before a validated configuration exists, so it
+/// is a discard, never a failure.
+pub fn prepare(case: &ScenarioCase) -> Result<(Topology, FlowSet, DerivedConfig), Verdict> {
+    let discard = |stage: &str, e: TsnError| Verdict::Discard(format!("{stage}: {e}"));
+    let topology = case.topology().map_err(|e| discard("preset", e))?;
+    let flows = case
+        .flow_set(&topology)
+        .map_err(|e| discard("workload", e))?;
+    let requirements =
+        AppRequirements::new(topology.clone(), flows.clone(), SimDuration::from_nanos(50))
+            .map_err(|e| discard("requirements", e))?;
+    let derived = derive_parameters(&requirements, &DeriveOptions::paper())
+        .map_err(|e| discard("derivation", e))?;
+    Ok((topology, flows, derived))
+}
+
+/// Runs the derived configuration and returns its report. Build or run
+/// errors after a successful derivation are failures.
+pub fn run_derived(
+    case: &ScenarioCase,
+    topology: &Topology,
+    flows: &FlowSet,
+    derived: &DerivedConfig,
+    resources: &ResourceConfig,
+    queue: EventQueueKind,
+) -> Result<SimReport, Verdict> {
+    let mut config = case.base_config();
+    config.slot = derived.cqf.slot;
+    config.resources = resources.clone();
+    config.aggregate_switch_tbl = derived.aggregate_switch_tbl;
+    config.event_queue = queue;
+    let network = Network::build(
+        topology.clone(),
+        flows.clone(),
+        &derived.itp.offsets,
+        config,
+    )
+    .map_err(|e| Verdict::Fail(format!("post-derive network build failed: {e}")))?;
+    Ok(network.run())
+}
+
+/// Oracle 1 — simulator vs. analytic model: on a successfully derived
+/// scenario, every delivered TS frame's latency lies inside Eq. (1)'s
+/// `[(hop−1)·slot, (hop+1)·slot]`, no TS frame is lost, and a derived
+/// (fault-free) configuration never loses frames to capacity.
+pub fn sim_vs_analytic(case: &ScenarioCase) -> Verdict {
+    let (topology, flows, derived) = match prepare(case) {
+        Ok(x) => x,
+        Err(v) => return v,
+    };
+    let report = match run_derived(
+        case,
+        &topology,
+        &flows,
+        &derived,
+        &derived.resources,
+        EventQueueKind::Calendar,
+    ) {
+        Ok(r) => r,
+        Err(v) => return v,
+    };
+    if report.ts_lost() != 0 {
+        return Verdict::Fail(format!(
+            "derived config lost {} TS frames (must be 0)",
+            report.ts_lost()
+        ));
+    }
+    if report.degradation.frames_lost_to_capacity != 0 {
+        return Verdict::Fail(format!(
+            "derived config reported {} capacity losses (must be 0)",
+            report.degradation.frames_lost_to_capacity
+        ));
+    }
+    for flow in flows.ts_flows() {
+        let route = match topology.route(flow.src(), flow.dst()) {
+            Ok(r) => r,
+            Err(e) => {
+                return Verdict::Fail(format!("{}: routing failed post-derive: {e}", flow.id()))
+            }
+        };
+        let (lo, hi) = latency_bounds(route.switch_hops() as u64, derived.cqf.slot);
+        let Some(record) = report.analyzer.flow(flow.id()) else {
+            continue;
+        };
+        if record.latency.count() == 0 {
+            continue;
+        }
+        let (min, max) = (record.latency.min(), record.latency.max());
+        if min.is_some_and(|m| m < lo) {
+            return Verdict::Fail(format!(
+                "{}: latency {} under CQF lower bound {lo} (hops {}, slot {})",
+                flow.id(),
+                min.unwrap_or(SimDuration::ZERO),
+                route.switch_hops(),
+                derived.cqf.slot
+            ));
+        }
+        if max.is_some_and(|m| m > hi) {
+            return Verdict::Fail(format!(
+                "{}: latency {} over CQF upper bound {hi} (hops {}, slot {})",
+                flow.id(),
+                max.unwrap_or(SimDuration::ZERO),
+                route.switch_hops(),
+                derived.cqf.slot
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
+/// Which resource field each bit of `ScenarioCase::inflate_mask` inflates.
+pub const INFLATABLE_FIELDS: &[&str] = &[
+    "switch tables",
+    "class table",
+    "meter table",
+    "queue depth",
+    "buffer pool",
+    "gate table",
+];
+
+/// Over-provisions `base` according to `mask` (one bit per entry of
+/// [`INFLATABLE_FIELDS`]). Fields that govern *behaviour* (queue count,
+/// port count, the GCL program) are deliberately not touched — only
+/// capacities grow, so a correct simulator must not care.
+///
+/// # Errors
+///
+/// Propagates `ResourceConfig` validation (inflating a valid config must
+/// never trip it; the metamorphic oracle treats an error as a failure).
+pub fn inflate(base: &ResourceConfig, mask: u64) -> TsnResult<ResourceConfig> {
+    let grow = |v: u32| v.saturating_mul(2).max(16);
+    let mut unicast = base.unicast_size();
+    let mut multicast = base.multicast_size();
+    let mut class = base.class_size();
+    let mut meter = base.meter_size();
+    let mut depth = base.queue_depth();
+    let mut buffers = base.buffer_num();
+    let mut gate = base.gate_size();
+    if mask & 0x01 != 0 {
+        unicast = grow(unicast);
+        multicast = multicast.saturating_add(16);
+    }
+    if mask & 0x02 != 0 {
+        class = grow(class);
+    }
+    if mask & 0x04 != 0 {
+        meter = grow(meter);
+    }
+    if mask & 0x08 != 0 {
+        depth = depth.saturating_add(4);
+    }
+    if mask & 0x10 != 0 {
+        buffers = grow(buffers);
+    }
+    if mask & 0x20 != 0 {
+        gate = grow(gate);
+    }
+    let mut inflated = ResourceConfig::new();
+    inflated
+        .set_switch_tbl(unicast, multicast)?
+        .set_class_tbl(class)?
+        .set_meter_tbl(meter)?
+        .set_gate_tbl(gate, base.queue_num(), base.port_num())?
+        .set_cbs_tbl(base.cbs_map_size(), base.cbs_size(), base.port_num())?
+        .set_queues(depth, base.queue_num(), base.port_num())?
+        .set_buffers(buffers, base.port_num())?;
+    Ok(inflated)
+}
+
+/// Oracle 2 — metamorphic QoS invariance: a derived configuration has
+/// headroom everywhere (the derivation sized it to the workload), so
+/// inflating pure *capacities* must leave the whole simulation report —
+/// latency, jitter, loss, counters — byte-identical.
+pub fn qos_invariance(case: &ScenarioCase) -> Verdict {
+    let (topology, flows, derived) = match prepare(case) {
+        Ok(x) => x,
+        Err(v) => return v,
+    };
+    let inflated = match inflate(&derived.resources, case.inflate_mask) {
+        Ok(r) => r,
+        Err(e) => return Verdict::Fail(format!("inflating a derived config failed: {e}")),
+    };
+    if inflated == derived.resources {
+        return Verdict::Pass;
+    }
+    let baseline = match run_derived(
+        case,
+        &topology,
+        &flows,
+        &derived,
+        &derived.resources,
+        EventQueueKind::Calendar,
+    ) {
+        Ok(r) => r,
+        Err(v) => return v,
+    };
+    let grown = match run_derived(
+        case,
+        &topology,
+        &flows,
+        &derived,
+        &inflated,
+        EventQueueKind::Calendar,
+    ) {
+        Ok(r) => r,
+        Err(v) => return v,
+    };
+    if baseline != grown {
+        return Verdict::Fail(format!(
+            "inflating capacities (mask 0x{:x}) changed the report: \
+             baseline [{}] vs inflated [{}]",
+            case.inflate_mask, baseline, grown
+        ));
+    }
+    Verdict::Pass
+}
+
+/// Oracle 3 — event-core backend equivalence: the calendar queue and the
+/// reference binary heap realize the same `(time, seq)` total order, so
+/// the same scenario must produce byte-identical reports on both.
+pub fn backend_equivalence(case: &ScenarioCase) -> Verdict {
+    let (topology, flows, derived) = match prepare(case) {
+        Ok(x) => x,
+        Err(v) => return v,
+    };
+    let mut reports = Vec::new();
+    for queue in [EventQueueKind::Calendar, EventQueueKind::BinaryHeap] {
+        match run_derived(case, &topology, &flows, &derived, &derived.resources, queue) {
+            Ok(r) => reports.push(r),
+            Err(v) => return v,
+        }
+    }
+    if reports[0] != reports[1] {
+        return Verdict::Fail(format!(
+            "event-queue backends disagree: calendar [{}] vs heap [{}]",
+            reports[0], reports[1]
+        ));
+    }
+    Verdict::Pass
+}
+
+fn module<'a>(modules: &'a [ParsedModule], name: &str) -> Option<&'a ParsedModule> {
+    modules.iter().find(|m| m.name == name)
+}
+
+fn expect_param(m: &ParsedModule, param: &str, want: u32) -> Result<(), String> {
+    let got = m
+        .params
+        .iter()
+        .find(|(name, _)| name == param)
+        .map(|(_, value)| value.as_str())
+        .ok_or_else(|| format!("{}: parameter {param} missing", m.name))?;
+    if got.parse::<u32>() != Ok(want) {
+        return Err(format!(
+            "{}: parameter {param} = {got}, expected {want}",
+            m.name
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 4 — HDL fixpoint: customizing a derived configuration into
+/// Verilog must produce sources that lint clean ([`tsn_hdl::check_source`]),
+/// parse back ([`tsn_hdl::parse_modules`]) with parameters matching the
+/// resource config, and re-emit byte-identically.
+pub fn hdl_fixpoint(case: &ScenarioCase) -> Verdict {
+    let (_, _, derived) = match prepare(case) {
+        Ok(x) => x,
+        Err(v) => return v,
+    };
+    let r = &derived.resources;
+    let bundle = match tsn_hdl::generate(r) {
+        Ok(b) => b,
+        Err(e) => return Verdict::Fail(format!("emission failed on a derived config: {e}")),
+    };
+    let mut modules = Vec::new();
+    for (name, source) in bundle.files() {
+        if let Err(e) = tsn_hdl::check_source(source) {
+            return Verdict::Fail(format!("{name}: emitted source fails lint: {e}"));
+        }
+        match tsn_hdl::parse_modules(source) {
+            Ok(parsed) => modules.extend(parsed),
+            Err(e) => return Verdict::Fail(format!("{name}: emitted source fails to parse: {e}")),
+        }
+    }
+    let checks: &[(&str, &str, u32)] = &[
+        ("tsn_switch_top", "PORT_NUM", r.port_num().max(1)),
+        ("tsn_switch_top", "QUEUE_NUM", r.queue_num()),
+        ("gate_ctrl", "GCL_DEPTH", r.gate_size().max(1)),
+        ("gate_ctrl", "QUEUE_NUM", r.queue_num().max(1)),
+        ("gate_ctrl", "QUEUE_DEPTH", r.queue_depth().max(1)),
+        ("egress_sched", "QUEUE_NUM", r.queue_num().max(1)),
+        ("egress_sched", "CBS_DEPTH", r.cbs_size().max(1)),
+        ("packet_switch", "UNICAST_DEPTH", r.unicast_size().max(1)),
+        (
+            "packet_switch",
+            "MULTICAST_DEPTH",
+            r.multicast_size().max(1),
+        ),
+        ("ingress_filter", "CLASS_DEPTH", r.class_size().max(1)),
+        ("ingress_filter", "METER_DEPTH", r.meter_size().max(1)),
+    ];
+    for &(module_name, param, want) in checks {
+        let Some(m) = module(&modules, module_name) else {
+            return Verdict::Fail(format!("emitted bundle lacks module {module_name}"));
+        };
+        if let Err(e) = expect_param(m, param, want) {
+            return Verdict::Fail(e);
+        }
+    }
+    match tsn_hdl::generate(r) {
+        Ok(again) if again.files() == bundle.files() => Verdict::Pass,
+        Ok(_) => Verdict::Fail("re-emission is not byte-stable".into()),
+        Err(e) => Verdict::Fail(format!("re-emission failed: {e}")),
+    }
+}
+
+/// Fault-intensity levels the monotonicity oracle sweeps: level `k`
+/// keeps the first inter-switch link down for `k × 3 ms` starting at
+/// 1 ms, so each level's outage window strictly contains the previous
+/// one's.
+pub const FAULT_LEVELS: u64 = 4;
+
+fn fault_flows(topology: &Topology, count: u64) -> TsnResult<FlowSet> {
+    // 1 ms period/deadline so every outage window overlaps many frames
+    // (the IEC 60802 10 ms period would let short windows fall between
+    // injections and make every level trivially zero).
+    let hosts = topology.hosts();
+    let mut flows = FlowSet::new();
+    for id in 0..count {
+        let src = hosts[id as usize % hosts.len()];
+        let dst = hosts[(id as usize + 1) % hosts.len()];
+        flows.push(
+            TsFlowSpec::new(
+                FlowId::new(id as u32),
+                src,
+                dst,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(1),
+                64,
+            )?
+            .into(),
+        );
+    }
+    Ok(flows)
+}
+
+/// Oracle 5 — fault monotonicity: with a deterministic outage timeline
+/// (no stochastic wire faults, so every level is exactly reproducible),
+/// widening the outage window never decreases the deadline-failure count
+/// (TS deadline misses + TS frames lost).
+pub fn fault_monotonicity(case: &ScenarioCase) -> Verdict {
+    let discard = |stage: &str, e: TsnError| Verdict::Discard(format!("{stage}: {e}"));
+    let topology = match case.topology() {
+        Ok(t) => t,
+        Err(e) => return discard("preset", e),
+    };
+    let flows = match fault_flows(&topology, case.flows) {
+        Ok(f) => f,
+        Err(e) => return discard("workload", e),
+    };
+    let requirements =
+        match AppRequirements::new(topology.clone(), flows.clone(), SimDuration::from_nanos(50)) {
+            Ok(r) => r,
+            Err(e) => return discard("requirements", e),
+        };
+    let derived = match derive_parameters(&requirements, &DeriveOptions::paper()) {
+        Ok(d) => d,
+        Err(e) => return discard("derivation", e),
+    };
+
+    let mut failures = Vec::new();
+    for level in 0..FAULT_LEVELS {
+        let mut config = case.base_config();
+        config.slot = derived.cqf.slot;
+        config.resources = derived.resources.clone();
+        config.aggregate_switch_tbl = derived.aggregate_switch_tbl;
+        if level > 0 {
+            config.faults = FaultConfig {
+                seed: case.wl_seed,
+                outages: vec![LinkOutage {
+                    link: LinkId::new(0),
+                    from: SimTime::from_millis(1),
+                    until: SimTime::from_millis(1 + 3 * level),
+                }],
+                ..FaultConfig::none()
+            };
+        }
+        let report = match Network::build(
+            topology.clone(),
+            flows.clone(),
+            &derived.itp.offsets,
+            config,
+        ) {
+            Ok(network) => network.run(),
+            Err(e) => return Verdict::Fail(format!("level {level}: network build failed: {e}")),
+        };
+        failures.push(report.ts_deadline_misses() + report.ts_lost());
+    }
+    for level in 1..failures.len() {
+        if failures[level] < failures[level - 1] {
+            return Verdict::Fail(format!(
+                "widening the outage reduced deadline failures: {failures:?} \
+                 (level {level} < level {})",
+                level - 1
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsn_types::SplitMix64;
+
+    #[test]
+    fn oracle_lookup_knows_every_oracle() {
+        for (name, _) in ORACLES {
+            assert!(oracle_by_name(name).is_some());
+        }
+        assert!(oracle_by_name("nope").is_none());
+        assert_eq!(ORACLES.len(), 5);
+    }
+
+    #[test]
+    fn inflate_grows_only_the_masked_fields() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let case = loop {
+            let c = ScenarioCase::generate(&mut rng);
+            if prepare(&c).is_ok() {
+                break c;
+            }
+        };
+        let (_, _, derived) = prepare(&case).expect("derivable case");
+        let base = &derived.resources;
+        assert_eq!(&inflate(base, 0).expect("mask 0"), base);
+        let all = inflate(base, 0x3f).expect("mask 0x3f");
+        assert!(all.unicast_size() > base.unicast_size());
+        assert!(all.class_size() > base.class_size());
+        assert!(all.meter_size() > base.meter_size());
+        assert!(all.queue_depth() > base.queue_depth());
+        assert!(all.buffer_num() > base.buffer_num());
+        assert!(all.gate_size() > base.gate_size());
+        assert_eq!(
+            all.queue_num(),
+            base.queue_num(),
+            "behavioural field untouched"
+        );
+        assert_eq!(
+            all.port_num(),
+            base.port_num(),
+            "behavioural field untouched"
+        );
+    }
+
+    #[test]
+    fn every_oracle_passes_a_known_good_case() {
+        let case = ScenarioCase {
+            topo: crate::case::TopoKind::Ring,
+            switches: 3,
+            hosts: 2,
+            flows: 6,
+            frame_idx: 0,
+            wl_seed: 7,
+            duration_ms: 6,
+            inflate_mask: 0x3f,
+        }
+        .normalized();
+        for (name, oracle) in ORACLES {
+            assert_eq!(oracle(&case), Verdict::Pass, "oracle {name}");
+        }
+    }
+}

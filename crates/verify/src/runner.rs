@@ -1,0 +1,390 @@
+//! The property runner: generate → check → shrink → persist.
+//!
+//! [`Runner::run`] drives one property: it draws `cases` seeds from a
+//! master PRNG, generates a case per seed, and asks the oracle for a
+//! [`Verdict`]. On the first [`Verdict::Fail`] it greedily shrinks the
+//! case ([`crate::shrink`]), optionally persists the minimal case to the
+//! regression corpus ([`crate::corpus`]), and stops. A wall-clock budget
+//! lets CI cap total runtime without changing semantics — fewer cases,
+//! never different ones.
+
+use std::fmt::Debug;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tsn_types::SplitMix64;
+
+use crate::corpus::{self, CaseCodec, CorpusEntry};
+use crate::gen::Gen;
+use crate::shrink::{shrink_to_minimal, Shrink, Shrunk};
+
+/// What the oracle said about one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property held.
+    Pass,
+    /// The case never reached the property (e.g. derivation found the
+    /// random inputs infeasible before a config existed to check).
+    /// Tracked, but not a failure.
+    Discard(String),
+    /// The property was violated.
+    Fail(String),
+}
+
+/// A failure, before and after shrinking.
+#[derive(Debug, Clone)]
+pub struct CaseFailure<C> {
+    /// The seed whose generated case first failed.
+    pub seed: u64,
+    /// The case exactly as generated.
+    pub original: C,
+    /// The greedily minimized case and its failure message.
+    pub shrunk: Shrunk<C>,
+}
+
+/// What one property run produced.
+#[derive(Debug, Clone)]
+pub struct PropertyReport<C> {
+    /// The property name (also the corpus oracle key).
+    pub name: String,
+    /// Cases whose oracle actually ran to a pass/fail verdict.
+    pub executed: u64,
+    /// Cases discarded before the property applied.
+    pub discarded: u64,
+    /// Cases skipped because the wall-clock budget ran out.
+    pub skipped: u64,
+    /// The first failure, if any (the run stops there).
+    pub failure: Option<CaseFailure<C>>,
+}
+
+impl<C> PropertyReport<C> {
+    /// Whether the property held on every executed case.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Drives properties: case counts, seeding, budget and persistence.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// Cases per property.
+    pub cases: u64,
+    /// Master seed. Case 0 uses this seed *exactly* (so
+    /// `--seed <failing> --cases 1` reproduces a reported failure);
+    /// later cases draw their seeds from the master stream.
+    pub seed: u64,
+    /// Stop drawing new cases once this instant passes. Shrinking of an
+    /// already-found failure still completes.
+    pub deadline: Option<Instant>,
+    /// Where to persist shrunk failures; `None` disables persistence.
+    pub corpus_dir: Option<PathBuf>,
+    /// Oracle invocations the shrinker may spend per failure.
+    pub max_shrink_attempts: u64,
+}
+
+impl Runner {
+    /// A runner with `cases` cases from `seed`, no deadline and no
+    /// corpus persistence.
+    #[must_use]
+    pub fn new(cases: u64, seed: u64) -> Self {
+        Runner {
+            cases,
+            seed,
+            deadline: None,
+            corpus_dir: None,
+            max_shrink_attempts: 400,
+        }
+    }
+
+    /// The per-case seeds this runner will use, in order.
+    #[must_use]
+    pub fn case_seeds(&self) -> Vec<u64> {
+        let mut master = SplitMix64::seed_from_u64(self.seed);
+        (0..self.cases)
+            .map(|i| if i == 0 { self.seed } else { master.next_u64() })
+            .collect()
+    }
+
+    /// Runs one property over `self.cases` generated cases, shrinking
+    /// and persisting the first failure.
+    pub fn run<C, G>(
+        &self,
+        name: &str,
+        gen: &G,
+        mut oracle: impl FnMut(&C) -> Verdict,
+    ) -> PropertyReport<C>
+    where
+        C: Shrink + CaseCodec + Clone + Debug,
+        G: Gen<Output = C>,
+    {
+        let mut report = PropertyReport {
+            name: name.to_owned(),
+            executed: 0,
+            discarded: 0,
+            skipped: 0,
+            failure: None,
+        };
+        for seed in self.case_seeds() {
+            if self.out_of_time() {
+                report.skipped += 1;
+                continue;
+            }
+            let case = gen.generate(&mut SplitMix64::seed_from_u64(seed));
+            match oracle(&case) {
+                Verdict::Pass => report.executed += 1,
+                Verdict::Discard(_) => report.discarded += 1,
+                Verdict::Fail(message) => {
+                    report.executed += 1;
+                    let shrunk =
+                        shrink_to_minimal(case.clone(), message, self.max_shrink_attempts, |c| {
+                            match oracle(c) {
+                                Verdict::Fail(msg) => Some(msg),
+                                Verdict::Pass | Verdict::Discard(_) => None,
+                            }
+                        });
+                    self.persist(name, seed, &shrunk);
+                    report.failure = Some(CaseFailure {
+                        seed,
+                        original: case,
+                        shrunk,
+                    });
+                    break;
+                }
+            }
+        }
+        report
+    }
+
+    /// Replays one corpus entry against this property: a seed pin runs
+    /// the generator for each replayed seed, a shrunk case is decoded
+    /// and checked directly. Returns the first failure message.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors and `Fail` verdicts, as human-readable messages.
+    pub fn replay<C, G>(
+        entry: &CorpusEntry,
+        gen: &G,
+        mut oracle: impl FnMut(&C) -> Verdict,
+    ) -> Result<ReplayStats, String>
+    where
+        C: CaseCodec + Debug,
+        G: Gen<Output = C>,
+    {
+        let mut stats = ReplayStats::default();
+        if entry.is_seed_pin() {
+            let mut master = SplitMix64::seed_from_u64(entry.seed);
+            for i in 0..entry.cases {
+                let seed = if i == 0 {
+                    entry.seed
+                } else {
+                    master.next_u64()
+                };
+                let case = gen.generate(&mut SplitMix64::seed_from_u64(seed));
+                match oracle(&case) {
+                    Verdict::Pass => stats.executed += 1,
+                    Verdict::Discard(_) => stats.discarded += 1,
+                    Verdict::Fail(message) => {
+                        return Err(format!(
+                            "{}: replayed seed 0x{seed:x} (case {i} of pin 0x{:x}) failed: \
+                             {message}\n  case: {case:?}",
+                            entry.oracle, entry.seed
+                        ));
+                    }
+                }
+            }
+        } else {
+            let case = C::from_fields(&entry.fields)
+                .map_err(|e| format!("{}: corpus decode failed: {e}", entry.oracle))?;
+            match oracle(&case) {
+                Verdict::Pass => stats.executed += 1,
+                Verdict::Discard(reason) => {
+                    return Err(format!(
+                        "{}: corpus case was discarded ({reason}) — a persisted case must \
+                         stay checkable\n  case: {case:?}",
+                        entry.oracle
+                    ));
+                }
+                Verdict::Fail(message) => {
+                    return Err(format!(
+                        "{}: corpus regression reappeared: {message}\n  case: {case:?}",
+                        entry.oracle
+                    ));
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    fn out_of_time(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    fn persist<C: CaseCodec>(&self, name: &str, seed: u64, shrunk: &Shrunk<C>) {
+        let Some(dir) = &self.corpus_dir else {
+            return;
+        };
+        let entry = CorpusEntry::shrunk_case(name, seed, &shrunk.message, &shrunk.case);
+        match corpus::store(dir, &entry) {
+            Ok(path) => eprintln!("verify: persisted shrunk case to {}", path.display()),
+            Err(e) => eprintln!("verify: could not persist corpus entry: {e}"),
+        }
+    }
+}
+
+/// Counts from one corpus replay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayStats {
+    /// Cases that ran to a pass verdict.
+    pub executed: u64,
+    /// Cases discarded before the property applied.
+    pub discarded: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::field_u64;
+    use crate::shrink::shrink_u64;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Num(u64);
+
+    impl Shrink for Num {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            shrink_u64(self.0, 0).into_iter().map(Num).collect()
+        }
+    }
+
+    impl CaseCodec for Num {
+        fn to_fields(&self) -> Vec<(String, String)> {
+            vec![("n".to_owned(), self.0.to_string())]
+        }
+
+        fn from_fields(fields: &[(String, String)]) -> Result<Self, String> {
+            Ok(Num(field_u64(fields, "n")?))
+        }
+    }
+
+    fn num_gen(rng: &mut SplitMix64) -> Num {
+        Num(rng.gen_range(1000))
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_case0_is_the_master_seed() {
+        let runner = Runner::new(4, 0xfeed);
+        let seeds = runner.case_seeds();
+        assert_eq!(seeds.len(), 4);
+        assert_eq!(seeds[0], 0xfeed);
+        assert_eq!(seeds, runner.case_seeds());
+        assert_eq!(
+            Runner::new(1, seeds[2]).case_seeds(),
+            vec![seeds[2]],
+            "--seed <failing> --cases 1 reproduces exactly that case"
+        );
+    }
+
+    #[test]
+    fn passing_property_reports_all_cases_executed() {
+        let report = Runner::new(32, 1).run("always-pass", &num_gen, |_| Verdict::Pass);
+        assert!(report.passed());
+        assert_eq!(report.executed, 32);
+        assert_eq!(report.discarded, 0);
+    }
+
+    #[test]
+    fn failure_is_shrunk_to_the_boundary_and_run_stops() {
+        let mut calls = 0u64;
+        let report = Runner::new(64, 2).run("ge-100", &num_gen, |n: &Num| {
+            calls += 1;
+            if n.0 >= 100 {
+                Verdict::Fail(format!("{} >= 100", n.0))
+            } else {
+                Verdict::Pass
+            }
+        });
+        let failure = report.failure.expect("large draws must fail");
+        assert!(failure.original.0 >= 100);
+        assert_eq!(
+            failure.shrunk.case,
+            Num(100),
+            "greedy shrink finds the boundary"
+        );
+        assert!(failure.shrunk.message.contains("100 >= 100"));
+        assert!(calls > report.executed, "shrinking re-ran the oracle");
+    }
+
+    #[test]
+    fn discards_are_tracked_separately() {
+        let report = Runner::new(50, 3).run("odd-only", &num_gen, |n: &Num| {
+            if n.0.is_multiple_of(2) {
+                Verdict::Discard("even".into())
+            } else {
+                Verdict::Pass
+            }
+        });
+        assert!(report.passed());
+        assert_eq!(report.executed + report.discarded, 50);
+        assert!(report.discarded > 0);
+    }
+
+    #[test]
+    fn expired_deadline_skips_cases_without_failing() {
+        let mut runner = Runner::new(20, 4);
+        runner.deadline = Some(Instant::now());
+        let report = runner.run("budget", &num_gen, |_| Verdict::Pass);
+        assert!(report.passed());
+        assert_eq!(report.skipped, 20);
+        assert_eq!(report.executed, 0);
+    }
+
+    #[test]
+    fn shrunk_failures_are_persisted_and_replayable() {
+        let dir = std::env::temp_dir().join(format!("tsn-verify-runner-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut runner = Runner::new(64, 5);
+        runner.corpus_dir = Some(dir.clone());
+        let oracle = |n: &Num| {
+            if n.0 >= 7 {
+                Verdict::Fail("too big".into())
+            } else {
+                Verdict::Pass
+            }
+        };
+        let report = runner.run("persisted", &num_gen, oracle);
+        assert!(!report.passed());
+        let entries = corpus::load_dir(&dir).expect("loads");
+        assert_eq!(entries.len(), 1);
+        let entry = &entries[0].1;
+        assert_eq!(entry.oracle, "persisted");
+        assert!(!entry.is_seed_pin());
+        // Still failing → replay reports the regression.
+        let err = Runner::replay(entry, &num_gen, oracle).expect_err("regression");
+        assert!(err.contains("regression reappeared"), "{err}");
+        // "Fixed" oracle → replay passes.
+        let stats = Runner::replay(entry, &num_gen, |_: &Num| Verdict::Pass).expect("fixed");
+        assert_eq!(stats.executed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_pin_replay_walks_the_master_stream() {
+        let pin = CorpusEntry::seed_pin("pin", 0xfeed, 8, "");
+        let mut seen = Vec::new();
+        let stats = Runner::replay(&pin, &num_gen, |n: &Num| {
+            seen.push(n.0);
+            Verdict::Pass
+        })
+        .expect("passes");
+        assert_eq!(stats.executed, 8);
+        // Same cases the live runner would draw for --seed 0xfeed.
+        let runner = Runner::new(8, 0xfeed);
+        let expect: Vec<u64> = runner
+            .case_seeds()
+            .into_iter()
+            .map(|s| num_gen(&mut SplitMix64::seed_from_u64(s)).0)
+            .collect();
+        assert_eq!(seen, expect);
+    }
+}

@@ -1,0 +1,152 @@
+//! Greedy component-wise shrinking.
+//!
+//! When an oracle rejects a case, the runner minimizes it before
+//! reporting: [`Shrink::shrink_candidates`] proposes strictly-smaller
+//! variants (one component reduced at a time), and [`shrink_to_minimal`]
+//! greedily walks the first still-failing candidate until no candidate
+//! fails — the classic QuickCheck loop, without the external crate.
+
+/// Types that can propose smaller versions of themselves.
+pub trait Shrink: Sized {
+    /// Strictly-smaller candidate cases, most aggressive first. Must
+    /// terminate: repeated application has to reach a fixpoint (every
+    /// candidate smaller than `self` in a well-founded order).
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+/// Shrink candidates for one unsigned component with a floor: the floor
+/// itself (most aggressive), the halfway point, then the decrement.
+#[must_use]
+pub fn shrink_u64(value: u64, floor: u64) -> Vec<u64> {
+    if value <= floor {
+        return Vec::new();
+    }
+    let mut out = vec![floor];
+    let mid = floor + (value - floor) / 2;
+    if mid != floor && mid != value {
+        out.push(mid);
+    }
+    if value - 1 != floor {
+        out.push(value - 1);
+    }
+    out
+}
+
+/// What greedy minimization produced.
+#[derive(Debug, Clone)]
+pub struct Shrunk<C> {
+    /// The minimal still-failing case.
+    pub case: C,
+    /// The failure message of the minimal case.
+    pub message: String,
+    /// Greedy steps accepted (0 = the original case was already minimal).
+    pub steps: u64,
+    /// Oracle invocations spent shrinking.
+    pub attempts: u64,
+}
+
+/// Greedily minimizes `case` under `still_fails`: tries candidates in
+/// order, restarts from the first one that still fails, and stops when
+/// no candidate fails or `max_attempts` oracle calls were spent.
+///
+/// `still_fails` returns `Some(message)` when the candidate still
+/// triggers the failure, `None` when it passes (or is discarded).
+pub fn shrink_to_minimal<C: Shrink + Clone>(
+    case: C,
+    message: String,
+    max_attempts: u64,
+    mut still_fails: impl FnMut(&C) -> Option<String>,
+) -> Shrunk<C> {
+    let mut current = case;
+    let mut current_message = message;
+    let mut steps = 0;
+    let mut attempts = 0;
+    'outer: loop {
+        for candidate in current.shrink_candidates() {
+            if attempts >= max_attempts {
+                break 'outer;
+            }
+            attempts += 1;
+            if let Some(msg) = still_fails(&candidate) {
+                current = candidate;
+                current_message = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Shrunk {
+        case: current,
+        message: current_message,
+        steps,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pair(u64, u64);
+
+    impl Shrink for Pair {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            let mut out: Vec<Pair> = shrink_u64(self.0, 0)
+                .into_iter()
+                .map(|a| Pair(a, self.1))
+                .collect();
+            out.extend(shrink_u64(self.1, 0).into_iter().map(|b| Pair(self.0, b)));
+            out
+        }
+    }
+
+    #[test]
+    fn shrink_u64_proposes_floor_mid_decrement() {
+        assert_eq!(shrink_u64(10, 2), vec![2, 6, 9]);
+        assert_eq!(shrink_u64(3, 2), vec![2]);
+        assert!(shrink_u64(2, 2).is_empty());
+        assert!(shrink_u64(1, 2).is_empty());
+    }
+
+    #[test]
+    fn greedy_shrink_reaches_the_minimal_failing_pair() {
+        // Failure: a + b >= 10. Minimal failing cases lie on the a+b=10
+        // line; greedy from (100, 100) lands on one of them.
+        let shrunk = shrink_to_minimal(Pair(100, 100), "seed".into(), 10_000, |p| {
+            (p.0 + p.1 >= 10).then(|| format!("{}+{}", p.0, p.1))
+        });
+        assert_eq!(shrunk.case.0 + shrunk.case.1, 10);
+        assert!(shrunk.steps > 0);
+        // And it is a fixpoint: no candidate of the result still fails.
+        assert!(shrunk
+            .case
+            .shrink_candidates()
+            .iter()
+            .all(|c| c.0 + c.1 < 10));
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        // A never-accepting oracle probes candidates (6 for this pair)
+        // until the attempt budget runs out.
+        let mut calls = 0;
+        let shrunk = shrink_to_minimal(Pair(1 << 40, 1 << 40), "seed".into(), 3, |_| {
+            calls += 1;
+            None
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(shrunk.attempts, 3);
+        assert_eq!(shrunk.case, Pair(1 << 40, 1 << 40), "nothing accepted");
+        assert_eq!(shrunk.steps, 0);
+    }
+
+    #[test]
+    fn already_minimal_case_takes_zero_steps() {
+        let shrunk = shrink_to_minimal(Pair(0, 0), "seed".into(), 100, |_| Some("fail".into()));
+        assert_eq!(shrunk.steps, 0);
+        assert_eq!(shrunk.case, Pair(0, 0));
+        assert_eq!(shrunk.message, "seed");
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end acceptance of the tsn-verify harness: a deliberately
+//! injected bug — an off-by-one queue depth in the derived resource
+//! config — must be caught by the cross-layer consistency check,
+//! greedily shrunk to a tiny scenario, persisted to a corpus, and
+//! reproducible from the reported seed alone.
+
+use tsn_verify::case::ScenarioCase;
+use tsn_verify::corpus;
+use tsn_verify::oracles;
+use tsn_verify::runner::{Runner, Verdict};
+
+/// The buggy customization pipeline: derive a configuration, then size
+/// the gate-controller queues one entry short of the derived depth (the
+/// classic "dropped the ITP safety margin" off-by-one), and run the same
+/// config↔HDL consistency check `hdl-fixpoint` applies: the emitted
+/// `gate_ctrl` must provision the *derived* queue depth.
+fn buggy_depth_oracle(case: &ScenarioCase) -> Verdict {
+    let (_topology, _flows, derived) = match oracles::prepare(case) {
+        Ok(x) => x,
+        Err(v) => return v,
+    };
+    let want_depth = derived.resources.queue_depth();
+    let mut buggy = derived.resources.clone();
+    // The injected bug.
+    let off_by_one = want_depth - 1;
+    if let Err(e) = buggy.set_queues(off_by_one, buggy.queue_num(), buggy.port_num()) {
+        return Verdict::Fail(format!("buggy customization collapsed the config: {e}"));
+    }
+    let bundle = match tsn_hdl::generate(&buggy) {
+        Ok(b) => b,
+        Err(e) => return Verdict::Fail(format!("emission failed: {e}")),
+    };
+    for (name, source) in bundle.files() {
+        let modules = match tsn_hdl::parse_modules(source) {
+            Ok(m) => m,
+            Err(e) => return Verdict::Fail(format!("{name}: parse failed: {e}")),
+        };
+        let Some(gate) = modules.iter().find(|m| m.name == "gate_ctrl") else {
+            continue;
+        };
+        let got = gate
+            .params
+            .iter()
+            .find(|(p, _)| p == "QUEUE_DEPTH")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        if got.parse::<u32>() != Ok(want_depth.max(1)) {
+            return Verdict::Fail(format!(
+                "gate_ctrl QUEUE_DEPTH = {got}, derived depth is {want_depth}"
+            ));
+        }
+        return Verdict::Pass;
+    }
+    Verdict::Fail("emitted bundle lacks gate_ctrl".into())
+}
+
+#[test]
+fn injected_depth_off_by_one_is_caught_shrunk_persisted_and_reproducible() {
+    let dir = std::env::temp_dir().join(format!("tsn-verify-harness-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut runner = Runner::new(16, 0xb06);
+    runner.corpus_dir = Some(dir.clone());
+    let report = runner.run("buggy-depth", &ScenarioCase::generate, buggy_depth_oracle);
+
+    // Caught: the very first non-discarded case trips the check.
+    let failure = report
+        .failure
+        .as_ref()
+        .expect("the injected bug must be caught");
+    assert!(
+        failure.shrunk.message.contains("QUEUE_DEPTH"),
+        "{}",
+        failure.shrunk.message
+    );
+
+    // Shrunk to a tiny scenario: at most 2 switches and 4 flows.
+    let minimal = &failure.shrunk.case;
+    assert!(
+        minimal.switches <= 2,
+        "shrunk to {} switches: {minimal:?}",
+        minimal.switches
+    );
+    assert!(
+        minimal.flows <= 4,
+        "shrunk to {} flows: {minimal:?}",
+        minimal.flows
+    );
+
+    // Reproducible: rerunning with `--seed <reported> --cases 1` (what the
+    // CLI prints) regenerates the exact original failing case.
+    let reproduce = Runner::new(1, failure.seed);
+    let rerun = reproduce.run("buggy-depth", &ScenarioCase::generate, buggy_depth_oracle);
+    let again = rerun
+        .failure
+        .expect("reported seed must reproduce the failure");
+    assert_eq!(
+        format!("{:?}", again.original),
+        format!("{:?}", failure.original)
+    );
+
+    // Persisted: the corpus now holds the shrunk case; with the bug still
+    // present it replays as a regression, with the bug fixed (the real
+    // hdl-fixpoint oracle) it replays green.
+    let entries = corpus::load_dir(&dir).expect("corpus loads");
+    assert_eq!(entries.len(), 1, "one shrunk case persisted");
+    let entry = &entries[0].1;
+    assert_eq!(entry.oracle, "buggy-depth");
+    assert!(!entry.is_seed_pin());
+    let err = Runner::replay(entry, &ScenarioCase::generate, buggy_depth_oracle)
+        .expect_err("still-present bug must replay as a regression");
+    assert!(err.contains("regression reappeared"), "{err}");
+    let stats = Runner::replay(entry, &ScenarioCase::generate, |c: &ScenarioCase| {
+        oracles::hdl_fixpoint(c)
+    })
+    .expect("fixed pipeline replays green");
+    assert_eq!(stats.executed, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,6 +27,14 @@ RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
 # fault families fired, so a broken fault model fails CI here.
 run cargo run -q --release -p tsn-experiments --bin fault_sweep -- --smoke
 
+# Differential-testing smoke: replay the committed verify/corpus/ (seed
+# pins + shrunk regressions), then run every cross-layer oracle and
+# property on fresh random cases within the TSN_VERIFY_MS budget. Any
+# failure is shrunk to a minimal case, persisted into verify/corpus/ and
+# printed with its reproduction command.
+TSN_VERIFY_MS="${TSN_VERIFY_MS:-4000}" \
+    run cargo run -q --release -p tsn-verify --bin verify -- --smoke
+
 # Bench smoke: a tiny TSN_BENCH_MS budget proves the harness and every
 # scenario still run end to end, and gates on the geomean: the smoke's
 # geomean speedup vs the b8cca7c baselines recorded in BENCH_2.json must

@@ -1,125 +1,118 @@
 //! Property-style tests over the core data structures and invariants,
-//! driven by a seeded deterministic generator: every run explores the
-//! same randomized input family, so failures reproduce without a
-//! shrinker.
+//! driven by the `tsn-verify` runner: each test replays its historical
+//! seed family through the shrinking harness, so a failure is minimized
+//! to a smallest counterexample and can be pinned into `verify/corpus/`
+//! (where the same seed families are already committed as regression
+//! entries replayed by `verify` and CI).
+//!
+//! The properties themselves live in `tsn_verify::props` — one oracle
+//! per invariant, shared between these tests, the `verify` CLI and the
+//! corpus replay. Only the exhaustive (non-randomized) checks stay
+//! inline here.
 
-use tsn_builder::latency_bounds;
-use tsn_resource::{AllocationPolicy, ResourceConfig};
-use tsn_switch::gate_ctrl::{GateControlList, GateEntry};
-use tsn_switch::ingress_filter::TokenBucketMeter;
-use tsn_switch::table::CapTable;
-use tsn_types::{DataRate, MacAddr, Pcp, QueueId, SimDuration, SimTime, SplitMix64, VlanId};
+use tsn_types::{Pcp, SplitMix64, VlanId};
+use tsn_verify::props::property_by_name;
+use tsn_verify::runner::Runner;
 
-fn random_config(rng: &mut SplitMix64) -> ResourceConfig {
-    let uni = rng.gen_range_in(1, 4096) as u32;
-    let multi = rng.gen_range(1024) as u32;
-    let class = rng.gen_range_in(1, 4096) as u32;
-    let meter = rng.gen_range_in(1, 4096) as u32;
-    let gate = rng.gen_range_in(1, 64) as u32;
-    let queues = rng.gen_range_in(2, 16) as u32;
-    let cbs = rng.gen_range(8) as u32;
-    let depth = rng.gen_range_in(1, 256) as u32;
-    let buffers = rng.gen_range_in(1, 512) as u32;
-    let ports = rng.gen_range_in(1, 8) as u32;
-    let mut cfg = ResourceConfig::new();
-    cfg.set_switch_tbl(uni, multi)
-        .expect("non-zero unicast")
-        .set_class_tbl(class)
-        .expect("non-zero")
-        .set_meter_tbl(meter)
-        .expect("non-zero")
-        .set_gate_tbl(gate, queues, ports)
-        .expect("non-zero")
-        .set_cbs_tbl(cbs, cbs, ports)
-        .expect("valid")
-        .set_queues(depth, queues, ports)
-        .expect("non-zero")
-        .set_buffers(buffers, ports)
-        .expect("non-zero");
-    cfg
+/// Runs one ported property over its full legacy seed family (the exact
+/// seed and case count `tests/properties.rs` used before the port) and
+/// panics with the shrunk counterexample on failure.
+fn check(name: &str) {
+    let prop = property_by_name(name).expect("property is registered");
+    let runner = Runner::new(prop.legacy_cases, prop.legacy_seed);
+    let report = runner.run(
+        prop.name,
+        &|rng: &mut SplitMix64| prop.spec.generate(rng),
+        |case| (prop.oracle)(case),
+    );
+    if let Some(failure) = &report.failure {
+        panic!(
+            "{name}: {}\n  seed: 0x{:x}\n  original: {:?}\n  shrunk ({} steps): {:?}\n  \
+             reproduce: cargo run -q --release -p tsn-verify --bin verify -- \
+             --oracle {name} --seed 0x{:x} --cases 1",
+            failure.shrunk.message,
+            failure.seed,
+            failure.original,
+            failure.shrunk.steps,
+            failure.shrunk.case,
+            failure.seed,
+        );
+    }
+    assert_eq!(report.executed, prop.legacy_cases);
+    assert_eq!(
+        report.discarded, 0,
+        "{name}: config properties never discard"
+    );
 }
 
 /// The exact-bits policy is a lower bound and BRAM36 an upper bound on
 /// the paper's accounting, for every configuration.
 #[test]
 fn policy_ordering_holds() {
-    let mut rng = SplitMix64::seed_from_u64(0x01de);
-    for _ in 0..256 {
-        let cfg = random_config(&mut rng);
-        let exact = cfg.total_bits(AllocationPolicy::ExactBits);
-        let paper = cfg.total_bits(AllocationPolicy::PaperAccounting);
-        let coarse = cfg.total_bits(AllocationPolicy::Bram36);
-        assert!(exact <= coarse);
-        // Buffers: paper charges 17280 bits vs exact 16384, and tables
-        // round up — paper is always >= exact.
-        assert!(exact <= paper);
-        assert!(paper > 0);
-    }
+    check("policy-ordering");
 }
 
 /// Growing any single resource never shrinks the total (monotonicity of
 /// the accounting).
 #[test]
 fn accounting_is_monotone_in_depth_and_buffers() {
-    let mut rng = SplitMix64::seed_from_u64(0x303);
-    for _ in 0..128 {
-        let cfg = random_config(&mut rng);
-        let extra_depth = rng.gen_range_in(1, 64) as u32;
-        let extra_buffers = rng.gen_range_in(1, 128) as u32;
-        for policy in AllocationPolicy::ALL {
-            let base = cfg.total_bits(policy);
-            let mut deeper = cfg.clone();
-            deeper
-                .set_queues(
-                    cfg.queue_depth() + extra_depth,
-                    cfg.queue_num(),
-                    cfg.port_num(),
-                )
-                .expect("valid");
-            assert!(deeper.total_bits(policy) >= base);
-            let mut fatter = cfg.clone();
-            fatter
-                .set_buffers(cfg.buffer_num() + extra_buffers, cfg.port_num())
-                .expect("valid");
-            assert!(fatter.total_bits(policy) >= base);
-        }
-    }
+    check("accounting-monotone");
 }
 
 /// Eq. (1): bounds are ordered, monotone in hops, and scale linearly with
 /// the slot.
 #[test]
 fn latency_bounds_properties() {
-    let mut rng = SplitMix64::seed_from_u64(0x1a7e);
-    for case in 0..256 {
-        let hop = if case == 0 { 0 } else { rng.gen_range(64) };
-        let slot_us = rng.gen_range_in(1, 10_000);
-        let slot = SimDuration::from_micros(slot_us);
-        let (lo, hi) = latency_bounds(hop, slot);
-        assert!(lo <= hi);
-        assert_eq!(hi - lo, slot * if hop == 0 { 1 } else { 2 });
-        let (lo2, hi2) = latency_bounds(hop + 1, slot);
-        assert!(lo2 >= lo && hi2 >= hi);
-        // Doubling the slot doubles the bounds.
-        let (_, hi_double) = latency_bounds(hop, slot * 2);
-        assert_eq!(hi_double, hi * 2);
-    }
+    check("latency-bounds");
 }
 
 /// MAC addresses round-trip through text and integers.
 #[test]
 fn mac_roundtrips() {
-    let mut rng = SplitMix64::seed_from_u64(0xacac);
-    for _ in 0..256 {
-        let raw = rng.gen_range(1u64 << 48);
-        let mac = MacAddr::from_u64(raw);
-        assert_eq!(mac.to_u64(), raw);
-        let parsed: MacAddr = mac.to_string().parse().expect("canonical text parses");
-        assert_eq!(parsed, mac);
-    }
+    check("mac-roundtrip");
 }
 
-/// VLAN and PCP validation accept exactly their legal ranges.
+/// Slot arithmetic: `slot_index` is consistent with `next_slot_boundary`
+/// and `align_up`.
+#[test]
+fn slot_arithmetic() {
+    check("slot-arithmetic");
+}
+
+/// LCM of durations is divisible by both operands.
+#[test]
+fn duration_lcm_divisibility() {
+    check("duration-lcm");
+}
+
+/// A capacity-limited table never holds more than its capacity, no matter
+/// the insert/remove sequence.
+#[test]
+fn cap_table_never_overflows() {
+    check("cap-table");
+}
+
+/// Token-bucket long-run throughput never exceeds rate × time + burst.
+#[test]
+fn meter_respects_its_rate() {
+    check("meter-rate");
+}
+
+/// GCL state repeats with its cycle.
+#[test]
+fn gcl_is_periodic() {
+    check("gcl-periodic");
+}
+
+/// Sharded latency statistics merge to the same aggregate a single pass
+/// records, in any shard order.
+#[test]
+fn latency_stats_merge_matches_single_pass() {
+    check("latency-merge");
+}
+
+/// VLAN and PCP validation accept exactly their legal ranges. Exhaustive
+/// over the full input space, so no randomized runner is involved.
 #[test]
 fn vlan_pcp_validation() {
     for vid in 0..u16::MAX {
@@ -127,119 +120,5 @@ fn vlan_pcp_validation() {
     }
     for pcp in 0..=255u8 {
         assert_eq!(Pcp::new(pcp).is_ok(), pcp <= 7);
-    }
-}
-
-/// Slot arithmetic: `slot_index` is consistent with `next_slot_boundary`
-/// and `align_up`.
-#[test]
-fn slot_arithmetic() {
-    let mut rng = SplitMix64::seed_from_u64(0x5107a);
-    for _ in 0..512 {
-        let t_ns = rng.gen_range(u64::MAX / 4);
-        let slot_us = rng.gen_range_in(1, 100_000);
-        let slot = SimDuration::from_micros(slot_us);
-        let t = SimTime::from_nanos(t_ns);
-        let boundary = t.next_slot_boundary(slot);
-        assert!(boundary > t);
-        assert_eq!(boundary.slot_index(slot), t.slot_index(slot) + 1);
-        let aligned = t.align_up(slot);
-        assert!(aligned >= t);
-        assert!(aligned - t < slot);
-        assert_eq!(aligned.offset_in_slot(slot), SimDuration::ZERO);
-    }
-}
-
-/// LCM of durations is divisible by both operands.
-#[test]
-fn duration_lcm_divisibility() {
-    let mut rng = SplitMix64::seed_from_u64(0x1c);
-    for _ in 0..256 {
-        let a = SimDuration::from_micros(rng.gen_range_in(1, 100_000));
-        let b = SimDuration::from_micros(rng.gen_range_in(1, 100_000));
-        let l = a.lcm(b);
-        assert!(l.is_multiple_of(a));
-        assert!(l.is_multiple_of(b));
-        assert!(l >= a.max(b));
-    }
-}
-
-/// A capacity-limited table never holds more than its capacity, no matter
-/// the insert/remove sequence.
-#[test]
-fn cap_table_never_overflows() {
-    let mut rng = SplitMix64::seed_from_u64(0xcab1e);
-    for _ in 0..64 {
-        let cap = rng.gen_range(32) as usize;
-        let op_count = rng.gen_range(200) as usize;
-        let mut table: CapTable<u16, u16> = CapTable::new("prop table", cap);
-        for _ in 0..op_count {
-            let key = rng.gen_range(64) as u16;
-            if rng.next_u64() & 1 == 0 {
-                let _ = table.insert(key, key);
-            } else {
-                table.remove(&key);
-            }
-            assert!(table.occupancy() <= cap);
-        }
-    }
-}
-
-/// Token-bucket long-run throughput never exceeds rate × time + burst.
-#[test]
-fn meter_respects_its_rate() {
-    let mut rng = SplitMix64::seed_from_u64(0xb0cce7);
-    for _ in 0..64 {
-        let rate_mbps = rng.gen_range_in(1, 1000);
-        let burst_bytes = rng.gen_range_in(64, 16384) as u32;
-        let frame_count = rng.gen_range_in(1, 100) as usize;
-        let rate = DataRate::mbps(rate_mbps);
-        let mut meter = TokenBucketMeter::new(rate, burst_bytes).expect("valid meter");
-        let mut passed_bits = 0u64;
-        let mut now_ns = 0u64;
-        for _ in 0..frame_count {
-            let bytes = rng.gen_range_in(64, 1522) as u32;
-            let gap_ns = rng.gen_range(1_000_000);
-            now_ns += gap_ns;
-            if meter.police(SimTime::from_nanos(now_ns), bytes) {
-                passed_bits += u64::from(bytes) * 8;
-            }
-        }
-        let budget = rate.bits_per_sec() as u128 * now_ns as u128 / 1_000_000_000
-            + u128::from(burst_bytes) * 8;
-        assert!(
-            u128::from(passed_bits) <= budget,
-            "passed {passed_bits} bits > budget {budget}"
-        );
-    }
-}
-
-/// GCL state repeats with its cycle.
-#[test]
-fn gcl_is_periodic() {
-    let mut rng = SplitMix64::seed_from_u64(0x9c1);
-    for _ in 0..256 {
-        let entry_count = rng.gen_range_in(1, 8) as usize;
-        let slot = SimDuration::from_micros(rng.gen_range_in(1, 1000));
-        let gcl_entries: Vec<GateEntry> = (0..entry_count)
-            .map(|_| {
-                let mask = rng.gen_range(256);
-                let mut e = GateEntry::all_closed();
-                for q in 0..8 {
-                    if mask & (1 << q) != 0 {
-                        e = e.with_open(QueueId::new(q));
-                    }
-                }
-                e
-            })
-            .collect();
-        let gcl = GateControlList::new(gcl_entries, slot).expect("valid gcl");
-        let t = SimTime::from_nanos(rng.gen_range(1_000_000_000));
-        let q = QueueId::new(rng.gen_range(8) as u8);
-        assert_eq!(
-            gcl.is_open(q, t),
-            gcl.is_open(q, t + gcl.cycle()),
-            "gate state must repeat with the cycle"
-        );
     }
 }
