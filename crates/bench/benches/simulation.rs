@@ -6,6 +6,14 @@
 //! result lines, this bench writes `BENCH_2.json` at the repo root with
 //! each case's median next to the tracked pre-calendar-queue baseline,
 //! so the perf trajectory of the event core is machine-readable.
+//!
+//! A second section exercises the sharded conservative-parallel engine
+//! (`SimConfig::shards`) on multi-switch scenarios at 1–4 shards and
+//! writes `BENCH_5.json`: each sharded case's `speedup_vs_serial` is
+//! computed against the *same run's* shards=1 median, so the scaling
+//! numbers always reflect the machine they were measured on (they only
+//! exceed 1.0 when real cores are available), while the shards=1 cases
+//! are gated against pinned serial baselines like `BENCH_2.json`.
 
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -26,6 +34,16 @@ const BASELINE_NS: [(&str, f64); 7] = [
     ("sim_build/network_build_512_flows", 653_640.0),
     ("sim_preemption/enabled/false", 1_960_000.0),
     ("sim_preemption/enabled/true", 133_480_000.0),
+];
+
+/// Median ns/iter of the serial engine on the shard-scaling scenarios,
+/// measured on the reference machine with `TSN_BENCH_MS=2000` when the
+/// sharded engine landed. The shards=1 runs are gated against these (the
+/// dispatch through `SimConfig::shards` must stay free); the sharded
+/// runs are compared against the same-run serial median instead.
+const SHARD_SERIAL_BASELINE_NS: [(&str, f64); 2] = [
+    ("sim_shards/ring12/shards/1", 479_140.0),
+    ("sim_shards/star8/shards/1", 458_380.0),
 ];
 
 /// Plans injection offsets the way the real pipeline does, so the bench
@@ -107,6 +125,100 @@ fn write_bench_json(results: &[BenchResult], budget_ms: u64) {
     }
 }
 
+/// The shard-scaling scenarios: multi-switch topologies large enough for
+/// the partitioner to produce balanced shards. Resources, slot and
+/// injection offsets come from the full derivation pipeline (the star
+/// hub needs more ports than the paper's ring column provisions).
+#[allow(clippy::type_complexity)]
+fn shard_scenarios() -> Vec<(
+    &'static str,
+    tsn_topology::Topology,
+    FlowSet,
+    SimConfig,
+    HashMap<FlowId, SimDuration>,
+)> {
+    let mut scenarios = Vec::new();
+    for (label, topo, ts) in [
+        ("ring12", presets::ring(12, 6).expect("topology builds"), 96),
+        ("star8", presets::star(8, 8).expect("topology builds"), 64),
+    ] {
+        let flows =
+            tsn_builder::workloads::iec60802_ts_flows(&topo, ts, 42).expect("workload builds");
+        let req = AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))
+            .expect("valid requirements");
+        let derived = tsn_builder::derive::derive_parameters(
+            &req,
+            &tsn_builder::derive::DeriveOptions::paper(),
+        )
+        .expect("derivation succeeds");
+        let mut config = sim_config();
+        config.slot = derived.cqf.slot;
+        config.resources = derived.resources;
+        config.aggregate_switch_tbl = derived.aggregate_switch_tbl;
+        scenarios.push((label, topo, flows, config, derived.itp.offsets));
+    }
+    scenarios
+}
+
+/// Serializes the shard-scaling results as `BENCH_5.json` at the repo
+/// root. `speedup_vs_serial` divides the same run's shards=1 median, so
+/// the scaling column is always same-machine; `geomean_speedup` (the CI
+/// gate) covers only the shards=1 cases vs their pinned serial
+/// baselines — parallel scaling depends on the host's core count and is
+/// reported, not gated.
+fn write_shard_json(results: &[BenchResult], budget_ms: u64) {
+    let baselines: HashMap<&str, f64> = SHARD_SERIAL_BASELINE_NS.iter().copied().collect();
+    let serial_of = |name: &str| {
+        let scenario = name.split('/').nth(1)?;
+        let serial_name = format!("sim_shards/{scenario}/shards/1");
+        results
+            .iter()
+            .find(|r| r.name == serial_name)
+            .map(|r| r.median_ns)
+    };
+    let mut entries = Vec::new();
+    let mut gated = Vec::new();
+    for r in results {
+        let shards: u64 = r
+            .name
+            .rsplit('/')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+        let vs_serial = serial_of(&r.name).map(|serial| serial / r.median_ns);
+        let vs_baseline = baselines.get(r.name.as_str()).map(|b| b / r.median_ns);
+        if let Some(s) = vs_baseline {
+            gated.push(s);
+        }
+        entries.push(format!(
+            "    {{\"name\": \"{}\", \"shards\": {shards}, \"median_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"speedup_vs_serial\": {}, \"speedup_vs_baseline\": {}}}",
+            r.name,
+            r.median_ns,
+            r.min_ns,
+            vs_serial.map_or("null".into(), |s| format!("{s:.3}")),
+            vs_baseline.map_or("null".into(), |s| format!("{s:.3}")),
+        ));
+    }
+    let geomean = if gated.is_empty() {
+        "null".to_owned()
+    } else {
+        let g = (gated.iter().map(|s| s.ln()).sum::<f64>() / gated.len() as f64).exp();
+        format!("{g:.3}")
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"shard_scaling\",\n  \"baseline\": \"same-machine serial \
+         (shards=1), TSN_BENCH_MS=2000\",\n  \"budget_ms\": {budget_ms},\n  \
+         \"geomean_speedup\": {geomean},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} (serial-path geomean {geomean}x vs baseline)"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let runner = Runner::from_env();
     let mut results: Vec<BenchResult> = Vec::new();
@@ -164,5 +276,30 @@ fn main() {
 
     if !results.is_empty() {
         write_bench_json(&results, runner.budget_ms());
+    }
+
+    // Shard scaling: the conservative-parallel engine at 1–4 shards on
+    // scenarios that actually partition. Reports are byte-identical
+    // across shard counts (the shard_golden tests pin that); only the
+    // wall clock may differ.
+    let mut shard_results: Vec<BenchResult> = Vec::new();
+    for (label, topo, flows, base_config, offsets) in shard_scenarios() {
+        for shards in 1..=4usize {
+            shard_results.extend(runner.bench(
+                &format!("sim_shards/{label}/shards/{shards}"),
+                || {
+                    let mut config = base_config.clone();
+                    config.shards = shards;
+                    let report = Network::build(topo.clone(), flows.clone(), &offsets, config)
+                        .expect("network builds")
+                        .run();
+                    assert_eq!(report.ts_lost(), 0);
+                    black_box(report.events_processed)
+                },
+            ));
+        }
+    }
+    if !shard_results.is_empty() {
+        write_shard_json(&shard_results, runner.budget_ms());
     }
 }

@@ -211,6 +211,25 @@ impl Analyzer {
         }
     }
 
+    /// Merges a shard-local analyzer into this one. Per flow, injections
+    /// happen on the talker's shard and deliveries (latency, misses) on
+    /// the listener's shard, so the per-field contributions are disjoint:
+    /// counters sum and at most one side carries a non-empty latency
+    /// block, which [`LatencyStats::merge`] adopts bit-for-bit — the
+    /// merged analyzer equals the serial one exactly.
+    pub(crate) fn merge_disjoint(&mut self, other: &Analyzer) {
+        for (&flow, record) in &other.flows {
+            let entry = self
+                .flows
+                .entry(flow)
+                .or_insert_with(|| FlowRecord::new(record.class));
+            entry.injected += record.injected;
+            entry.received += record.received;
+            entry.deadline_misses += record.deadline_misses;
+            entry.latency.merge(&record.latency);
+        }
+    }
+
     /// One flow's record.
     #[must_use]
     pub fn flow(&self, flow: FlowId) -> Option<&FlowRecord> {

@@ -355,12 +355,49 @@ impl EventQueue {
 
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.pop_with_seq().map(|(at, _, event)| (at, event))
+    }
+
+    /// Pops the earliest event together with its sequence number — the
+    /// tie-break half of the `(time, seq)` total-order key. The sharded
+    /// engine uses this to carry the serial engine's exact ordering
+    /// across shard boundaries.
+    pub(crate) fn pop_with_seq(&mut self) -> Option<(SimTime, u64, Event)> {
         let s = match &mut self.backend {
             Backend::Calendar(cal) => cal.pop(),
             Backend::Heap(heap) => heap.pop(),
         }?;
         self.len -= 1;
-        Some((s.at, s.event))
+        Some((s.at, s.seq, s.event))
+    }
+
+    /// Schedules `event` under an explicit sequence number instead of the
+    /// auto-incremented one. The caller owns key uniqueness: two pending
+    /// entries must never share `(at, seq)`. Used by the sharded engine,
+    /// whose per-shard queues replay the coordinator-assigned global
+    /// order. Does not advance `next_seq` or the scheduling counters —
+    /// global accounting happens at the coordinator.
+    pub(crate) fn schedule_with_seq(&mut self, at: SimTime, seq: u64, event: Event) {
+        self.len += 1;
+        let s = Scheduled { at, seq, event };
+        match &mut self.backend {
+            Backend::Calendar(cal) => cal.insert(s),
+            Backend::Heap(heap) => heap.push(s),
+        }
+    }
+
+    /// The sequence number the next [`EventQueue::schedule`] call would
+    /// assign.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Overrides the recorded high-water mark. The sharded engine's
+    /// coordinator reconstructs the serial scheduler's exact occupancy
+    /// trajectory during replay and stamps the result here so reports
+    /// stay byte-identical.
+    pub(crate) fn force_high_water(&mut self, high_water: usize) {
+        self.high_water = high_water;
     }
 
     /// The time of the earliest pending event.

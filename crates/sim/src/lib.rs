@@ -49,6 +49,7 @@ pub mod fault;
 pub mod host;
 pub mod network;
 pub mod report;
+pub(crate) mod shard;
 pub mod sweep;
 
 pub use analyzer::{Analyzer, FlowRecord, LatencyStats};

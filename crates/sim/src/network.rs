@@ -88,6 +88,14 @@ pub struct SimConfig {
     /// work and zero PRNG draws, so fault-free runs are byte-identical
     /// to pre-fault-subsystem behaviour.
     pub faults: FaultConfig,
+    /// How many conservative-parallel shards drive the run. `1` — the
+    /// default — is the serial event loop; `> 1` partitions the
+    /// topology across worker threads synchronized on the cut links'
+    /// propagation + processing lookahead. Any value produces a
+    /// [`SimReport`] byte-identical to the serial engine; the count is
+    /// clamped to what the topology supports (and falls back to serial
+    /// when no safe lookahead exists).
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -107,6 +115,7 @@ impl SimConfig {
             frame_preemption: false,
             event_queue: EventQueueKind::default(),
             faults: FaultConfig::none(),
+            shards: 1,
         }
     }
 }
@@ -117,7 +126,8 @@ impl Default for SimConfig {
     }
 }
 
-enum NodeRole {
+#[derive(Clone)]
+pub(crate) enum NodeRole {
     Switch {
         core: Box<TsnSwitchCore>,
         /// Index into the gPTP sync domain (chain order).
@@ -158,7 +168,7 @@ struct Suspended {
 
 /// Per-port transmitter state for the preemption machinery.
 #[derive(Debug, Clone, Default)]
-struct WireState {
+pub(crate) struct WireState {
     gen: u64,
     active: Option<ActiveTx>,
     suspended: Option<Suspended>,
@@ -176,36 +186,43 @@ enum PreemptOutcome {
 }
 
 /// A fully assembled simulated TSN network.
+///
+/// Fields are `pub(crate)` so the sharded engine (`crate::shard`) can
+/// run per-shard replicas and assemble the merged result.
 pub struct Network {
-    topology: Topology,
-    roles: Vec<NodeRole>,
-    flows: FlowSet,
-    queue: EventQueue,
-    analyzer: Analyzer,
+    pub(crate) topology: Topology,
+    pub(crate) roles: Vec<NodeRole>,
+    pub(crate) flows: FlowSet,
+    pub(crate) queue: EventQueue,
+    pub(crate) analyzer: Analyzer,
     /// Per-(node, port) link-busy horizon.
-    busy_until: Vec<Vec<SimTime>>,
+    pub(crate) busy_until: Vec<Vec<SimTime>>,
     /// Per-(node, port) transmitted wire bytes (frames + overhead).
-    tx_bytes: Vec<Vec<u64>>,
+    pub(crate) tx_bytes: Vec<Vec<u64>>,
     /// Per-(node, port) transmitter state (active segment, suspended
     /// fragment, generation).
-    wires: Vec<Vec<WireState>>,
+    pub(crate) wires: Vec<Vec<WireState>>,
     /// Preemptions performed (802.3br).
-    preemptions: u64,
-    sync_domain: Option<SyncDomain>,
+    pub(crate) preemptions: u64,
+    pub(crate) sync_domain: Option<SyncDomain>,
     /// The fault-injection engine; `None` on healthy runs, which
     /// therefore skip every per-frame fault check.
-    fault: Option<FaultEngine>,
-    config: SimConfig,
-    events_processed: u64,
+    pub(crate) fault: Option<FaultEngine>,
+    pub(crate) config: SimConfig,
+    pub(crate) events_processed: u64,
     /// Per-event-type counters and suppression instrumentation.
-    stats: EventStats,
+    pub(crate) stats: EventStats,
     /// TS deadline per flow, precomputed at build so the hot delivery
     /// path avoids the linear `FlowSet` scan.
-    deadlines: HashMap<FlowId, SimDuration>,
+    pub(crate) deadlines: HashMap<FlowId, SimDuration>,
     /// Reusable scratch buffer for switch dispositions (one allocation
     /// for the whole run instead of one per arriving frame).
-    scratch: Vec<tsn_switch::pipeline::Disposition>,
-    now: SimTime,
+    pub(crate) scratch: Vec<tsn_switch::pipeline::Disposition>,
+    /// Present on shard replicas driven by `crate::shard`: ownership
+    /// map, epoch bound and the emission trace the replica records for
+    /// the coordinator's deterministic merge. `None` on the serial path.
+    pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
+    pub(crate) now: SimTime,
 }
 
 /// The VLAN that distinguishes one flow from another on the wire (flows
@@ -300,12 +317,11 @@ impl Network {
                     let resources = config
                         .per_switch_resources
                         .get(&node.id())
-                        .cloned()
-                        .unwrap_or_else(|| config.resources.clone());
+                        .unwrap_or(&config.resources);
                     let mut spec = SwitchSpec::new(resources, ports, config.slot);
                     for ((gcl_node, port), (in_gcl, out_gcl)) in gcls {
                         if *gcl_node == node.id() {
-                            spec.override_gcl(*port, in_gcl.clone(), out_gcl.clone());
+                            spec.override_gcl(*port, in_gcl, out_gcl);
                         }
                     }
                     let core = TsnSwitchCore::new(&spec)?;
@@ -392,6 +408,7 @@ impl Network {
             stats: EventStats::default(),
             deadlines,
             scratch: Vec::new(),
+            shard: None,
             now: SimTime::ZERO,
         };
         network.install_flows(offsets)?;
@@ -584,7 +601,24 @@ impl Network {
     }
 
     /// Runs the event loop to completion and returns the report.
-    pub fn run(mut self) -> SimReport {
+    ///
+    /// With [`SimConfig::shards`] > 1 the run is driven by the
+    /// conservative-parallel engine; topologies without a usable
+    /// lookahead window fall back to the serial loop. Either way the
+    /// report is byte-identical.
+    pub fn run(self) -> SimReport {
+        if self.config.shards > 1 {
+            match crate::shard::run_sharded(self) {
+                Ok(report) => return report,
+                Err(network) => return network.run_serial(),
+            }
+        }
+        self.run_serial()
+    }
+
+    /// The single-threaded event loop (the reference semantics the
+    /// sharded engine reproduces).
+    pub(crate) fn run_serial(mut self) -> SimReport {
         let horizon = SimTime::ZERO + self.config.duration + self.config.drain;
         while let Some((at, event)) = self.queue.pop() {
             if at > horizon {
@@ -600,7 +634,80 @@ impl Network {
         self.into_report()
     }
 
-    fn handle(&mut self, now: SimTime, event: Event) {
+    /// A replica of this (freshly built, not yet run) network for one
+    /// shard worker: identical switch/host/fault/sync state, an empty
+    /// event queue (the coordinator owns every pending event) and zeroed
+    /// run counters, so per-shard counters sum to the serial totals.
+    pub(crate) fn clone_for_shard(&self) -> Network {
+        Network {
+            topology: self.topology.clone(),
+            roles: self.roles.clone(),
+            flows: self.flows.clone(),
+            queue: EventQueue::with_kind(self.config.event_queue),
+            analyzer: Analyzer::new(),
+            busy_until: self.busy_until.clone(),
+            tx_bytes: self.tx_bytes.clone(),
+            wires: self.wires.clone(),
+            preemptions: 0,
+            sync_domain: self.sync_domain.clone(),
+            fault: self.fault.clone(),
+            config: self.config.clone(),
+            events_processed: 0,
+            stats: EventStats::default(),
+            deadlines: self.deadlines.clone(),
+            scratch: Vec::new(),
+            shard: None,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The node an event executes on (`None` only for link
+    /// transitions, which the shard coordinator owns).
+    pub(crate) fn event_node(event: &Event) -> Option<NodeId> {
+        match event {
+            Event::Inject { node, .. }
+            | Event::HostKick { node }
+            | Event::FrameArrive { node, .. }
+            | Event::PortKick { node, .. }
+            | Event::TxComplete { node, .. } => Some(*node),
+            Event::LinkDown { .. } | Event::LinkUp { .. } => None,
+        }
+    }
+
+    /// Schedules a handler-emitted event. Serially this is a plain
+    /// queue insert; on a shard replica the event either stays local
+    /// (inside the epoch, keyed so the local order equals the global
+    /// order restricted to this shard) or is recorded as shipped for
+    /// the coordinator to re-sequence with a definitive global seq.
+    pub(crate) fn emit(&mut self, at: SimTime, event: Event) {
+        let Some(ctx) = &mut self.shard else {
+            self.queue.schedule(at, event);
+            return;
+        };
+        let target = Network::event_node(&event)
+            .map(|n| ctx.shard_of[n.as_usize()])
+            .unwrap_or(ctx.me);
+        let parent = (ctx.trace.len() - 1) as u64;
+        let epoch_end = ctx.epoch_end;
+        let entry = ctx
+            .trace
+            .last_mut()
+            .expect("emissions only happen while an event is being processed");
+        if at >= epoch_end || target != ctx.me {
+            entry.emissions.push(crate::shard::Emission::Shipped {
+                at,
+                event,
+                wire: None,
+            });
+        } else {
+            let idx = entry.emissions.len() as u64;
+            entry.emissions.push(crate::shard::Emission::Local);
+            self.queue
+                .schedule_with_seq(at, crate::shard::provisional_key(parent, idx), event);
+        }
+    }
+
+    pub(crate) fn handle(&mut self, now: SimTime, event: Event) {
         match event {
             Event::Inject { node, generator } => {
                 self.stats.injects += 1;
@@ -665,44 +772,80 @@ impl Network {
                 // Keep the transmitter draining: queued frames headed
                 // into the dead wire drop one by one at `start_tx` until
                 // the re-route takes effect.
-                match &self.roles[end.node.as_usize()] {
-                    NodeRole::Switch { .. } => self.queue.schedule(
-                        now,
-                        Event::PortKick {
-                            node: end.node,
-                            port: end.port,
-                        },
-                    ),
-                    NodeRole::Host(_) => {
-                        self.queue.schedule(now, Event::HostKick { node: end.node })
-                    }
-                }
+                let kick = self.kick_for(end.node, end.port);
+                self.emit(now, kick);
             }
         } else {
             // The wire is back: wake both transmitters.
             for end in ends {
-                match &self.roles[end.node.as_usize()] {
-                    NodeRole::Switch { .. } => self.queue.schedule(
-                        now,
-                        Event::PortKick {
-                            node: end.node,
-                            port: end.port,
-                        },
-                    ),
-                    NodeRole::Host(_) => {
-                        self.queue.schedule(now, Event::HostKick { node: end.node })
-                    }
-                }
+                let kick = self.kick_for(end.node, end.port);
+                self.emit(now, kick);
             }
         }
         self.reprogram_routes();
     }
 
+    /// A shard replica's view of a link transition the coordinator
+    /// already sequenced: update the (replica-identical) fault-engine
+    /// link state, kill in-flight frames on owned ends of a dying wire,
+    /// and recompute routes. The serial path's wake-up kicks are NOT
+    /// scheduled here — the coordinator synthesized them with their
+    /// definitive seqs and delivers them like any released event.
+    pub(crate) fn apply_transition_replica(&mut self, at: SimTime, link: LinkId, goes_down: bool) {
+        let Some(engine) = &mut self.fault else {
+            return;
+        };
+        if !engine.transition(link, goes_down) {
+            return; // nested overlap: effective state unchanged
+        }
+        let Some(ends) = self.topology.link(link).map(|l| [l.a(), l.b()]) else {
+            return;
+        };
+        if goes_down {
+            for end in ends {
+                let owned = self
+                    .shard
+                    .as_ref()
+                    .is_some_and(|ctx| ctx.shard_of[end.node.as_usize()] == ctx.me);
+                if !owned {
+                    continue; // that end's transmitter lives on another replica
+                }
+                let ws = &mut self.wires[end.node.as_usize()][end.port.as_usize()];
+                ws.gen += 1; // stale TxComplete becomes a no-op
+                let engine = self.fault.as_mut().expect("checked above");
+                if let Some(active) = ws.active.take() {
+                    engine.frames_lost_on_dead_links += 1;
+                    engine.note_flow_loss(active.frame.flow());
+                }
+                if let Some(suspended) = ws.suspended.take() {
+                    engine.frames_lost_on_dead_links += 1;
+                    engine.note_flow_loss(suspended.frame.flow());
+                }
+                self.busy_until[end.node.as_usize()][end.port.as_usize()] = at;
+            }
+        }
+        self.reprogram_routes();
+    }
+
+    /// The wake-up event for a transmitter: a `PortKick` on switches, a
+    /// `HostKick` on hosts.
+    pub(crate) fn kick_for(&self, node: NodeId, port: PortId) -> Event {
+        match &self.roles[node.as_usize()] {
+            NodeRole::Switch { .. } => Event::PortKick { node, port },
+            NodeRole::Host(_) => Event::HostKick { node },
+        }
+    }
+
     /// Recomputes every flow's route avoiding the currently-dead links
     /// and reprograms the forwarding tables along changed paths.
     /// Deterministic: flows are visited in `FlowSet` order and the BFS
-    /// is seedless.
-    fn reprogram_routes(&mut self) {
+    /// is seedless. On a shard replica the route computation and the
+    /// fault-engine bookkeeping run identically on every shard (same
+    /// topology, same dead-link set), but each replica programs only
+    /// the switches it owns, and table-capacity failures — which only
+    /// the owning replica can observe — are tallied in the shard
+    /// context instead of the (replica-identical) engine counter.
+    pub(crate) fn reprogram_routes(&mut self) {
         let flows = std::mem::replace(&mut self.flows, FlowSet::new());
         for flow in flows.iter() {
             let engine = self.fault.as_mut().expect("caller holds an engine");
@@ -722,6 +865,11 @@ impl Network {
             let dst_mac = mac_for(flow.dst());
             for hop in route.switch_hops_iter() {
                 let Some(egress) = hop.egress else { continue };
+                if let Some(ctx) = &self.shard {
+                    if ctx.shard_of[hop.node.as_usize()] != ctx.me {
+                        continue; // another replica owns this switch
+                    }
+                }
                 let NodeRole::Switch { core, .. } = &mut self.roles[hop.node.as_usize()] else {
                     continue;
                 };
@@ -733,7 +881,9 @@ impl Network {
                     core.add_unicast(dst_mac, vlan, egress)
                 };
                 if programmed.is_err() {
-                    if let Some(engine) = &mut self.fault {
+                    if let Some(ctx) = &mut self.shard {
+                        ctx.table_reroute_failures += 1;
+                    } else if let Some(engine) = &mut self.fault {
                         engine.reroute_failures += 1;
                     }
                 }
@@ -774,14 +924,8 @@ impl Network {
             if engine.is_down(link.id()) {
                 engine.frames_lost_on_dead_links += 1;
                 engine.note_flow_loss(frame.flow());
-                match &self.roles[node.as_usize()] {
-                    NodeRole::Switch { .. } => {
-                        self.queue.schedule(now, Event::PortKick { node, port });
-                    }
-                    NodeRole::Host(_) => {
-                        self.queue.schedule(now, Event::HostKick { node });
-                    }
-                }
+                let kick = self.kick_for(node, port);
+                self.emit(now, kick);
                 return;
             }
         }
@@ -798,8 +942,7 @@ impl Network {
             started: now,
         });
         let gen = ws.gen;
-        self.queue
-            .schedule(end, Event::TxComplete { node, port, gen });
+        self.emit(end, Event::TxComplete { node, port, gen });
         // A preemptable segment on a switch port may need interrupting at
         // the next gate change (an express frame becoming eligible
         // mid-segment); arm a kick for it. Ports whose queues are empty
@@ -807,17 +950,24 @@ impl Network {
         // express frame arrives through `on_arrive`, which kicks the port
         // itself when preemption is on.
         if self.config.frame_preemption && !express {
-            if let NodeRole::Switch { core, .. } = &self.roles[node.as_usize()] {
+            let check = if let NodeRole::Switch { core, .. } = &self.roles[node.as_usize()] {
                 let corrected = self.corrected_time(node, now);
-                if let Some(next) = core.next_preemption_check(port, corrected) {
-                    let wait = next.saturating_since(corrected) + SimDuration::from_nanos(100);
+                Some(
+                    core.next_preemption_check(port, corrected)
+                        .map(|next| next.saturating_since(corrected)),
+                )
+            } else {
+                None
+            };
+            match check {
+                Some(Some(until_next)) => {
+                    let wait = until_next + SimDuration::from_nanos(100);
                     if now + wait < end {
-                        self.queue
-                            .schedule(now + wait, Event::PortKick { node, port });
+                        self.emit(now + wait, Event::PortKick { node, port });
                     }
-                } else {
-                    self.stats.kicks_suppressed += 1;
                 }
+                Some(None) => self.stats.kicks_suppressed += 1,
+                None => {}
             }
         }
     }
@@ -888,31 +1038,55 @@ impl Network {
         };
         // The wire itself may destroy or damage the frame (fault
         // injection). The sender still spent the serialization time and
-        // shaper credit either way.
+        // shaper credit either way. On a shard replica a faultable
+        // wire's draw is deferred: the PRNG stream lives on the
+        // coordinator's engine, which performs the draw during the merge
+        // replay at exactly this emission's global position — the epoch
+        // width never exceeds the faultable-link delivery floor, so the
+        // arrival necessarily ships and no replica consumes the draw.
+        let deferred_wire = self.shard.is_some()
+            && self
+                .fault
+                .as_ref()
+                .is_some_and(|e| !e.wire_is_pristine(link.id()));
         let mut delivered = Some(active.frame);
-        if let Some(engine) = &mut self.fault {
-            match engine.wire_effect(link.id()) {
-                WireEffect::Intact => {}
-                WireEffect::Lost => {
-                    engine.frames_lost_to_wire += 1;
-                    engine.note_flow_loss(active.frame.flow());
-                    delivered = None;
-                }
-                WireEffect::Corrupted => {
-                    engine.frames_corrupted += 1;
-                    delivered = Some(active.frame.with_corruption());
+        if !deferred_wire {
+            if let Some(engine) = &mut self.fault {
+                match engine.wire_effect(link.id()) {
+                    WireEffect::Intact => {}
+                    WireEffect::Lost => {
+                        engine.frames_lost_to_wire += 1;
+                        engine.note_flow_loss(active.frame.flow());
+                        delivered = None;
+                    }
+                    WireEffect::Corrupted => {
+                        engine.frames_corrupted += 1;
+                        delivered = Some(active.frame.with_corruption());
+                    }
                 }
             }
         }
         if let Some(frame) = delivered {
-            self.queue.schedule(
-                now + link.propagation() + proc,
-                Event::FrameArrive {
-                    node: peer.node,
-                    port: peer.port,
-                    frame,
-                },
-            );
+            let at = now + link.propagation() + proc;
+            let event = Event::FrameArrive {
+                node: peer.node,
+                port: peer.port,
+                frame,
+            };
+            if deferred_wire {
+                let ctx = self.shard.as_mut().expect("deferral implies a shard");
+                ctx.trace
+                    .last_mut()
+                    .expect("emissions only happen while an event is being processed")
+                    .emissions
+                    .push(crate::shard::Emission::Shipped {
+                        at,
+                        event,
+                        wire: Some(link.id()),
+                    });
+            } else {
+                self.emit(at, event);
+            }
         }
         // Charge the credit-based shaper over the segment's span.
         if let (Some(queue), NodeRole::Switch { core, .. }) =
@@ -928,22 +1102,18 @@ impl Network {
         let suspended = self.wires[node.as_usize()][port.as_usize()]
             .suspended
             .is_some();
-        match &self.roles[node.as_usize()] {
+        let kick = match &self.roles[node.as_usize()] {
             NodeRole::Switch { core, .. } => {
                 let backlog = core.gates(port).is_some_and(|g| g.total_buffered() > 0);
-                if backlog || suspended {
-                    self.queue.schedule(now, Event::PortKick { node, port });
-                } else {
-                    self.stats.kicks_suppressed += 1;
-                }
+                (backlog || suspended).then_some(Event::PortKick { node, port })
             }
             NodeRole::Host(host) => {
-                if host.queued() > 0 || suspended {
-                    self.queue.schedule(now, Event::HostKick { node });
-                } else {
-                    self.stats.kicks_suppressed += 1;
-                }
+                (host.queued() > 0 || suspended).then_some(Event::HostKick { node })
             }
+        };
+        match kick {
+            Some(kick) => self.emit(now, kick),
+            None => self.stats.kicks_suppressed += 1,
         }
     }
 
@@ -956,11 +1126,10 @@ impl Network {
         };
         self.analyzer.note_injected(outcome.flow, outcome.class);
         if outcome.next_injection.saturating_since(SimTime::ZERO) < self.config.duration {
-            self.queue
-                .schedule(outcome.next_injection, Event::Inject { node, generator });
+            self.emit(outcome.next_injection, Event::Inject { node, generator });
         }
         if outcome.queued {
-            self.queue.schedule(now, Event::HostKick { node });
+            self.emit(now, Event::HostKick { node });
         }
     }
 
@@ -977,7 +1146,7 @@ impl Network {
                 match self.try_preempt(node, port, now) {
                     PreemptOutcome::Preempted => {} // fall through, wire free
                     PreemptOutcome::RetryAt(at) => {
-                        self.queue.schedule(at, Event::HostKick { node });
+                        self.emit(at, Event::HostKick { node });
                         return;
                     }
                     PreemptOutcome::No => {
@@ -1072,7 +1241,7 @@ impl Network {
                 {
                     self.stats.kicks_suppressed += 1;
                 } else {
-                    self.queue.schedule(now, Event::PortKick { node, port });
+                    self.emit(now, Event::PortKick { node, port });
                 }
             }
         }
@@ -1091,7 +1260,7 @@ impl Network {
                 match self.try_preempt(node, port, now) {
                     PreemptOutcome::Preempted => {} // fall through, wire free
                     PreemptOutcome::RetryAt(at) => {
-                        self.queue.schedule(at, Event::PortKick { node, port });
+                        self.emit(at, Event::PortKick { node, port });
                         return;
                     }
                     PreemptOutcome::No => {
@@ -1149,14 +1318,13 @@ impl Network {
                 };
                 if let Some(next) = core.next_dequeue_opportunity(port, corrected) {
                     let wait = next.saturating_since(corrected) + SimDuration::from_nanos(100);
-                    self.queue
-                        .schedule(now + wait, Event::PortKick { node, port });
+                    self.emit(now + wait, Event::PortKick { node, port });
                 }
             }
         }
     }
 
-    fn into_report(self) -> SimReport {
+    pub(crate) fn into_report(self) -> SimReport {
         let mut merged = tsn_switch::SwitchStats::new();
         let mut per_switch = Vec::new();
         let mut max_high_water = 0;

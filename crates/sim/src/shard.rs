@@ -1,0 +1,582 @@
+//! Conservative-parallel execution of one simulation run.
+//!
+//! [`run_sharded`] partitions the built [`Network`] across worker
+//! threads (one per shard of the topology, from
+//! [`tsn_topology::partition_network`]) and synchronizes them with
+//! epoch barriers in the Chandy–Misra tradition: the epoch width is the
+//! minimum cross-shard delivery delay (wire propagation plus the
+//! store-and-forward processing delay on switch-bound hops), so no
+//! event released into an epoch can be affected by a cross-shard frame
+//! generated inside the same epoch.
+//!
+//! # Determinism
+//!
+//! The serial engine's behaviour is fully determined by its `(time,
+//! seq)` total event order plus one shared PRNG stream (wire faults).
+//! The sharded engine reproduces both exactly:
+//!
+//! * The coordinator owns every *pending* event, keyed by its
+//!   definitive global `(time, seq)`. Each round it releases the prefix
+//!   that is provably safe — strictly below the epoch bound, the next
+//!   link transition, and the horizon — to the owning shards.
+//! * A shard drains its released events plus everything they spawn
+//!   locally inside the epoch. Intra-epoch local events carry a
+//!   *provisional* key `(parent pop index, emission index)` with a high
+//!   flag bit, which orders them exactly as the serial engine would:
+//!   after every released (definitive) event at the same instant, and
+//!   in parent-pop/emission order among themselves — the global order
+//!   restricted to the shard.
+//! * Each shard records a trace of its pops and emissions. The
+//!   coordinator replays the traces of an epoch in merged global order,
+//!   assigning the definitive seq a serial run would have produced to
+//!   every emission, performing the deferred wire-fault draws on its
+//!   single authoritative PRNG at exactly the emitting event's global
+//!   position, and mirroring the serial queue-length trajectory so the
+//!   reported scheduler high-water matches byte-for-byte.
+//! * Link transitions never enter a shard queue: the coordinator
+//!   applies them on the authoritative fault engine between epochs (in
+//!   `(time, seq)` order against the pending set), synthesizes the
+//!   serial engine's wake-up kicks with their exact seqs, and
+//!   broadcasts the transition so every replica updates its link state
+//!   and re-routes identically.
+//!
+//! The merged report is assembled by giving each node's final state
+//! (switch core or host) from its owning replica back to the original
+//! network and running the ordinary [`Network::into_report`], so there
+//! is no second report-building code path to keep in sync.
+
+use crate::event::Event;
+use crate::fault::WireEffect;
+use crate::network::Network;
+use crate::report::{EventStats, SimReport};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, Sender};
+use tsn_topology::{partition_network, Link, LinkId, Node, Partition};
+use tsn_types::{SimDuration, SimTime};
+
+/// High bit marking a provisional (intra-epoch, shard-local) queue key.
+/// Definitive keys are global seqs well below `2^62`, so at equal time
+/// every definitive event sorts before every provisional one — correct,
+/// because all pending seqs predate any seq assigned during the epoch.
+const PROVISIONAL_FLAG: u64 = 1 << 63;
+/// Bits reserved for the emission index within its parent event.
+const PARENT_SHIFT: u32 = 20;
+const EMISSION_MASK: u64 = (1 << PARENT_SHIFT) - 1;
+
+/// Encodes a provisional shard-local key: creation order is (parent pop
+/// index, emission index), which is the serial order restricted to one
+/// shard.
+pub(crate) fn provisional_key(parent: u64, emission: u64) -> u64 {
+    debug_assert!(emission <= EMISSION_MASK, "an event emits a handful");
+    PROVISIONAL_FLAG | (parent << PARENT_SHIFT) | emission
+}
+
+/// How a popped event was keyed in the shard queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TraceKey {
+    /// A coordinator-released event with its definitive global seq.
+    Definitive(u64),
+    /// An intra-epoch local event; its definitive seq is resolved
+    /// during replay from its parent's emission record.
+    Provisional { parent: usize, emission: usize },
+}
+
+impl TraceKey {
+    fn decode(key: u64) -> TraceKey {
+        if key & PROVISIONAL_FLAG != 0 {
+            TraceKey::Provisional {
+                parent: ((key & !PROVISIONAL_FLAG) >> PARENT_SHIFT) as usize,
+                emission: (key & EMISSION_MASK) as usize,
+            }
+        } else {
+            TraceKey::Definitive(key)
+        }
+    }
+}
+
+/// One event a handler scheduled while its parent was processed.
+#[derive(Debug, Clone)]
+pub(crate) enum Emission {
+    /// Consumed within the epoch on the emitting shard; replay only
+    /// assigns its definitive seq.
+    Local,
+    /// Left the shard (cross-shard target or at/after the epoch bound);
+    /// replay assigns its seq and hands it to the coordinator's pending
+    /// set. `wire` marks a deferred wire-fault draw on that link.
+    Shipped {
+        /// Scheduled execution time.
+        at: SimTime,
+        /// The event itself.
+        event: Event,
+        /// `Some` when the frame still has to survive the link's fault
+        /// profile (drawn by the coordinator, in global order).
+        wire: Option<LinkId>,
+    },
+}
+
+/// One processed event in a shard's epoch trace.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceEntry {
+    pub(crate) at: SimTime,
+    pub(crate) key: TraceKey,
+    pub(crate) emissions: Vec<Emission>,
+}
+
+/// Per-replica sharding state carried by [`Network`].
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    /// Owning shard per node (indexed by `NodeId::as_usize`).
+    pub(crate) shard_of: Vec<usize>,
+    /// This replica's shard index.
+    pub(crate) me: usize,
+    /// Exclusive upper time bound of the current epoch; emissions at or
+    /// beyond it ship back to the coordinator.
+    pub(crate) epoch_end: SimTime,
+    /// Pops + emissions of the current epoch, in pop order.
+    pub(crate) trace: Vec<TraceEntry>,
+    /// Forwarding-table reroute failures observed on switches this
+    /// replica owns (replica-local knowledge, summed at merge).
+    pub(crate) table_reroute_failures: u64,
+}
+
+enum ToShard {
+    Epoch {
+        end: SimTime,
+        batch: Vec<(SimTime, u64, Event)>,
+    },
+    Transitions(Vec<(SimTime, LinkId, bool)>),
+    Finish,
+}
+
+enum FromShard {
+    Trace(usize, Vec<TraceEntry>),
+    Ack,
+    Final(usize, Box<Network>),
+}
+
+/// The smallest delivery delay the link can realize in any allowed
+/// direction: propagation, plus the store-and-forward processing delay
+/// when the receiving end is a switch. `None` if the link allows no
+/// egress at all.
+fn min_link_delay(net: &Network, link: &Link) -> Option<SimDuration> {
+    let ends = [link.a(), link.b()];
+    let mut best: Option<SimDuration> = None;
+    for (from, to) in [(ends[0], ends[1]), (ends[1], ends[0])] {
+        if !link.allows_egress_from(from.node) {
+            continue;
+        }
+        let to_switch = net
+            .topology
+            .node(to.node)
+            .map(Node::is_switch)
+            .unwrap_or(false);
+        let d = link.propagation()
+            + if to_switch {
+                net.config.switch_proc_delay
+            } else {
+                SimDuration::ZERO
+            };
+        best = Some(best.map_or(d, |b| b.min(d)));
+    }
+    best
+}
+
+/// The conservative epoch width: the minimum over (a) cut links — no
+/// cross-shard frame can land sooner — and (b) links with a non-pristine
+/// wire profile — their arrivals must ship so the coordinator draws the
+/// fault on the authoritative PRNG. `None` means unbounded (one epoch
+/// spans the whole run); `Some(ZERO)` means sharding is unsafe.
+fn epoch_width(net: &Network, partition: &Partition) -> Option<SimDuration> {
+    let mut width: Option<SimDuration> = None;
+    let mut fold = |d: SimDuration| width = Some(width.map_or(d, |w| w.min(d)));
+    for link_id in partition.cut_links(&net.topology) {
+        if let Some(link) = net.topology.link(link_id) {
+            if let Some(d) = min_link_delay(net, link) {
+                fold(d);
+            }
+        }
+    }
+    if let Some(engine) = &net.fault {
+        for link in net.topology.links() {
+            if !engine.wire_is_pristine(link.id()) {
+                if let Some(d) = min_link_delay(net, link) {
+                    fold(d);
+                }
+            }
+        }
+    }
+    width
+}
+
+/// Runs `net` on the conservative-parallel backend. Returns the network
+/// unchanged (`Err`) when sharding is not applicable — fewer than two
+/// usable shards, or a zero lookahead window — so the caller falls back
+/// to the serial loop.
+// The large Err variant is the whole Network handed back for the serial
+// fallback — called once per run, so the by-value return is fine.
+#[allow(clippy::result_large_err)]
+pub(crate) fn run_sharded(mut net: Network) -> Result<SimReport, Network> {
+    let partition = partition_network(&net.topology, net.config.shards);
+    let shards = partition.shards();
+    if shards < 2 {
+        return Err(net);
+    }
+    let width = epoch_width(&net, &partition);
+    if width == Some(SimDuration::ZERO) {
+        return Err(net);
+    }
+    let horizon = SimTime::ZERO + net.config.duration + net.config.drain;
+
+    // Take over the build queue: pending events keep their definitive
+    // build-time seqs; link transitions live in their own (sorted)
+    // timeline, applied by the coordinator between epochs.
+    let initial_len = net.queue.len();
+    let mut high_water = net.queue.high_water();
+    let mut pending: BTreeMap<(SimTime, u64), Event> = BTreeMap::new();
+    let mut timeline: Vec<(SimTime, u64, LinkId, bool)> = Vec::new();
+    while let Some((at, seq, event)) = net.queue.pop_with_seq() {
+        match event {
+            Event::LinkDown { link } => timeline.push((at, seq, link, true)),
+            Event::LinkUp { link } => timeline.push((at, seq, link, false)),
+            other => {
+                pending.insert((at, seq), other);
+            }
+        }
+    }
+    let mut next_gseq = net.queue.next_seq();
+    let mut len = initial_len;
+    let mut now_final = SimTime::ZERO;
+    let mut cursor = 0usize;
+    let mut coord_transitions = 0u64;
+
+    let replicas: Vec<Network> = (0..shards)
+        .map(|me| {
+            let mut replica = net.clone_for_shard();
+            replica.shard = Some(Box::new(ShardCtx {
+                shard_of: partition.assignment().to_vec(),
+                me,
+                epoch_end: SimTime::ZERO,
+                trace: Vec::new(),
+                table_reroute_failures: 0,
+            }));
+            replica
+        })
+        .collect();
+
+    let report = std::thread::scope(|scope| {
+        let (back_tx, back_rx) = std::sync::mpsc::channel::<FromShard>();
+        let mut to_shards: Vec<Sender<ToShard>> = Vec::with_capacity(shards);
+        for replica in replicas {
+            let (tx, rx) = std::sync::mpsc::channel::<ToShard>();
+            to_shards.push(tx);
+            let back = back_tx.clone();
+            scope.spawn(move || worker(replica, &rx, &back));
+        }
+        drop(back_tx);
+
+        loop {
+            // Apply every link transition that precedes the next pending
+            // event (kicks it synthesizes immediately join the pending
+            // set, exactly as the serial pop loop would see them).
+            let mut batch: Vec<(SimTime, LinkId, bool)> = Vec::new();
+            while let Some(&(t_at, t_seq, link, goes_down)) = timeline.get(cursor) {
+                if t_at > horizon {
+                    break;
+                }
+                let due = match pending.first_key_value() {
+                    None => true,
+                    Some((&first, _)) => (t_at, t_seq) < first,
+                };
+                if !due {
+                    break;
+                }
+                cursor += 1;
+                len -= 1;
+                coord_transitions += 1;
+                now_final = t_at;
+                let engine = net.fault.as_mut().expect("transitions imply an engine");
+                if engine.transition(link, goes_down) {
+                    if let Some(ends) = net.topology.link(link).map(|l| [l.a(), l.b()]) {
+                        for end in ends {
+                            let kick = net.kick_for(end.node, end.port);
+                            let seq = next_gseq;
+                            next_gseq += 1;
+                            len += 1;
+                            high_water = high_water.max(len);
+                            pending.insert((t_at, seq), kick);
+                        }
+                    }
+                }
+                batch.push((t_at, link, goes_down));
+            }
+            if !batch.is_empty() {
+                for tx in &to_shards {
+                    tx.send(ToShard::Transitions(batch.clone()))
+                        .expect("shard worker alive");
+                }
+                for _ in 0..shards {
+                    match back_rx.recv().expect("shard worker alive") {
+                        FromShard::Ack => {}
+                        _ => unreachable!("transition barrier answers with acks"),
+                    }
+                }
+                continue; // re-evaluate: more transitions may now be due
+            }
+
+            // Release the provably safe prefix of pending events.
+            let Some((&(first_at, first_seq), _)) = pending.first_key_value() else {
+                break; // drained; remaining transitions are past the horizon
+            };
+            if first_at > horizon {
+                break; // the serial loop stops at its first post-horizon pop
+            }
+            let mut bound = (horizon + SimDuration::from_nanos(1), 0u64);
+            if let Some(w) = width {
+                bound = bound.min((first_at + w, 0));
+            }
+            if let Some(&(t_at, t_seq, ..)) = timeline.get(cursor) {
+                bound = bound.min((t_at, t_seq));
+            }
+            debug_assert!(bound > (first_at, first_seq), "every epoch makes progress");
+            let rest = pending.split_off(&bound);
+            let released = std::mem::replace(&mut pending, rest);
+            let mut batches: Vec<Vec<(SimTime, u64, Event)>> = vec![Vec::new(); shards];
+            for ((at, seq), event) in released {
+                let node = Network::event_node(&event).expect("pending events target a node");
+                batches[partition.shard_of(node)].push((at, seq, event));
+            }
+            let mut awaited = 0usize;
+            for (shard, batch) in batches.into_iter().enumerate() {
+                if batch.is_empty() {
+                    continue; // idle shard: no message, no barrier wait
+                }
+                awaited += 1;
+                to_shards[shard]
+                    .send(ToShard::Epoch {
+                        end: bound.0,
+                        batch,
+                    })
+                    .expect("shard worker alive");
+            }
+            let mut traces: Vec<Vec<TraceEntry>> = vec![Vec::new(); shards];
+            for _ in 0..awaited {
+                match back_rx.recv().expect("shard worker alive") {
+                    FromShard::Trace(shard, trace) => traces[shard] = trace,
+                    _ => unreachable!("epoch barrier answers with traces"),
+                }
+            }
+
+            // Replay the epoch in merged global order: assign definitive
+            // seqs, perform deferred wire draws, mirror the serial queue
+            // length/high-water trajectory, collect shipped events.
+            let mut idx = vec![0usize; shards];
+            let mut resolved: Vec<Vec<Vec<u64>>> =
+                traces.iter().map(|t| Vec::with_capacity(t.len())).collect();
+            loop {
+                let mut best: Option<(usize, (SimTime, u64))> = None;
+                for shard in 0..shards {
+                    let Some(entry) = traces[shard].get(idx[shard]) else {
+                        continue;
+                    };
+                    let seq = match entry.key {
+                        TraceKey::Definitive(seq) => seq,
+                        TraceKey::Provisional { parent, emission } => {
+                            resolved[shard][parent][emission]
+                        }
+                    };
+                    let key = (entry.at, seq);
+                    if best.is_none_or(|(_, b)| key < b) {
+                        best = Some((shard, key));
+                    }
+                }
+                let Some((shard, _)) = best else { break };
+                let entry = &traces[shard][idx[shard]];
+                idx[shard] += 1;
+                len -= 1;
+                now_final = entry.at;
+                let mut seqs = Vec::with_capacity(entry.emissions.len());
+                for emission in &entry.emissions {
+                    match emission {
+                        Emission::Local => {
+                            let seq = next_gseq;
+                            next_gseq += 1;
+                            len += 1;
+                            high_water = high_water.max(len);
+                            seqs.push(seq);
+                        }
+                        Emission::Shipped { at, event, wire } => {
+                            let mut event = event.clone();
+                            let mut lost = false;
+                            if let Some(link) = wire {
+                                let engine =
+                                    net.fault.as_mut().expect("wire deferral implies an engine");
+                                match engine.wire_effect(*link) {
+                                    WireEffect::Intact => {}
+                                    WireEffect::Lost => {
+                                        engine.frames_lost_to_wire += 1;
+                                        if let Event::FrameArrive { frame, .. } = &event {
+                                            engine.note_flow_loss(frame.flow());
+                                        }
+                                        lost = true;
+                                    }
+                                    WireEffect::Corrupted => {
+                                        engine.frames_corrupted += 1;
+                                        if let Event::FrameArrive { frame, .. } = &mut event {
+                                            *frame = frame.with_corruption();
+                                        }
+                                    }
+                                }
+                            }
+                            if lost {
+                                // The serial engine never schedules a
+                                // wire-lost arrival: no seq, no growth.
+                                seqs.push(u64::MAX);
+                            } else {
+                                let seq = next_gseq;
+                                next_gseq += 1;
+                                len += 1;
+                                high_water = high_water.max(len);
+                                pending.insert((*at, seq), event);
+                                seqs.push(seq);
+                            }
+                        }
+                    }
+                }
+                resolved[shard].push(seqs);
+            }
+        }
+
+        for tx in &to_shards {
+            tx.send(ToShard::Finish).expect("shard worker alive");
+        }
+        let mut finals: Vec<Option<Network>> = (0..shards).map(|_| None).collect();
+        for _ in 0..shards {
+            match back_rx.recv().expect("shard worker alive") {
+                FromShard::Final(shard, replica) => finals[shard] = Some(*replica),
+                _ => unreachable!("finish answers with finals"),
+            }
+        }
+        let finals: Vec<Network> = finals
+            .into_iter()
+            .map(|f| f.expect("every shard reports back"))
+            .collect();
+        assemble(
+            net,
+            finals,
+            &partition,
+            now_final,
+            high_water,
+            coord_transitions,
+        )
+    });
+    Ok(report)
+}
+
+/// One shard's worker loop: drain released epochs, apply broadcast
+/// transitions, hand the final replica back for the merge.
+fn worker(mut net: Network, rx: &Receiver<ToShard>, tx: &Sender<FromShard>) {
+    let me = net.shard.as_ref().expect("worker owns a shard ctx").me;
+    loop {
+        match rx.recv() {
+            Ok(ToShard::Epoch { end, batch }) => {
+                net.shard.as_mut().expect("worker ctx").epoch_end = end;
+                for (at, seq, event) in batch {
+                    net.queue.schedule_with_seq(at, seq, event);
+                }
+                // Everything scheduled locally lands before `end`, so
+                // the queue drains completely: the epoch is exactly the
+                // serial execution restricted to this shard's nodes.
+                while let Some((at, key, event)) = net.queue.pop_with_seq() {
+                    net.now = at;
+                    if let Some(domain) = &mut net.sync_domain {
+                        domain.run_until(at);
+                    }
+                    net.events_processed += 1;
+                    net.shard
+                        .as_mut()
+                        .expect("worker ctx")
+                        .trace
+                        .push(TraceEntry {
+                            at,
+                            key: TraceKey::decode(key),
+                            emissions: Vec::new(),
+                        });
+                    net.handle(at, event);
+                }
+                let trace = std::mem::take(&mut net.shard.as_mut().expect("worker ctx").trace);
+                if tx.send(FromShard::Trace(me, trace)).is_err() {
+                    return;
+                }
+            }
+            Ok(ToShard::Transitions(batch)) => {
+                for (at, link, goes_down) in batch {
+                    net.apply_transition_replica(at, link, goes_down);
+                }
+                if tx.send(FromShard::Ack).is_err() {
+                    return;
+                }
+            }
+            Ok(ToShard::Finish) => {
+                let _ = tx.send(FromShard::Final(me, Box::new(net)));
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Sums per-type event counters (`queue_high_water` is derived from the
+/// replayed trajectory, `link_transitions` from the coordinator).
+fn add_stats(total: &mut EventStats, part: &EventStats) {
+    total.frame_arrives += part.frame_arrives;
+    total.port_kicks += part.port_kicks;
+    total.host_kicks += part.host_kicks;
+    total.injects += part.injects;
+    total.tx_completes += part.tx_completes;
+    total.kicks_suppressed += part.kicks_suppressed;
+    total.preempt_attempts += part.preempt_attempts;
+}
+
+/// Gives every node's final state back to the original network (from
+/// the replica that owns it), merges the cross-shard aggregates, and
+/// produces the report through the ordinary serial path.
+fn assemble(
+    mut base: Network,
+    mut finals: Vec<Network>,
+    partition: &Partition,
+    now_final: SimTime,
+    high_water: usize,
+    coord_transitions: u64,
+) -> SimReport {
+    let mut table_failures = 0u64;
+    let mut replica_engines = Vec::with_capacity(finals.len());
+    for replica in &mut finals {
+        let ctx = replica.shard.take().expect("replicas carry a ctx");
+        table_failures += ctx.table_reroute_failures;
+        if let Some(engine) = replica.fault.take() {
+            replica_engines.push(engine);
+        }
+    }
+    for (node, role) in base.roles.iter_mut().enumerate() {
+        let owner = partition.assignment()[node];
+        std::mem::swap(role, &mut finals[owner].roles[node]);
+        base.tx_bytes[node] = std::mem::take(&mut finals[owner].tx_bytes[node]);
+    }
+    for replica in &finals {
+        base.analyzer.merge_disjoint(&replica.analyzer);
+        base.preemptions += replica.preemptions;
+        base.events_processed += replica.events_processed;
+        add_stats(&mut base.stats, &replica.stats);
+    }
+    base.events_processed += coord_transitions;
+    base.stats.link_transitions += coord_transitions;
+    if let Some(engine) = &mut base.fault {
+        engine.merge_shard_outcomes(&replica_engines, table_failures);
+    }
+    if let Some(domain) = &mut base.sync_domain {
+        domain.run_until(now_final);
+    }
+    base.now = now_final;
+    base.queue.force_high_water(high_water);
+    base.into_report()
+}

@@ -1,0 +1,254 @@
+//! Sharded-engine golden tests: for every scenario the serial golden
+//! suites pin (`golden_report.rs` fault-free, `fault_golden.rs`
+//! faulted), running with `SimConfig::shards` ∈ {1, 2, 3, 4} must
+//! produce a `SimReport` byte-identical to the serial engine — same
+//! analyzer f64 bit patterns, same `EventStats` (including the
+//! scheduler high-water), same `DegradationReport`, same PRNG-driven
+//! fault trajectory. Any divergence is a synchronization or merge bug
+//! in `tsn_sim::shard`.
+
+use std::collections::HashMap;
+use tsn_sim::network::{Network, SimConfig};
+use tsn_sim::{
+    EventQueueKind, FaultConfig, LinkFaultProfile, LinkFlap, LinkOutage, SimReport, SyncSetup,
+};
+use tsn_topology::LinkId;
+use tsn_types::{BeFlowSpec, DataRate, FlowId, FlowSet, RcFlowSpec, SimDuration, TsFlowSpec};
+
+/// The `golden_report.rs` scenario: a 6-switch ring with mixed traffic.
+fn fixed_scenario() -> (tsn_topology::Topology, FlowSet) {
+    let topo = tsn_topology::presets::ring(6, 3).expect("ring builds");
+    let hosts = topo.hosts();
+    let mut flows = FlowSet::new();
+    for id in 0..12u32 {
+        let src = hosts[id as usize % hosts.len()];
+        let dst = hosts[(id as usize + 1) % hosts.len()];
+        flows.push(
+            TsFlowSpec::new(
+                FlowId::new(id),
+                src,
+                dst,
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(8),
+                64 + (id % 4) * 100,
+            )
+            .expect("valid ts flow")
+            .into(),
+        );
+    }
+    flows.push(
+        RcFlowSpec::new(
+            FlowId::new(100),
+            hosts[0],
+            hosts[2],
+            DataRate::mbps(150),
+            512,
+        )
+        .expect("valid rc flow")
+        .into(),
+    );
+    flows.push(
+        BeFlowSpec::new(
+            FlowId::new(101),
+            hosts[1],
+            hosts[0],
+            DataRate::mbps(300),
+            1024,
+        )
+        .expect("valid be flow")
+        .into(),
+    );
+    (topo, flows)
+}
+
+/// The `fault_golden.rs` diamond with a primary and a backup path.
+fn redundant_scenario() -> (tsn_topology::Topology, FlowSet) {
+    let mut topo = tsn_topology::Topology::new();
+    let s0 = topo.add_switch("s0");
+    let s1 = topo.add_switch("s1");
+    let s2a = topo.add_switch("s2a");
+    let s2b = topo.add_switch("s2b");
+    let s3 = topo.add_switch("s3");
+    let rate = DataRate::gbps(1);
+    topo.connect(s0, s1, rate).expect("link");
+    topo.connect(s1, s3, rate).expect("link");
+    topo.connect(s0, s2a, rate).expect("link");
+    topo.connect(s2a, s2b, rate).expect("link");
+    topo.connect(s2b, s3, rate).expect("link");
+    let ha = topo.add_host("ha");
+    let hb = topo.add_host("hb");
+    topo.connect(ha, s0, rate).expect("link");
+    topo.connect(hb, s3, rate).expect("link");
+
+    let mut flows = FlowSet::new();
+    for id in 0..8u32 {
+        let (src, dst) = if id % 2 == 0 { (ha, hb) } else { (hb, ha) };
+        flows.push(
+            TsFlowSpec::new(
+                FlowId::new(id),
+                src,
+                dst,
+                SimDuration::from_millis(1),
+                SimDuration::from_micros(120),
+                64 + (id % 4) * 100,
+            )
+            .expect("valid ts flow")
+            .into(),
+        );
+    }
+    flows.push(
+        RcFlowSpec::new(FlowId::new(100), ha, hb, DataRate::mbps(150), 512)
+            .expect("valid rc flow")
+            .into(),
+    );
+    flows.push(
+        BeFlowSpec::new(FlowId::new(101), hb, ha, DataRate::mbps(200), 1024)
+            .expect("valid be flow")
+            .into(),
+    );
+    (topo, flows)
+}
+
+fn base_config() -> SimConfig {
+    let mut config = SimConfig::paper_defaults();
+    config.duration = SimDuration::from_millis(20);
+    config.drain = SimDuration::from_millis(10);
+    config.event_queue = EventQueueKind::Calendar;
+    config
+}
+
+/// The `fault_golden.rs` mid-intensity mix: outage + flap on the primary
+/// path, lossy/corrupting wires everywhere, sync faults.
+fn faulty_config(seed: u64) -> SimConfig {
+    let mut config = base_config();
+    config.sync = SyncSetup::Gptp {
+        config: tsn_switch::time_sync::SyncConfig {
+            sync_interval: SimDuration::from_millis(2),
+            timestamp_noise_ns: 8.0,
+        },
+        warmup: SimDuration::from_millis(6),
+    };
+    config.faults = FaultConfig {
+        seed,
+        outages: vec![LinkOutage {
+            link: LinkId::new(0),
+            from: tsn_types::SimTime::from_millis(4),
+            until: tsn_types::SimTime::from_millis(9),
+        }],
+        flaps: vec![LinkFlap {
+            link: LinkId::new(1),
+            first_down: tsn_types::SimTime::from_millis(10),
+            mean_down: SimDuration::from_millis(1),
+            mean_up: SimDuration::from_millis(3),
+        }],
+        wire: LinkFaultProfile {
+            loss_prob: 0.002,
+            corrupt_prob: 0.002,
+        },
+        per_link_wire: vec![(
+            LinkId::new(2),
+            LinkFaultProfile {
+                loss_prob: 0.02,
+                corrupt_prob: 0.02,
+            },
+        )],
+        drift_scale: 2.0,
+        sync_loss_prob: 0.2,
+        sync_jitter_ns: 40.0,
+    };
+    config
+}
+
+fn run_fixed(mut config: SimConfig, shards: usize) -> SimReport {
+    config.shards = shards;
+    let (topo, flows) = fixed_scenario();
+    Network::build(topo, flows, &HashMap::new(), config)
+        .expect("network builds")
+        .run()
+}
+
+fn run_redundant(mut config: SimConfig, shards: usize) -> SimReport {
+    config.shards = shards;
+    config
+        .resources
+        .set_queues(12, 8, 2)
+        .expect("valid queue geometry");
+    let (topo, flows) = redundant_scenario();
+    Network::build(topo, flows, &HashMap::new(), config)
+        .expect("network builds")
+        .run()
+}
+
+fn assert_identical(serial: &SimReport, sharded: &SimReport, label: &str) {
+    assert_eq!(serial, sharded, "{label}: report diverged from serial");
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{sharded:?}"),
+        "{label}: debug rendering diverged from serial"
+    );
+}
+
+#[test]
+fn fault_free_ring_is_byte_identical_across_shard_counts() {
+    for preemption in [false, true] {
+        let mut config = base_config();
+        config.frame_preemption = preemption;
+        let serial = run_fixed(config.clone(), 1);
+        assert!(serial.events_processed > 0, "the scenario actually ran");
+        for shards in 2..=4 {
+            let sharded = run_fixed(config.clone(), shards);
+            assert_identical(
+                &serial,
+                &sharded,
+                &format!("ring, preemption={preemption}, shards={shards}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_diamond_is_byte_identical_across_shard_counts() {
+    let serial = run_redundant(faulty_config(42), 1);
+    assert!(
+        serial.degradation.faults_enabled && serial.degradation.link_down_events >= 2,
+        "the faulted scenario actually degraded"
+    );
+    for shards in 2..=4 {
+        let sharded = run_redundant(faulty_config(42), shards);
+        assert_identical(
+            &serial,
+            &sharded,
+            &format!("faulted diamond, shards={shards}"),
+        );
+    }
+}
+
+#[test]
+fn fault_free_diamond_is_byte_identical_across_shard_counts() {
+    let serial = run_redundant(base_config(), 1);
+    assert!(!serial.degradation.faults_enabled);
+    for shards in 2..=4 {
+        let sharded = run_redundant(base_config(), shards);
+        assert_identical(
+            &serial,
+            &sharded,
+            &format!("fault-free diamond, shards={shards}"),
+        );
+    }
+}
+
+#[test]
+fn oversized_shard_counts_are_clamped_not_broken() {
+    let serial = run_fixed(base_config(), 1);
+    let sharded = run_fixed(base_config(), 64);
+    assert_identical(&serial, &sharded, "ring, shards=64 (clamped)");
+}
+
+#[test]
+fn heap_backend_shards_agree_too() {
+    let mut config = faulty_config(3);
+    config.event_queue = EventQueueKind::BinaryHeap;
+    let serial = run_redundant(config.clone(), 1);
+    let sharded = run_redundant(config, 3);
+    assert_identical(&serial, &sharded, "faulted diamond on heap, shards=3");
+}

@@ -23,8 +23,9 @@
 //! use tsn_resource::ResourceConfig;
 //! use tsn_types::SimDuration;
 //!
+//! let resources = ResourceConfig::new();     // paper's customized ring column
 //! let spec = SwitchSpec::new(
-//!     ResourceConfig::new(),                 // paper's customized ring column
+//!     &resources,
 //!     vec![PortKind::Tsn, PortKind::Edge],   // one ring port, one host port
 //!     SimDuration::from_micros(65),          // the paper's CQF slot
 //! );

@@ -30,10 +30,16 @@ pub enum PortKind {
 }
 
 /// Construction parameters for one [`TsnSwitchCore`].
+///
+/// The spec *borrows* the resource configuration and any GCL overrides:
+/// building a whole network of switches from one shared `ResourceConfig`
+/// (and from a schedule synthesizer's GCL map) then copies nothing on
+/// the build path — [`TsnSwitchCore::new`] clones a GCL exactly once,
+/// for the port that actually installs it.
 #[derive(Debug, Clone)]
-pub struct SwitchSpec {
+pub struct SwitchSpec<'a> {
     /// Memory resource configuration (Table II parameters).
-    pub resources: tsn_resource::ResourceConfig,
+    pub resources: &'a tsn_resource::ResourceConfig,
     /// Per-port role. Length = number of cabled ports.
     pub ports: Vec<PortKind>,
     /// CQF slot length for the TSN ports.
@@ -41,15 +47,15 @@ pub struct SwitchSpec {
     /// Explicit per-port GCL pairs `(in, out)` overriding the default
     /// CQF configuration — the hook for synthesized 802.1Qbv schedules.
     /// Entries beyond `ports.len()` are rejected at build time.
-    pub gcl_overrides: Vec<(PortId, GateControlList, GateControlList)>,
+    pub gcl_overrides: Vec<(PortId, &'a GateControlList, &'a GateControlList)>,
 }
 
-impl SwitchSpec {
+impl<'a> SwitchSpec<'a> {
     /// A spec with `ports` roles, the paper's default resources, and the
     /// given CQF slot.
     #[must_use]
     pub fn new(
-        resources: tsn_resource::ResourceConfig,
+        resources: &'a tsn_resource::ResourceConfig,
         ports: Vec<PortKind>,
         slot: SimDuration,
     ) -> Self {
@@ -66,8 +72,8 @@ impl SwitchSpec {
     pub fn override_gcl(
         &mut self,
         port: PortId,
-        in_gcl: GateControlList,
-        out_gcl: GateControlList,
+        in_gcl: &'a GateControlList,
+        out_gcl: &'a GateControlList,
     ) -> &mut Self {
         self.gcl_overrides.push((port, in_gcl, out_gcl));
         self
@@ -121,8 +127,9 @@ struct EgressPort {
 /// use tsn_resource::ResourceConfig;
 /// use tsn_types::{SimDuration, SimTime, MacAddr, VlanId, PortId, EthernetFrame, TrafficClass};
 ///
+/// let resources = ResourceConfig::new();
 /// let spec = SwitchSpec::new(
-///     ResourceConfig::new(),
+///     &resources,
 ///     vec![PortKind::Tsn, PortKind::Edge],
 ///     SimDuration::from_micros(65),
 /// );
@@ -155,14 +162,14 @@ impl TsnSwitchCore {
     ///   TSN ports than the resource configuration provisions
     ///   (`port_num`), or a queue layout cannot be built for
     ///   `queue_num`.
-    pub fn new(spec: &SwitchSpec) -> TsnResult<Self> {
+    pub fn new(spec: &SwitchSpec<'_>) -> TsnResult<Self> {
         if spec.ports.is_empty() {
             return Err(TsnError::invalid_parameter(
                 "ports",
                 "a switch needs at least one port",
             ));
         }
-        let res = &spec.resources;
+        let res = spec.resources;
         if spec.tsn_port_count() > res.port_num() as usize {
             return Err(TsnError::invalid_parameter(
                 "ports",
@@ -199,7 +206,7 @@ impl TsnSwitchCore {
                     .gcl_overrides
                     .iter()
                     .find(|(p, _, _)| *p == port_id)
-                    .map(|(_, in_gcl, out_gcl)| (in_gcl.clone(), out_gcl.clone()));
+                    .map(|(_, in_gcl, out_gcl)| (*in_gcl, *out_gcl));
                 let gates = match (overridden, kind) {
                     (Some((in_gcl, out_gcl)), _) => {
                         if in_gcl.len() > res.gate_size() as usize
@@ -207,7 +214,14 @@ impl TsnSwitchCore {
                         {
                             return Err(TsnError::capacity("gate table", res.gate_size() as usize));
                         }
-                        GateCtrl::new(layout.clone(), res.queue_depth() as usize, in_gcl, out_gcl)?
+                        // The single clone: the port takes ownership of
+                        // its installed tables.
+                        GateCtrl::new(
+                            layout.clone(),
+                            res.queue_depth() as usize,
+                            in_gcl.clone(),
+                            out_gcl.clone(),
+                        )?
                     }
                     (None, PortKind::Tsn) => {
                         GateCtrl::cqf(layout.clone(), res.queue_depth() as usize, spec.slot)?
@@ -649,12 +663,10 @@ mod tests {
 
     const SLOT: SimDuration = SimDuration::from_micros(65);
 
-    fn spec() -> SwitchSpec {
-        SwitchSpec::new(
-            tsn_resource::ResourceConfig::new(),
-            vec![PortKind::Tsn, PortKind::Edge],
-            SLOT,
-        )
+    fn default_core() -> TsnSwitchCore {
+        let resources = tsn_resource::ResourceConfig::new();
+        let spec = SwitchSpec::new(&resources, vec![PortKind::Tsn, PortKind::Edge], SLOT);
+        TsnSwitchCore::new(&spec).expect("valid spec")
     }
 
     fn ts_frame(dst: MacAddr, seq: u64) -> EthernetFrame {
@@ -671,7 +683,7 @@ mod tests {
 
     #[test]
     fn end_to_end_receive_then_dequeue() {
-        let mut sw = TsnSwitchCore::new(&spec()).expect("valid spec");
+        let mut sw = default_core();
         let dst = MacAddr::station(9);
         sw.add_unicast(dst, VlanId::DEFAULT, PortId::new(0))
             .expect("fits");
@@ -695,7 +707,7 @@ mod tests {
 
     #[test]
     fn lookup_miss_is_dropped_not_flooded() {
-        let mut sw = TsnSwitchCore::new(&spec()).expect("valid spec");
+        let mut sw = default_core();
         let report = sw.receive(ts_frame(MacAddr::station(66), 0), SimTime::ZERO);
         assert_eq!(
             report,
@@ -711,7 +723,7 @@ mod tests {
     fn multicast_replicates_to_all_member_ports() {
         let mut resources = tsn_resource::ResourceConfig::new();
         resources.set_switch_tbl(1024, 16).expect("valid");
-        let spec = SwitchSpec::new(resources, vec![PortKind::Tsn, PortKind::Edge], SLOT);
+        let spec = SwitchSpec::new(&resources, vec![PortKind::Tsn, PortKind::Edge], SLOT);
         let mut sw = TsnSwitchCore::new(&spec).expect("valid spec");
         let group = MacAddr::new([0x01, 0, 0x5e, 0, 0, 9]);
         sw.add_multicast(McId::new(1), vec![PortId::new(0), PortId::new(1)])
@@ -738,7 +750,7 @@ mod tests {
             .expect("valid")
             .set_queues(16, 8, 1)
             .expect("valid");
-        let spec = SwitchSpec::new(resources, vec![PortKind::Tsn], SLOT);
+        let spec = SwitchSpec::new(&resources, vec![PortKind::Tsn], SLOT);
         let mut sw = TsnSwitchCore::new(&spec).expect("valid spec");
         let dst = MacAddr::station(9);
         sw.add_unicast(dst, VlanId::DEFAULT, PortId::new(0))
@@ -764,7 +776,7 @@ mod tests {
             .expect("valid")
             .set_buffers(96, 1)
             .expect("valid");
-        let spec = SwitchSpec::new(resources, vec![PortKind::Tsn], SLOT);
+        let spec = SwitchSpec::new(&resources, vec![PortKind::Tsn], SLOT);
         let mut sw = TsnSwitchCore::new(&spec).expect("valid spec");
         let dst = MacAddr::station(9);
         sw.add_unicast(dst, VlanId::DEFAULT, PortId::new(0))
@@ -787,13 +799,13 @@ mod tests {
     fn spec_validation_checks_tsn_port_budget() {
         let mut resources = tsn_resource::ResourceConfig::new();
         resources.set_buffers(96, 1).expect("valid"); // port_num = 1
-        let spec = SwitchSpec::new(resources, vec![PortKind::Tsn, PortKind::Tsn], SLOT);
+        let spec = SwitchSpec::new(&resources, vec![PortKind::Tsn, PortKind::Tsn], SLOT);
         assert!(TsnSwitchCore::new(&spec).is_err());
     }
 
     #[test]
     fn edge_ports_do_not_hold_frames_for_a_slot() {
-        let mut sw = TsnSwitchCore::new(&spec()).expect("valid spec");
+        let mut sw = default_core();
         let dst = MacAddr::station(9);
         sw.add_unicast(dst, VlanId::DEFAULT, PortId::new(1))
             .expect("fits");
@@ -808,7 +820,7 @@ mod tests {
             let mut resources = tsn_resource::ResourceConfig::new();
             resources.set_queues(8, n, 1).expect("valid");
             resources.set_gate_tbl(2, n, 1).expect("valid");
-            let spec = SwitchSpec::new(resources, vec![PortKind::Tsn], SLOT);
+            let spec = SwitchSpec::new(&resources, vec![PortKind::Tsn], SLOT);
             let sw = TsnSwitchCore::new(&spec).expect("valid spec");
             assert_eq!(
                 sw.gates(PortId::new(0)).expect("port").layout().queue_num(),
@@ -819,7 +831,7 @@ mod tests {
 
     #[test]
     fn dequeue_class_splits_express_and_preemptable() {
-        let mut sw = TsnSwitchCore::new(&spec()).expect("valid spec");
+        let mut sw = default_core();
         let dst = MacAddr::station(9);
         sw.add_unicast(dst, VlanId::DEFAULT, PortId::new(1))
             .expect("fits");
@@ -860,7 +872,7 @@ mod tests {
 
     #[test]
     fn express_ready_respects_cqf_gates() {
-        let mut sw = TsnSwitchCore::new(&spec()).expect("valid spec");
+        let mut sw = default_core();
         let dst = MacAddr::station(9);
         sw.add_unicast(dst, VlanId::DEFAULT, PortId::new(0))
             .expect("fits");
@@ -873,7 +885,7 @@ mod tests {
 
     #[test]
     fn control_plane_rejects_unknown_ports() {
-        let mut sw = TsnSwitchCore::new(&spec()).expect("valid spec");
+        let mut sw = default_core();
         assert!(sw
             .add_unicast(MacAddr::station(9), VlanId::DEFAULT, PortId::new(7))
             .is_err());

@@ -156,8 +156,9 @@ fn pipeline_conserves_frames() {
             1 => 199,
             _ => rng.gen_range_in(1, 200),
         };
+        let resources = tsn_resource::ResourceConfig::new();
         let spec = SwitchSpec::new(
-            tsn_resource::ResourceConfig::new(),
+            &resources,
             vec![PortKind::Tsn],
             SimDuration::from_micros(65),
         );

@@ -35,6 +35,7 @@ pub mod analysis;
 pub mod graph;
 pub mod link;
 pub mod node;
+pub mod partition;
 pub mod presets;
 pub mod route;
 
@@ -42,4 +43,5 @@ pub use analysis::EnabledPorts;
 pub use graph::Topology;
 pub use link::{Link, LinkDirection, LinkEnd, LinkId};
 pub use node::{Node, NodeKind};
+pub use partition::{partition_network, Partition};
 pub use route::{Route, RouteHop};

@@ -1,0 +1,322 @@
+//! Deterministic switch-graph partitioning for the sharded simulator.
+//!
+//! The conservative-parallel engine splits a [`Topology`] into `k`
+//! shards, each owning a set of switches plus the hosts cabled to them.
+//! Cross-shard traffic pays a synchronization barrier per lookahead
+//! window, so a good partition (a) balances load — approximated here by
+//! `1 + attached hosts` per switch, hosts being the traffic sources and
+//! sinks — and (b) cuts as few switch-to-switch links as possible, since
+//! every cut link bounds the lookahead and carries handoff traffic.
+//!
+//! The algorithm is a deterministic min-cut-flavoured heuristic, not an
+//! exact min-cut (which would be overkill for the ≤ dozens of switches
+//! the experiments use): a BFS over the switch graph from the
+//! smallest-id switch yields a locality-preserving order; the order is
+//! chopped into `k` weight-balanced contiguous chunks; a bounded greedy
+//! refinement pass then migrates boundary switches between neighbouring
+//! shards whenever that strictly reduces the number of cut links without
+//! emptying a shard or worsening the weight imbalance. Every step is
+//! seedless and iterates in id order, so one `(topology, k)` input maps
+//! to exactly one partition on every machine.
+
+use crate::graph::Topology;
+use crate::link::LinkId;
+use crate::node::Node;
+use std::collections::VecDeque;
+use tsn_types::NodeId;
+
+/// A node→shard assignment produced by [`partition_network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Shard index per node (indexed by `NodeId::as_usize`).
+    shard_of: Vec<usize>,
+    /// Number of shards actually used (≤ the requested count).
+    shards: usize,
+}
+
+impl Partition {
+    /// The shard that owns `node` (shard 0 for unknown ids).
+    #[must_use]
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.shard_of.get(node.as_usize()).copied().unwrap_or(0)
+    }
+
+    /// Number of shards in use. May be lower than requested when the
+    /// topology has fewer switches than shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The per-node assignment, indexed by `NodeId::as_usize`.
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.shard_of
+    }
+
+    /// Links whose two ends live on different shards — the edges that
+    /// bound the conservative lookahead window.
+    #[must_use]
+    pub fn cut_links(&self, topology: &Topology) -> Vec<LinkId> {
+        topology
+            .links()
+            .iter()
+            .filter(|l| self.shard_of(l.a().node) != self.shard_of(l.b().node))
+            .map(crate::link::Link::id)
+            .collect()
+    }
+}
+
+/// Splits `topology` into at most `shards` balanced switch groups, with
+/// every host following the first switch it is cabled to. `shards` is
+/// clamped to `[1, switch count]`; topologies without switches collapse
+/// to a single shard.
+#[must_use]
+pub fn partition_network(topology: &Topology, shards: usize) -> Partition {
+    let n = topology.nodes().len();
+    let switches = topology.switches();
+    let k = shards.clamp(1, switches.len().max(1));
+    let mut shard_of = vec![0usize; n];
+    if k <= 1 || switches.is_empty() {
+        return Partition {
+            shard_of,
+            shards: 1,
+        };
+    }
+
+    // Host → owning switch (first cabled switch), and per-switch weight.
+    let mut weight = vec![0u64; n];
+    for node in topology.nodes() {
+        if node.is_switch() {
+            weight[node.id().as_usize()] += 1;
+        } else if let Some(sw) = topology.switch_of_host(node.id()) {
+            weight[sw.as_usize()] += 1;
+        }
+    }
+
+    // Undirected switch-switch adjacency (direction only matters for
+    // traffic, not for locality).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for link in topology.links() {
+        let (a, b) = (link.a().node, link.b().node);
+        let both_switches = topology.node(a).map(Node::is_switch).unwrap_or(false)
+            && topology.node(b).map(Node::is_switch).unwrap_or(false);
+        if both_switches {
+            adj[a.as_usize()].push(b.as_usize());
+            adj[b.as_usize()].push(a.as_usize());
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // BFS order from the smallest-id switch of each component.
+    let mut order: Vec<usize> = Vec::with_capacity(switches.len());
+    let mut seen = vec![false; n];
+    for &start in &switches {
+        let start = start.as_usize();
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        let mut queue = VecDeque::from([start]);
+        while let Some(sw) = queue.pop_front() {
+            order.push(sw);
+            for &next in &adj[sw] {
+                if !seen[next] {
+                    seen[next] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+
+    // Chop the order into k contiguous weight-balanced chunks. A chunk
+    // closes once its cumulative weight crosses its proportional target,
+    // unless the remaining switches are needed to keep later chunks
+    // non-empty.
+    let total: u64 = order.iter().map(|&s| weight[s]).sum();
+    let mut chunk = 0usize;
+    let mut cum = 0u64;
+    for (idx, &sw) in order.iter().enumerate() {
+        shard_of[sw] = chunk;
+        cum += weight[sw];
+        let remaining_switches = order.len() - idx - 1;
+        let remaining_chunks = k - chunk - 1;
+        let target_met = cum * k as u64 >= total * (chunk as u64 + 1);
+        if remaining_chunks > 0 && (target_met || remaining_switches == remaining_chunks) {
+            chunk += 1;
+            // `cum` is cumulative across chunks by construction of the
+            // proportional target, so it is *not* reset here.
+        }
+    }
+
+    refine(&order, &adj, &weight, k, &mut shard_of);
+
+    // Hosts (and any node not reached above) follow their first switch.
+    for node in topology.nodes() {
+        if node.is_host() {
+            if let Some(sw) = topology.switch_of_host(node.id()) {
+                shard_of[node.id().as_usize()] = shard_of[sw.as_usize()];
+            }
+        }
+    }
+
+    Partition {
+        shard_of,
+        shards: k,
+    }
+}
+
+/// One deterministic greedy pass: migrate a boundary switch to a
+/// neighbouring shard when that strictly reduces the number of cut
+/// switch-links, keeps every shard non-empty, and does not worsen the
+/// heaviest-shard weight.
+fn refine(order: &[usize], adj: &[Vec<usize>], weight: &[u64], k: usize, shard_of: &mut [usize]) {
+    let mut members = vec![0usize; k];
+    let mut load = vec![0u64; k];
+    for &sw in order {
+        members[shard_of[sw]] += 1;
+        load[shard_of[sw]] += weight[sw];
+    }
+    let heaviest = |load: &[u64]| load.iter().copied().max().unwrap_or(0);
+    for &sw in order {
+        let home = shard_of[sw];
+        if members[home] <= 1 {
+            continue;
+        }
+        // Count neighbours per candidate shard; moving to the shard with
+        // the most neighbours maximally reduces the cut.
+        let mut best: Option<(usize, usize)> = None; // (shard, neighbour count)
+        let mut home_edges = 0usize;
+        for &nb in &adj[sw] {
+            let s = shard_of[nb];
+            if s == home {
+                home_edges += 1;
+            } else {
+                let count = adj[sw].iter().filter(|&&m| shard_of[m] == s).count();
+                if best.is_none_or(|(bs, bc)| count > bc || (count == bc && s < bs)) {
+                    best = Some((s, count));
+                }
+            }
+        }
+        if let Some((target, count)) = best {
+            let old_max = heaviest(&load);
+            let new_target_load = load[target] + weight[sw];
+            if count > home_edges && new_target_load <= old_max.max(load[home]) {
+                members[home] -= 1;
+                members[target] += 1;
+                load[home] -= weight[sw];
+                load[target] = new_target_load;
+                shard_of[sw] = target;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use tsn_types::DataRate;
+
+    #[test]
+    fn single_shard_maps_everything_to_zero() {
+        let topo = presets::ring(6, 3).expect("preset");
+        let p = partition_network(&topo, 1);
+        assert_eq!(p.shards(), 1);
+        assert!(topo.nodes().iter().all(|n| p.shard_of(n.id()) == 0));
+        assert!(p.cut_links(&topo).is_empty());
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_switches() {
+        let topo = presets::ring(3, 1).expect("preset");
+        let p = partition_network(&topo, 8);
+        assert_eq!(p.shards(), 3);
+        // Every shard owns at least one switch.
+        for shard in 0..3 {
+            assert!(
+                topo.switches().iter().any(|&s| p.shard_of(s) == shard),
+                "shard {shard} owns no switch"
+            );
+        }
+    }
+
+    #[test]
+    fn hosts_follow_their_switch() {
+        let topo = presets::ring(6, 6).expect("preset");
+        for shards in 2..=4 {
+            let p = partition_network(&topo, shards);
+            for &host in &topo.hosts() {
+                let sw = topo.switch_of_host(host).expect("preset hosts are cabled");
+                assert_eq!(
+                    p.shard_of(host),
+                    p.shard_of(sw),
+                    "host {host} strayed from its switch"
+                );
+            }
+            // Host links are therefore never cut.
+            for link in p.cut_links(&topo) {
+                let l = topo.link(link).expect("cut link exists");
+                for end in [l.a().node, l.b().node] {
+                    assert!(topo.node(end).expect("node").is_switch());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_balanced() {
+        let topo = presets::ring(8, 8).expect("preset");
+        let a = partition_network(&topo, 4);
+        let b = partition_network(&topo, 4);
+        assert_eq!(a, b, "same input must give the same partition");
+        // Ring of 8 equal-weight switches into 4 shards: 2 switches each.
+        let mut counts = vec![0usize; 4];
+        for &sw in &topo.switches() {
+            counts[a.shard_of(sw)] += 1;
+        }
+        assert_eq!(counts, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn ring_partition_cuts_few_links() {
+        // A contiguous 2-way split of a ring cuts exactly 2 of the ring
+        // links; a poor partition would cut up to 4.
+        let topo = presets::ring(6, 3).expect("preset");
+        let p = partition_network(&topo, 2);
+        assert_eq!(p.cut_links(&topo).len(), 2);
+    }
+
+    #[test]
+    fn disconnected_components_are_partitioned() {
+        let mut topo = Topology::new();
+        let a0 = topo.add_switch("a0");
+        let a1 = topo.add_switch("a1");
+        let b0 = topo.add_switch("b0");
+        let b1 = topo.add_switch("b1");
+        topo.connect(a0, a1, DataRate::gbps(1)).expect("link");
+        topo.connect(b0, b1, DataRate::gbps(1)).expect("link");
+        let p = partition_network(&topo, 2);
+        assert_eq!(p.shards(), 2);
+        assert_eq!(p.shard_of(a0), p.shard_of(a1), "components stay whole");
+        assert_eq!(p.shard_of(b0), p.shard_of(b1));
+        assert_ne!(p.shard_of(a0), p.shard_of(b0));
+        assert!(p.cut_links(&topo).is_empty());
+    }
+
+    #[test]
+    fn hostless_topology_still_partitions() {
+        let mut topo = Topology::new();
+        let sw: Vec<_> = (0..4).map(|i| topo.add_switch(format!("sw{i}"))).collect();
+        for pair in sw.windows(2) {
+            topo.connect(pair[0], pair[1], DataRate::gbps(1))
+                .expect("link");
+        }
+        let p = partition_network(&topo, 2);
+        assert_eq!(p.shards(), 2);
+        assert!(!p.cut_links(&topo).is_empty());
+    }
+}

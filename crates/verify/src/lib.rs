@@ -4,7 +4,7 @@
 //! generation over [`tsn_types::SplitMix64`] ([`gen`]), greedy
 //! component-wise minimization ([`shrink`]), a runner that persists every
 //! shrunk failure into the committed regression corpus ([`runner`],
-//! [`corpus`]) — plus the five cross-layer oracles that differentially
+//! [`corpus`]) — plus the six cross-layer oracles that differentially
 //! test the builder, the simulator and the HDL emitter against each
 //! other ([`oracles`]) and the ported data-structure properties
 //! ([`props`]).

@@ -1,4 +1,4 @@
-//! The five cross-layer differential oracles.
+//! The six cross-layer differential oracles.
 //!
 //! Each oracle consumes a random [`ScenarioCase`] and cross-checks two
 //! independent layers of the stack against each other, so neither layer's
@@ -13,6 +13,9 @@
 //!    byte-stable and parameter-consistent with the resource config.
 //! 5. [`fault_monotonicity`] — longer link outages never reduce the
 //!    deadline-failure count.
+//! 6. [`shard_equivalence`] — the sharded conservative-parallel engine
+//!    vs. the serial event loop on the same scenario (fault-free and
+//!    faulted), for a case-derived shard count in `1..=4`.
 //!
 //! Verdict policy: anything that stops a case *before* a validated
 //! configuration exists (preset/workload/planning infeasibility on random
@@ -26,7 +29,7 @@ use tsn_hdl::ParsedModule;
 use tsn_resource::ResourceConfig;
 use tsn_sim::network::Network;
 use tsn_sim::report::SimReport;
-use tsn_sim::{EventQueueKind, FaultConfig, LinkOutage};
+use tsn_sim::{EventQueueKind, FaultConfig, LinkFaultProfile, LinkOutage};
 use tsn_topology::{LinkId, Topology};
 use tsn_types::{FlowId, FlowSet, SimDuration, SimTime, TsFlowSpec, TsnError, TsnResult};
 
@@ -43,6 +46,7 @@ pub const ORACLES: &[(&str, Oracle)] = &[
     ("backend-equivalence", backend_equivalence),
     ("hdl-fixpoint", hdl_fixpoint),
     ("fault-monotonicity", fault_monotonicity),
+    ("shard-equivalence", shard_equivalence),
 ];
 
 /// Looks an oracle up by name.
@@ -466,6 +470,70 @@ pub fn fault_monotonicity(case: &ScenarioCase) -> Verdict {
     Verdict::Pass
 }
 
+/// Oracle 6 — shard equivalence: the conservative-parallel engine
+/// (`SimConfig::shards > 1`) must produce a report byte-identical to the
+/// serial event loop on the same scenario, including the `Debug`
+/// rendering (every f64 bit pattern, every counter, the scheduler
+/// high-water). The shard count (`1..=4`) and whether a deterministic
+/// outage plus stochastic wire faults are layered on are both derived
+/// from the case's workload seed, so the random sweep covers fault-free
+/// and faulted runs in every backend.
+pub fn shard_equivalence(case: &ScenarioCase) -> Verdict {
+    let (topology, flows, derived) = match prepare(case) {
+        Ok(x) => x,
+        Err(v) => return v,
+    };
+    let shards = 1 + (case.wl_seed % 4) as usize;
+    let faulted = (case.wl_seed >> 2) & 1 == 1;
+    let configure = |shards: usize| {
+        let mut config = case.base_config();
+        config.slot = derived.cqf.slot;
+        config.resources = derived.resources.clone();
+        config.aggregate_switch_tbl = derived.aggregate_switch_tbl;
+        config.shards = shards;
+        if faulted {
+            config.faults = FaultConfig {
+                seed: case.wl_seed,
+                outages: vec![LinkOutage {
+                    link: LinkId::new(0),
+                    from: SimTime::from_millis(1),
+                    until: SimTime::from_millis(3),
+                }],
+                wire: LinkFaultProfile {
+                    loss_prob: 0.005,
+                    corrupt_prob: 0.005,
+                },
+                ..FaultConfig::none()
+            };
+        }
+        config
+    };
+    let mut reports = Vec::new();
+    for n in [1, shards] {
+        match Network::build(
+            topology.clone(),
+            flows.clone(),
+            &derived.itp.offsets,
+            configure(n),
+        ) {
+            Ok(network) => reports.push(network.run()),
+            Err(e) => {
+                return Verdict::Fail(format!(
+                    "post-derive network build failed (shards={n}): {e}"
+                ))
+            }
+        }
+    }
+    if reports[0] != reports[1] || format!("{:?}", reports[0]) != format!("{:?}", reports[1]) {
+        return Verdict::Fail(format!(
+            "sharded engine diverged from serial (shards={shards}, faulted={faulted}): \
+             serial [{}] vs sharded [{}]",
+            reports[0], reports[1]
+        ));
+    }
+    Verdict::Pass
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,7 +545,7 @@ mod tests {
             assert!(oracle_by_name(name).is_some());
         }
         assert!(oracle_by_name("nope").is_none());
-        assert_eq!(ORACLES.len(), 5);
+        assert_eq!(ORACLES.len(), 6);
     }
 
     #[test]

@@ -36,23 +36,34 @@ TSN_VERIFY_MS="${TSN_VERIFY_MS:-4000}" \
     run cargo run -q --release -p tsn-verify --bin verify -- --smoke
 
 # Bench smoke: a tiny TSN_BENCH_MS budget proves the harness and every
-# scenario still run end to end, and gates on the geomean: the smoke's
-# geomean speedup vs the b8cca7c baselines recorded in BENCH_2.json must
-# stay >= 0.95x. The tracked (full-budget) BENCH_2.json is restored
-# afterwards so a smoke run never overwrites the recorded numbers.
-tracked_bench="$(mktemp)"
-cp BENCH_2.json "$tracked_bench"
+# scenario still run end to end, and gates on the geomeans: the smoke's
+# geomean speedup vs the b8cca7c baselines recorded in BENCH_2.json, and
+# the serial-path (shards=1) geomean vs the pinned serial baselines in
+# BENCH_5.json, must both stay >= 0.95x. The tracked (full-budget) JSON
+# files are restored afterwards so a smoke run never overwrites the
+# recorded numbers.
+tracked_bench2="$(mktemp)"
+tracked_bench5="$(mktemp)"
+cp BENCH_2.json "$tracked_bench2"
+cp BENCH_5.json "$tracked_bench5"
 TSN_BENCH_MS="${TSN_BENCH_MS:-25}" run cargo bench -q -p tsn-bench --bench simulation
-smoke_geomean="$(sed -n 's/.*"geomean_speedup": \([0-9.]*\).*/\1/p' BENCH_2.json)"
-cp "$tracked_bench" BENCH_2.json
-rm -f "$tracked_bench"
-if [ -z "$smoke_geomean" ]; then
+smoke_geomean2="$(sed -n 's/.*"geomean_speedup": \([0-9.]*\).*/\1/p' BENCH_2.json)"
+smoke_geomean5="$(sed -n 's/.*"geomean_speedup": \([0-9.]*\).*/\1/p' BENCH_5.json)"
+cp "$tracked_bench2" BENCH_2.json
+cp "$tracked_bench5" BENCH_5.json
+rm -f "$tracked_bench2" "$tracked_bench5"
+if [ -z "$smoke_geomean2" ] || [ -z "$smoke_geomean5" ]; then
     echo "bench smoke wrote no geomean_speedup" >&2
     exit 1
 fi
-echo "==> bench smoke geomean ${smoke_geomean}x vs b8cca7c baselines (gate: >= 0.95)"
-if ! awk -v g="$smoke_geomean" 'BEGIN { exit !(g >= 0.95) }'; then
-    echo "bench smoke geomean ${smoke_geomean}x regressed below 0.95x baseline" >&2
+echo "==> bench smoke geomean ${smoke_geomean2}x vs b8cca7c baselines (gate: >= 0.95)"
+if ! awk -v g="$smoke_geomean2" 'BEGIN { exit !(g >= 0.95) }'; then
+    echo "bench smoke geomean ${smoke_geomean2}x regressed below 0.95x baseline" >&2
+    exit 1
+fi
+echo "==> shard-bench serial-path geomean ${smoke_geomean5}x vs pinned serial baselines (gate: >= 0.95)"
+if ! awk -v g="$smoke_geomean5" 'BEGIN { exit !(g >= 0.95) }'; then
+    echo "shard bench serial path ${smoke_geomean5}x regressed below 0.95x baseline" >&2
     exit 1
 fi
 

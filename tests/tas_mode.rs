@@ -93,14 +93,11 @@ fn tas_protects_against_off_schedule_traffic() -> Result<(), TsnError> {
     let in_gcl = GateControlList::new(in_entries, slot)?;
     let out_gcl = GateControlList::new(out_entries, slot)?;
 
-    let mut spec = SwitchSpec::new(
-        tsn_resource::ResourceConfig::new(),
-        vec![PortKind::Tsn, PortKind::Edge],
-        slot,
-    );
-    spec.override_gcl(PortId::new(0), in_gcl, out_gcl);
     // gate_size must cover the 4-entry program.
-    spec.resources.set_gate_tbl(4, 8, 1)?;
+    let mut resources = tsn_resource::ResourceConfig::new();
+    resources.set_gate_tbl(4, 8, 1)?;
+    let mut spec = SwitchSpec::new(&resources, vec![PortKind::Tsn, PortKind::Edge], slot);
+    spec.override_gcl(PortId::new(0), &in_gcl, &out_gcl);
     let mut sw = TsnSwitchCore::new(&spec)?;
     let dst = MacAddr::station(9);
     sw.add_unicast(dst, VlanId::DEFAULT, PortId::new(0))?;
@@ -146,12 +143,9 @@ fn tas_gate_table_capacity_is_enforced() -> Result<(), TsnError> {
 
     let slot = SimDuration::from_micros(65);
     let long_gcl = GateControlList::new(vec![GateEntry::all_open(); 16], slot)?;
-    let mut spec = SwitchSpec::new(
-        tsn_resource::ResourceConfig::new(), // gate_size = 2 (CQF)
-        vec![PortKind::Tsn],
-        slot,
-    );
-    spec.override_gcl(PortId::new(0), long_gcl.clone(), long_gcl);
+    let resources = tsn_resource::ResourceConfig::new(); // gate_size = 2 (CQF)
+    let mut spec = SwitchSpec::new(&resources, vec![PortKind::Tsn], slot);
+    spec.override_gcl(PortId::new(0), &long_gcl, &long_gcl);
     assert!(
         TsnSwitchCore::new(&spec).is_err(),
         "a 16-entry program cannot load into a 2-entry gate table"
