@@ -1,0 +1,89 @@
+//! One-off profiling harness for the sharded engine: phase timings and
+//! `ShardOverhead` counters on the BENCH_5 scenarios. Not a bench —
+//! run it directly when hunting coordination overhead:
+//! `cargo run --release -p tsn-bench --example shard_profile`
+
+use std::collections::HashMap;
+use std::time::Instant;
+use tsn_builder::AppRequirements;
+use tsn_sim::network::{Network, SimConfig, SyncSetup};
+use tsn_topology::presets;
+use tsn_types::{FlowId, FlowSet, SimDuration};
+
+fn scenario(
+    label: &str,
+) -> (
+    tsn_topology::Topology,
+    FlowSet,
+    SimConfig,
+    HashMap<FlowId, SimDuration>,
+) {
+    let (topo, ts) = match label {
+        "ring12" => (presets::ring(12, 6).expect("topology builds"), 96),
+        _ => (presets::star(8, 8).expect("topology builds"), 64),
+    };
+    let flows = tsn_builder::workloads::iec60802_ts_flows(&topo, ts, 42).expect("workload builds");
+    let req = AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))
+        .expect("valid requirements");
+    let derived =
+        tsn_builder::derive::derive_parameters(&req, &tsn_builder::derive::DeriveOptions::paper())
+            .expect("derivation succeeds");
+    let mut config = SimConfig::paper_defaults();
+    config.duration = SimDuration::from_millis(10);
+    config.drain = SimDuration::from_millis(5);
+    config.sync = SyncSetup::Perfect;
+    config.slot = derived.cqf.slot;
+    config.resources = derived.resources;
+    config.aggregate_switch_tbl = derived.aggregate_switch_tbl;
+    (topo, flows, config, derived.itp.offsets)
+}
+
+fn main() {
+    for label in ["ring12", "star8"] {
+        let (topo, flows, base, offsets) = scenario(label);
+        let t0 = Instant::now();
+        let net = Network::build(topo.clone(), flows.clone(), &offsets, base.clone())
+            .expect("network builds");
+        let build = t0.elapsed();
+        let mut serial_t = std::time::Duration::MAX;
+        let mut serial = net.run();
+        for _ in 0..5 {
+            let net = Network::build(topo.clone(), flows.clone(), &offsets, base.clone())
+                .expect("network builds");
+            let t0 = Instant::now();
+            serial = net.run();
+            serial_t = serial_t.min(t0.elapsed());
+        }
+        println!(
+            "{label}: build {build:?} serial {serial_t:?} ({} events)",
+            serial.events_processed
+        );
+        for shards in [2usize, 4] {
+            let mut config = base.clone();
+            config.shards = shards;
+            let mut run_t = std::time::Duration::MAX;
+            let mut report = Network::build(topo.clone(), flows.clone(), &offsets, config.clone())
+                .expect("network builds")
+                .run();
+            for _ in 0..5 {
+                let net = Network::build(topo.clone(), flows.clone(), &offsets, config.clone())
+                    .expect("network builds");
+                let t0 = Instant::now();
+                report = net.run();
+                run_t = run_t.min(t0.elapsed());
+            }
+            let s = report.events.shard;
+            println!(
+                "{label} shards={shards}: run {run_t:?} | epochs {} msgs {} released {} \
+                 replayed {} deferred {} merge-lag {} recomputes {}",
+                s.epochs,
+                s.coord_messages,
+                s.released_events,
+                s.replayed_entries,
+                s.deferred_replays,
+                s.merge_lag_max,
+                s.lookahead_recomputes,
+            );
+        }
+    }
+}

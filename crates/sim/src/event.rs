@@ -386,6 +386,19 @@ impl EventQueue {
         }
     }
 
+    /// Bulk [`EventQueue::schedule_with_seq`]: inserts a whole released
+    /// epoch batch in one call. Same contract — the
+    /// caller owns key uniqueness, and `next_seq` plus the scheduling
+    /// counters stay untouched.
+    pub(crate) fn schedule_batch_with_seq<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = (SimTime, u64, Event)>,
+    {
+        for (at, seq, event) in batch {
+            self.schedule_with_seq(at, seq, event);
+        }
+    }
+
     /// The sequence number the next [`EventQueue::schedule`] call would
     /// assign.
     pub(crate) fn next_seq(&self) -> u64 {

@@ -56,6 +56,8 @@ pub use analyzer::{Analyzer, FlowRecord, LatencyStats};
 pub use event::EventQueueKind;
 pub use fault::{FaultConfig, FlowDegradation, LinkFaultProfile, LinkFlap, LinkOutage};
 pub use host::{Generator, Host};
-pub use network::{mac_for, vlan_for, Network, SimConfig, SyncSetup};
-pub use report::{DegradationReport, EventStats, SimReport};
+pub use network::{mac_for, vlan_for, Network, ShardExecution, SimConfig, SyncSetup};
+pub use report::{DegradationReport, EventStats, ShardOverhead, SimReport};
+#[doc(hidden)]
+pub use shard::SHARD_SABOTAGE;
 pub use sweep::{run_sweep, PlanCache, SweepError};

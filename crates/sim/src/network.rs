@@ -14,6 +14,7 @@ use crate::fault::{FaultConfig, FaultEngine, WireEffect};
 use crate::host::{Generator, Host};
 use crate::report::{DegradationReport, EventStats, SimReport};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use tsn_resource::ResourceConfig;
 use tsn_switch::gate_ctrl::GateControlList;
 use tsn_switch::ingress_filter::{ClassEntry, ClassKey, TokenBucketMeter};
@@ -96,6 +97,29 @@ pub struct SimConfig {
     /// clamped to what the topology supports (and falls back to serial
     /// when no safe lookahead exists).
     pub shards: usize,
+    /// How the sharded engine executes its per-shard replicas. The
+    /// default, [`ShardExecution::Auto`], picks worker threads on
+    /// multi-core hosts and the cooperative in-thread driver on
+    /// single-CPU hosts (where extra threads only add context-switch
+    /// latency to every epoch barrier). All modes are byte-identical.
+    pub shard_execution: ShardExecution,
+}
+
+/// Execution backend for the conservative-parallel engine
+/// ([`SimConfig::shards`] > 1). Every mode produces byte-identical
+/// reports; they differ only in scheduling overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardExecution {
+    /// Threads when `std::thread::available_parallelism()` ≥ 2,
+    /// otherwise the inline driver.
+    #[default]
+    Auto,
+    /// One OS thread per shard, synchronized over channels.
+    Threads,
+    /// All shard replicas driven cooperatively on the calling thread —
+    /// no threads, no channel round-trips. The right choice when the
+    /// host has a single CPU.
+    Inline,
 }
 
 impl SimConfig {
@@ -116,6 +140,7 @@ impl SimConfig {
             event_queue: EventQueueKind::default(),
             faults: FaultConfig::none(),
             shards: 1,
+            shard_execution: ShardExecution::Auto,
         }
     }
 }
@@ -134,6 +159,13 @@ pub(crate) enum NodeRole {
         sync_index: usize,
     },
     Host(Box<Host>),
+    /// Placeholder on shard replicas for nodes another shard owns: the
+    /// coordinator never routes an event here, and the merge takes each
+    /// node's final state from its owning replica. Keeping non-owned
+    /// roles vacant makes replica setup O(network/shards) instead of
+    /// O(network) — switch cores (tables, calendars, queues) are by far
+    /// the heaviest state to clone.
+    Vacant,
 }
 
 /// Smallest fragment (wire bytes) that must already be on the wire before
@@ -190,9 +222,11 @@ enum PreemptOutcome {
 /// Fields are `pub(crate)` so the sharded engine (`crate::shard`) can
 /// run per-shard replicas and assemble the merged result.
 pub struct Network {
-    pub(crate) topology: Topology,
+    /// Shared immutable after build (`Arc`: replica clones are free).
+    pub(crate) topology: Arc<Topology>,
     pub(crate) roles: Vec<NodeRole>,
-    pub(crate) flows: FlowSet,
+    /// Shared immutable after build (`Arc`: replica clones are free).
+    pub(crate) flows: Arc<FlowSet>,
     pub(crate) queue: EventQueue,
     pub(crate) analyzer: Analyzer,
     /// Per-(node, port) link-busy horizon.
@@ -208,13 +242,14 @@ pub struct Network {
     /// The fault-injection engine; `None` on healthy runs, which
     /// therefore skip every per-frame fault check.
     pub(crate) fault: Option<FaultEngine>,
-    pub(crate) config: SimConfig,
+    /// Shared immutable after build (`Arc`: replica clones are free).
+    pub(crate) config: Arc<SimConfig>,
     pub(crate) events_processed: u64,
     /// Per-event-type counters and suppression instrumentation.
     pub(crate) stats: EventStats,
     /// TS deadline per flow, precomputed at build so the hot delivery
-    /// path avoids the linear `FlowSet` scan.
-    pub(crate) deadlines: HashMap<FlowId, SimDuration>,
+    /// path avoids the linear `FlowSet` scan. Shared immutable.
+    pub(crate) deadlines: Arc<HashMap<FlowId, SimDuration>>,
     /// Reusable scratch buffer for switch dispositions (one allocation
     /// for the whole run instead of one per arriving frame).
     pub(crate) scratch: Vec<tsn_switch::pipeline::Disposition>,
@@ -222,7 +257,20 @@ pub struct Network {
     /// map, epoch bound and the emission trace the replica records for
     /// the coordinator's deterministic merge. `None` on the serial path.
     pub(crate) shard: Option<Box<crate::shard::ShardCtx>>,
+    /// Build inputs the sharded engine's failure path needs to rebuild
+    /// a pristine network (roles are *moved* into the replicas, so the
+    /// serial fallback reruns from a fresh build, not from a snapshot).
+    /// Retained only when `config.shards > 1`.
+    pub(crate) rebuild: Option<Arc<RebuildInputs>>,
     pub(crate) now: SimTime,
+}
+
+/// The by-reference [`Network::build_with_schedule`] arguments, retained
+/// behind an `Arc` so the sharded engine can deterministically rebuild
+/// the network after a worker failure.
+pub(crate) struct RebuildInputs {
+    pub(crate) offsets: HashMap<FlowId, SimDuration>,
+    pub(crate) gcls: HashMap<(NodeId, PortId), (GateControlList, GateControlList)>,
 }
 
 /// The VLAN that distinguishes one flow from another on the wire (flows
@@ -391,10 +439,16 @@ impl Network {
         );
         let fault = faults_on.then(|| FaultEngine::new(config.faults.clone(), &topology));
         let horizon = SimTime::ZERO + config.duration + config.drain;
+        let rebuild = (config.shards > 1).then(|| {
+            Arc::new(RebuildInputs {
+                offsets: offsets.clone(),
+                gcls: gcls.clone(),
+            })
+        });
         let mut network = Network {
-            topology,
+            topology: Arc::new(topology),
             roles,
-            flows,
+            flows: Arc::new(flows),
             queue: EventQueue::with_kind(config.event_queue),
             analyzer: Analyzer::new(),
             busy_until,
@@ -403,12 +457,13 @@ impl Network {
             preemptions: 0,
             sync_domain,
             fault,
-            config,
+            config: Arc::new(config),
             events_processed: 0,
             stats: EventStats::default(),
-            deadlines,
+            deadlines: Arc::new(deadlines),
             scratch: Vec::new(),
             shard: None,
+            rebuild,
             now: SimTime::ZERO,
         };
         network.install_flows(offsets)?;
@@ -435,9 +490,10 @@ impl Network {
         let mut next_meter: BTreeMap<NodeId, u32> = BTreeMap::new();
         let mut rc_reservations: BTreeMap<(NodeId, PortId, QueueId), u64> = BTreeMap::new();
 
-        // Move the flow set out instead of cloning it: at 512 flows the
-        // clone dominated build time (the PR-2 bench regression).
-        let flows = std::mem::replace(&mut self.flows, FlowSet::new());
+        // Borrow the shared flow set through its own handle so the loop
+        // body can still take `&mut self` (at 512 flows a deep clone
+        // dominated build time — the PR-2 bench regression).
+        let flows = Arc::clone(&self.flows);
         for flow in flows.iter() {
             let src = flow.src();
             let dst = flow.dst();
@@ -571,8 +627,6 @@ impl Network {
             }
         }
 
-        self.flows = flows;
-
         // Install the credit-based shapers: one CBS slot per RC queue in
         // use on each port, idleSlope = sum of reservations through it.
         let mut slots_by_port: BTreeMap<(NodeId, PortId), usize> = BTreeMap::new();
@@ -638,16 +692,40 @@ impl Network {
     /// shard worker: identical switch/host/fault/sync state, an empty
     /// event queue (the coordinator owns every pending event) and zeroed
     /// run counters, so per-shard counters sum to the serial totals.
-    pub(crate) fn clone_for_shard(&self) -> Network {
+    /// Splits the replica for shard `me` out of this network: owned
+    /// roles and their per-port state are *moved* (leaving
+    /// [`NodeRole::Vacant`] holes behind), so replica setup costs
+    /// O(owned nodes) pointer moves instead of deep clones. The gutted
+    /// base cannot run serially afterwards — on a worker failure the
+    /// sharded engine rebuilds from [`RebuildInputs`] instead.
+    pub(crate) fn split_for_shard(&mut self, shard_of: &[usize], me: usize) -> Network {
+        let nodes = self.roles.len();
+        let mut roles = Vec::with_capacity(nodes);
+        let mut busy_until = Vec::with_capacity(nodes);
+        let mut tx_bytes = Vec::with_capacity(nodes);
+        let mut wires = Vec::with_capacity(nodes);
+        for (node, &owner) in shard_of.iter().enumerate().take(nodes) {
+            if owner == me {
+                roles.push(std::mem::replace(&mut self.roles[node], NodeRole::Vacant));
+                busy_until.push(std::mem::take(&mut self.busy_until[node]));
+                tx_bytes.push(std::mem::take(&mut self.tx_bytes[node]));
+                wires.push(std::mem::take(&mut self.wires[node]));
+            } else {
+                roles.push(NodeRole::Vacant);
+                busy_until.push(Vec::new());
+                tx_bytes.push(Vec::new());
+                wires.push(Vec::new());
+            }
+        }
         Network {
             topology: self.topology.clone(),
-            roles: self.roles.clone(),
+            roles,
             flows: self.flows.clone(),
             queue: EventQueue::with_kind(self.config.event_queue),
             analyzer: Analyzer::new(),
-            busy_until: self.busy_until.clone(),
-            tx_bytes: self.tx_bytes.clone(),
-            wires: self.wires.clone(),
+            busy_until,
+            tx_bytes,
+            wires,
             preemptions: 0,
             sync_domain: self.sync_domain.clone(),
             fault: self.fault.clone(),
@@ -657,6 +735,7 @@ impl Network {
             deadlines: self.deadlines.clone(),
             scratch: Vec::new(),
             shard: None,
+            rebuild: None,
             now: SimTime::ZERO,
         }
     }
@@ -677,8 +756,8 @@ impl Network {
     /// Schedules a handler-emitted event. Serially this is a plain
     /// queue insert; on a shard replica the event either stays local
     /// (inside the epoch, keyed so the local order equals the global
-    /// order restricted to this shard) or is recorded as shipped for
-    /// the coordinator to re-sequence with a definitive global seq.
+    /// order restricted to this shard) or is recorded in the ship list
+    /// for the coordinator to re-sequence with a definitive global seq.
     pub(crate) fn emit(&mut self, at: SimTime, event: Event) {
         let Some(ctx) = &mut self.shard else {
             self.queue.schedule(at, event);
@@ -687,23 +766,28 @@ impl Network {
         let target = Network::event_node(&event)
             .map(|n| ctx.shard_of[n.as_usize()])
             .unwrap_or(ctx.me);
-        let parent = (ctx.trace.len() - 1) as u64;
-        let epoch_end = ctx.epoch_end;
-        let entry = ctx
+        let parent = ctx
             .trace
-            .last_mut()
+            .len()
+            .checked_sub(1)
             .expect("emissions only happen while an event is being processed");
-        if at >= epoch_end || target != ctx.me {
-            entry.emissions.push(crate::shard::Emission::Shipped {
+        let entry = &mut ctx.trace[parent];
+        let idx = entry.emissions;
+        entry.emissions += 1;
+        if at >= ctx.epoch_end || target != ctx.me {
+            ctx.ships.push(crate::shard::Ship {
+                parent: parent as u32,
+                emission: idx,
                 at,
                 event,
                 wire: None,
             });
         } else {
-            let idx = entry.emissions.len() as u64;
-            entry.emissions.push(crate::shard::Emission::Local);
-            self.queue
-                .schedule_with_seq(at, crate::shard::provisional_key(parent, idx), event);
+            self.queue.schedule_with_seq(
+                at,
+                crate::shard::provisional_key(parent as u64, u64::from(idx)),
+                event,
+            );
         }
     }
 
@@ -828,11 +912,19 @@ impl Network {
     }
 
     /// The wake-up event for a transmitter: a `PortKick` on switches, a
-    /// `HostKick` on hosts.
+    /// `HostKick` on hosts. Resolved through the topology (not the
+    /// roles) so the shard coordinator, which owns no roles at all, can
+    /// synthesize kicks at link transitions.
     pub(crate) fn kick_for(&self, node: NodeId, port: PortId) -> Event {
-        match &self.roles[node.as_usize()] {
-            NodeRole::Switch { .. } => Event::PortKick { node, port },
-            NodeRole::Host(_) => Event::HostKick { node },
+        let is_host = self
+            .topology
+            .node(node)
+            .map(tsn_topology::Node::is_host)
+            .unwrap_or(false);
+        if is_host {
+            Event::HostKick { node }
+        } else {
+            Event::PortKick { node, port }
         }
     }
 
@@ -846,7 +938,7 @@ impl Network {
     /// the owning replica can observe — are tallied in the shard
     /// context instead of the (replica-identical) engine counter.
     pub(crate) fn reprogram_routes(&mut self) {
-        let flows = std::mem::replace(&mut self.flows, FlowSet::new());
+        let flows = Arc::clone(&self.flows);
         for flow in flows.iter() {
             let engine = self.fault.as_mut().expect("caller holds an engine");
             let route = self
@@ -889,7 +981,6 @@ impl Network {
                 }
             }
         }
-        self.flows = flows;
     }
 
     /// The corrected (gate-driving) clock of `node` at true time `now` —
@@ -1075,15 +1166,21 @@ impl Network {
             };
             if deferred_wire {
                 let ctx = self.shard.as_mut().expect("deferral implies a shard");
-                ctx.trace
-                    .last_mut()
-                    .expect("emissions only happen while an event is being processed")
-                    .emissions
-                    .push(crate::shard::Emission::Shipped {
-                        at,
-                        event,
-                        wire: Some(link.id()),
-                    });
+                let parent = ctx
+                    .trace
+                    .len()
+                    .checked_sub(1)
+                    .expect("emissions only happen while an event is being processed");
+                let entry = &mut ctx.trace[parent];
+                let idx = entry.emissions;
+                entry.emissions += 1;
+                ctx.ships.push(crate::shard::Ship {
+                    parent: parent as u32,
+                    emission: idx,
+                    at,
+                    event,
+                    wire: Some(link.id()),
+                });
             } else {
                 self.emit(at, event);
             }
@@ -1110,6 +1207,7 @@ impl Network {
             NodeRole::Host(host) => {
                 (host.queued() > 0 || suspended).then_some(Event::HostKick { node })
             }
+            NodeRole::Vacant => panic!("kick check for a node this replica does not own"),
         };
         match kick {
             Some(kick) => self.emit(now, kick),
@@ -1141,6 +1239,7 @@ impl Network {
             let express_waiting = match &self.roles[node.as_usize()] {
                 NodeRole::Host(host) => host.express_queued(),
                 NodeRole::Switch { .. } => return,
+                NodeRole::Vacant => panic!("host kick for a node this replica does not own"),
             };
             if self.config.frame_preemption && express_waiting {
                 match self.try_preempt(node, port, now) {
@@ -1255,6 +1354,7 @@ impl Network {
             let express_ready = match &self.roles[node.as_usize()] {
                 NodeRole::Switch { core, .. } => core.express_ready(port, corrected),
                 NodeRole::Host(_) => return,
+                NodeRole::Vacant => panic!("port kick for a node this replica does not own"),
             };
             if self.config.frame_preemption && express_ready {
                 match self.try_preempt(node, port, now) {
@@ -1339,6 +1439,7 @@ impl Network {
                 NodeRole::Host(host) => {
                     host_overflow += host.overflow_drops();
                 }
+                NodeRole::Vacant => panic!("reports are built from the full network"),
             }
         }
         // Link utilization: transmitted wire bits over capacity × elapsed.

@@ -1,13 +1,35 @@
 //! Conservative-parallel execution of one simulation run.
 //!
-//! [`run_sharded`] partitions the built [`Network`] across worker
-//! threads (one per shard of the topology, from
-//! [`tsn_topology::partition_network`]) and synchronizes them with
-//! epoch barriers in the Chandy–Misra tradition: the epoch width is the
-//! minimum cross-shard delivery delay (wire propagation plus the
-//! store-and-forward processing delay on switch-bound hops), so no
-//! event released into an epoch can be affected by a cross-shard frame
-//! generated inside the same epoch.
+//! [`run_sharded`] partitions the built [`Network`] across per-shard
+//! replicas (from [`tsn_topology::partition_network`]) and synchronizes
+//! them with epoch barriers in the Chandy–Misra tradition. The epoch
+//! bound comes from a **per-shard-pair lookahead matrix**: for every
+//! ordered shard pair `(i, j)` the minimum delivery delay of a frame
+//! emitted by `i` that lands on `j` (wire propagation plus the
+//! store-and-forward processing delay on switch-bound hops), minimized
+//! over the currently-alive cut links. Each epoch's bound is the
+//! minimum over *active* shards `i` of `first_i + out_min_i` — a shard
+//! with no due events constrains nothing, and a shard whose cheapest
+//! outgoing cut is wide lets everyone run further. The matrix is
+//! recomputed only when a link transition changes which links are
+//! alive.
+//!
+//! # Synchronization protocol
+//!
+//! One release and one reply per **active** shard per epoch — idle
+//! shards cost nothing, and all the events of an epoch travel in one
+//! `Vec` each way instead of per-event exchanges. Link transitions do
+//! not get their own barrier: each batch is shared as one
+//! `Arc<[Transition]>` and *owed* to every shard, piggybacking on the
+//! next message bound there anyway (channel FIFO ordering guarantees a
+//! replica applies them before the epoch that follows). Batch and trace
+//! buffers are recycled between coordinator and workers to keep the
+//! per-epoch allocation count flat.
+//!
+//! On hosts without real parallelism (or on request, via
+//! [`ShardExecution`]) the replicas are driven *inline* on the calling
+//! thread — the identical protocol minus the cross-thread wake-up
+//! latency of a barrier, which otherwise dominates on a single core.
 //!
 //! # Determinism
 //!
@@ -26,19 +48,36 @@
 //!   after every released (definitive) event at the same instant, and
 //!   in parent-pop/emission order among themselves — the global order
 //!   restricted to the shard.
-//! * Each shard records a trace of its pops and emissions. The
-//!   coordinator replays the traces of an epoch in merged global order,
-//!   assigning the definitive seq a serial run would have produced to
-//!   every emission, performing the deferred wire-fault draws on its
-//!   single authoritative PRNG at exactly the emitting event's global
+//! * Each shard records a flat trace of its pops (one POD entry per
+//!   pop, carrying only its emission count) plus a separate ship list
+//!   for emissions that leave the shard. The coordinator replays the
+//!   traces of an epoch in merged global order, assigning the
+//!   definitive seq a serial run would have produced to every emission,
+//!   performing the deferred wire-fault draws on its single
+//!   authoritative PRNG at exactly the emitting event's global
 //!   position, and mirroring the serial queue-length trajectory so the
 //!   reported scheduler high-water matches byte-for-byte.
+//! * Epochs that shipped nothing need none of that right away: their
+//!   replay cannot touch the pending set or the PRNG, only the
+//!   queue-trajectory bookkeeping. The coordinator advances the seq
+//!   counter by their emission totals, stashes them, and replays the
+//!   backlog after the workers have finished — the merge work rides off
+//!   the critical path.
 //! * Link transitions never enter a shard queue: the coordinator
 //!   applies them on the authoritative fault engine between epochs (in
 //!   `(time, seq)` order against the pending set), synthesizes the
-//!   serial engine's wake-up kicks with their exact seqs, and
-//!   broadcasts the transition so every replica updates its link state
-//!   and re-routes identically.
+//!   serial engine's wake-up kicks with their exact seqs, and owes the
+//!   shared batch to every replica so link state and re-routes stay
+//!   identical everywhere.
+//!
+//! # Failure containment
+//!
+//! A worker that panics (or a torn channel) no longer aborts the
+//! process: the failure is caught, surfaces to the coordinator as a
+//! structured [`ShardError`], and — because the replicas took the
+//! node state with them — the coordinator deterministically rebuilds
+//! the network from its retained inputs and hands it back for a
+//! from-scratch serial run — same report, one engine slower.
 //!
 //! The merged report is assembled by giving each node's final state
 //! (switch core or host) from its owning replica back to the original
@@ -47,11 +86,14 @@
 
 use crate::event::Event;
 use crate::fault::WireEffect;
-use crate::network::Network;
-use crate::report::{EventStats, SimReport};
-use std::collections::BTreeMap;
+use crate::network::{Network, ShardExecution};
+use crate::report::{EventStats, ShardOverhead, SimReport};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use tsn_topology::{partition_network, Link, LinkId, Node, Partition};
+use std::sync::Arc;
+use tsn_topology::{partition_network, LinkId, Node, Partition};
 use tsn_types::{SimDuration, SimTime};
 
 /// High bit marking a provisional (intra-epoch, shard-local) queue key.
@@ -73,12 +115,12 @@ pub(crate) fn provisional_key(parent: u64, emission: u64) -> u64 {
 
 /// How a popped event was keyed in the shard queue.
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum TraceKey {
+enum TraceKey {
     /// A coordinator-released event with its definitive global seq.
     Definitive(u64),
     /// An intra-epoch local event; its definitive seq is resolved
-    /// during replay from its parent's emission record.
-    Provisional { parent: usize, emission: usize },
+    /// during replay from its parent's base seq and emission index.
+    Provisional { parent: usize, emission: u64 },
 }
 
 impl TraceKey {
@@ -86,7 +128,7 @@ impl TraceKey {
         if key & PROVISIONAL_FLAG != 0 {
             TraceKey::Provisional {
                 parent: ((key & !PROVISIONAL_FLAG) >> PARENT_SHIFT) as usize,
-                emission: (key & EMISSION_MASK) as usize,
+                emission: key & EMISSION_MASK,
             }
         } else {
             TraceKey::Definitive(key)
@@ -94,32 +136,37 @@ impl TraceKey {
     }
 }
 
-/// One event a handler scheduled while its parent was processed.
-#[derive(Debug, Clone)]
-pub(crate) enum Emission {
-    /// Consumed within the epoch on the emitting shard; replay only
-    /// assigns its definitive seq.
-    Local,
-    /// Left the shard (cross-shard target or at/after the epoch bound);
-    /// replay assigns its seq and hands it to the coordinator's pending
-    /// set. `wire` marks a deferred wire-fault draw on that link.
-    Shipped {
-        /// Scheduled execution time.
-        at: SimTime,
-        /// The event itself.
-        event: Event,
-        /// `Some` when the frame still has to survive the link's fault
-        /// profile (drawn by the coordinator, in global order).
-        wire: Option<LinkId>,
-    },
-}
-
-/// One processed event in a shard's epoch trace.
-#[derive(Debug, Clone)]
+/// One processed event in a shard's epoch trace. Plain data — local
+/// emissions stay implicit (replay needs only their count for seq
+/// assignment; cross-shard ones live in the parallel [`Ship`] list), so
+/// recording a pop is one small fixed-size push.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct TraceEntry {
     pub(crate) at: SimTime,
-    pub(crate) key: TraceKey,
-    pub(crate) emissions: Vec<Emission>,
+    /// The raw queue key (definitive seq or encoded provisional key).
+    pub(crate) key: u64,
+    /// How many events the handler emitted, locals and ships together.
+    pub(crate) emissions: u32,
+}
+
+/// An emission that left its shard: cross-shard target, at/after the
+/// epoch bound, or an arrival on a faultable wire whose loss/corruption
+/// draw must happen on the coordinator's authoritative PRNG. `(parent,
+/// emission)` anchor it at its exact position in the parent's emission
+/// order.
+#[derive(Debug, Clone)]
+pub(crate) struct Ship {
+    /// Index of the emitting pop in this epoch's trace.
+    pub(crate) parent: u32,
+    /// Emission index within the parent (locals counted too).
+    pub(crate) emission: u32,
+    /// Scheduled execution time.
+    pub(crate) at: SimTime,
+    /// The event itself.
+    pub(crate) event: Event,
+    /// `Some` when the frame still has to survive the link's fault
+    /// profile (drawn by the coordinator, in global order).
+    pub(crate) wire: Option<LinkId>,
 }
 
 /// Per-replica sharding state carried by [`Network`].
@@ -132,86 +179,209 @@ pub(crate) struct ShardCtx {
     /// Exclusive upper time bound of the current epoch; emissions at or
     /// beyond it ship back to the coordinator.
     pub(crate) epoch_end: SimTime,
-    /// Pops + emissions of the current epoch, in pop order.
+    /// Pops of the current epoch, in pop order.
     pub(crate) trace: Vec<TraceEntry>,
+    /// Emissions of the current epoch that leave this shard.
+    pub(crate) ships: Vec<Ship>,
+    /// Epochs this replica has executed (drives the sabotage test
+    /// hook).
+    pub(crate) epochs_run: u64,
     /// Forwarding-table reroute failures observed on switches this
     /// replica owns (replica-local knowledge, summed at merge).
     pub(crate) table_reroute_failures: u64,
 }
 
+/// One link state change, as the coordinator sequences it.
+type Transition = (SimTime, LinkId, bool);
+
+/// Test hook: when shard 0's executed-epoch count equals this value,
+/// the epoch panics deliberately, exercising the worker-failure →
+/// serial-fallback path. `u64::MAX` (the default) never fires.
+#[doc(hidden)]
+pub static SHARD_SABOTAGE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// One epoch's worth of work for a shard.
+struct EpochMsg {
+    /// Exclusive upper time bound of the epoch.
+    end: SimTime,
+    /// Released definitive events, `(time, seq, event)`.
+    batch: Vec<(SimTime, u64, Event)>,
+    /// Owed link-transition batches (each shared across shards), to be
+    /// applied before the batch. FIFO channel order makes a separate
+    /// barrier unnecessary.
+    transitions: Vec<Arc<[Transition]>>,
+    /// Emptied trace/ship buffers going back for reuse.
+    recycle: Option<(Vec<TraceEntry>, Vec<Ship>)>,
+}
+
+/// What a shard hands back after draining an epoch.
+struct EpochReply {
+    shard: usize,
+    trace: Vec<TraceEntry>,
+    ships: Vec<Ship>,
+    /// The drained release batch, returned for the coordinator's pool.
+    batch: Vec<(SimTime, u64, Event)>,
+}
+
 enum ToShard {
-    Epoch {
-        end: SimTime,
-        batch: Vec<(SimTime, u64, Event)>,
-    },
-    Transitions(Vec<(SimTime, LinkId, bool)>),
-    Finish,
+    Epoch(EpochMsg),
+    Finish { transitions: Vec<Arc<[Transition]>> },
 }
 
 enum FromShard {
-    Trace(usize, Vec<TraceEntry>),
-    Ack,
+    Reply(EpochReply),
     Final(usize, Box<Network>),
+    Error { shard: usize, what: String },
 }
 
-/// The smallest delivery delay the link can realize in any allowed
-/// direction: propagation, plus the store-and-forward processing delay
-/// when the receiving end is a switch. `None` if the link allows no
-/// egress at all.
-fn min_link_delay(net: &Network, link: &Link) -> Option<SimDuration> {
-    let ends = [link.a(), link.b()];
-    let mut best: Option<SimDuration> = None;
-    for (from, to) in [(ends[0], ends[1]), (ends[1], ends[0])] {
-        if !link.allows_egress_from(from.node) {
-            continue;
-        }
-        let to_switch = net
-            .topology
-            .node(to.node)
-            .map(Node::is_switch)
-            .unwrap_or(false);
-        let d = link.propagation()
-            + if to_switch {
-                net.config.switch_proc_delay
-            } else {
-                SimDuration::ZERO
-            };
-        best = Some(best.map_or(d, |b| b.min(d)));
-    }
-    best
+/// Why a sharded run was abandoned mid-flight. The coordinator reacts
+/// by rebuilding the network from its retained inputs and rerunning
+/// serially; the payload exists for diagnostics.
+#[derive(Debug)]
+#[allow(dead_code)] // diagnostic payload, read via Debug when needed
+struct ShardError {
+    /// The failing shard, when one identified itself.
+    shard: Option<usize>,
+    what: String,
 }
 
-/// The conservative epoch width: the minimum over (a) cut links — no
-/// cross-shard frame can land sooner — and (b) links with a non-pristine
-/// wire profile — their arrivals must ship so the coordinator draws the
-/// fault on the authoritative PRNG. `None` means unbounded (one epoch
-/// spans the whole run); `Some(ZERO)` means sharding is unsafe.
-fn epoch_width(net: &Network, partition: &Partition) -> Option<SimDuration> {
-    let mut width: Option<SimDuration> = None;
-    let mut fold = |d: SimDuration| width = Some(width.map_or(d, |w| w.min(d)));
-    for link_id in partition.cut_links(&net.topology) {
-        if let Some(link) = net.topology.link(link_id) {
-            if let Some(d) = min_link_delay(net, link) {
-                fold(d);
-            }
+impl ShardError {
+    fn disconnected(shard: usize) -> ShardError {
+        ShardError {
+            shard: Some(shard),
+            what: "worker channel disconnected".into(),
         }
     }
-    if let Some(engine) = &net.fault {
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".into()
+    }
+}
+
+/// The per-shard-pair conservative lookahead. `pairs[i * k + j]` is the
+/// minimum delivery delay of a frame emitted by shard `i` that lands on
+/// shard `j` over any currently-alive cut link (`None`: no such link —
+/// `i` cannot affect `j` within an epoch). `out_min[i]` is the row
+/// minimum, additionally folding in the delivery floor of faultable
+/// wires with an egress end on `i` — their arrivals must ship (even
+/// intra-shard) so the coordinator draws the wire fault in global
+/// order.
+struct Lookahead {
+    shards: usize,
+    pairs: Vec<Option<SimDuration>>,
+    out_min: Vec<Option<SimDuration>>,
+}
+
+fn fold(slot: &mut Option<SimDuration>, d: SimDuration) {
+    *slot = Some(slot.map_or(d, |w| w.min(d)));
+}
+
+impl Lookahead {
+    fn new(shards: usize) -> Lookahead {
+        Lookahead {
+            shards,
+            pairs: vec![None; shards * shards],
+            out_min: vec![None; shards],
+        }
+    }
+
+    /// Recomputes the matrix. `include_down` counts dead links too —
+    /// used once up front for the zero-lookahead safety check, which
+    /// must hold no matter which links later come (back) up. The live
+    /// matrix excludes dead links: an epoch never crosses a transition,
+    /// so a link down at release time delivers nothing all epoch.
+    fn compute(&mut self, net: &Network, partition: &Partition, include_down: bool) {
+        self.pairs.fill(None);
+        let mut wire_min: Vec<Option<SimDuration>> = vec![None; self.shards];
         for link in net.topology.links() {
-            if !engine.wire_is_pristine(link.id()) {
-                if let Some(d) = min_link_delay(net, link) {
-                    fold(d);
+            let engine = net.fault.as_ref();
+            if !include_down && engine.is_some_and(|e| e.is_down(link.id())) {
+                continue;
+            }
+            let faulty_wire = engine.is_some_and(|e| !e.wire_is_pristine(link.id()));
+            for (from, to) in [(link.a(), link.b()), (link.b(), link.a())] {
+                if !link.allows_egress_from(from.node) {
+                    continue;
+                }
+                let to_switch = net
+                    .topology
+                    .node(to.node)
+                    .map(Node::is_switch)
+                    .unwrap_or(false);
+                let d = link.propagation()
+                    + if to_switch {
+                        net.config.switch_proc_delay
+                    } else {
+                        SimDuration::ZERO
+                    };
+                let sf = partition.shard_of(from.node);
+                let st = partition.shard_of(to.node);
+                if sf != st {
+                    fold(&mut self.pairs[sf * self.shards + st], d);
+                }
+                if faulty_wire {
+                    fold(&mut wire_min[sf], d);
                 }
             }
         }
+        for (i, out) in self.out_min.iter_mut().enumerate() {
+            let mut m = wire_min[i];
+            let row = &self.pairs[i * self.shards..(i + 1) * self.shards];
+            for (j, pair) in row.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if let Some(d) = *pair {
+                    fold(&mut m, d);
+                }
+            }
+            *out = m;
+        }
     }
-    width
+
+    /// `true` when some shard could emit a zero-delay cross-shard (or
+    /// faultable-wire) frame: no epoch has positive width, sharding is
+    /// unsafe, fall back to serial.
+    fn any_zero(&self) -> bool {
+        self.out_min.contains(&Some(SimDuration::ZERO))
+    }
+}
+
+/// Resolved execution backend.
+enum Exec {
+    Threads,
+    Inline,
+}
+
+fn resolve_execution(mode: ShardExecution) -> Exec {
+    match mode {
+        ShardExecution::Threads => Exec::Threads,
+        ShardExecution::Inline => Exec::Inline,
+        ShardExecution::Auto => {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            if cores >= 2 {
+                Exec::Threads
+            } else {
+                Exec::Inline
+            }
+        }
+    }
 }
 
 /// Runs `net` on the conservative-parallel backend. Returns the network
-/// unchanged (`Err`) when sharding is not applicable — fewer than two
-/// usable shards, or a zero lookahead window — so the caller falls back
-/// to the serial loop.
+/// (`Err`) when sharding is not applicable — fewer than two usable
+/// shards, or a zero lookahead window — or when a worker failed
+/// mid-run, in which case the returned network is a deterministic
+/// rebuild of the original; either way the caller falls back to the
+/// serial loop and the report stays byte-identical.
 // The large Err variant is the whole Network handed back for the serial
 // fallback — called once per run, so the by-value return is fine.
 #[allow(clippy::result_large_err)]
@@ -221,17 +391,19 @@ pub(crate) fn run_sharded(mut net: Network) -> Result<SimReport, Network> {
     if shards < 2 {
         return Err(net);
     }
-    let width = epoch_width(&net, &partition);
-    if width == Some(SimDuration::ZERO) {
+    let mut lookahead = Lookahead::new(shards);
+    lookahead.compute(&net, &partition, true);
+    if lookahead.any_zero() {
         return Err(net);
     }
+    lookahead.compute(&net, &partition, false);
     let horizon = SimTime::ZERO + net.config.duration + net.config.drain;
 
     // Take over the build queue: pending events keep their definitive
     // build-time seqs; link transitions live in their own (sorted)
     // timeline, applied by the coordinator between epochs.
     let initial_len = net.queue.len();
-    let mut high_water = net.queue.high_water();
+    let initial_high_water = net.queue.high_water();
     let mut pending: BTreeMap<(SimTime, u64), Event> = BTreeMap::new();
     let mut timeline: Vec<(SimTime, u64, LinkId, bool)> = Vec::new();
     while let Some((at, seq, event)) = net.queue.pop_with_seq() {
@@ -243,281 +415,692 @@ pub(crate) fn run_sharded(mut net: Network) -> Result<SimReport, Network> {
             }
         }
     }
-    let mut next_gseq = net.queue.next_seq();
-    let mut len = initial_len;
-    let mut now_final = SimTime::ZERO;
-    let mut cursor = 0usize;
-    let mut coord_transitions = 0u64;
 
+    // Each replica takes ownership of its nodes' state (the base keeps
+    // vacant holes): replica setup is pointer moves, not deep clones of
+    // switch cores. The price is that the base can no longer run
+    // serially — a worker failure reruns from a deterministic rebuild.
     let replicas: Vec<Network> = (0..shards)
         .map(|me| {
-            let mut replica = net.clone_for_shard();
+            let mut replica = net.split_for_shard(partition.assignment(), me);
             replica.shard = Some(Box::new(ShardCtx {
                 shard_of: partition.assignment().to_vec(),
                 me,
                 epoch_end: SimTime::ZERO,
                 trace: Vec::new(),
+                ships: Vec::new(),
+                epochs_run: 0,
                 table_reroute_failures: 0,
             }));
             replica
         })
         .collect();
 
-    let report = std::thread::scope(|scope| {
-        let (back_tx, back_rx) = std::sync::mpsc::channel::<FromShard>();
-        let mut to_shards: Vec<Sender<ToShard>> = Vec::with_capacity(shards);
-        for replica in replicas {
-            let (tx, rx) = std::sync::mpsc::channel::<ToShard>();
-            to_shards.push(tx);
-            let back = back_tx.clone();
-            scope.spawn(move || worker(replica, &rx, &back));
+    let outcome = match resolve_execution(net.config.shard_execution) {
+        Exec::Inline => coordinate(
+            &mut net,
+            &partition,
+            lookahead,
+            pending,
+            timeline,
+            horizon,
+            initial_len,
+            initial_high_water,
+            InlineTransport {
+                replicas: replicas.into_iter().map(Some).collect(),
+                queued: VecDeque::new(),
+            },
+        ),
+        Exec::Threads => std::thread::scope(|scope| {
+            let (back_tx, back_rx) = std::sync::mpsc::channel::<FromShard>();
+            let mut to_shards: Vec<Sender<ToShard>> = Vec::with_capacity(shards);
+            for replica in replicas {
+                let (tx, rx) = std::sync::mpsc::channel::<ToShard>();
+                to_shards.push(tx);
+                let back = back_tx.clone();
+                scope.spawn(move || worker_thread(replica, &rx, &back));
+            }
+            drop(back_tx);
+            coordinate(
+                &mut net,
+                &partition,
+                lookahead,
+                pending,
+                timeline,
+                horizon,
+                initial_len,
+                initial_high_water,
+                ThreadTransport { to_shards, back_rx },
+            )
+        }),
+    };
+
+    match outcome {
+        Ok(fin) => Ok(assemble(net, fin, &partition)),
+        Err(_err) => {
+            // Worker failure: the base's roles were moved into the (now
+            // unusable) replicas, so rerun from a deterministic rebuild
+            // of the original inputs. Building is pure — same topology,
+            // flows, offsets, schedules and config produce the same
+            // network the failed run started from.
+            let inputs = net
+                .rebuild
+                .clone()
+                .expect("sharded runs retain their rebuild inputs");
+            let mut fresh = Network::build_with_schedule(
+                (*net.topology).clone(),
+                (*net.flows).clone(),
+                &inputs.offsets,
+                (*net.config).clone(),
+                &inputs.gcls,
+            )
+            .expect("inputs that built once build again");
+            fresh.stats.shard.serial_fallbacks = 1;
+            Err(fresh)
         }
-        drop(back_tx);
+    }
+}
 
-        loop {
-            // Apply every link transition that precedes the next pending
-            // event (kicks it synthesizes immediately join the pending
-            // set, exactly as the serial pop loop would see them).
-            let mut batch: Vec<(SimTime, LinkId, bool)> = Vec::new();
-            while let Some(&(t_at, t_seq, link, goes_down)) = timeline.get(cursor) {
-                if t_at > horizon {
-                    break;
-                }
-                let due = match pending.first_key_value() {
-                    None => true,
-                    Some((&first, _)) => (t_at, t_seq) < first,
-                };
-                if !due {
-                    break;
-                }
-                cursor += 1;
-                len -= 1;
-                coord_transitions += 1;
-                now_final = t_at;
-                let engine = net.fault.as_mut().expect("transitions imply an engine");
-                if engine.transition(link, goes_down) {
-                    if let Some(ends) = net.topology.link(link).map(|l| [l.a(), l.b()]) {
-                        for end in ends {
-                            let kick = net.kick_for(end.node, end.port);
-                            let seq = next_gseq;
-                            next_gseq += 1;
-                            len += 1;
-                            high_water = high_water.max(len);
-                            pending.insert((t_at, seq), kick);
-                        }
-                    }
-                }
-                batch.push((t_at, link, goes_down));
-            }
-            if !batch.is_empty() {
-                for tx in &to_shards {
-                    tx.send(ToShard::Transitions(batch.clone()))
-                        .expect("shard worker alive");
-                }
-                for _ in 0..shards {
-                    match back_rx.recv().expect("shard worker alive") {
-                        FromShard::Ack => {}
-                        _ => unreachable!("transition barrier answers with acks"),
-                    }
-                }
-                continue; // re-evaluate: more transitions may now be due
-            }
+/// How the coordinator talks to its shards. Two implementations: real
+/// worker threads over channels, and the inline driver that executes
+/// replicas cooperatively on the calling thread. The message count is
+/// identical either way.
+trait Transport {
+    fn send_epoch(&mut self, shard: usize, msg: EpochMsg) -> Result<(), ShardError>;
+    fn recv_reply(&mut self) -> Result<EpochReply, ShardError>;
+    fn finish(self, owed: Vec<Vec<Arc<[Transition]>>>) -> Result<Vec<Network>, ShardError>;
+}
 
-            // Release the provably safe prefix of pending events.
-            let Some((&(first_at, first_seq), _)) = pending.first_key_value() else {
-                break; // drained; remaining transitions are past the horizon
-            };
-            if first_at > horizon {
-                break; // the serial loop stops at its first post-horizon pop
-            }
-            let mut bound = (horizon + SimDuration::from_nanos(1), 0u64);
-            if let Some(w) = width {
-                bound = bound.min((first_at + w, 0));
-            }
-            if let Some(&(t_at, t_seq, ..)) = timeline.get(cursor) {
-                bound = bound.min((t_at, t_seq));
-            }
-            debug_assert!(bound > (first_at, first_seq), "every epoch makes progress");
-            let rest = pending.split_off(&bound);
-            let released = std::mem::replace(&mut pending, rest);
-            let mut batches: Vec<Vec<(SimTime, u64, Event)>> = vec![Vec::new(); shards];
-            for ((at, seq), event) in released {
-                let node = Network::event_node(&event).expect("pending events target a node");
-                batches[partition.shard_of(node)].push((at, seq, event));
-            }
-            let mut awaited = 0usize;
-            for (shard, batch) in batches.into_iter().enumerate() {
-                if batch.is_empty() {
-                    continue; // idle shard: no message, no barrier wait
-                }
-                awaited += 1;
-                to_shards[shard]
-                    .send(ToShard::Epoch {
-                        end: bound.0,
-                        batch,
-                    })
-                    .expect("shard worker alive");
-            }
-            let mut traces: Vec<Vec<TraceEntry>> = vec![Vec::new(); shards];
-            for _ in 0..awaited {
-                match back_rx.recv().expect("shard worker alive") {
-                    FromShard::Trace(shard, trace) => traces[shard] = trace,
-                    _ => unreachable!("epoch barrier answers with traces"),
-                }
-            }
+struct ThreadTransport {
+    to_shards: Vec<Sender<ToShard>>,
+    back_rx: Receiver<FromShard>,
+}
 
-            // Replay the epoch in merged global order: assign definitive
-            // seqs, perform deferred wire draws, mirror the serial queue
-            // length/high-water trajectory, collect shipped events.
-            let mut idx = vec![0usize; shards];
-            let mut resolved: Vec<Vec<Vec<u64>>> =
-                traces.iter().map(|t| Vec::with_capacity(t.len())).collect();
-            loop {
-                let mut best: Option<(usize, (SimTime, u64))> = None;
-                for shard in 0..shards {
-                    let Some(entry) = traces[shard].get(idx[shard]) else {
-                        continue;
-                    };
-                    let seq = match entry.key {
-                        TraceKey::Definitive(seq) => seq,
-                        TraceKey::Provisional { parent, emission } => {
-                            resolved[shard][parent][emission]
-                        }
-                    };
-                    let key = (entry.at, seq);
-                    if best.is_none_or(|(_, b)| key < b) {
-                        best = Some((shard, key));
-                    }
-                }
-                let Some((shard, _)) = best else { break };
-                let entry = &traces[shard][idx[shard]];
-                idx[shard] += 1;
-                len -= 1;
-                now_final = entry.at;
-                let mut seqs = Vec::with_capacity(entry.emissions.len());
-                for emission in &entry.emissions {
-                    match emission {
-                        Emission::Local => {
-                            let seq = next_gseq;
-                            next_gseq += 1;
-                            len += 1;
-                            high_water = high_water.max(len);
-                            seqs.push(seq);
-                        }
-                        Emission::Shipped { at, event, wire } => {
-                            let mut event = event.clone();
-                            let mut lost = false;
-                            if let Some(link) = wire {
-                                let engine =
-                                    net.fault.as_mut().expect("wire deferral implies an engine");
-                                match engine.wire_effect(*link) {
-                                    WireEffect::Intact => {}
-                                    WireEffect::Lost => {
-                                        engine.frames_lost_to_wire += 1;
-                                        if let Event::FrameArrive { frame, .. } = &event {
-                                            engine.note_flow_loss(frame.flow());
-                                        }
-                                        lost = true;
-                                    }
-                                    WireEffect::Corrupted => {
-                                        engine.frames_corrupted += 1;
-                                        if let Event::FrameArrive { frame, .. } = &mut event {
-                                            *frame = frame.with_corruption();
-                                        }
-                                    }
-                                }
-                            }
-                            if lost {
-                                // The serial engine never schedules a
-                                // wire-lost arrival: no seq, no growth.
-                                seqs.push(u64::MAX);
-                            } else {
-                                let seq = next_gseq;
-                                next_gseq += 1;
-                                len += 1;
-                                high_water = high_water.max(len);
-                                pending.insert((*at, seq), event);
-                                seqs.push(seq);
-                            }
-                        }
-                    }
-                }
-                resolved[shard].push(seqs);
-            }
+impl Transport for ThreadTransport {
+    fn send_epoch(&mut self, shard: usize, msg: EpochMsg) -> Result<(), ShardError> {
+        self.to_shards[shard]
+            .send(ToShard::Epoch(msg))
+            .map_err(|_| ShardError::disconnected(shard))
+    }
+
+    fn recv_reply(&mut self) -> Result<EpochReply, ShardError> {
+        match self.back_rx.recv() {
+            Ok(FromShard::Reply(reply)) => Ok(reply),
+            Ok(FromShard::Error { shard, what }) => Err(ShardError {
+                shard: Some(shard),
+                what,
+            }),
+            Ok(FromShard::Final(shard, _)) => Err(ShardError {
+                shard: Some(shard),
+                what: "unexpected final before finish".into(),
+            }),
+            Err(_) => Err(ShardError {
+                shard: None,
+                what: "all workers gone".into(),
+            }),
         }
+    }
 
-        for tx in &to_shards {
-            tx.send(ToShard::Finish).expect("shard worker alive");
+    fn finish(self, owed: Vec<Vec<Arc<[Transition]>>>) -> Result<Vec<Network>, ShardError> {
+        let shards = self.to_shards.len();
+        for (shard, (tx, transitions)) in self.to_shards.iter().zip(owed).enumerate() {
+            tx.send(ToShard::Finish { transitions })
+                .map_err(|_| ShardError::disconnected(shard))?;
         }
         let mut finals: Vec<Option<Network>> = (0..shards).map(|_| None).collect();
         for _ in 0..shards {
-            match back_rx.recv().expect("shard worker alive") {
-                FromShard::Final(shard, replica) => finals[shard] = Some(*replica),
-                _ => unreachable!("finish answers with finals"),
+            match self.back_rx.recv() {
+                Ok(FromShard::Final(shard, replica)) => finals[shard] = Some(*replica),
+                Ok(FromShard::Error { shard, what }) => {
+                    return Err(ShardError {
+                        shard: Some(shard),
+                        what,
+                    })
+                }
+                Ok(FromShard::Reply(reply)) => {
+                    return Err(ShardError {
+                        shard: Some(reply.shard),
+                        what: "unexpected reply at finish".into(),
+                    })
+                }
+                Err(_) => {
+                    return Err(ShardError {
+                        shard: None,
+                        what: "worker died before final".into(),
+                    })
+                }
             }
         }
-        let finals: Vec<Network> = finals
+        finals
             .into_iter()
-            .map(|f| f.expect("every shard reports back"))
-            .collect();
-        assemble(
-            net,
-            finals,
-            &partition,
-            now_final,
-            high_water,
-            coord_transitions,
-        )
-    });
-    Ok(report)
+            .enumerate()
+            .map(|(shard, f)| f.ok_or_else(|| ShardError::disconnected(shard)))
+            .collect()
+    }
 }
 
-/// One shard's worker loop: drain released epochs, apply broadcast
-/// transitions, hand the final replica back for the merge.
-fn worker(mut net: Network, rx: &Receiver<ToShard>, tx: &Sender<FromShard>) {
+struct InlineTransport {
+    replicas: Vec<Option<Network>>,
+    queued: VecDeque<(usize, EpochMsg)>,
+}
+
+impl Transport for InlineTransport {
+    fn send_epoch(&mut self, shard: usize, msg: EpochMsg) -> Result<(), ShardError> {
+        self.queued.push_back((shard, msg));
+        Ok(())
+    }
+
+    fn recv_reply(&mut self) -> Result<EpochReply, ShardError> {
+        let Some((shard, msg)) = self.queued.pop_front() else {
+            return Err(ShardError {
+                shard: None,
+                what: "reply awaited with no epoch queued".into(),
+            });
+        };
+        let net = self.replicas[shard]
+            .as_mut()
+            .ok_or_else(|| ShardError::disconnected(shard))?;
+        let reply = catch_unwind(AssertUnwindSafe(|| worker_epoch(net, msg)));
+        reply.map_err(|payload| {
+            self.replicas[shard] = None; // poisoned mid-epoch
+            ShardError {
+                shard: Some(shard),
+                what: panic_text(payload.as_ref()),
+            }
+        })
+    }
+
+    fn finish(mut self, owed: Vec<Vec<Arc<[Transition]>>>) -> Result<Vec<Network>, ShardError> {
+        debug_assert!(self.queued.is_empty(), "every epoch was awaited");
+        let mut finals = Vec::with_capacity(self.replicas.len());
+        for (shard, transitions) in owed.into_iter().enumerate() {
+            let mut replica = self.replicas[shard]
+                .take()
+                .ok_or_else(|| ShardError::disconnected(shard))?;
+            catch_unwind(AssertUnwindSafe(|| {
+                apply_transitions(&mut replica, &transitions);
+            }))
+            .map_err(|payload| ShardError {
+                shard: Some(shard),
+                what: panic_text(payload.as_ref()),
+            })?;
+            finals.push(replica);
+        }
+        Ok(finals)
+    }
+}
+
+/// Everything `coordinate` produces on success, for [`assemble`].
+struct Finished {
+    finals: Vec<Network>,
+    now_final: SimTime,
+    high_water: usize,
+    coord_transitions: u64,
+    overhead: ShardOverhead,
+}
+
+/// A zero-ship epoch whose merge replay was taken off the critical
+/// path: it cannot touch the pending set or the PRNG, so only the
+/// queue-trajectory bookkeeping (high-water) is outstanding. The seq
+/// counter was already advanced by its emission total.
+struct DeferredEpoch {
+    replies: Vec<EpochReply>,
+    len_before: usize,
+    gseq_before: u64,
+}
+
+/// The coordinator loop: sequence transitions, release safe prefixes,
+/// collect traces, replay (now or deferred) to keep the serial `(time,
+/// seq)` order and PRNG stream authoritative.
+#[allow(clippy::too_many_arguments)]
+fn coordinate<T: Transport>(
+    net: &mut Network,
+    partition: &Partition,
+    mut lookahead: Lookahead,
+    mut pending: BTreeMap<(SimTime, u64), Event>,
+    timeline: Vec<(SimTime, u64, LinkId, bool)>,
+    horizon: SimTime,
+    initial_len: usize,
+    initial_high_water: usize,
+    mut transport: T,
+) -> Result<Finished, ShardError> {
+    let shards = partition.shards();
+    let mut next_gseq = net.queue.next_seq();
+    let mut len = initial_len;
+    let mut high_water = initial_high_water;
+    let mut now_final = SimTime::ZERO;
+    let mut cursor = 0usize;
+    let mut coord_transitions = 0u64;
+    let mut overhead = ShardOverhead {
+        lookahead_recomputes: 1,
+        ..ShardOverhead::default()
+    };
+    let mut owed: Vec<Vec<Arc<[Transition]>>> = vec![Vec::new(); shards];
+    let mut deferred: Vec<DeferredEpoch> = Vec::new();
+    let mut batch_pool: Vec<Vec<(SimTime, u64, Event)>> = Vec::new();
+    let mut trace_pool: Vec<(Vec<TraceEntry>, Vec<Ship>)> = Vec::new();
+    let mut shard_seen = vec![false; shards];
+    let mut batches: Vec<Option<Vec<(SimTime, u64, Event)>>> = (0..shards).map(|_| None).collect();
+    let mut replies: Vec<Option<EpochReply>> = (0..shards).map(|_| None).collect();
+
+    loop {
+        // Apply every link transition that precedes the next pending
+        // event (kicks it synthesizes immediately join the pending set,
+        // exactly as the serial pop loop would see them). The shared
+        // batch is owed to every shard and rides on its next message.
+        let mut batch: Vec<Transition> = Vec::new();
+        while let Some(&(t_at, t_seq, link, goes_down)) = timeline.get(cursor) {
+            if t_at > horizon {
+                break;
+            }
+            let due = match pending.first_key_value() {
+                None => true,
+                Some((&first, _)) => (t_at, t_seq) < first,
+            };
+            if !due {
+                break;
+            }
+            cursor += 1;
+            len -= 1;
+            coord_transitions += 1;
+            now_final = t_at;
+            let engine = net.fault.as_mut().expect("transitions imply an engine");
+            if engine.transition(link, goes_down) {
+                if let Some(ends) = net.topology.link(link).map(|l| [l.a(), l.b()]) {
+                    for end in ends {
+                        let kick = net.kick_for(end.node, end.port);
+                        let seq = next_gseq;
+                        next_gseq += 1;
+                        len += 1;
+                        high_water = high_water.max(len);
+                        pending.insert((t_at, seq), kick);
+                    }
+                }
+            }
+            batch.push((t_at, link, goes_down));
+        }
+        if !batch.is_empty() {
+            let shared: Arc<[Transition]> = batch.into();
+            for slot in &mut owed {
+                slot.push(Arc::clone(&shared));
+            }
+            lookahead.compute(net, partition, false);
+            overhead.lookahead_recomputes += 1;
+            continue; // re-evaluate: more transitions may now be due
+        }
+
+        // Release the provably safe prefix of pending events. The bound
+        // folds, per *active* shard, the earliest instant its frames
+        // could land elsewhere — idle shards and unconstrained shards
+        // (no alive outgoing cut, no faultable wire) bound nothing.
+        let Some((&(first_at, first_seq), _)) = pending.first_key_value() else {
+            break; // drained; remaining transitions are past the horizon
+        };
+        if first_at > horizon {
+            break; // the serial loop stops at its first post-horizon pop
+        }
+        let mut bound = (horizon + SimDuration::from_nanos(1), 0u64);
+        if let Some(&(t_at, t_seq, ..)) = timeline.get(cursor) {
+            bound = bound.min((t_at, t_seq));
+        }
+        let mut seen_count = 0usize;
+        for (&(at, _), event) in pending.iter() {
+            // A later event's candidate `at + out_min` cannot undercut
+            // a bound the walk already reached, so stopping is sound.
+            if at >= bound.0 || seen_count == shards {
+                break;
+            }
+            let node = Network::event_node(event).expect("pending events target a node");
+            let shard = partition.shard_of(node);
+            if !shard_seen[shard] {
+                shard_seen[shard] = true;
+                seen_count += 1;
+                if let Some(w) = lookahead.out_min[shard] {
+                    bound = bound.min((at + w, 0));
+                }
+            }
+        }
+        shard_seen.fill(false);
+        debug_assert!(bound > (first_at, first_seq), "every epoch makes progress");
+
+        let rest = pending.split_off(&bound);
+        let released = std::mem::replace(&mut pending, rest);
+        for ((at, seq), event) in released {
+            let node = Network::event_node(&event).expect("pending events target a node");
+            batches[partition.shard_of(node)]
+                .get_or_insert_with(|| batch_pool.pop().unwrap_or_default())
+                .push((at, seq, event));
+            overhead.released_events += 1;
+        }
+        let mut awaited = 0usize;
+        for (shard, slot) in batches.iter_mut().enumerate() {
+            let Some(batch) = slot.take() else {
+                continue; // idle shard: no message, no barrier wait
+            };
+            awaited += 1;
+            transport.send_epoch(
+                shard,
+                EpochMsg {
+                    end: bound.0,
+                    batch,
+                    transitions: std::mem::take(&mut owed[shard]),
+                    recycle: trace_pool.pop(),
+                },
+            )?;
+        }
+        overhead.epochs += 1;
+        overhead.coord_messages += 2 * awaited as u64;
+
+        let mut any_ships = false;
+        for _ in 0..awaited {
+            let reply = transport.recv_reply()?;
+            overhead.replayed_entries += reply.trace.len() as u64;
+            any_ships |= !reply.ships.is_empty();
+            let shard = reply.shard;
+            replies[shard] = Some(reply);
+        }
+        let mut epoch: Vec<EpochReply> = replies.iter_mut().filter_map(Option::take).collect();
+
+        if any_ships {
+            // Replay in merged global order: assign definitive seqs,
+            // perform deferred wire draws, mirror the serial queue
+            // length/high-water trajectory, collect shipped events.
+            replay_epoch(
+                net,
+                &mut epoch,
+                &mut pending,
+                &mut next_gseq,
+                &mut len,
+                &mut high_water,
+                &mut now_final,
+            );
+            for mut reply in epoch {
+                reply.trace.clear();
+                debug_assert!(reply.ships.is_empty(), "replay drains every ship");
+                batch_pool.push(std::mem::take(&mut reply.batch));
+                trace_pool.push((reply.trace, reply.ships));
+            }
+        } else {
+            // Nothing shipped: the replay cannot affect the pending set
+            // or the PRNG. Advance the seq counter and queue length by
+            // the epoch's totals and take the bookkeeping replay off
+            // the critical path.
+            let gseq_before = next_gseq;
+            let len_before = len;
+            for reply in &mut epoch {
+                batch_pool.push(std::mem::take(&mut reply.batch));
+                for entry in &reply.trace {
+                    next_gseq += u64::from(entry.emissions);
+                    len += entry.emissions as usize;
+                    now_final = now_final.max(entry.at);
+                }
+                len -= reply.trace.len();
+            }
+            deferred.push(DeferredEpoch {
+                replies: epoch,
+                len_before,
+                gseq_before,
+            });
+            overhead.deferred_replays += 1;
+            overhead.merge_lag_max = overhead.merge_lag_max.max(deferred.len() as u64);
+        }
+    }
+
+    let finals = transport.finish(owed)?;
+
+    // Drain the deferred merge backlog (workers are already done): each
+    // stashed epoch replays against its recorded starting point purely
+    // for the queue-trajectory mirror; `scratch_*` soak up state that
+    // later epochs already advanced past.
+    for epoch in &mut deferred {
+        let mut scratch_gseq = epoch.gseq_before;
+        let mut scratch_len = epoch.len_before;
+        let mut scratch_now = SimTime::ZERO;
+        replay_epoch(
+            net,
+            &mut epoch.replies,
+            &mut pending,
+            &mut scratch_gseq,
+            &mut scratch_len,
+            &mut high_water,
+            &mut scratch_now,
+        );
+    }
+
+    Ok(Finished {
+        finals,
+        now_final,
+        high_water,
+        coord_transitions,
+        overhead,
+    })
+}
+
+/// One shard's replay cursor over its epoch trace.
+struct Cursor<'a> {
+    trace: &'a [TraceEntry],
+    ships: std::iter::Peekable<std::vec::Drain<'a, Ship>>,
+    idx: usize,
+    /// Seq assigned to each replayed pop's first emission.
+    base: Vec<u64>,
+    /// `(parent, emission)` pairs whose ship was lost on the wire —
+    /// they consumed no seq, shifting later same-parent emissions down.
+    holes: Vec<(u32, u32)>,
+}
+
+impl Cursor<'_> {
+    /// The definitive seq of the entry's queue key: released events
+    /// carry it verbatim; intra-epoch events derive it from their
+    /// parent's base seq, emission index, and any loss holes between.
+    fn resolved_seq(&self, key: u64) -> u64 {
+        match TraceKey::decode(key) {
+            TraceKey::Definitive(seq) => seq,
+            TraceKey::Provisional { parent, emission } => {
+                let p = parent as u32;
+                let lo = self.holes.partition_point(|&h| h < (p, 0));
+                let hi = self.holes.partition_point(|&h| h < (p, emission as u32));
+                self.base[parent] + emission - (hi - lo) as u64
+            }
+        }
+    }
+}
+
+/// Replays one epoch's merged trace: walks every shard's entries in
+/// global `(time, seq)` order, assigns the serial engine's seqs to each
+/// emission, performs deferred wire-fault draws at exactly the global
+/// position the serial engine would, feeds surviving ships back into
+/// `pending`, and mirrors the queue-length trajectory for the
+/// high-water mark.
+fn replay_epoch(
+    net: &mut Network,
+    epoch: &mut [EpochReply],
+    pending: &mut BTreeMap<(SimTime, u64), Event>,
+    next_gseq: &mut u64,
+    len: &mut usize,
+    high_water: &mut usize,
+    now_final: &mut SimTime,
+) {
+    let mut cursors: Vec<Cursor> = epoch
+        .iter_mut()
+        .map(|reply| Cursor {
+            trace: &reply.trace,
+            ships: reply.ships.drain(..).peekable(),
+            idx: 0,
+            base: Vec::with_capacity(reply.trace.len()),
+            holes: Vec::new(),
+        })
+        .collect();
+    loop {
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (ci, c) in cursors.iter().enumerate() {
+            let Some(entry) = c.trace.get(c.idx) else {
+                continue;
+            };
+            let key = (entry.at, c.resolved_seq(entry.key));
+            if best.is_none_or(|(_, b)| key < b) {
+                best = Some((ci, key));
+            }
+        }
+        let Some((ci, _)) = best else { break };
+        let c = &mut cursors[ci];
+        let entry = c.trace[c.idx];
+        let entry_idx = c.idx as u32;
+        c.idx += 1;
+        *len -= 1;
+        *now_final = entry.at;
+        c.base.push(*next_gseq);
+        for emission in 0..entry.emissions {
+            let shipped = c
+                .ships
+                .peek()
+                .is_some_and(|s| s.parent == entry_idx && s.emission == emission);
+            if !shipped {
+                // Local: the replica already queued it; only the seq
+                // and the length trajectory happen here.
+                *next_gseq += 1;
+                *len += 1;
+                *high_water = (*high_water).max(*len);
+                continue;
+            }
+            let ship = c.ships.next().expect("peeked above");
+            let mut event = ship.event;
+            let mut lost = false;
+            if let Some(link) = ship.wire {
+                let engine = net.fault.as_mut().expect("wire deferral implies an engine");
+                match engine.wire_effect(link) {
+                    WireEffect::Intact => {}
+                    WireEffect::Lost => {
+                        engine.frames_lost_to_wire += 1;
+                        if let Event::FrameArrive { frame, .. } = &event {
+                            engine.note_flow_loss(frame.flow());
+                        }
+                        lost = true;
+                    }
+                    WireEffect::Corrupted => {
+                        engine.frames_corrupted += 1;
+                        if let Event::FrameArrive { frame, .. } = &mut event {
+                            *frame = frame.with_corruption();
+                        }
+                    }
+                }
+            }
+            if lost {
+                // The serial engine never schedules a wire-lost
+                // arrival: no seq, no growth — later emissions of this
+                // parent shift down one seq.
+                c.holes.push((entry_idx, emission));
+            } else {
+                let seq = *next_gseq;
+                *next_gseq += 1;
+                *len += 1;
+                *high_water = (*high_water).max(*len);
+                pending.insert((ship.at, seq), event);
+            }
+        }
+    }
+}
+
+/// Applies owed transition batches on a replica, in coordinator order.
+fn apply_transitions(net: &mut Network, batches: &[Arc<[Transition]>]) {
+    for batch in batches {
+        for &(at, link, goes_down) in batch.iter() {
+            net.apply_transition_replica(at, link, goes_down);
+        }
+    }
+}
+
+/// Executes one epoch on a shard replica: apply owed transitions,
+/// schedule the released batch, drain the local queue (everything lands
+/// before `end`), and hand back the trace, ships, and the emptied batch
+/// buffer.
+fn worker_epoch(net: &mut Network, msg: EpochMsg) -> EpochReply {
+    let EpochMsg {
+        end,
+        mut batch,
+        transitions,
+        recycle,
+    } = msg;
+    apply_transitions(net, &transitions);
+    {
+        let ctx = net.shard.as_mut().expect("worker owns a shard ctx");
+        ctx.epoch_end = end;
+        if let Some((trace, ships)) = recycle {
+            debug_assert!(trace.is_empty() && ships.is_empty());
+            ctx.trace = trace;
+            ctx.ships = ships;
+        }
+        if ctx.me == 0 && SHARD_SABOTAGE.load(Ordering::Relaxed) == ctx.epochs_run {
+            panic!("sabotaged epoch (test hook)");
+        }
+        ctx.epochs_run += 1;
+    }
+    net.queue.schedule_batch_with_seq(batch.drain(..));
+    // Everything scheduled locally lands before `end`, so the queue
+    // drains completely: the epoch is exactly the serial execution
+    // restricted to this shard's nodes.
+    while let Some((at, key, event)) = net.queue.pop_with_seq() {
+        net.now = at;
+        if let Some(domain) = &mut net.sync_domain {
+            domain.run_until(at);
+        }
+        net.events_processed += 1;
+        net.shard
+            .as_mut()
+            .expect("worker owns a shard ctx")
+            .trace
+            .push(TraceEntry {
+                at,
+                key,
+                emissions: 0,
+            });
+        net.handle(at, event);
+    }
+    let ctx = net.shard.as_mut().expect("worker owns a shard ctx");
+    EpochReply {
+        shard: ctx.me,
+        trace: std::mem::take(&mut ctx.trace),
+        ships: std::mem::take(&mut ctx.ships),
+        batch,
+    }
+}
+
+/// One shard's worker-thread loop: each received epoch runs inside
+/// `catch_unwind`, so a replica bug surfaces as a structured error (and
+/// a serial rerun) instead of a process abort.
+fn worker_thread(mut net: Network, rx: &Receiver<ToShard>, tx: &Sender<FromShard>) {
     let me = net.shard.as_ref().expect("worker owns a shard ctx").me;
     loop {
         match rx.recv() {
-            Ok(ToShard::Epoch { end, batch }) => {
-                net.shard.as_mut().expect("worker ctx").epoch_end = end;
-                for (at, seq, event) in batch {
-                    net.queue.schedule_with_seq(at, seq, event);
-                }
-                // Everything scheduled locally lands before `end`, so
-                // the queue drains completely: the epoch is exactly the
-                // serial execution restricted to this shard's nodes.
-                while let Some((at, key, event)) = net.queue.pop_with_seq() {
-                    net.now = at;
-                    if let Some(domain) = &mut net.sync_domain {
-                        domain.run_until(at);
+            Ok(ToShard::Epoch(msg)) => {
+                match catch_unwind(AssertUnwindSafe(|| worker_epoch(&mut net, msg))) {
+                    Ok(reply) => {
+                        if tx.send(FromShard::Reply(reply)).is_err() {
+                            return;
+                        }
                     }
-                    net.events_processed += 1;
-                    net.shard
-                        .as_mut()
-                        .expect("worker ctx")
-                        .trace
-                        .push(TraceEntry {
-                            at,
-                            key: TraceKey::decode(key),
-                            emissions: Vec::new(),
+                    Err(payload) => {
+                        let _ = tx.send(FromShard::Error {
+                            shard: me,
+                            what: panic_text(payload.as_ref()),
                         });
-                    net.handle(at, event);
-                }
-                let trace = std::mem::take(&mut net.shard.as_mut().expect("worker ctx").trace);
-                if tx.send(FromShard::Trace(me, trace)).is_err() {
-                    return;
+                        return;
+                    }
                 }
             }
-            Ok(ToShard::Transitions(batch)) => {
-                for (at, link, goes_down) in batch {
-                    net.apply_transition_replica(at, link, goes_down);
+            Ok(ToShard::Finish { transitions }) => {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    apply_transitions(&mut net, &transitions);
+                })) {
+                    Ok(()) => {
+                        let _ = tx.send(FromShard::Final(me, Box::new(net)));
+                    }
+                    Err(payload) => {
+                        let _ = tx.send(FromShard::Error {
+                            shard: me,
+                            what: panic_text(payload.as_ref()),
+                        });
+                    }
                 }
-                if tx.send(FromShard::Ack).is_err() {
-                    return;
-                }
-            }
-            Ok(ToShard::Finish) => {
-                let _ = tx.send(FromShard::Final(me, Box::new(net)));
                 return;
             }
             Err(_) => return,
@@ -540,14 +1123,14 @@ fn add_stats(total: &mut EventStats, part: &EventStats) {
 /// Gives every node's final state back to the original network (from
 /// the replica that owns it), merges the cross-shard aggregates, and
 /// produces the report through the ordinary serial path.
-fn assemble(
-    mut base: Network,
-    mut finals: Vec<Network>,
-    partition: &Partition,
-    now_final: SimTime,
-    high_water: usize,
-    coord_transitions: u64,
-) -> SimReport {
+fn assemble(mut base: Network, fin: Finished, partition: &Partition) -> SimReport {
+    let Finished {
+        mut finals,
+        now_final,
+        high_water,
+        coord_transitions,
+        overhead,
+    } = fin;
     let mut table_failures = 0u64;
     let mut replica_engines = Vec::with_capacity(finals.len());
     for replica in &mut finals {
@@ -570,6 +1153,7 @@ fn assemble(
     }
     base.events_processed += coord_transitions;
     base.stats.link_transitions += coord_transitions;
+    base.stats.shard = overhead;
     if let Some(engine) = &mut base.fault {
         engine.merge_shard_outcomes(&replica_engines, table_failures);
     }
@@ -579,4 +1163,139 @@ fn assemble(
     base.now = now_final;
     base.queue.force_high_water(high_water);
     base.into_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, LinkFaultProfile};
+    use crate::network::SimConfig;
+    use std::collections::HashMap;
+    use tsn_types::{DataRate, FlowSet, NodeId};
+
+    #[test]
+    fn provisional_keys_decode_and_order() {
+        let key = provisional_key(7, 3);
+        match TraceKey::decode(key) {
+            TraceKey::Provisional { parent, emission } => {
+                assert_eq!(parent, 7);
+                assert_eq!(emission, 3);
+            }
+            TraceKey::Definitive(_) => panic!("provisional flag lost"),
+        }
+        // At equal time a definitive key always precedes a provisional
+        // one, and provisional keys order by (parent, emission).
+        assert!(12_345_u64 < provisional_key(0, 0));
+        assert!(provisional_key(1, 9) < provisional_key(2, 0));
+        match TraceKey::decode(42) {
+            TraceKey::Definitive(seq) => assert_eq!(seq, 42),
+            TraceKey::Provisional { .. } => panic!("definitive key misread"),
+        }
+    }
+
+    /// Two 2-switch islands joined by one bridge link, one host per
+    /// island: partitioned in 2, the bridge is the only cut link.
+    fn bridged() -> tsn_topology::Topology {
+        let mut topo = tsn_topology::Topology::new();
+        let a0 = topo.add_switch("a0");
+        let a1 = topo.add_switch("a1");
+        let b0 = topo.add_switch("b0");
+        let b1 = topo.add_switch("b1");
+        let rate = DataRate::gbps(1);
+        topo.connect(a0, a1, rate).expect("link");
+        topo.connect(b0, b1, rate).expect("link");
+        topo.connect(a1, b0, rate).expect("bridge");
+        let ha = topo.add_host("ha");
+        let hb = topo.add_host("hb");
+        topo.connect(ha, a0, rate).expect("link");
+        topo.connect(hb, b1, rate).expect("link");
+        topo
+    }
+
+    fn build(topo: tsn_topology::Topology, config: SimConfig) -> (Network, Partition) {
+        let net =
+            Network::build(topo, FlowSet::new(), &HashMap::new(), config).expect("network builds");
+        let partition = partition_network(&net.topology, 2);
+        assert_eq!(partition.shards(), 2);
+        (net, partition)
+    }
+
+    #[test]
+    fn lookahead_pairs_reflect_the_cut() {
+        let config = SimConfig::paper_defaults();
+        let proc = config.switch_proc_delay;
+        let (net, partition) = build(bridged(), config);
+        let mut la = Lookahead::new(2);
+        la.compute(&net, &partition, false);
+        let bridge = net
+            .topology
+            .links()
+            .iter()
+            .find(|l| partition.is_cut(l))
+            .expect("one cut link");
+        let expect = bridge.propagation() + proc;
+        // Both directions land on a switch: symmetric pair delays.
+        assert_eq!(la.pairs[1], Some(expect)); // 0 → 1
+        assert_eq!(la.pairs[2], Some(expect)); // 1 → 0
+        assert_eq!(la.pairs[0], None);
+        assert_eq!(la.pairs[3], None);
+        assert_eq!(la.out_min, vec![Some(expect), Some(expect)]);
+        assert!(!la.any_zero());
+    }
+
+    #[test]
+    fn empty_cut_means_unbounded_lookahead() {
+        let mut topo = tsn_topology::Topology::new();
+        let a0 = topo.add_switch("a0");
+        let a1 = topo.add_switch("a1");
+        let b0 = topo.add_switch("b0");
+        let b1 = topo.add_switch("b1");
+        let rate = DataRate::gbps(1);
+        topo.connect(a0, a1, rate).expect("link");
+        topo.connect(b0, b1, rate).expect("link");
+        let (net, partition) = build(topo, SimConfig::paper_defaults());
+        assert!(partition.cut_links(&net.topology).is_empty());
+        let mut la = Lookahead::new(2);
+        la.compute(&net, &partition, false);
+        assert!(la.pairs.iter().all(Option::is_none));
+        assert_eq!(la.out_min, vec![None, None]);
+        assert!(!la.any_zero());
+    }
+
+    #[test]
+    fn faultable_wires_narrow_the_emitting_shard_only() {
+        let mut config = SimConfig::paper_defaults();
+        // Make one *intra-shard* link faultable: its arrivals must ship
+        // for the coordinator's PRNG draw, so the owning shard gains a
+        // delivery floor even though the link is not cut.
+        let faulty = LinkId::new(0); // a0 ↔ a1, inside shard 0
+        config.faults = FaultConfig {
+            per_link_wire: vec![(
+                faulty,
+                LinkFaultProfile {
+                    loss_prob: 0.1,
+                    corrupt_prob: 0.0,
+                },
+            )],
+            ..FaultConfig::none()
+        };
+        let proc = config.switch_proc_delay;
+        let (net, partition) = build(bridged(), config);
+        assert_eq!(partition.shard_of(NodeId::new(0)), 0);
+        assert_eq!(partition.shard_of(NodeId::new(1)), 0);
+        let mut la = Lookahead::new(2);
+        la.compute(&net, &partition, false);
+        let link = net.topology.link(faulty).expect("link 0 exists");
+        let floor = link.propagation() + proc;
+        let bridge = net
+            .topology
+            .links()
+            .iter()
+            .find(|l| partition.is_cut(l))
+            .expect("one cut link");
+        let cut_delay = bridge.propagation() + proc;
+        assert_eq!(la.out_min[0], Some(floor.min(cut_delay)));
+        // Shard 1 has no faultable wire: only the cut bounds it.
+        assert_eq!(la.out_min[1], Some(cut_delay));
+    }
 }

@@ -1,0 +1,265 @@
+//! Serial-fallback triggers of the sharded engine, and the lookahead
+//! edge cases that decide between "run parallel", "run one wide epoch",
+//! and "refuse and fall back":
+//!
+//! * degenerate partition (one usable shard) → silent serial run;
+//! * zero lookahead (a zero-propagation faultable link) → upfront
+//!   serial fallback, because no epoch would have positive width;
+//! * empty cut (disconnected islands) → unbounded lookahead, the whole
+//!   run fits one epoch whose merge is deferred off the critical path;
+//! * fault-narrowed width (a faultable wire inside one island) → that
+//!   shard's epochs are bounded, the other's are not;
+//! * a worker panic mid-run (via the `SHARD_SABOTAGE` test hook) →
+//!   structured error, snapshot restore, byte-identical serial rerun.
+//!
+//! Every sharded report must stay byte-identical to serial regardless
+//! of which path was taken — the `ShardOverhead` counters are how the
+//! tests tell the paths apart.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+use tsn_sim::network::{Network, SimConfig};
+use tsn_sim::{FaultConfig, LinkFaultProfile, ShardExecution, SimReport, SHARD_SABOTAGE};
+use tsn_topology::{LinkDirection, LinkId, Topology};
+use tsn_types::{DataRate, FlowId, FlowSet, SimDuration, TsFlowSpec};
+
+/// `SHARD_SABOTAGE` is process-global: serialize every test in this
+/// binary so a sabotaged run cannot bleed into a healthy one.
+static HOOK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    HOOK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn ts_flow(id: u32, src: tsn_types::NodeId, dst: tsn_types::NodeId) -> TsFlowSpec {
+    TsFlowSpec::new(
+        FlowId::new(id),
+        src,
+        dst,
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(4),
+        128,
+    )
+    .expect("valid ts flow")
+}
+
+fn config() -> SimConfig {
+    let mut config = SimConfig::paper_defaults();
+    config.duration = SimDuration::from_millis(5);
+    config.drain = SimDuration::from_millis(5);
+    config
+}
+
+fn run(topo: Topology, flows: FlowSet, config: SimConfig) -> SimReport {
+    Network::build(topo, flows, &HashMap::new(), config)
+        .expect("network builds")
+        .run()
+}
+
+fn assert_identical(serial: &SimReport, sharded: &SimReport, label: &str) {
+    assert_eq!(serial, sharded, "{label}: report diverged from serial");
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{sharded:?}"),
+        "{label}: debug rendering diverged from serial"
+    );
+}
+
+/// One switch, two hosts: at most one usable shard no matter what
+/// `shards` asks for.
+fn single_island() -> (Topology, FlowSet) {
+    let mut topo = Topology::new();
+    let s0 = topo.add_switch("s0");
+    let rate = DataRate::gbps(1);
+    let h0 = topo.add_host("h0");
+    let h1 = topo.add_host("h1");
+    topo.connect(h0, s0, rate).expect("link");
+    topo.connect(h1, s0, rate).expect("link");
+    let mut flows = FlowSet::new();
+    flows.push(ts_flow(0, h0, h1).into());
+    flows.push(ts_flow(1, h1, h0).into());
+    (topo, flows)
+}
+
+/// Two disconnected islands (one switch + two hosts each), traffic only
+/// within each island: the partition has an empty cut.
+fn two_islands() -> (Topology, FlowSet) {
+    let mut topo = Topology::new();
+    let rate = DataRate::gbps(1);
+    let sa = topo.add_switch("sa");
+    let sb = topo.add_switch("sb");
+    let a0 = topo.add_host("a0");
+    let a1 = topo.add_host("a1");
+    let b0 = topo.add_host("b0");
+    let b1 = topo.add_host("b1");
+    topo.connect(a0, sa, rate).expect("link");
+    topo.connect(a1, sa, rate).expect("link");
+    topo.connect(b0, sb, rate).expect("link");
+    topo.connect(b1, sb, rate).expect("link");
+    let mut flows = FlowSet::new();
+    flows.push(ts_flow(0, a0, a1).into());
+    flows.push(ts_flow(1, a1, a0).into());
+    flows.push(ts_flow(2, b0, b1).into());
+    flows.push(ts_flow(3, b1, b0).into());
+    (topo, flows)
+}
+
+#[test]
+fn degenerate_partition_falls_back_silently() {
+    let _guard = lock();
+    let (topo, flows) = single_island();
+    let serial = run(topo, flows, config());
+    assert!(serial.events_processed > 0, "the scenario actually ran");
+    assert_eq!(serial.events.shard.epochs, 0);
+
+    let (topo, flows) = single_island();
+    let mut sharded_config = config();
+    sharded_config.shards = 4; // clamps to the single switch
+    let sharded = run(topo, flows, sharded_config);
+    assert_identical(&serial, &sharded, "single island, shards=4");
+    assert_eq!(sharded.events.shard.epochs, 0, "no epoch barrier ran");
+    assert_eq!(sharded.events.shard.serial_fallbacks, 0, "no failure");
+}
+
+#[test]
+fn zero_lookahead_falls_back_before_starting() {
+    let _guard = lock();
+    // Two switches (so two shards are available) and one host cabled
+    // over a zero-propagation link carrying a wire-fault profile: its
+    // switch→host delivery delay is zero, so no epoch can have positive
+    // width and the engine must refuse upfront.
+    let build = || {
+        let mut topo = Topology::new();
+        let rate = DataRate::gbps(1);
+        let s0 = topo.add_switch("s0");
+        let s1 = topo.add_switch("s1");
+        topo.connect(s0, s1, rate).expect("bridge");
+        let h0 = topo.add_host("h0");
+        let h1 = topo.add_host("h1");
+        let zero_link = topo
+            .connect_with(
+                h0,
+                s0,
+                rate,
+                SimDuration::ZERO,
+                LinkDirection::Bidirectional,
+            )
+            .expect("zero-propagation link");
+        topo.connect(h1, s1, rate).expect("link");
+        let mut flows = FlowSet::new();
+        flows.push(ts_flow(0, h0, h1).into());
+        flows.push(ts_flow(1, h1, h0).into());
+        (topo, flows, zero_link)
+    };
+    let (topo, flows, zero_link) = build();
+    let mut sharded_config = config();
+    sharded_config.shards = 2;
+    sharded_config.faults = FaultConfig {
+        seed: 11,
+        per_link_wire: vec![(
+            zero_link,
+            LinkFaultProfile {
+                loss_prob: 0.01,
+                corrupt_prob: 0.0,
+            },
+        )],
+        ..FaultConfig::none()
+    };
+    let mut serial_config = sharded_config.clone();
+    serial_config.shards = 1;
+    let (topo2, flows2, _) = build();
+    let serial = run(topo2, flows2, serial_config);
+    let sharded = run(topo, flows, sharded_config);
+    assert_identical(&serial, &sharded, "zero lookahead, shards=2");
+    assert_eq!(sharded.events.shard.epochs, 0, "refused before any epoch");
+    assert_eq!(sharded.events.shard.serial_fallbacks, 0, "not a failure");
+}
+
+#[test]
+fn empty_cut_runs_one_deferred_epoch() {
+    let _guard = lock();
+    let (topo, flows) = two_islands();
+    let serial = run(topo, flows, config());
+
+    let (topo, flows) = two_islands();
+    let mut sharded_config = config();
+    sharded_config.shards = 2;
+    let sharded = run(topo, flows, sharded_config);
+    assert_identical(&serial, &sharded, "two islands, shards=2");
+    assert_eq!(
+        sharded.events.shard.epochs, 1,
+        "an empty cut means unbounded lookahead: the whole run is one epoch"
+    );
+    assert_eq!(
+        sharded.events.shard.deferred_replays, 1,
+        "nothing ships between islands, so the merge is deferred"
+    );
+}
+
+#[test]
+fn faultable_wire_narrows_one_island() {
+    let _guard = lock();
+    let wire = LinkFaultProfile {
+        loss_prob: 0.05,
+        corrupt_prob: 0.05,
+    };
+    let faults = FaultConfig {
+        seed: 7,
+        // Island A's h0↔sa link: bounds shard 0's epochs (its arrivals
+        // must ship for the PRNG draw) while island B stays unbounded.
+        per_link_wire: vec![(LinkId::new(0), wire)],
+        ..FaultConfig::none()
+    };
+    let mut serial_config = config();
+    serial_config.faults = faults.clone();
+    let (topo, flows) = two_islands();
+    let serial = run(topo, flows, serial_config);
+    assert!(
+        serial.degradation.frames_lost_to_faults() > 0,
+        "the lossy wire actually dropped frames"
+    );
+
+    let (topo, flows) = two_islands();
+    let mut sharded_config = config();
+    sharded_config.faults = faults;
+    sharded_config.shards = 2;
+    let sharded = run(topo, flows, sharded_config);
+    assert_identical(&serial, &sharded, "lossy island A, shards=2");
+    assert!(
+        sharded.events.shard.epochs > 1,
+        "a faultable wire must narrow the epoch width"
+    );
+    assert_eq!(sharded.events.shard.serial_fallbacks, 0);
+}
+
+#[test]
+fn sabotaged_worker_recovers_via_serial_rerun() {
+    let _guard = lock();
+    let (topo, flows) = two_islands();
+    let serial = run(topo, flows, config());
+
+    for execution in [ShardExecution::Inline, ShardExecution::Threads] {
+        SHARD_SABOTAGE.store(0, Ordering::Relaxed);
+        let (topo, flows) = two_islands();
+        let mut sharded_config = config();
+        sharded_config.shards = 2;
+        sharded_config.shard_execution = execution;
+        let sharded = run(topo, flows, sharded_config);
+        SHARD_SABOTAGE.store(u64::MAX, Ordering::Relaxed);
+        assert_identical(
+            &serial,
+            &sharded,
+            &format!("sabotaged worker, {execution:?}"),
+        );
+        assert_eq!(
+            sharded.events.shard.serial_fallbacks, 1,
+            "{execution:?}: the failure was recorded"
+        );
+        assert_eq!(
+            sharded.events.shard.epochs, 0,
+            "{execution:?}: the serial rerun owns the final counters"
+        );
+    }
+}

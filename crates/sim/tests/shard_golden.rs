@@ -245,6 +245,32 @@ fn oversized_shard_counts_are_clamped_not_broken() {
 }
 
 #[test]
+fn both_execution_backends_are_byte_identical() {
+    // `Auto` picks one backend per host; force each explicitly so the
+    // threaded protocol is exercised even on 1-CPU containers (where
+    // `Auto` resolves to the inline driver) and vice versa.
+    use tsn_sim::ShardExecution;
+    let serial = run_redundant(faulty_config(42), 1);
+    for execution in [ShardExecution::Inline, ShardExecution::Threads] {
+        let mut config = faulty_config(42);
+        config.shard_execution = execution;
+        let sharded = run_redundant(config, 3);
+        assert_identical(
+            &serial,
+            &sharded,
+            &format!("faulted diamond, shards=3, {execution:?}"),
+        );
+    }
+    let serial = run_fixed(base_config(), 1);
+    for execution in [ShardExecution::Inline, ShardExecution::Threads] {
+        let mut config = base_config();
+        config.shard_execution = execution;
+        let sharded = run_fixed(config, 4);
+        assert_identical(&serial, &sharded, &format!("ring, shards=4, {execution:?}"));
+    }
+}
+
+#[test]
 fn heap_backend_shards_agree_too() {
     let mut config = faulty_config(3);
     config.event_queue = EventQueueKind::BinaryHeap;

@@ -61,9 +61,25 @@ impl Partition {
         topology
             .links()
             .iter()
-            .filter(|l| self.shard_of(l.a().node) != self.shard_of(l.b().node))
+            .filter(|l| self.is_cut(l))
             .map(crate::link::Link::id)
             .collect()
+    }
+
+    /// The shards owning the two ends of `link`, in `(a-end, b-end)`
+    /// order. Feeds the per-shard-pair lookahead matrix: a cut link
+    /// constrains only the `(a, b)` pair (per allowed egress direction),
+    /// not every pair globally.
+    #[must_use]
+    pub fn link_shards(&self, link: &crate::link::Link) -> (usize, usize) {
+        (self.shard_of(link.a().node), self.shard_of(link.b().node))
+    }
+
+    /// Whether `link` crosses a shard boundary.
+    #[must_use]
+    pub fn is_cut(&self, link: &crate::link::Link) -> bool {
+        let (a, b) = self.link_shards(link);
+        a != b
     }
 }
 
@@ -305,6 +321,29 @@ mod tests {
         assert_eq!(p.shard_of(b0), p.shard_of(b1));
         assert_ne!(p.shard_of(a0), p.shard_of(b0));
         assert!(p.cut_links(&topo).is_empty());
+    }
+
+    #[test]
+    fn link_shards_and_is_cut_agree_with_cut_links() {
+        let topo = presets::ring(6, 3).expect("preset");
+        let p = partition_network(&topo, 2);
+        let cut = p.cut_links(&topo);
+        for link in topo.links() {
+            let (a, b) = p.link_shards(link);
+            assert_eq!(a, p.shard_of(link.a().node));
+            assert_eq!(b, p.shard_of(link.b().node));
+            assert_eq!(p.is_cut(link), a != b);
+            assert_eq!(cut.contains(&link.id()), p.is_cut(link));
+        }
+        // A 2-way ring split has cut links in both pair directions.
+        let pairs: Vec<_> = topo
+            .links()
+            .iter()
+            .filter(|l| p.is_cut(l))
+            .map(|l| p.link_shards(l))
+            .collect();
+        assert!(pairs.iter().all(|&(a, b)| a != b));
+        assert_eq!(pairs.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,19 @@
+module dpram #(
+    parameter WIDTH = 32,
+    parameter DEPTH = 1024,
+    parameter ADDR_WIDTH = 10
+) (
+    input clk,
+    input wr_en,
+    input [ADDR_WIDTH-1:0] wr_addr,
+    input [WIDTH-1:0] wr_data,
+    input [ADDR_WIDTH-1:0] rd_addr,
+    output reg [WIDTH-1:0] rd_data
+);
+    // inferred block RAM; one 18Kb/36Kb primitive per instance
+    reg [WIDTH-1:0] mem [0:DEPTH-1];
+    always @(posedge clk) begin
+        if (wr_en) mem[wr_addr] <= wr_data;
+        rd_data <= mem[rd_addr];
+    end
+endmodule

@@ -1,0 +1,42 @@
+module egress_sched #(
+    parameter QUEUE_NUM = 8,
+    parameter CBS_DEPTH = 3,
+    parameter CBS_AW = 2,
+    parameter CBS_WIDTH = 64,
+    parameter MAP_WIDTH = 8
+) (
+    input clk,
+    input rst_n,
+    input [QUEUE_NUM-1:0] queue_ready,
+    input [QUEUE_NUM-1:0] out_gate_state,
+    output reg [QUEUE_NUM-1:0] grant_onehot,
+    input cfg_wr,
+    input [CBS_AW-1:0] cfg_addr,
+    input [CBS_WIDTH-1:0] cfg_data
+);
+    // CBS map table: queue -> shaper; CBS table: {idleslope, sendslope}
+    reg [MAP_WIDTH-1:0] cbs_map_tbl [0:QUEUE_NUM-1];
+    reg [CBS_WIDTH-1:0] cbs_tbl [0:CBS_DEPTH-1];
+    reg [32-1:0] credit [0:CBS_DEPTH-1];
+    always @(posedge clk) begin
+        if (cfg_wr) cbs_tbl[cfg_addr] <= cfg_data;
+    end
+    wire [QUEUE_NUM-1:0] eligible;
+    assign eligible = queue_ready & out_gate_state;
+    // strict priority: highest eligible queue index wins
+    always @(posedge clk) begin
+        if (!rst_n) begin
+            grant_onehot <= 0;
+        end else begin
+            grant_onehot <= 0;
+            if (eligible[7]) grant_onehot[7] <= 1'b1;
+            else if (eligible[6]) grant_onehot[6] <= 1'b1;
+            else if (eligible[5]) grant_onehot[5] <= 1'b1;
+            else if (eligible[4]) grant_onehot[4] <= 1'b1;
+            else if (eligible[3]) grant_onehot[3] <= 1'b1;
+            else if (eligible[2]) grant_onehot[2] <= 1'b1;
+            else if (eligible[1]) grant_onehot[1] <= 1'b1;
+            else if (eligible[0]) grant_onehot[0] <= 1'b1;
+        end
+    end
+endmodule

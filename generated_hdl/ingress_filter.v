@@ -1,0 +1,54 @@
+module ingress_filter #(
+    parameter CLASS_DEPTH = 1024,
+    parameter CLASS_AW = 10,
+    parameter CLASS_WIDTH = 117,
+    parameter METER_DEPTH = 1024,
+    parameter METER_AW = 10,
+    parameter METER_WIDTH = 68,
+    parameter QUEUE_WIDTH = 3
+) (
+    input clk,
+    input rst_n,
+    input classify_valid,
+    input [CLASS_AW-1:0] class_index,
+    input [16-1:0] frame_bytes,
+    output reg accept,
+    output reg [QUEUE_WIDTH-1:0] queue_id,
+    input cfg_wr,
+    input [CLASS_AW-1:0] cfg_addr,
+    input [CLASS_WIDTH-1:0] cfg_data
+);
+    // classifier: (Src MAC, Dst MAC, VID, PRI) hashed upstream to class_index
+    wire [CLASS_WIDTH-1:0] class_entry;
+    dpram #(.WIDTH(CLASS_WIDTH), .DEPTH(CLASS_DEPTH), .ADDR_WIDTH(CLASS_AW)) u_class_tbl (
+        .clk(clk),
+        .wr_en(cfg_wr),
+        .wr_addr(cfg_addr),
+        .wr_data(cfg_data),
+        .rd_addr(class_index),
+        .rd_data(class_entry)
+    );
+    // meter table: entry = {tokens[31:0], rate[23:0], burst[11:0]}
+    reg [METER_WIDTH-1:0] meter_tbl [0:METER_DEPTH-1];
+    wire [METER_AW-1:0] meter_id;
+    assign meter_id = class_entry[METER_AW-1:0];
+    reg [32-1:0] tokens;
+    always @(posedge clk) begin
+        if (!rst_n) begin
+            accept <= 1'b0;
+            queue_id <= 0;
+            tokens <= 0;
+        end else if (classify_valid) begin
+            // token-bucket police: refill then charge
+            tokens = meter_tbl[meter_id][31:0] + meter_tbl[meter_id][55:32];
+            if (tokens >= {16'd0, frame_bytes}) begin
+                meter_tbl[meter_id][31:0] <= tokens - {16'd0, frame_bytes};
+                accept <= 1'b1;
+            end else begin
+                meter_tbl[meter_id][31:0] <= tokens;
+                accept <= 1'b0;
+            end
+            queue_id <= class_entry[METER_AW+QUEUE_WIDTH-1:METER_AW];
+        end
+    end
+endmodule

@@ -1,0 +1,37 @@
+module meta_fifo #(
+    parameter WIDTH = 32,
+    parameter DEPTH = 12,
+    parameter ADDR_WIDTH = 4
+) (
+    input clk,
+    input rst_n,
+    input push,
+    input [WIDTH-1:0] din,
+    input pop,
+    output reg [WIDTH-1:0] dout,
+    output full,
+    output empty
+);
+    reg [WIDTH-1:0] mem [0:DEPTH-1];
+    reg [ADDR_WIDTH+1-1:0] wr_ptr;
+    reg [ADDR_WIDTH+1-1:0] rd_ptr;
+    wire [ADDR_WIDTH+1-1:0] level;
+    assign level = wr_ptr - rd_ptr;
+    assign full = level == DEPTH;
+    assign empty = level == 0;
+    always @(posedge clk) begin
+        if (!rst_n) begin
+            wr_ptr <= 0;
+            rd_ptr <= 0;
+        end else begin
+            if (push && !full) begin
+                mem[wr_ptr[ADDR_WIDTH-1:0]] <= din;
+                wr_ptr <= wr_ptr + 1;
+            end
+            if (pop && !empty) begin
+                dout <= mem[rd_ptr[ADDR_WIDTH-1:0]];
+                rd_ptr <= rd_ptr + 1;
+            end
+        end
+    end
+endmodule

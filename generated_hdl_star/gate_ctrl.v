@@ -1,0 +1,126 @@
+module gate_ctrl #(
+    parameter GCL_DEPTH = 154,
+    parameter GCL_AW = 8,
+    parameter GATE_WIDTH = 17,
+    parameter QUEUE_NUM = 8,
+    parameter QUEUE_DEPTH = 2,
+    parameter QUEUE_AW = 1,
+    parameter META_WIDTH = 32,
+    parameter SLOT_NS = 65000
+) (
+    input clk,
+    input rst_n,
+    input [64-1:0] ptp_time,
+    input enq_valid,
+    input [QUEUE_NUM-1:0] enq_queue_onehot,
+    input [META_WIDTH-1:0] enq_meta,
+    input [QUEUE_NUM-1:0] deq_queue_onehot,
+    output [META_WIDTH-1:0] deq_meta,
+    output [QUEUE_NUM-1:0] in_gate_state,
+    output [QUEUE_NUM-1:0] out_gate_state,
+    output [QUEUE_NUM-1:0] queue_empty,
+    output [QUEUE_NUM-1:0] queue_full,
+    input cfg_wr,
+    input [GCL_AW-1:0] cfg_addr,
+    input [2*GATE_WIDTH-1:0] cfg_data
+);
+    // update module: the current slot selects one In/Out GCL entry
+    reg [GATE_WIDTH-1:0] in_gcl [0:GCL_DEPTH-1];
+    reg [GATE_WIDTH-1:0] out_gcl [0:GCL_DEPTH-1];
+    wire [64-1:0] slot_index;
+    assign slot_index = ptp_time / SLOT_NS;
+    wire [GCL_AW-1:0] gcl_sel;
+    assign gcl_sel = slot_index % GCL_DEPTH;
+    assign in_gate_state = in_gcl[gcl_sel][QUEUE_NUM-1:0];
+    assign out_gate_state = out_gcl[gcl_sel][QUEUE_NUM-1:0];
+    always @(posedge clk) begin
+        if (cfg_wr) begin
+            in_gcl[cfg_addr] <= cfg_data[GATE_WIDTH-1:0];
+            out_gcl[cfg_addr] <= cfg_data[2*GATE_WIDTH-1:GATE_WIDTH];
+        end
+    end
+    // per-queue metadata FIFOs (one BRAM primitive each)
+    wire [QUEUE_NUM*META_WIDTH-1:0] deq_meta_bus;
+    meta_fifo #(.WIDTH(META_WIDTH), .DEPTH(QUEUE_DEPTH), .ADDR_WIDTH(QUEUE_AW)) u_queue0 (
+        .clk(clk),
+        .rst_n(rst_n),
+        .push(enq_valid & enq_queue_onehot[0] & in_gate_state[0]),
+        .din(enq_meta),
+        .pop(deq_queue_onehot[0] & out_gate_state[0]),
+        .dout(deq_meta_bus[0*META_WIDTH +: META_WIDTH]),
+        .full(queue_full[0]),
+        .empty(queue_empty[0])
+    );
+    meta_fifo #(.WIDTH(META_WIDTH), .DEPTH(QUEUE_DEPTH), .ADDR_WIDTH(QUEUE_AW)) u_queue1 (
+        .clk(clk),
+        .rst_n(rst_n),
+        .push(enq_valid & enq_queue_onehot[1] & in_gate_state[1]),
+        .din(enq_meta),
+        .pop(deq_queue_onehot[1] & out_gate_state[1]),
+        .dout(deq_meta_bus[1*META_WIDTH +: META_WIDTH]),
+        .full(queue_full[1]),
+        .empty(queue_empty[1])
+    );
+    meta_fifo #(.WIDTH(META_WIDTH), .DEPTH(QUEUE_DEPTH), .ADDR_WIDTH(QUEUE_AW)) u_queue2 (
+        .clk(clk),
+        .rst_n(rst_n),
+        .push(enq_valid & enq_queue_onehot[2] & in_gate_state[2]),
+        .din(enq_meta),
+        .pop(deq_queue_onehot[2] & out_gate_state[2]),
+        .dout(deq_meta_bus[2*META_WIDTH +: META_WIDTH]),
+        .full(queue_full[2]),
+        .empty(queue_empty[2])
+    );
+    meta_fifo #(.WIDTH(META_WIDTH), .DEPTH(QUEUE_DEPTH), .ADDR_WIDTH(QUEUE_AW)) u_queue3 (
+        .clk(clk),
+        .rst_n(rst_n),
+        .push(enq_valid & enq_queue_onehot[3] & in_gate_state[3]),
+        .din(enq_meta),
+        .pop(deq_queue_onehot[3] & out_gate_state[3]),
+        .dout(deq_meta_bus[3*META_WIDTH +: META_WIDTH]),
+        .full(queue_full[3]),
+        .empty(queue_empty[3])
+    );
+    meta_fifo #(.WIDTH(META_WIDTH), .DEPTH(QUEUE_DEPTH), .ADDR_WIDTH(QUEUE_AW)) u_queue4 (
+        .clk(clk),
+        .rst_n(rst_n),
+        .push(enq_valid & enq_queue_onehot[4] & in_gate_state[4]),
+        .din(enq_meta),
+        .pop(deq_queue_onehot[4] & out_gate_state[4]),
+        .dout(deq_meta_bus[4*META_WIDTH +: META_WIDTH]),
+        .full(queue_full[4]),
+        .empty(queue_empty[4])
+    );
+    meta_fifo #(.WIDTH(META_WIDTH), .DEPTH(QUEUE_DEPTH), .ADDR_WIDTH(QUEUE_AW)) u_queue5 (
+        .clk(clk),
+        .rst_n(rst_n),
+        .push(enq_valid & enq_queue_onehot[5] & in_gate_state[5]),
+        .din(enq_meta),
+        .pop(deq_queue_onehot[5] & out_gate_state[5]),
+        .dout(deq_meta_bus[5*META_WIDTH +: META_WIDTH]),
+        .full(queue_full[5]),
+        .empty(queue_empty[5])
+    );
+    meta_fifo #(.WIDTH(META_WIDTH), .DEPTH(QUEUE_DEPTH), .ADDR_WIDTH(QUEUE_AW)) u_queue6 (
+        .clk(clk),
+        .rst_n(rst_n),
+        .push(enq_valid & enq_queue_onehot[6] & in_gate_state[6]),
+        .din(enq_meta),
+        .pop(deq_queue_onehot[6] & out_gate_state[6]),
+        .dout(deq_meta_bus[6*META_WIDTH +: META_WIDTH]),
+        .full(queue_full[6]),
+        .empty(queue_empty[6])
+    );
+    meta_fifo #(.WIDTH(META_WIDTH), .DEPTH(QUEUE_DEPTH), .ADDR_WIDTH(QUEUE_AW)) u_queue7 (
+        .clk(clk),
+        .rst_n(rst_n),
+        .push(enq_valid & enq_queue_onehot[7] & in_gate_state[7]),
+        .din(enq_meta),
+        .pop(deq_queue_onehot[7] & out_gate_state[7]),
+        .dout(deq_meta_bus[7*META_WIDTH +: META_WIDTH]),
+        .full(queue_full[7]),
+        .empty(queue_empty[7])
+    );
+    // dequeue mux over the one-hot selected queue
+    assign deq_meta = deq_queue_onehot[7] ? deq_meta_bus[7*META_WIDTH +: META_WIDTH] : (deq_queue_onehot[6] ? deq_meta_bus[6*META_WIDTH +: META_WIDTH] : (deq_queue_onehot[5] ? deq_meta_bus[5*META_WIDTH +: META_WIDTH] : (deq_queue_onehot[4] ? deq_meta_bus[4*META_WIDTH +: META_WIDTH] : (deq_queue_onehot[3] ? deq_meta_bus[3*META_WIDTH +: META_WIDTH] : (deq_queue_onehot[2] ? deq_meta_bus[2*META_WIDTH +: META_WIDTH] : (deq_queue_onehot[1] ? deq_meta_bus[1*META_WIDTH +: META_WIDTH] : (deq_queue_onehot[0] ? deq_meta_bus[0*META_WIDTH +: META_WIDTH] : (0))))))));
+endmodule

@@ -1,0 +1,58 @@
+module packet_switch #(
+    parameter UNICAST_DEPTH = 16,
+    parameter UNICAST_AW = 4,
+    parameter MULTICAST_DEPTH = 1,
+    parameter MULTICAST_AW = 1,
+    parameter ENTRY_WIDTH = 72,
+    parameter KEY_WIDTH = 60,
+    parameter PORT_WIDTH = 4
+) (
+    input clk,
+    input rst_n,
+    input lookup_valid,
+    input [KEY_WIDTH-1:0] lookup_key,
+    input is_multicast,
+    input [MULTICAST_AW-1:0] mc_index,
+    output reg hit,
+    output reg [PORT_WIDTH-1:0] out_port,
+    input cfg_wr,
+    input [UNICAST_AW-1:0] cfg_addr,
+    input [ENTRY_WIDTH-1:0] cfg_data
+);
+    // lookup submodule: hash-indexed unicast table (Dst MAC + VID)
+    wire [UNICAST_AW-1:0] hash_index;
+    assign hash_index = lookup_key[UNICAST_AW-1:0] ^ lookup_key[2*UNICAST_AW-1:UNICAST_AW];
+    wire [ENTRY_WIDTH-1:0] unicast_entry;
+    dpram #(.WIDTH(ENTRY_WIDTH), .DEPTH(UNICAST_DEPTH), .ADDR_WIDTH(UNICAST_AW)) u_unicast_tbl (
+        .clk(clk),
+        .wr_en(cfg_wr),
+        .wr_addr(cfg_addr),
+        .wr_data(cfg_data),
+        .rd_addr(hash_index),
+        .rd_data(unicast_entry)
+    );
+    wire [ENTRY_WIDTH-1:0] multicast_entry;
+    dpram #(.WIDTH(ENTRY_WIDTH), .DEPTH(MULTICAST_DEPTH), .ADDR_WIDTH(MULTICAST_AW)) u_multicast_tbl (
+        .clk(clk),
+        .wr_en(1'b0),
+        .wr_addr(mc_index),
+        .wr_data(multicast_entry),
+        .rd_addr(mc_index),
+        .rd_data(multicast_entry)
+    );
+    // entry layout: [KEY_WIDTH-1:0] stored key, then the out-port
+    always @(posedge clk) begin
+        if (!rst_n) begin
+            hit <= 1'b0;
+            out_port <= 0;
+        end else if (lookup_valid) begin
+            if (is_multicast) begin
+                hit <= 1'b1;
+                out_port <= multicast_entry[PORT_WIDTH-1:0];
+            end else begin
+                hit <= unicast_entry[KEY_WIDTH-1:0] == lookup_key;
+                out_port <= unicast_entry[KEY_WIDTH+PORT_WIDTH-1:KEY_WIDTH];
+            end
+        end
+    end
+endmodule

@@ -1,0 +1,33 @@
+module time_sync #(
+    parameter TS_WIDTH = 64,
+    parameter FRAC_WIDTH = 32
+) (
+    input clk,
+    input rst_n,
+    input corr_wr,
+    input [TS_WIDTH-1:0] corr_offset,
+    input [FRAC_WIDTH-1:0] corr_rate,
+    output reg [TS_WIDTH-1:0] ptp_time
+);
+    // collection of clock time: free-running counter
+    reg [TS_WIDTH-1:0] raw_time;
+    reg [TS_WIDTH-1:0] offset_reg;
+    reg [FRAC_WIDTH-1:0] rate_reg;
+    // calculation of correction time happens on the embedded CPU; the
+    // result is written through corr_wr (clock correction submodule)
+    always @(posedge clk) begin
+        if (!rst_n) begin
+            raw_time <= 0;
+            offset_reg <= 0;
+            rate_reg <= 0;
+            ptp_time <= 0;
+        end else begin
+            raw_time <= raw_time + 8; // 125 MHz -> 8 ns per cycle
+            if (corr_wr) begin
+                offset_reg <= corr_offset;
+                rate_reg <= corr_rate;
+            end
+            ptp_time <= raw_time + offset_reg + ((raw_time * rate_reg) >> FRAC_WIDTH);
+        end
+    end
+endmodule
