@@ -32,7 +32,7 @@ use tsn_builder::{itp, AppRequirements, CqfPlan, Strategy};
 use tsn_sim::network::{Network, SimConfig, SyncSetup};
 use tsn_sim::ShardOverhead;
 use tsn_topology::presets;
-use tsn_types::{DataRate, FlowId, FlowSet, SimDuration};
+use tsn_types::{DataRate, FlowMap, FlowSet, SimDuration};
 
 /// Median ns/iter measured at commit b8cca7c (BinaryHeap event queue,
 /// poll-based port wakeups) with `TSN_BENCH_MS=2000` — the pre-overhaul
@@ -59,7 +59,7 @@ const SHARD_SERIAL_BASELINE_NS: [(&str, f64); 2] = [
 
 /// Plans injection offsets the way the real pipeline does, so the bench
 /// scenarios are lossless (ITP is part of the system under test).
-fn plan_offsets(topo: &tsn_topology::Topology, flows: &FlowSet) -> HashMap<FlowId, SimDuration> {
+fn plan_offsets(topo: &tsn_topology::Topology, flows: &FlowSet) -> FlowMap<SimDuration> {
     let req = AppRequirements::new(topo.clone(), flows.clone(), SimDuration::from_nanos(50))
         .expect("valid requirements");
     let plan = CqfPlan::with_slot(&req, tsn_builder::PAPER_SLOT, DataRate::gbps(1))
@@ -146,7 +146,7 @@ fn shard_scenarios() -> Vec<(
     tsn_topology::Topology,
     FlowSet,
     SimConfig,
-    HashMap<FlowId, SimDuration>,
+    FlowMap<SimDuration>,
 )> {
     let mut scenarios = Vec::new();
     for (label, topo, ts) in [
@@ -320,7 +320,7 @@ fn main() {
     {
         let (topo, flows) = ring_flows(512, 0);
         results.extend(runner.bench("sim_build/network_build_512_flows", || {
-            Network::build(topo.clone(), flows.clone(), &HashMap::new(), sim_config())
+            Network::build(topo.clone(), flows.clone(), &FlowMap::new(), sim_config())
                 .expect("network builds")
         }));
     }

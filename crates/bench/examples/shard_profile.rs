@@ -3,12 +3,11 @@
 //! run it directly when hunting coordination overhead:
 //! `cargo run --release -p tsn-bench --example shard_profile`
 
-use std::collections::HashMap;
 use std::time::Instant;
 use tsn_builder::AppRequirements;
 use tsn_sim::network::{Network, SimConfig, SyncSetup};
 use tsn_topology::presets;
-use tsn_types::{FlowId, FlowSet, SimDuration};
+use tsn_types::{FlowMap, FlowSet, SimDuration};
 
 fn scenario(
     label: &str,
@@ -16,7 +15,7 @@ fn scenario(
     tsn_topology::Topology,
     FlowSet,
     SimConfig,
-    HashMap<FlowId, SimDuration>,
+    FlowMap<SimDuration>,
 ) {
     let (topo, ts) = match label {
         "ring12" => (presets::ring(12, 6).expect("topology builds"), 96),

@@ -12,7 +12,7 @@
 use crate::cqf::CqfPlan;
 use crate::requirements::AppRequirements;
 use std::collections::HashMap;
-use tsn_types::{FlowId, NodeId, PortId, SimDuration, TsnResult};
+use tsn_types::{FlowMap, NodeId, PortId, SimDuration, TsnResult};
 
 /// Offset-selection strategy (the ablation axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,8 +30,8 @@ pub enum Strategy {
 /// The planning result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ItpResult {
-    /// Chosen injection offset per TS flow.
-    pub offsets: HashMap<FlowId, SimDuration>,
+    /// Chosen injection offset per TS flow (dense `FlowId`-indexed).
+    pub offsets: FlowMap<SimDuration>,
     /// Peak simultaneous TS frames in any (port, slot phase) cell — the
     /// minimum safe `queue_depth`.
     pub max_occupancy: u32,
@@ -108,15 +108,18 @@ pub fn plan(
 
     // occupancy[(node, port, phase)] = TS frames resident in that slot.
     let mut occupancy: HashMap<(NodeId, PortId, u64), u32> = HashMap::new();
-    let mut offsets = HashMap::new();
+    let mut offsets = FlowMap::new();
     let mut spread_cursor: u64 = 0;
 
     // Deterministic order: flows sorted by id.
     let mut ts: Vec<_> = requirements.flows().ts_flows().collect();
     ts.sort_by_key(|f| f.id());
 
+    // One BFS per distinct talker, shared across its flows — at 100k+
+    // flows the per-flow BFS was the planner's real quadratic cost.
+    let mut route_trees = tsn_topology::RouteTreeCache::new();
     for flow in ts {
-        let route = requirements.topology().route(flow.src(), flow.dst())?;
+        let route = route_trees.route(requirements.topology(), flow.src(), flow.dst())?;
         // The egress cells this flow occupies, relative to its injection
         // phase: hop k is reached k slots later.
         let cells: Vec<(NodeId, PortId, u64)> = route
@@ -175,7 +178,7 @@ pub fn plan(
 mod tests {
     use super::*;
     use tsn_topology::presets;
-    use tsn_types::{DataRate, FlowSet, TsFlowSpec};
+    use tsn_types::{DataRate, FlowId, FlowSet, TsFlowSpec};
 
     fn scenario(flow_count: u32) -> (AppRequirements, CqfPlan) {
         let topo = presets::ring(6, 3).expect("builds");

@@ -48,6 +48,7 @@ pub mod cqf;
 pub mod derive;
 pub mod itp;
 pub mod per_switch;
+pub mod plant;
 pub mod requirements;
 pub mod scenario;
 pub mod tas;
@@ -58,6 +59,7 @@ pub use cqf::{latency_bounds, CqfPlan, PAPER_SLOT};
 pub use derive::{derive_parameters, DeriveOptions, DerivedConfig, GateMode};
 pub use itp::{ItpResult, Strategy};
 pub use per_switch::PerSwitchConfig;
+pub use plant::{large_plant, LargePlant, PlantDims};
 pub use requirements::AppRequirements;
 pub use scenario::{run_scenarios, ResourcePlan, Scenario, ScenarioOutcome, SweepPlanner};
 pub use tas::TasSchedule;

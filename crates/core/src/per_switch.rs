@@ -38,7 +38,7 @@ impl PerSwitchConfig {
     pub fn derive(requirements: &AppRequirements, options: &DeriveOptions) -> TsnResult<Self> {
         let uniform = derive_parameters(requirements, options)?;
         let mut per_switch = BTreeMap::new();
-        for switch in requirements.topology().switches() {
+        for &switch in requirements.topology().switches() {
             let ports = (uniform.enabled_ports.ports_of(switch) as u32).max(1);
             let base = &uniform.resources;
             let mut resources = base.clone();

@@ -108,7 +108,7 @@ impl TasSchedule {
             let route = requirements.topology().route(flow.src(), flow.dst())?;
             let offset = itp
                 .offsets
-                .get(&flow.id())
+                .get(flow.id())
                 .copied()
                 .unwrap_or(SimDuration::ZERO);
             let effective_period_slots = flow.period().as_nanos().div_ceil(slot_ns).max(1);

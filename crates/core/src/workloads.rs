@@ -32,7 +32,7 @@ fn hosts_of(topology: &Topology) -> TsnResult<Vec<tsn_types::NodeId>> {
             "workloads need at least two hosts",
         ));
     }
-    Ok(hosts)
+    Ok(hosts.to_vec())
 }
 
 /// IEC 60802-style TS flows: `count` flows of 64 B at 10 ms period with

@@ -1,14 +1,13 @@
 //! Shared plumbing for the experiment regenerators.
 
 use crate::json::{Json, ToJson};
-use std::collections::HashMap;
 use std::path::PathBuf;
 use tsn_builder::ScenarioOutcome;
 use tsn_sim::network::{Network, SimConfig, SyncSetup};
 use tsn_sim::sweep::SweepError;
 use tsn_sim::SimReport;
 use tsn_topology::{LinkDirection, Topology};
-use tsn_types::{DataRate, FlowId, FlowSet, NodeId, SimDuration, TrafficClass, TsnResult};
+use tsn_types::{DataRate, FlowMap, FlowSet, NodeId, SimDuration, TrafficClass, TsnResult};
 
 /// One measured point of a latency figure.
 #[derive(Debug, Clone)]
@@ -23,6 +22,13 @@ pub struct QosPoint {
     pub min_us: f64,
     /// Maximum TS latency, µs.
     pub max_us: f64,
+    /// Median TS latency (streaming log2-histogram estimate), µs.
+    pub p50_us: f64,
+    /// 99th-percentile TS latency (streaming log2-histogram estimate), µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile TS latency (streaming log2-histogram estimate),
+    /// µs.
+    pub p999_us: f64,
     /// TS frames lost.
     pub loss: u64,
     /// TS frames injected.
@@ -43,6 +49,9 @@ impl QosPoint {
                 / 1000.0,
             min_us: ts.min().map_or(0.0, |d| d.as_micros_f64()),
             max_us: ts.max().map_or(0.0, |d| d.as_micros_f64()),
+            p50_us: ts.p50().map_or(0.0, |d| d.as_micros_f64()),
+            p99_us: ts.p99().map_or(0.0, |d| d.as_micros_f64()),
+            p999_us: ts.p999().map_or(0.0, |d| d.as_micros_f64()),
             loss: report.ts_lost(),
             injected: report.ts_injected(),
         }
@@ -57,6 +66,9 @@ impl ToJson for QosPoint {
             ("jitter_us", self.jitter_us.to_json()),
             ("min_us", self.min_us.to_json()),
             ("max_us", self.max_us.to_json()),
+            ("p50_us", self.p50_us.to_json()),
+            ("p99_us", self.p99_us.to_json()),
+            ("p999_us", self.p999_us.to_json()),
             ("loss", self.loss.to_json()),
             ("injected", self.injected.to_json()),
         ])
@@ -67,13 +79,13 @@ impl ToJson for QosPoint {
 pub fn print_series(title: &str, x_label: &str, points: &[QosPoint]) {
     println!("\n== {title} ==");
     println!(
-        "{x_label:>12} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10}",
-        "avg(us)", "jitter(us)", "min(us)", "max(us)", "loss", "injected"
+        "{x_label:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10}",
+        "avg(us)", "jitter(us)", "min(us)", "max(us)", "p50(us)", "p99(us)", "loss", "injected"
     );
     for p in points {
         println!(
-            "{:>12} {:>12.1} {:>12.2} {:>12.1} {:>12.1} {:>8} {:>10}",
-            p.x, p.mean_us, p.jitter_us, p.min_us, p.max_us, p.loss, p.injected
+            "{:>12} {:>12.1} {:>12.2} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8} {:>10}",
+            p.x, p.mean_us, p.jitter_us, p.min_us, p.max_us, p.p50_us, p.p99_us, p.loss, p.injected
         );
     }
 }
@@ -152,7 +164,7 @@ pub fn ring_with_analyzers(
 pub fn run_network(
     topology: Topology,
     flows: FlowSet,
-    offsets: &HashMap<FlowId, SimDuration>,
+    offsets: &FlowMap<SimDuration>,
     config: SimConfig,
 ) -> SimReport {
     Network::build(topology, flows, offsets, config)

@@ -3,12 +3,55 @@
 //! Models the analyzer box of the paper's testbed (Fig. 6): every
 //! delivered frame is matched against its injection record; the paper
 //! reports average latency, jitter as the standard deviation of latency,
-//! and packet loss.
+//! and packet loss. On top of the paper's mean/std, [`LatencyStats`]
+//! keeps a fixed-bucket log2 histogram so tail quantiles (p50/p99/p999)
+//! are available in O(1) memory per flow at 100k–1M-flow scale.
+//!
+//! The analyzer stores per-flow state in dense `FlowId`-indexed parallel
+//! vectors (SoA) rather than a keyed map: the per-frame hot path is one
+//! bounds check and an indexed increment, and iteration is in flow-id
+//! order — which keeps the class-level Welford float merges deterministic
+//! (float merging is not associative, so a hash-ordered walk would make
+//! "the same run" produce different aggregate stats across processes).
 
-use std::collections::BTreeMap;
 use tsn_types::{FlowId, SimDuration, SimTime, TrafficClass};
 
-/// Streaming latency statistics (Welford's algorithm).
+/// Number of buckets in the [`LatencyStats`] latency histogram: one per
+/// power of two of nanoseconds, covering the full `u64` range.
+pub const HIST_BUCKETS: usize = 64;
+
+/// The histogram bucket a latency sample falls into: `floor(log2(ns))`,
+/// with 0 ns sharing bucket 0 (samples below 2 ns).
+#[must_use]
+pub fn hist_bucket(ns: u64) -> usize {
+    63 - (ns | 1).leading_zeros() as usize
+}
+
+/// Inclusive `(low, high)` bounds of a histogram bucket in nanoseconds.
+///
+/// # Panics
+///
+/// Panics if `bucket >= HIST_BUCKETS`.
+#[must_use]
+pub fn hist_bucket_bounds(bucket: usize) -> (u64, u64) {
+    assert!(bucket < HIST_BUCKETS);
+    let lo = if bucket == 0 { 0 } else { 1u64 << bucket };
+    let hi = if bucket == 63 {
+        u64::MAX
+    } else {
+        (1u64 << (bucket + 1)) - 1
+    };
+    (lo, hi)
+}
+
+/// Streaming latency statistics: Welford mean/std plus a fixed-bucket
+/// log2 histogram for tail quantiles.
+///
+/// The histogram is allocated lazily on the first sample, so flows that
+/// never deliver cost nothing beyond the struct itself. Bucket counts are
+/// integers, so merging histograms is exact and associative — unlike the
+/// float Welford state, histogram-derived quantiles are immune to merge
+/// order, which is what keeps sharded reports byte-identical.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct LatencyStats {
     count: u64,
@@ -16,6 +59,7 @@ pub struct LatencyStats {
     m2: f64,
     min_ns: u64,
     max_ns: u64,
+    hist: Option<Box<[u64; HIST_BUCKETS]>>,
 }
 
 impl LatencyStats {
@@ -30,13 +74,15 @@ impl LatencyStats {
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: SimDuration) {
-        let x = latency.as_nanos() as f64;
+        let ns = latency.as_nanos();
+        let x = ns as f64;
         self.count += 1;
         let delta = x - self.mean_ns;
         self.mean_ns += delta / self.count as f64;
         self.m2 += delta * (x - self.mean_ns);
-        self.min_ns = self.min_ns.min(latency.as_nanos());
-        self.max_ns = self.max_ns.max(latency.as_nanos());
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.hist.get_or_insert_with(|| Box::new([0; HIST_BUCKETS]))[hist_bucket(ns)] += 1;
     }
 
     /// Number of samples.
@@ -86,7 +132,62 @@ impl LatencyStats {
         (self.count > 0).then(|| SimDuration::from_nanos(self.max_ns))
     }
 
-    /// Merges another stats block into this one.
+    /// The histogram bucket counts, if any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self) -> Option<&[u64; HIST_BUCKETS]> {
+        self.hist.as_deref()
+    }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) from the histogram.
+    ///
+    /// The estimate interpolates linearly inside the sample's log2
+    /// bucket and is clamped to the exact observed `[min, max]`, so it
+    /// always lands in the same bucket as the true rank-`⌈q·n⌉` sample —
+    /// a rank error of less than one bucket.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        let hist = self.hist.as_deref()?;
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &n) in hist.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = hist_bucket_bounds(bucket);
+                let into = rank - seen; // 1..=n
+                let est = lo + (u128::from(hi - lo) * u128::from(into) / u128::from(n + 1)) as u64;
+                return Some(SimDuration::from_nanos(est.clamp(self.min_ns, self.max_ns)));
+            }
+            seen += n;
+        }
+        // Unreachable when counters are consistent; fall back to max.
+        Some(SimDuration::from_nanos(self.max_ns))
+    }
+
+    /// Median latency (`None` when empty).
+    #[must_use]
+    pub fn p50(&self) -> Option<SimDuration> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency (`None` when empty).
+    #[must_use]
+    pub fn p99(&self) -> Option<SimDuration> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency (`None` when empty).
+    #[must_use]
+    pub fn p999(&self) -> Option<SimDuration> {
+        self.quantile(0.999)
+    }
+
+    /// Merges another stats block into this one. Histogram counts add
+    /// exactly; the Welford state uses Chan's parallel update.
     pub fn merge(&mut self, other: &LatencyStats) {
         if other.count == 0 {
             return;
@@ -104,12 +205,21 @@ impl LatencyStats {
         self.count += other.count;
         self.min_ns = self.min_ns.min(other.min_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
+        if let Some(theirs) = other.hist.as_deref() {
+            let ours = self.hist.get_or_insert_with(|| Box::new([0; HIST_BUCKETS]));
+            for (o, t) in ours.iter_mut().zip(theirs) {
+                *o += t;
+            }
+        }
     }
 }
 
-/// Per-flow record: injections, deliveries, latency, deadline misses.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FlowRecord {
+/// A borrowed view of one flow's record in the analyzer's SoA arenas.
+///
+/// Mirrors the fields the pre-SoA `FlowRecord` struct exposed, so call
+/// sites read the same way (`record.received`, `record.latency.mean_us()`).
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRecord<'a> {
     /// The flow's class.
     pub class: TrafficClass,
     /// Frames the talker injected (within the measurement window).
@@ -119,20 +229,10 @@ pub struct FlowRecord {
     /// Frames that arrived after their deadline (TS flows only).
     pub deadline_misses: u64,
     /// Latency statistics over received frames.
-    pub latency: LatencyStats,
+    pub latency: &'a LatencyStats,
 }
 
-impl FlowRecord {
-    fn new(class: TrafficClass) -> Self {
-        FlowRecord {
-            class,
-            injected: 0,
-            received: 0,
-            deadline_misses: 0,
-            latency: LatencyStats::new(),
-        }
-    }
-
+impl FlowRecord<'_> {
     /// Frames injected but never delivered.
     #[must_use]
     pub fn lost(&self) -> u64 {
@@ -163,13 +263,17 @@ impl FlowRecord {
 /// assert_eq!(record.lost(), 0);
 /// assert_eq!(record.latency.mean_us(), 130.0);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq)]
+#[derive(Default, Clone)]
 pub struct Analyzer {
-    // BTreeMap, not HashMap: class aggregation merges Welford f64 state in
-    // iteration order, and float merging is not associative — a keyed-by-
-    // hash order would make "the same run" produce different aggregate
-    // stats across processes.
-    flows: BTreeMap<FlowId, FlowRecord>,
+    // Dense FlowId-indexed SoA arenas. `class[i]` doubles as the
+    // "tracked" marker: None slots are untouched holes (flow ids are
+    // near-dense, so holes are cheap).
+    class: Vec<Option<TrafficClass>>,
+    injected: Vec<u64>,
+    received: Vec<u64>,
+    misses: Vec<u64>,
+    latency: Vec<LatencyStats>,
+    tracked: usize,
 }
 
 impl Analyzer {
@@ -179,12 +283,28 @@ impl Analyzer {
         Analyzer::default()
     }
 
+    /// Ensures the arenas cover `flow` and the slot is marked tracked;
+    /// returns the slot index.
+    fn touch(&mut self, flow: FlowId, class: TrafficClass) -> usize {
+        let idx = flow.as_usize();
+        if idx >= self.class.len() {
+            self.class.resize(idx + 1, None);
+            self.injected.resize(idx + 1, 0);
+            self.received.resize(idx + 1, 0);
+            self.misses.resize(idx + 1, 0);
+            self.latency.resize(idx + 1, LatencyStats::new());
+        }
+        if self.class[idx].is_none() {
+            self.class[idx] = Some(class);
+            self.tracked += 1;
+        }
+        idx
+    }
+
     /// Notes that the talker injected one frame of `flow`.
     pub fn note_injected(&mut self, flow: FlowId, class: TrafficClass) {
-        self.flows
-            .entry(flow)
-            .or_insert_with(|| FlowRecord::new(class))
-            .injected += 1;
+        let idx = self.touch(flow, class);
+        self.injected[idx] += 1;
     }
 
     /// Notes a delivered frame: latency is `arrived − injected_at`;
@@ -197,16 +317,13 @@ impl Analyzer {
         arrived: SimTime,
         deadline: Option<SimDuration>,
     ) {
-        let record = self
-            .flows
-            .entry(flow)
-            .or_insert_with(|| FlowRecord::new(class));
-        record.received += 1;
+        let idx = self.touch(flow, class);
+        self.received[idx] += 1;
         let latency = arrived.saturating_since(injected_at);
-        record.latency.record(latency);
+        self.latency[idx].record(latency);
         if let Some(deadline) = deadline {
             if latency > deadline {
-                record.deadline_misses += 1;
+                self.misses[idx] += 1;
             }
         }
     }
@@ -218,35 +335,60 @@ impl Analyzer {
     /// block, which [`LatencyStats::merge`] adopts bit-for-bit — the
     /// merged analyzer equals the serial one exactly.
     pub(crate) fn merge_disjoint(&mut self, other: &Analyzer) {
-        for (&flow, record) in &other.flows {
-            let entry = self
-                .flows
-                .entry(flow)
-                .or_insert_with(|| FlowRecord::new(record.class));
-            entry.injected += record.injected;
-            entry.received += record.received;
-            entry.deadline_misses += record.deadline_misses;
-            entry.latency.merge(&record.latency);
+        for (idx, &class) in other.class.iter().enumerate() {
+            let Some(class) = class else { continue };
+            let slot = self.touch(FlowId::new(idx as u32), class);
+            self.injected[slot] += other.injected[idx];
+            self.received[slot] += other.received[idx];
+            self.misses[slot] += other.misses[idx];
+            self.latency[slot].merge(&other.latency[idx]);
         }
     }
 
     /// One flow's record.
     #[must_use]
-    pub fn flow(&self, flow: FlowId) -> Option<&FlowRecord> {
-        self.flows.get(&flow)
+    pub fn flow(&self, flow: FlowId) -> Option<FlowRecord<'_>> {
+        let idx = flow.as_usize();
+        let class = (*self.class.get(idx)?)?;
+        Some(FlowRecord {
+            class,
+            injected: self.injected[idx],
+            received: self.received[idx],
+            deadline_misses: self.misses[idx],
+            latency: &self.latency[idx],
+        })
     }
 
-    /// Iterates over all flow records.
-    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &FlowRecord)> {
-        self.flows.iter().map(|(&id, r)| (id, r))
+    /// Iterates over all flow records, in ascending flow-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, FlowRecord<'_>)> {
+        self.class.iter().enumerate().filter_map(|(idx, class)| {
+            class.map(|class| {
+                (
+                    FlowId::new(idx as u32),
+                    FlowRecord {
+                        class,
+                        injected: self.injected[idx],
+                        received: self.received[idx],
+                        deadline_misses: self.misses[idx],
+                        latency: &self.latency[idx],
+                    },
+                )
+            })
+        })
+    }
+
+    fn records_of(&self, class: TrafficClass) -> impl Iterator<Item = FlowRecord<'_>> {
+        self.iter()
+            .map(|(_, r)| r)
+            .filter(move |r| r.class == class)
     }
 
     /// Aggregated latency statistics over every flow of `class`.
     #[must_use]
     pub fn class_latency(&self, class: TrafficClass) -> LatencyStats {
         let mut agg = LatencyStats::new();
-        for record in self.flows.values().filter(|r| r.class == class) {
-            agg.merge(&record.latency);
+        for record in self.records_of(class) {
+            agg.merge(record.latency);
         }
         agg
     }
@@ -256,49 +398,67 @@ impl Analyzer {
     /// spread between flows with different hop counts).
     #[must_use]
     pub fn class_mean_flow_jitter_ns(&self, class: TrafficClass) -> f64 {
-        let stds: Vec<f64> = self
-            .flows
-            .values()
-            .filter(|r| r.class == class && r.latency.count() > 0)
-            .map(|r| r.latency.std_ns())
-            .collect();
-        if stds.is_empty() {
+        let (mut sum, mut n) = (0.0f64, 0u64);
+        for record in self.records_of(class) {
+            if record.latency.count() > 0 {
+                sum += record.latency.std_ns();
+                n += 1;
+            }
+        }
+        if n == 0 {
             0.0
         } else {
-            stds.iter().sum::<f64>() / stds.len() as f64
+            sum / n as f64
         }
     }
 
     /// Total frames lost across flows of `class`.
     #[must_use]
     pub fn class_lost(&self, class: TrafficClass) -> u64 {
-        self.flows
-            .values()
-            .filter(|r| r.class == class)
-            .map(FlowRecord::lost)
-            .sum()
+        self.records_of(class).map(|r| r.lost()).sum()
     }
 
     /// Total frames injected across flows of `class`.
     #[must_use]
     pub fn class_injected(&self, class: TrafficClass) -> u64 {
-        self.flows
-            .values()
-            .filter(|r| r.class == class)
-            .map(|r| r.injected)
-            .sum()
+        self.records_of(class).map(|r| r.injected).sum()
     }
 
     /// Total deadline misses across TS flows.
     #[must_use]
     pub fn deadline_misses(&self) -> u64 {
-        self.flows.values().map(|r| r.deadline_misses).sum()
+        self.misses.iter().sum()
     }
 
     /// Number of tracked flows.
     #[must_use]
     pub fn flow_count(&self) -> usize {
-        self.flows.len()
+        self.tracked
+    }
+}
+
+// Manual impls: trailing untouched arena slots are representation, not
+// state — analyzers that tracked the same flows must compare (and print)
+// identically regardless of how far their arenas grew.
+impl PartialEq for Analyzer {
+    fn eq(&self, other: &Self) -> bool {
+        if self.tracked != other.tracked {
+            return false;
+        }
+        self.iter().zip(other.iter()).all(|((ida, a), (idb, b))| {
+            ida == idb
+                && a.class == b.class
+                && a.injected == b.injected
+                && a.received == b.received
+                && a.deadline_misses == b.deadline_misses
+                && a.latency == b.latency
+        })
+    }
+}
+
+impl core::fmt::Debug for Analyzer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
@@ -329,6 +489,9 @@ mod tests {
         assert_eq!(s.std_ns(), 0.0);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p99(), None);
+        assert!(s.histogram().is_none());
     }
 
     #[test]
@@ -350,11 +513,58 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert!((a.mean_ns() - whole.mean_ns()).abs() < 1e-9);
         assert!((a.std_ns() - whole.std_ns()).abs() < 1e-9);
+        // Histogram merge is exact, not merely close.
+        assert_eq!(a.histogram(), whole.histogram());
 
         // Merging into empty adopts the other side.
         let mut empty = LatencyStats::new();
         empty.merge(&whole);
         assert_eq!(empty.count(), whole.count());
+        assert_eq!(empty, whole);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 0);
+        assert_eq!(hist_bucket(2), 1);
+        assert_eq!(hist_bucket(3), 1);
+        assert_eq!(hist_bucket(4), 2);
+        assert_eq!(hist_bucket(1023), 9);
+        assert_eq!(hist_bucket(1024), 10);
+        assert_eq!(hist_bucket(u64::MAX), 63);
+        assert_eq!(hist_bucket_bounds(0), (0, 1));
+        assert_eq!(hist_bucket_bounds(10), (1024, 2047));
+        assert_eq!(hist_bucket_bounds(63).1, u64::MAX);
+        for ns in [0u64, 1, 2, 513, 1 << 40, u64::MAX] {
+            let (lo, hi) = hist_bucket_bounds(hist_bucket(ns));
+            assert!(lo <= ns && ns <= hi, "{ns} outside its bucket");
+        }
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let mut s = LatencyStats::new();
+        let mut samples: Vec<u64> = (0..1000u64).map(|i| 100 + i * 97).collect();
+        for &x in &samples {
+            s.record(SimDuration::from_nanos(x));
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let est = s.quantile(q).expect("non-empty").as_nanos();
+            assert_eq!(
+                hist_bucket(est),
+                hist_bucket(exact),
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        // Single-sample stats answer every quantile with that sample.
+        let mut one = LatencyStats::new();
+        one.record(SimDuration::from_nanos(777));
+        assert_eq!(one.p50(), Some(SimDuration::from_nanos(777)));
+        assert_eq!(one.p999(), Some(SimDuration::from_nanos(777)));
     }
 
     #[test]
@@ -448,5 +658,55 @@ mod tests {
         assert_eq!(ts.mean_us(), 200.0);
         assert_eq!(an.class_latency(TrafficClass::BestEffort).count(), 1);
         assert_eq!(an.flow_count(), 4);
+    }
+
+    #[test]
+    fn equality_compares_tracked_state_not_arenas() {
+        let mut a = Analyzer::new();
+        a.note_injected(FlowId::new(2), TrafficClass::TimeSensitive);
+        let mut b = Analyzer::new();
+        b.merge_disjoint(&a);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        b.note_injected(FlowId::new(2), TrafficClass::TimeSensitive);
+        assert_ne!(a, b);
+        // Different id, same counters: still unequal.
+        let mut c = Analyzer::new();
+        c.note_injected(FlowId::new(3), TrafficClass::TimeSensitive);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn merge_disjoint_matches_serial() {
+        // Talker shard sees injections, listener shard sees deliveries.
+        let mut serial = Analyzer::new();
+        let mut talker = Analyzer::new();
+        let mut listener = Analyzer::new();
+        let f = FlowId::new(4);
+        for i in 0..6u64 {
+            serial.note_injected(f, TrafficClass::TimeSensitive);
+            talker.note_injected(f, TrafficClass::TimeSensitive);
+            let t0 = SimTime::from_micros(i * 100);
+            let t1 = SimTime::from_micros(i * 100 + 130 + i);
+            serial.note_delivered(
+                f,
+                TrafficClass::TimeSensitive,
+                t0,
+                t1,
+                Some(SimDuration::from_millis(1)),
+            );
+            listener.note_delivered(
+                f,
+                TrafficClass::TimeSensitive,
+                t0,
+                t1,
+                Some(SimDuration::from_millis(1)),
+            );
+        }
+        let mut merged = Analyzer::new();
+        merged.merge_disjoint(&talker);
+        merged.merge_disjoint(&listener);
+        assert_eq!(merged, serial);
+        assert_eq!(format!("{merged:?}"), format!("{serial:?}"));
     }
 }

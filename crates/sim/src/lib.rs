@@ -21,10 +21,9 @@
 //! # Example
 //!
 //! ```
-//! use std::collections::HashMap;
 //! use tsn_sim::network::{Network, SimConfig};
 //! use tsn_topology::presets;
-//! use tsn_types::{FlowSet, TsFlowSpec, FlowId, SimDuration};
+//! use tsn_types::{FlowMap, FlowSet, TsFlowSpec, FlowId, SimDuration};
 //!
 //! let topo = presets::ring(3, 2)?;
 //! let hosts = topo.hosts();
@@ -35,7 +34,7 @@
 //! )?.into());
 //! let mut config = SimConfig::paper_defaults();
 //! config.duration = SimDuration::from_millis(30);
-//! let report = Network::build(topo, flows, &HashMap::new(), config)?.run();
+//! let report = Network::build(topo, flows, &FlowMap::new(), config)?.run();
 //! assert_eq!(report.ts_lost(), 0);
 //! # Ok::<(), tsn_types::TsnError>(())
 //! ```
@@ -52,7 +51,9 @@ pub mod report;
 pub(crate) mod shard;
 pub mod sweep;
 
-pub use analyzer::{Analyzer, FlowRecord, LatencyStats};
+pub use analyzer::{
+    hist_bucket, hist_bucket_bounds, Analyzer, FlowRecord, LatencyStats, HIST_BUCKETS,
+};
 pub use event::EventQueueKind;
 pub use fault::{FaultConfig, FlowDegradation, LinkFaultProfile, LinkFlap, LinkOutage};
 pub use host::{Generator, Host};

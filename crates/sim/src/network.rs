@@ -21,10 +21,12 @@ use tsn_switch::ingress_filter::{ClassEntry, ClassKey, TokenBucketMeter};
 use tsn_switch::pipeline::{PortKind, SwitchSpec, TsnSwitchCore};
 use tsn_switch::stats::DropReason;
 use tsn_switch::time_sync::{ClockModel, SyncConfig, SyncDomain, SyncFaultProfile};
-use tsn_topology::{EnabledPorts, Link, LinkId, NodeKind, Route, Topology};
+use tsn_topology::{
+    EnabledPorts, Link, LinkId, NodeKind, Route, RouteTree, RouteTreeCache, Topology,
+};
 use tsn_types::{
-    DataRate, EthernetFrame, FlowId, FlowSet, FlowSpec, MacAddr, MeterId, NodeId, PortId, QueueId,
-    SimDuration, SimTime, TrafficClass, TsnError, TsnResult, VlanId,
+    DataRate, EthernetFrame, FlowId, FlowMap, FlowSet, FlowSpec, MacAddr, MeterId, NodeId, PortId,
+    QueueId, SimDuration, SimTime, TrafficClass, TsnError, TsnResult, VlanId,
 };
 
 /// How the switches' clocks are synchronized.
@@ -248,8 +250,9 @@ pub struct Network {
     /// Per-event-type counters and suppression instrumentation.
     pub(crate) stats: EventStats,
     /// TS deadline per flow, precomputed at build so the hot delivery
-    /// path avoids the linear `FlowSet` scan. Shared immutable.
-    pub(crate) deadlines: Arc<HashMap<FlowId, SimDuration>>,
+    /// path avoids the linear `FlowSet` scan. Dense `FlowId`-indexed:
+    /// the per-delivery lookup is one bounds check. Shared immutable.
+    pub(crate) deadlines: Arc<FlowMap<SimDuration>>,
     /// Reusable scratch buffer for switch dispositions (one allocation
     /// for the whole run instead of one per arriving frame).
     pub(crate) scratch: Vec<tsn_switch::pipeline::Disposition>,
@@ -269,7 +272,7 @@ pub struct Network {
 /// behind an `Arc` so the sharded engine can deterministically rebuild
 /// the network after a worker failure.
 pub(crate) struct RebuildInputs {
-    pub(crate) offsets: HashMap<FlowId, SimDuration>,
+    pub(crate) offsets: FlowMap<SimDuration>,
     pub(crate) gcls: HashMap<(NodeId, PortId), (GateControlList, GateControlList)>,
 }
 
@@ -304,7 +307,7 @@ impl Network {
     pub fn build(
         topology: Topology,
         flows: FlowSet,
-        offsets: &HashMap<FlowId, SimDuration>,
+        offsets: &FlowMap<SimDuration>,
         config: SimConfig,
     ) -> TsnResult<Self> {
         Network::build_with_schedule(topology, flows, offsets, config, &HashMap::new())
@@ -322,7 +325,7 @@ impl Network {
     pub fn build_with_schedule(
         topology: Topology,
         flows: FlowSet,
-        offsets: &HashMap<FlowId, SimDuration>,
+        offsets: &FlowMap<SimDuration>,
         config: SimConfig,
         gcls: &HashMap<(NodeId, PortId), (GateControlList, GateControlList)>,
     ) -> TsnResult<Self> {
@@ -330,13 +333,17 @@ impl Network {
         let mut busy_until = Vec::with_capacity(topology.nodes().len());
         let mut tx_bytes = Vec::with_capacity(topology.nodes().len());
         let mut wires = Vec::with_capacity(topology.nodes().len());
-        let switches = topology.switches();
+        let switch_count = topology.switches().len();
         // Guideline (5): gate-control hardware exists only on the egress
         // ports the TS routes actually use — the same analysis that sized
         // `port_num` during derivation. Other switch-to-switch ports stay
         // ungated (always-open), like un-provisioned ports on the FPGA.
         let enabled_ports = EnabledPorts::from_flows(&topology, &flows)?;
 
+        // Switches appear in `topology.switches()` in creation order, so a
+        // running counter gives each its sync-domain chain index without
+        // the O(switches²) position() scan the old code paid per node.
+        let mut next_sync_index = 0usize;
         for node in topology.nodes() {
             busy_until.push(vec![SimTime::ZERO; topology.port_count(node.id())]);
             tx_bytes.push(vec![0u64; topology.port_count(node.id())]);
@@ -373,10 +380,8 @@ impl Network {
                         }
                     }
                     let core = TsnSwitchCore::new(&spec)?;
-                    let sync_index = switches
-                        .iter()
-                        .position(|&s| s == node.id())
-                        .expect("node is a switch");
+                    let sync_index = next_sync_index;
+                    next_sync_index += 1;
                     roles.push(NodeRole::Switch {
                         core: Box::new(core),
                         sync_index,
@@ -402,7 +407,7 @@ impl Network {
                 } else {
                     1.0
                 };
-                let clocks: Vec<ClockModel> = (0..switches.len())
+                let clocks: Vec<ClockModel> = (0..switch_count)
                     .map(|i| {
                         let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
                         ClockModel::new(
@@ -431,12 +436,10 @@ impl Network {
             }
         };
 
-        let mut deadlines: HashMap<FlowId, SimDuration> = HashMap::with_capacity(flows.len());
-        deadlines.extend(
-            flows
-                .iter()
-                .filter_map(|f| f.as_ts().map(|ts| (ts.id(), ts.deadline()))),
-        );
+        let deadlines: FlowMap<SimDuration> = flows
+            .iter()
+            .filter_map(|f| f.as_ts().map(|ts| (ts.id(), ts.deadline())))
+            .collect();
         let fault = faults_on.then(|| FaultEngine::new(config.faults.clone(), &topology));
         let horizon = SimTime::ZERO + config.duration + config.drain;
         let rebuild = (config.shards > 1).then(|| {
@@ -482,13 +485,18 @@ impl Network {
         Ok(network)
     }
 
-    fn install_flows(&mut self, offsets: &HashMap<FlowId, SimDuration>) -> TsnResult<()> {
+    fn install_flows(&mut self, offsets: &FlowMap<SimDuration>) -> TsnResult<()> {
         // Per-switch running meter allocation and per-(switch, port, queue)
         // reserved-rate accumulation for the shapers. BTreeMaps: switch
         // programming must not depend on hash iteration order, or two
         // builds of the same scenario configure their switches differently.
         let mut next_meter: BTreeMap<NodeId, u32> = BTreeMap::new();
         let mut rc_reservations: BTreeMap<(NodeId, PortId, QueueId), u64> = BTreeMap::new();
+        // One BFS tree per distinct talker, shared by all of its flows.
+        // Tree extraction returns exactly what per-flow `route()` would,
+        // so programmed tables (and reports) are unchanged — install just
+        // stops being O(flows × network).
+        let mut route_trees = RouteTreeCache::new();
 
         // Borrow the shared flow set through its own handle so the loop
         // body can still take `&mut self` (at 512 flows a deep clone
@@ -510,7 +518,7 @@ impl Network {
                     ));
                 }
             }
-            let route = self.topology.route(src, dst)?;
+            let route = route_trees.route(&self.topology, src, dst)?;
             if self.fault.is_some() {
                 let links = self.route_links(&route);
                 if let Some(engine) = &mut self.fault {
@@ -577,10 +585,7 @@ impl Network {
             }
 
             // Attach the generator on the talker host.
-            let offset = offsets
-                .get(&flow.id())
-                .copied()
-                .unwrap_or(SimDuration::ZERO);
+            let offset = offsets.get(flow.id()).copied().unwrap_or(SimDuration::ZERO);
             let generator = match flow {
                 FlowSpec::Ts(ts) => Generator::time_sensitive(
                     ts.id(),
@@ -939,12 +944,26 @@ impl Network {
     /// context instead of the (replica-identical) engine counter.
     pub(crate) fn reprogram_routes(&mut self) {
         let flows = Arc::clone(&self.flows);
+        // The dead-link set is fixed for the duration of one reprogram
+        // pass, so one avoiding-BFS per talker serves all of its flows
+        // (identical routes to the per-flow `route_avoiding` calls).
+        let mut route_trees: BTreeMap<NodeId, RouteTree> = BTreeMap::new();
         for flow in flows.iter() {
             let engine = self.fault.as_mut().expect("caller holds an engine");
-            let route = self
-                .topology
-                .route_avoiding(flow.src(), flow.dst(), |l| engine.is_down(l));
-            let Ok(route) = route else {
+            let tree = match route_trees.entry(flow.src()) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    let Ok(tree) = self
+                        .topology
+                        .routes_from_avoiding(flow.src(), |l| engine.is_down(l))
+                    else {
+                        engine.note_unroutable(flow.id());
+                        continue;
+                    };
+                    e.insert(tree)
+                }
+            };
+            let Ok(route) = tree.route(&self.topology, flow.dst()) else {
                 engine.note_unroutable(flow.id());
                 continue;
             };
@@ -1302,9 +1321,9 @@ impl Network {
                 }
                 return;
             }
-            let deadline = self.deadlines.get(&frame.flow()).copied();
+            let deadline = self.deadlines.get(frame.flow()).copied();
             if let (Some(deadline), Some(engine)) =
-                (self.deadlines.get(&frame.flow()), self.fault.as_mut())
+                (self.deadlines.get(frame.flow()), self.fault.as_mut())
             {
                 // Attribute the miss by the flow's route state at
                 // delivery time: detour-induced vs. plain congestion.

@@ -253,6 +253,25 @@ impl SimReport {
         self.analyzer.class_injected(TrafficClass::TimeSensitive)
     }
 
+    /// Median TS latency from the streaming log2 histogram (`None` until
+    /// a TS frame has been delivered).
+    #[must_use]
+    pub fn ts_p50(&self) -> Option<tsn_types::SimDuration> {
+        self.ts_latency().p50()
+    }
+
+    /// 99th-percentile TS latency from the streaming log2 histogram.
+    #[must_use]
+    pub fn ts_p99(&self) -> Option<tsn_types::SimDuration> {
+        self.ts_latency().p99()
+    }
+
+    /// 99.9th-percentile TS latency from the streaming log2 histogram.
+    #[must_use]
+    pub fn ts_p999(&self) -> Option<tsn_types::SimDuration> {
+        self.ts_latency().p999()
+    }
+
     /// The busiest transmit side of any link, as `(node, port,
     /// utilization)`.
     #[must_use]
@@ -269,7 +288,8 @@ impl fmt::Display for SimReport {
         let ts = self.ts_latency();
         writeln!(
             f,
-            "TS: n={} avg={:.1}us jitter={:.2}us min={:.1}us max={:.1}us loss={} misses={}",
+            "TS: n={} avg={:.1}us jitter={:.2}us min={:.1}us max={:.1}us \
+             p50={:.1}us p99={:.1}us p999={:.1}us loss={} misses={}",
             ts.count(),
             ts.mean_us(),
             self.analyzer
@@ -277,6 +297,9 @@ impl fmt::Display for SimReport {
                 / 1000.0,
             ts.min().map_or(0.0, |d| d.as_micros_f64()),
             ts.max().map_or(0.0, |d| d.as_micros_f64()),
+            ts.p50().map_or(0.0, |d| d.as_micros_f64()),
+            ts.p99().map_or(0.0, |d| d.as_micros_f64()),
+            ts.p999().map_or(0.0, |d| d.as_micros_f64()),
             self.ts_lost(),
             self.ts_deadline_misses(),
         )?;

@@ -1170,8 +1170,7 @@ mod tests {
     use super::*;
     use crate::fault::{FaultConfig, LinkFaultProfile};
     use crate::network::SimConfig;
-    use std::collections::HashMap;
-    use tsn_types::{DataRate, FlowSet, NodeId};
+    use tsn_types::{DataRate, FlowMap, FlowSet, NodeId};
 
     #[test]
     fn provisional_keys_decode_and_order() {
@@ -1214,7 +1213,7 @@ mod tests {
 
     fn build(topo: tsn_topology::Topology, config: SimConfig) -> (Network, Partition) {
         let net =
-            Network::build(topo, FlowSet::new(), &HashMap::new(), config).expect("network builds");
+            Network::build(topo, FlowSet::new(), &FlowMap::new(), config).expect("network builds");
         let partition = partition_network(&net.topology, 2);
         assert_eq!(partition.shards(), 2);
         (net, partition)

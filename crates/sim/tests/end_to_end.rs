@@ -2,12 +2,12 @@
 //! zero TS loss, background-traffic immunity, resource-shortfall failure
 //! modes, determinism.
 
-use std::collections::HashMap;
 use tsn_sim::network::{Network, SimConfig, SyncSetup};
 use tsn_sim::SimReport;
 use tsn_topology::{presets, Topology};
 use tsn_types::{
-    BeFlowSpec, DataRate, FlowId, FlowSet, RcFlowSpec, SimDuration, TrafficClass, TsFlowSpec,
+    BeFlowSpec, DataRate, FlowId, FlowMap, FlowSet, RcFlowSpec, SimDuration, TrafficClass,
+    TsFlowSpec,
 };
 
 const SLOT: SimDuration = SimDuration::from_micros(65);
@@ -48,7 +48,7 @@ fn short_config_for_ports(ports: u32) -> SimConfig {
 }
 
 fn run(topology: Topology, flows: FlowSet, config: SimConfig) -> SimReport {
-    Network::build(topology, flows, &HashMap::new(), config)
+    Network::build(topology, flows, &FlowMap::new(), config)
         .expect("network builds")
         .run()
 }
@@ -267,8 +267,8 @@ fn star_topology_carries_cross_traffic() {
     let hosts = topo.hosts();
     let mut flows = FlowSet::new();
     let mut id = 0;
-    for &a in &hosts {
-        for &b in &hosts {
+    for &a in hosts {
+        for &b in hosts {
             if a != b {
                 flows.push(ts_flow(id, a, b).into());
                 id += 1;
@@ -380,7 +380,7 @@ fn undersized_class_table_fails_loudly_at_build() {
     }
     let mut config = short_config();
     config.resources.set_class_tbl(8).expect("valid");
-    let err = Network::build(topo, flows, &HashMap::new(), config);
+    let err = Network::build(topo, flows, &FlowMap::new(), config);
     assert!(err.is_err(), "32 flows cannot fit an 8-entry class table");
 }
 
@@ -399,7 +399,7 @@ fn injection_offsets_shift_arrival_slots() {
     let zero = run(topo_a, flows_a, short_config());
 
     let (topo_b, flows_b) = base();
-    let mut offsets = HashMap::new();
+    let mut offsets = FlowMap::new();
     offsets.insert(FlowId::new(0), SimDuration::from_micros(32));
     let shifted = Network::build(topo_b, flows_b, &offsets, short_config())
         .expect("network builds")

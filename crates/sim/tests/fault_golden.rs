@@ -12,13 +12,14 @@
 //!    event-queue backends, and across sweep worker counts (the PR-1
 //!    guarantee extends to faulted runs).
 
-use std::collections::HashMap;
 use tsn_sim::network::{Network, SimConfig};
 use tsn_sim::{
     run_sweep, EventQueueKind, FaultConfig, LinkFaultProfile, LinkFlap, LinkOutage, SimReport,
 };
 use tsn_topology::LinkId;
-use tsn_types::{BeFlowSpec, DataRate, FlowId, FlowSet, RcFlowSpec, SimDuration, TsFlowSpec};
+use tsn_types::{
+    BeFlowSpec, DataRate, FlowId, FlowMap, FlowSet, RcFlowSpec, SimDuration, TsFlowSpec,
+};
 
 fn fixed_scenario() -> (tsn_topology::Topology, FlowSet) {
     let topo = tsn_topology::presets::ring(6, 3).expect("ring builds");
@@ -127,7 +128,7 @@ fn base_config() -> SimConfig {
 
 fn run_with(config: SimConfig) -> SimReport {
     let (topo, flows) = fixed_scenario();
-    Network::build(topo, flows, &HashMap::new(), config)
+    Network::build(topo, flows, &FlowMap::new(), config)
         .expect("network builds")
         .run()
 }
@@ -140,7 +141,7 @@ fn run_redundant(mut config: SimConfig) -> SimReport {
         .set_queues(12, 8, 2)
         .expect("valid queue geometry");
     let (topo, flows) = redundant_scenario();
-    Network::build(topo, flows, &HashMap::new(), config)
+    Network::build(topo, flows, &FlowMap::new(), config)
         .expect("network builds")
         .run()
 }

@@ -4,10 +4,11 @@
 //! no matter how often it is re-run. Both backends realize the same
 //! `(time, seq)` total order, so any divergence is a scheduler bug.
 
-use std::collections::HashMap;
 use tsn_sim::network::{Network, SimConfig};
 use tsn_sim::{EventQueueKind, SimReport};
-use tsn_types::{BeFlowSpec, DataRate, FlowId, FlowSet, RcFlowSpec, SimDuration, TsFlowSpec};
+use tsn_types::{
+    BeFlowSpec, DataRate, FlowId, FlowMap, FlowSet, RcFlowSpec, SimDuration, TsFlowSpec,
+};
 
 /// The fixed scenario: a 6-switch ring with mixed TS/RC/BE traffic and
 /// drifting gPTP clocks, so the run exercises gating, shaping, sync
@@ -64,7 +65,7 @@ fn run_with(kind: EventQueueKind, preemption: bool) -> SimReport {
     config.drain = SimDuration::from_millis(10);
     config.event_queue = kind;
     config.frame_preemption = preemption;
-    Network::build(topo, flows, &HashMap::new(), config)
+    Network::build(topo, flows, &FlowMap::new(), config)
         .expect("network builds")
         .run()
 }

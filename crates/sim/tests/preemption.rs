@@ -2,11 +2,12 @@
 //! in-flight preemptable frames, removing head-of-line blocking — at no
 //! cost to the preempted traffic beyond fragment overhead.
 
-use std::collections::HashMap;
 use tsn_sim::network::{Network, SimConfig, SyncSetup};
 use tsn_sim::SimReport;
 use tsn_topology::presets;
-use tsn_types::{BeFlowSpec, DataRate, FlowId, FlowSet, SimDuration, TrafficClass, TsFlowSpec};
+use tsn_types::{
+    BeFlowSpec, DataRate, FlowId, FlowMap, FlowSet, SimDuration, TrafficClass, TsFlowSpec,
+};
 
 fn loaded_scenario(preemption: bool) -> SimReport {
     let topo = presets::ring(6, 3).expect("ring builds");
@@ -43,7 +44,7 @@ fn loaded_scenario(preemption: bool) -> SimReport {
     config.duration = SimDuration::from_millis(60);
     config.sync = SyncSetup::Perfect;
     config.frame_preemption = preemption;
-    Network::build(topo, flows, &HashMap::new(), config)
+    Network::build(topo, flows, &FlowMap::new(), config)
         .expect("network builds")
         .run()
 }
@@ -125,7 +126,7 @@ fn quiet_networks_never_preempt() {
     config.duration = SimDuration::from_millis(40);
     config.sync = SyncSetup::Perfect;
     config.frame_preemption = true;
-    let report = Network::build(topo, flows, &HashMap::new(), config)
+    let report = Network::build(topo, flows, &FlowMap::new(), config)
         .expect("network builds")
         .run();
     assert_eq!(report.preemptions, 0, "nothing preemptable in flight");

@@ -16,13 +16,12 @@
 //! of which path was taken — the `ShardOverhead` counters are how the
 //! tests tell the paths apart.
 
-use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 use tsn_sim::network::{Network, SimConfig};
 use tsn_sim::{FaultConfig, LinkFaultProfile, ShardExecution, SimReport, SHARD_SABOTAGE};
 use tsn_topology::{LinkDirection, LinkId, Topology};
-use tsn_types::{DataRate, FlowId, FlowSet, SimDuration, TsFlowSpec};
+use tsn_types::{DataRate, FlowId, FlowMap, FlowSet, SimDuration, TsFlowSpec};
 
 /// `SHARD_SABOTAGE` is process-global: serialize every test in this
 /// binary so a sabotaged run cannot bleed into a healthy one.
@@ -53,7 +52,7 @@ fn config() -> SimConfig {
 }
 
 fn run(topo: Topology, flows: FlowSet, config: SimConfig) -> SimReport {
-    Network::build(topo, flows, &HashMap::new(), config)
+    Network::build(topo, flows, &FlowMap::new(), config)
         .expect("network builds")
         .run()
 }

@@ -7,13 +7,14 @@
 //! fault trajectory. Any divergence is a synchronization or merge bug
 //! in `tsn_sim::shard`.
 
-use std::collections::HashMap;
 use tsn_sim::network::{Network, SimConfig};
 use tsn_sim::{
     EventQueueKind, FaultConfig, LinkFaultProfile, LinkFlap, LinkOutage, SimReport, SyncSetup,
 };
 use tsn_topology::LinkId;
-use tsn_types::{BeFlowSpec, DataRate, FlowId, FlowSet, RcFlowSpec, SimDuration, TsFlowSpec};
+use tsn_types::{
+    BeFlowSpec, DataRate, FlowId, FlowMap, FlowSet, RcFlowSpec, SimDuration, TsFlowSpec,
+};
 
 /// The `golden_report.rs` scenario: a 6-switch ring with mixed traffic.
 fn fixed_scenario() -> (tsn_topology::Topology, FlowSet) {
@@ -162,7 +163,7 @@ fn faulty_config(seed: u64) -> SimConfig {
 fn run_fixed(mut config: SimConfig, shards: usize) -> SimReport {
     config.shards = shards;
     let (topo, flows) = fixed_scenario();
-    Network::build(topo, flows, &HashMap::new(), config)
+    Network::build(topo, flows, &FlowMap::new(), config)
         .expect("network builds")
         .run()
 }
@@ -174,7 +175,7 @@ fn run_redundant(mut config: SimConfig, shards: usize) -> SimReport {
         .set_queues(12, 8, 2)
         .expect("valid queue geometry");
     let (topo, flows) = redundant_scenario();
-    Network::build(topo, flows, &HashMap::new(), config)
+    Network::build(topo, flows, &FlowMap::new(), config)
         .expect("network builds")
         .run()
 }

@@ -46,8 +46,11 @@ impl EnabledPorts {
     /// [`tsn_types::TsnError::UnknownNode`]) for any flow.
     pub fn from_flows(topology: &Topology, flows: &FlowSet) -> TsnResult<Self> {
         let mut result = EnabledPorts::default();
+        // One BFS per distinct talker, shared across that talker's flows —
+        // tree extraction yields exactly the per-flow `route()` result.
+        let mut trees = crate::graph::RouteTreeCache::new();
         for flow in flows.ts_flows() {
-            let route = topology.route(flow.src(), flow.dst())?;
+            let route = trees.route(topology, flow.src(), flow.dst())?;
             result.absorb_route(topology, &route);
         }
         Ok(result)
@@ -135,8 +138,8 @@ mod tests {
         let hosts = topology.hosts();
         let mut flows = FlowSet::new();
         let mut id = 0;
-        for &a in &hosts {
-            for &b in &hosts {
+        for &a in hosts {
+            for &b in hosts {
                 if a != b {
                     flows.push(
                         TsFlowSpec::new(

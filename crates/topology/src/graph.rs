@@ -38,6 +38,11 @@ pub struct Topology {
     links: Vec<Link>,
     /// `ports[node][port]` is the link attached to that port.
     ports: Vec<Vec<LinkId>>,
+    // Node-kind index lists, maintained on insert so `switches()` /
+    // `hosts()` are allocation-free — they sit in loops all over the
+    // builder and verifier.
+    switch_ids: Vec<NodeId>,
+    host_ids: Vec<NodeId>,
 }
 
 impl Topology {
@@ -61,6 +66,10 @@ impl Topology {
         let id = NodeId::new(self.nodes.len() as u32);
         self.nodes.push(Node::new(id, kind, name));
         self.ports.push(Vec::new());
+        match kind {
+            NodeKind::Switch => self.switch_ids.push(id),
+            NodeKind::Host => self.host_ids.push(id),
+        }
         id
     }
 
@@ -158,24 +167,18 @@ impl Topology {
         &self.nodes
     }
 
-    /// Ids of all switches, in creation order.
+    /// Ids of all switches, in creation order. The list is cached at
+    /// construction, so calling this in a loop is free.
     #[must_use]
-    pub fn switches(&self) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| n.is_switch())
-            .map(Node::id)
-            .collect()
+    pub fn switches(&self) -> &[NodeId] {
+        &self.switch_ids
     }
 
-    /// Ids of all hosts, in creation order.
+    /// Ids of all hosts, in creation order. The list is cached at
+    /// construction, so calling this in a loop is free.
     #[must_use]
-    pub fn hosts(&self) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| n.is_host())
-            .map(Node::id)
-            .collect()
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.host_ids
     }
 
     /// All links, in creation order.
@@ -258,16 +261,62 @@ impl Topology {
         self.check_node(from)?;
         self.check_node(to)?;
         if from == to {
-            let kind = self.nodes[from.as_usize()].kind();
-            return Ok(Route::new(vec![RouteHop {
-                node: from,
-                kind,
-                ingress: None,
-                egress: None,
-            }]));
+            return Ok(self.trivial_route(from));
         }
+        // Early exit: the BFS prefix explored before the target is
+        // discovered is identical to the full tree's, so the extracted
+        // route matches what `routes_from_avoiding` would produce.
+        let tree = self.bfs_tree(from, &blocked, Some(to));
+        tree.extract(self, to)
+    }
 
-        // BFS, remembering (previous node, egress port there, ingress port here).
+    /// Computes the shortest-path tree from `from` to *every* reachable
+    /// node in one BFS. One tree amortizes route extraction across all of
+    /// a talker's flows — [`RouteTree::route`] yields exactly the route
+    /// [`Topology::route`] would return, in O(path) per destination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::UnknownNode`] if `from` does not exist.
+    pub fn routes_from(&self, from: NodeId) -> TsnResult<RouteTree> {
+        self.routes_from_avoiding(from, |_| false)
+    }
+
+    /// Like [`routes_from`](Topology::routes_from), but links for which
+    /// `blocked` returns `true` are treated as cut.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsnError::UnknownNode`] if `from` does not exist.
+    pub fn routes_from_avoiding(
+        &self,
+        from: NodeId,
+        blocked: impl Fn(LinkId) -> bool,
+    ) -> TsnResult<RouteTree> {
+        self.check_node(from)?;
+        Ok(self.bfs_tree(from, &blocked, None))
+    }
+
+    fn trivial_route(&self, node: NodeId) -> Route {
+        let kind = self.nodes[node.as_usize()].kind();
+        Route::new(vec![RouteHop {
+            node,
+            kind,
+            ingress: None,
+            egress: None,
+        }])
+    }
+
+    // BFS, remembering (previous node, egress port there, ingress port
+    // here) per discovered node. With `target` set the search stops at
+    // discovery; the prefix explored up to that point is the same as the
+    // full tree's, so single-route and all-routes extraction agree.
+    fn bfs_tree(
+        &self,
+        from: NodeId,
+        blocked: &impl Fn(LinkId) -> bool,
+        target: Option<NodeId>,
+    ) -> RouteTree {
         let mut prev: Vec<Option<(NodeId, PortId, PortId)>> = vec![None; self.nodes.len()];
         let mut visited = vec![false; self.nodes.len()];
         visited[from.as_usize()] = true;
@@ -289,48 +338,18 @@ impl Topology {
                 if !visited[peer.node.as_usize()] {
                     visited[peer.node.as_usize()] = true;
                     prev[peer.node.as_usize()] = Some((current, egress, peer.port));
-                    if peer.node == to {
+                    if Some(peer.node) == target {
                         break 'search;
                     }
                     queue.push_back(peer.node);
                 }
             }
         }
-
-        if !visited[to.as_usize()] {
-            return Err(TsnError::NoRoute { from, to });
+        RouteTree {
+            from,
+            prev,
+            visited,
         }
-
-        // Walk back from the destination.
-        let mut rev: Vec<(NodeId, Option<PortId>, Option<PortId>)> = Vec::new();
-        let mut cursor = to;
-        let mut downstream_ingress: Option<PortId> = None;
-        loop {
-            match prev[cursor.as_usize()] {
-                Some((parent, egress_at_parent, ingress_here)) => {
-                    rev.push((cursor, Some(ingress_here), downstream_ingress.take()));
-                    // The hop we just recorded leaves through... handled below:
-                    // store parent's egress so the *parent* entry gets it.
-                    downstream_ingress = Some(egress_at_parent);
-                    cursor = parent;
-                }
-                None => {
-                    rev.push((cursor, None, downstream_ingress.take()));
-                    break;
-                }
-            }
-        }
-        rev.reverse();
-        let hops = rev
-            .into_iter()
-            .map(|(node, ingress, egress)| RouteHop {
-                node,
-                kind: self.nodes[node.as_usize()].kind(),
-                ingress,
-                egress,
-            })
-            .collect();
-        Ok(Route::new(hops))
     }
 
     /// The host attached to a switch through the first host-facing link, if
@@ -359,6 +378,170 @@ impl Topology {
                 .filter(|n| n.is_switch())
                 .map(|_| peer.node)
         })
+    }
+}
+
+/// A shortest-path (BFS) tree rooted at one source node.
+///
+/// Produced by [`Topology::routes_from`]; extracting the route to any
+/// destination is O(path length), so installing all of one talker's flows
+/// costs a single BFS instead of one per flow.
+///
+/// # Example
+///
+/// ```
+/// use tsn_topology::presets;
+///
+/// let topo = presets::ring(4, 4)?;
+/// let hosts = topo.hosts();
+/// let tree = topo.routes_from(hosts[0])?;
+/// for &dst in &hosts[1..] {
+///     let batched = tree.route(&topo, dst)?;
+///     let direct = topo.route(hosts[0], dst)?;
+///     assert_eq!(batched.hops(), direct.hops());
+/// }
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteTree {
+    from: NodeId,
+    prev: Vec<Option<(NodeId, PortId, PortId)>>,
+    visited: Vec<bool>,
+}
+
+impl RouteTree {
+    /// The tree's source node.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.from
+    }
+
+    /// `true` when `to` is reachable from the source.
+    #[must_use]
+    pub fn reaches(&self, to: NodeId) -> bool {
+        self.visited.get(to.as_usize()).copied().unwrap_or(false)
+    }
+
+    /// Extracts the route from the source to `to`. Byte-identical to
+    /// [`Topology::route`] over the same (unmutated) topology.
+    ///
+    /// # Errors
+    ///
+    /// * [`TsnError::UnknownNode`] if `to` does not exist.
+    /// * [`TsnError::NoRoute`] if `to` is unreachable.
+    pub fn route(&self, topology: &Topology, to: NodeId) -> TsnResult<Route> {
+        topology.check_node(to)?;
+        if to == self.from {
+            return Ok(topology.trivial_route(to));
+        }
+        self.extract(topology, to)
+    }
+
+    // Walk back from the destination along the prev-pointers.
+    fn extract(&self, topology: &Topology, to: NodeId) -> TsnResult<Route> {
+        if !self.reaches(to) {
+            return Err(TsnError::NoRoute {
+                from: self.from,
+                to,
+            });
+        }
+        let mut rev: Vec<(NodeId, Option<PortId>, Option<PortId>)> = Vec::new();
+        let mut cursor = to;
+        let mut downstream_ingress: Option<PortId> = None;
+        loop {
+            match self.prev[cursor.as_usize()] {
+                Some((parent, egress_at_parent, ingress_here)) => {
+                    rev.push((cursor, Some(ingress_here), downstream_ingress.take()));
+                    // The hop we just recorded leaves through... handled below:
+                    // store parent's egress so the *parent* entry gets it.
+                    downstream_ingress = Some(egress_at_parent);
+                    cursor = parent;
+                }
+                None => {
+                    rev.push((cursor, None, downstream_ingress.take()));
+                    break;
+                }
+            }
+        }
+        rev.reverse();
+        let hops = rev
+            .into_iter()
+            .map(|(node, ingress, egress)| RouteHop {
+                node,
+                kind: topology.nodes[node.as_usize()].kind(),
+                ingress,
+                egress,
+            })
+            .collect();
+        Ok(Route::new(hops))
+    }
+}
+
+/// A bounded cache of [`RouteTree`]s keyed by talker, for routing many
+/// flows that share sources without re-running BFS per flow **or**
+/// holding one tree per talker alive forever.
+///
+/// A tree costs O(nodes) memory, so caching every talker of a large
+/// plant (thousands of hosts over a 10⁴-node graph) would cost
+/// O(talkers × nodes) — quadratic in plant size. The cache instead
+/// holds at most [`RouteTreeCache::CAPACITY`] trees and clears itself
+/// when full; callers that group their flows by talker (all workload
+/// generators here do) re-run at most one extra BFS per talker per
+/// clear. The routes produced are identical regardless of cache hits.
+///
+/// # Example
+///
+/// ```
+/// use tsn_topology::{presets, RouteTreeCache};
+///
+/// let topo = presets::ring(4, 4)?;
+/// let hosts = topo.hosts();
+/// let mut cache = RouteTreeCache::new();
+/// let route = cache.route(&topo, hosts[0], hosts[1])?;
+/// assert_eq!(route.hops(), topo.route(hosts[0], hosts[1])?.hops());
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct RouteTreeCache {
+    trees: std::collections::BTreeMap<NodeId, RouteTree>,
+}
+
+impl RouteTreeCache {
+    /// Most trees held at once; one tree is O(nodes), so the cache's
+    /// footprint stays O(CAPACITY × nodes) no matter how many talkers
+    /// stream through it.
+    pub const CAPACITY: usize = 64;
+
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached tree rooted at `from`, running BFS on a miss.
+    ///
+    /// # Errors
+    ///
+    /// [`TsnError::UnknownNode`] if `from` does not exist.
+    pub fn tree(&mut self, topology: &Topology, from: NodeId) -> TsnResult<&RouteTree> {
+        use std::collections::btree_map::Entry;
+        match self.trees.entry(from) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(e) => Ok(e.insert(topology.routes_from(from)?)),
+        }
+    }
+
+    /// Routes `from → to` through the cached tree. Byte-identical to
+    /// [`Topology::route`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::route`].
+    pub fn route(&mut self, topology: &Topology, from: NodeId, to: NodeId) -> TsnResult<Route> {
+        if self.trees.len() >= Self::CAPACITY && !self.trees.contains_key(&from) {
+            self.trees.clear();
+        }
+        self.tree(topology, from)?.route(topology, to)
     }
 }
 
@@ -495,6 +678,45 @@ mod tests {
             t.route_avoiding(s0, s3, |l| l.index() != 3),
             Err(TsnError::NoRoute { .. })
         ));
+    }
+
+    #[test]
+    fn route_tree_matches_per_pair_routes() {
+        // Square with two equal-cost paths plus a directed ring tail:
+        // exercises tie-breaking and unidirectional links.
+        let mut t = Topology::new();
+        let s: Vec<NodeId> = (0..4).map(|i| t.add_switch(format!("s{i}"))).collect();
+        t.connect(s[0], s[1], DataRate::gbps(1)).expect("link");
+        t.connect(s[1], s[3], DataRate::gbps(1)).expect("link");
+        t.connect(s[0], s[2], DataRate::gbps(1)).expect("link");
+        t.connect(s[2], s[3], DataRate::gbps(1)).expect("link");
+        let h = t.add_host("h");
+        t.connect(s[3], h, DataRate::gbps(1)).expect("link");
+
+        for &from in s.iter().chain([&h]) {
+            let tree = t.routes_from(from).expect("tree");
+            assert_eq!(tree.source(), from);
+            for &to in s.iter().chain([&h]) {
+                let direct = t.route(from, to).expect("route");
+                let batched = tree.route(&t, to).expect("tree route");
+                assert_eq!(direct.hops(), batched.hops(), "{from}->{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_tree_avoiding_matches_and_reports_unreachable() {
+        let (t, s0, _, _, ha, hb) = line3();
+        let l = t.link_at(s0, PortId::new(1)).expect("s0-s1 cabled").id();
+        let tree = t.routes_from_avoiding(ha, |lid| lid == l).expect("tree");
+        assert!(!tree.reaches(hb));
+        assert!(matches!(tree.route(&t, hb), Err(TsnError::NoRoute { .. })));
+        assert!(matches!(
+            t.route_avoiding(ha, hb, |lid| lid == l),
+            Err(TsnError::NoRoute { .. })
+        ));
+        // Self-route through the tree is the same trivial route.
+        assert!(tree.route(&t, ha).expect("trivial").is_empty());
     }
 
     #[test]

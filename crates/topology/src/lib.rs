@@ -40,7 +40,7 @@ pub mod presets;
 pub mod route;
 
 pub use analysis::EnabledPorts;
-pub use graph::Topology;
+pub use graph::{RouteTree, RouteTreeCache, Topology};
 pub use link::{Link, LinkDirection, LinkEnd, LinkId};
 pub use node::{Node, NodeKind};
 pub use partition::{partition_network, Partition};

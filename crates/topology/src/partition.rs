@@ -130,7 +130,7 @@ pub fn partition_network(topology: &Topology, shards: usize) -> Partition {
     // BFS order from the smallest-id switch of each component.
     let mut order: Vec<usize> = Vec::with_capacity(switches.len());
     let mut seen = vec![false; n];
-    for &start in &switches {
+    for &start in switches {
         let start = start.as_usize();
         if seen[start] {
             continue;
@@ -265,7 +265,7 @@ mod tests {
         let topo = presets::ring(6, 6).expect("preset");
         for shards in 2..=4 {
             let p = partition_network(&topo, shards);
-            for &host in &topo.hosts() {
+            for &host in topo.hosts() {
                 let sw = topo.switch_of_host(host).expect("preset hosts are cabled");
                 assert_eq!(
                     p.shard_of(host),
@@ -291,7 +291,7 @@ mod tests {
         assert_eq!(a, b, "same input must give the same partition");
         // Ring of 8 equal-weight switches into 4 shards: 2 switches each.
         let mut counts = vec![0usize; 4];
-        for &sw in &topo.switches() {
+        for &sw in topo.switches() {
             counts[a.shard_of(sw)] += 1;
         }
         assert_eq!(counts, vec![2, 2, 2, 2]);

@@ -147,6 +147,157 @@ pub fn star(children: usize, hosts: usize) -> TsnResult<Topology> {
     Ok(topo)
 }
 
+/// A k-ary fat-tree (folded Clos) data-center fabric with `k/2` hosts per
+/// edge switch: `(k/2)²` core switches and `k` pods of `k/2` aggregation +
+/// `k/2` edge switches each, `k³/4` hosts total.
+///
+/// Aggregation switch `j` of every pod uplinks to core group `j` (cores
+/// `j·k/2 .. (j+1)·k/2`), the classic rearrangeably non-blocking wiring.
+/// All links are bidirectional at [`PRESET_RATE`].
+///
+/// # Errors
+///
+/// Returns [`TsnError::InvalidParameter`] unless `k` is even and `k ≥ 2`.
+///
+/// # Example
+///
+/// ```
+/// use tsn_topology::presets;
+///
+/// let topo = presets::fat_tree(4)?;
+/// assert_eq!(topo.switches().len(), 4 * 4 + 4); // 4 cores + 4 pods × 4
+/// assert_eq!(topo.hosts().len(), 16);
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+pub fn fat_tree(k: usize) -> TsnResult<Topology> {
+    fat_tree_with_hosts(k, k / 2)
+}
+
+/// [`fat_tree`] with `hosts_per_edge` hosts on each edge switch
+/// (`1 ..= k/2`), for workloads that need fewer end stations than the
+/// full fabric supports.
+///
+/// # Errors
+///
+/// Returns [`TsnError::InvalidParameter`] unless `k` is even, `k ≥ 2` and
+/// `1 <= hosts_per_edge <= k/2`.
+pub fn fat_tree_with_hosts(k: usize, hosts_per_edge: usize) -> TsnResult<Topology> {
+    if k < 2 || !k.is_multiple_of(2) {
+        return Err(TsnError::invalid_parameter(
+            "k",
+            "a fat-tree needs an even k of at least 2",
+        ));
+    }
+    let half = k / 2;
+    if hosts_per_edge == 0 || hosts_per_edge > half {
+        return Err(TsnError::invalid_parameter(
+            "hosts_per_edge",
+            "an edge switch hosts between 1 and k/2 end stations",
+        ));
+    }
+    let mut topo = Topology::new();
+    let cores: Vec<_> = (0..half * half)
+        .map(|i| topo.add_switch(format!("core{i}")))
+        .collect();
+    for pod in 0..k {
+        let aggs: Vec<_> = (0..half)
+            .map(|j| topo.add_switch(format!("pod{pod}-agg{j}")))
+            .collect();
+        let edges: Vec<_> = (0..half)
+            .map(|j| topo.add_switch(format!("pod{pod}-edge{j}")))
+            .collect();
+        for (j, &agg) in aggs.iter().enumerate() {
+            for &core in &cores[j * half..(j + 1) * half] {
+                topo.connect(agg, core, PRESET_RATE)?;
+            }
+            for &edge in &edges {
+                topo.connect(edge, agg, PRESET_RATE)?;
+            }
+        }
+        for (j, &edge) in edges.iter().enumerate() {
+            for h in 0..hosts_per_edge {
+                let host = topo.add_host(format!("pod{pod}-e{j}-h{h}"));
+                topo.connect(host, edge, PRESET_RATE)?;
+            }
+        }
+    }
+    Ok(topo)
+}
+
+/// A multi-ring industrial backbone: `rings` production-cell rings of
+/// `ring_size` switches each (bidirectional cycles), whose first switch is
+/// a gateway; the gateways are joined by a bidirectional backbone ring.
+/// `hosts_per_ring` hosts attach to each cell's first switches.
+///
+/// This is the large-plant shape of IEC/IEEE 60802-style deployments:
+/// machine-level rings for local sensor/actuator traffic, a plant backbone
+/// for cross-cell flows.
+///
+/// # Errors
+///
+/// Returns [`TsnError::InvalidParameter`] if `rings == 0`, `ring_size < 3`,
+/// `hosts_per_ring == 0` or `hosts_per_ring > ring_size`.
+///
+/// # Example
+///
+/// ```
+/// use tsn_topology::presets;
+///
+/// let topo = presets::multi_ring(4, 8, 8)?;
+/// assert_eq!(topo.switches().len(), 32);
+/// assert_eq!(topo.hosts().len(), 32);
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+pub fn multi_ring(rings: usize, ring_size: usize, hosts_per_ring: usize) -> TsnResult<Topology> {
+    if rings == 0 {
+        return Err(TsnError::invalid_parameter(
+            "rings",
+            "a plant needs at least one cell ring",
+        ));
+    }
+    if ring_size < 3 {
+        return Err(TsnError::invalid_parameter(
+            "ring_size",
+            "a cell ring needs at least three switches",
+        ));
+    }
+    if hosts_per_ring == 0 || hosts_per_ring > ring_size {
+        return Err(TsnError::invalid_parameter(
+            "hosts_per_ring",
+            "each cell hosts between 1 and ring_size end stations",
+        ));
+    }
+    let mut topo = Topology::new();
+    let mut gateways = Vec::with_capacity(rings);
+    for r in 0..rings {
+        let members: Vec<_> = (0..ring_size)
+            .map(|i| topo.add_switch(format!("cell{r}-sw{i}")))
+            .collect();
+        gateways.push(members[0]);
+        for i in 0..ring_size {
+            topo.connect(members[i], members[(i + 1) % ring_size], PRESET_RATE)?;
+        }
+        for (h, &sw) in members.iter().take(hosts_per_ring).enumerate() {
+            let host = topo.add_host(format!("cell{r}-host{h}"));
+            topo.connect(host, sw, PRESET_RATE)?;
+        }
+    }
+    // Backbone ring over the gateways (a single link suffices below three
+    // cells; one cell needs no backbone at all).
+    match rings {
+        1 => {}
+        2 => {
+            topo.connect(gateways[0], gateways[1], PRESET_RATE)?;
+        }
+        _ => {
+            for r in 0..rings {
+                topo.connect(gateways[r], gateways[(r + 1) % rings], PRESET_RATE)?;
+            }
+        }
+    }
+    Ok(topo)
+}
+
 fn attach_hosts(
     topo: &mut Topology,
     switches: &[tsn_types::NodeId],
@@ -227,6 +378,66 @@ mod tests {
         assert!(ring(6, 0).is_err());
         assert!(linear(0, 0).is_err());
         assert!(star(3, 4).is_err());
+    }
+
+    #[test]
+    fn fat_tree_matches_clos_arithmetic() {
+        for k in [2usize, 4, 6] {
+            let topo = fat_tree(k).expect("fat-tree builds");
+            let half = k / 2;
+            assert_eq!(topo.switches().len(), half * half + k * k, "k={k}");
+            assert_eq!(topo.hosts().len(), k * half * half, "k={k}");
+            // core-agg + agg-edge + host links.
+            let expected_links = k * half * half + k * half * half + k * half * half;
+            assert_eq!(topo.links().len(), expected_links, "k={k}");
+        }
+    }
+
+    #[test]
+    fn fat_tree_route_lengths_are_bounded() {
+        let topo = fat_tree(4).expect("builds");
+        let hosts = topo.hosts();
+        // Same edge switch: 1 switch hop. hosts 0,1 share pod0-edge0.
+        assert_eq!(topo.route(hosts[0], hosts[1]).unwrap().switch_hops(), 1);
+        // Same pod, different edge: edge-agg-edge.
+        assert_eq!(topo.route(hosts[0], hosts[2]).unwrap().switch_hops(), 3);
+        // Cross pod: edge-agg-core-agg-edge.
+        assert_eq!(topo.route(hosts[0], hosts[4]).unwrap().switch_hops(), 5);
+    }
+
+    #[test]
+    fn fat_tree_validates_parameters() {
+        assert!(fat_tree(0).is_err());
+        assert!(fat_tree(3).is_err());
+        assert!(fat_tree_with_hosts(4, 0).is_err());
+        assert!(fat_tree_with_hosts(4, 3).is_err());
+        assert!(fat_tree_with_hosts(4, 1).is_ok());
+    }
+
+    #[test]
+    fn multi_ring_matches_plant_arithmetic() {
+        let topo = multi_ring(3, 5, 2).expect("plant builds");
+        assert_eq!(topo.switches().len(), 15);
+        assert_eq!(topo.hosts().len(), 6);
+        // 3 cells × 5 cycle links + 6 host links + 3 backbone links.
+        assert_eq!(topo.links().len(), 15 + 6 + 3);
+        // Cross-cell route crosses both gateways.
+        let hosts = topo.hosts();
+        let r = topo.route(hosts[0], hosts[2]).expect("cross-cell route");
+        assert!(r.switch_hops() >= 2);
+    }
+
+    #[test]
+    fn multi_ring_small_counts_avoid_duplicate_backbones() {
+        let one = multi_ring(1, 3, 1).expect("single cell");
+        assert_eq!(one.links().len(), 3 + 1);
+        let two = multi_ring(2, 3, 1).expect("two cells");
+        // 2×3 cycle links + 2 host links + exactly one backbone link.
+        assert_eq!(two.links().len(), 6 + 2 + 1);
+        assert!(multi_ring(0, 3, 1).is_err());
+        assert!(multi_ring(2, 2, 1).is_err());
+        assert!(multi_ring(2, 3, 0).is_err());
+        assert!(multi_ring(2, 3, 4).is_err());
     }
 
     #[test]

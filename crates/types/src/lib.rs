@@ -17,6 +17,8 @@
 //!   switches, together with [`TrafficClass`].
 //! * [`flow`] — TS / RC / BE flow specifications with the parameters used
 //!   in the paper's evaluation (period, deadline, frame size, path length).
+//! * [`flowmap`] — a dense [`FlowId`]-indexed map ([`FlowMap`]) for the
+//!   simulator's per-frame hot paths at 100k–1M-flow scale.
 //! * [`error`] — the shared [`TsnError`] type.
 //!
 //! # Example
@@ -37,6 +39,7 @@
 
 pub mod error;
 pub mod flow;
+pub mod flowmap;
 pub mod frame;
 pub mod ids;
 pub mod mac;
@@ -46,6 +49,7 @@ pub mod vlan;
 
 pub use error::{TsnError, TsnResult};
 pub use flow::{BeFlowSpec, FlowSet, FlowSpec, RcFlowSpec, TsFlowSpec};
+pub use flowmap::FlowMap;
 pub use frame::{EthernetFrame, FrameBuilder, TrafficClass, ETHERNET_OVERHEAD_BYTES};
 pub use ids::{FlowId, McId, MeterId, NodeId, PortId, QueueId};
 pub use mac::MacAddr;

@@ -11,10 +11,11 @@
 
 use tsn_builder::latency_bounds;
 use tsn_resource::{AllocationPolicy, ResourceConfig};
-use tsn_sim::LatencyStats;
+use tsn_sim::{hist_bucket, LatencyStats};
 use tsn_switch::gate_ctrl::{GateControlList, GateEntry};
 use tsn_switch::ingress_filter::TokenBucketMeter;
 use tsn_switch::table::CapTable;
+use tsn_topology::{partition_network, presets, RouteTreeCache, Topology};
 use tsn_types::{DataRate, MacAddr, QueueId, SimDuration, SimTime, SplitMix64, TsnResult};
 
 use crate::corpus::CaseCodec;
@@ -253,6 +254,52 @@ pub const PROPERTIES: &[PortedProperty] = &[
             ],
         },
         oracle: latency_merge,
+    },
+    // The three properties below are new with the scale work (fat-tree /
+    // multi-ring builders and the histogram quantile sketch), not ports:
+    // their seeds are fresh picks, not legacy master seeds.
+    PortedProperty {
+        name: "fat-tree-shape",
+        legacy_seed: 0xfa7,
+        legacy_cases: 64,
+        spec: ParamSpec {
+            fields: &[
+                ("half", Range::new(1, 4)),
+                ("hpe_raw", Range::new(0, 7)),
+                ("shards", Range::new(1, 6)),
+                ("seed", Range::new(0, u64::MAX)),
+            ],
+        },
+        oracle: fat_tree_shape,
+    },
+    PortedProperty {
+        name: "multi-ring-shape",
+        legacy_seed: 0x21465,
+        legacy_cases: 64,
+        spec: ParamSpec {
+            fields: &[
+                ("rings", Range::new(1, 6)),
+                ("ring_size", Range::new(3, 10)),
+                ("hpr_raw", Range::new(0, 15)),
+                ("shards", Range::new(1, 6)),
+                ("seed", Range::new(0, u64::MAX)),
+            ],
+        },
+        oracle: multi_ring_shape,
+    },
+    PortedProperty {
+        name: "quantile-rank-error",
+        legacy_seed: 0x9a11,
+        legacy_cases: 128,
+        spec: ParamSpec {
+            fields: &[
+                ("samples", Range::new(1, 512)),
+                ("max_ns", Range::new(2, 50_000_000)),
+                ("q_permille", Range::new(1, 1000)),
+                ("seed", Range::new(0, u64::MAX)),
+            ],
+        },
+        oracle: quantile_rank_error,
     },
 ];
 
@@ -558,6 +605,201 @@ fn latency_merge(case: &ParamCase) -> Verdict {
             merged.std_ns(),
             whole.std_ns()
         ));
+    }
+    Verdict::Pass
+}
+
+/// Shared topology checks for the builder-shape properties: a sampled
+/// host pair routes identically through the per-call BFS and the bounded
+/// [`RouteTreeCache`] with at most `max_switch_hops` switches on the
+/// path, and [`partition_network`] keeps every host on its switch's
+/// shard with no shard left empty.
+fn topology_shape_checks(
+    topology: &Topology,
+    max_switch_hops: usize,
+    shards: usize,
+    rng: &mut SplitMix64,
+) -> Verdict {
+    let hosts = topology.hosts();
+    if hosts.len() >= 2 {
+        let src = hosts[rng.gen_range(hosts.len() as u64) as usize];
+        let mut dst = src;
+        while dst == src {
+            dst = hosts[rng.gen_range(hosts.len() as u64) as usize];
+        }
+        let direct = match topology.route(src, dst) {
+            Ok(r) => r,
+            Err(e) => return Verdict::Fail(format!("no route {src} -> {dst}: {e}")),
+        };
+        if direct.switch_hops() < 1 || direct.switch_hops() > max_switch_hops {
+            return Verdict::Fail(format!(
+                "route {src} -> {dst} crosses {} switches, outside [1, {max_switch_hops}]",
+                direct.switch_hops()
+            ));
+        }
+        let mut cache = RouteTreeCache::new();
+        match cache.route(topology, src, dst) {
+            Ok(cached) if cached.switch_hops() == direct.switch_hops() => {}
+            Ok(cached) => {
+                return Verdict::Fail(format!(
+                    "cached route crosses {} switches, direct BFS {}",
+                    cached.switch_hops(),
+                    direct.switch_hops()
+                ));
+            }
+            Err(e) => return Verdict::Fail(format!("cache route {src} -> {dst}: {e}")),
+        }
+    }
+
+    let partition = partition_network(topology, shards);
+    if partition.shards() < 1 || partition.shards() > shards.max(1) {
+        return Verdict::Fail(format!(
+            "{} shards used for a request of {shards}",
+            partition.shards()
+        ));
+    }
+    let mut owned = vec![0usize; partition.shards()];
+    for node in topology.nodes() {
+        let shard = partition.shard_of(node.id());
+        if shard >= partition.shards() {
+            return Verdict::Fail(format!(
+                "node {} assigned to shard {shard} of {}",
+                node.id(),
+                partition.shards()
+            ));
+        }
+        if node.is_switch() {
+            owned[shard] += 1;
+        }
+    }
+    for &host in hosts {
+        let Some(switch) = topology.switch_of_host(host) else {
+            return Verdict::Fail(format!("host {host} has no switch"));
+        };
+        if partition.shard_of(host) != partition.shard_of(switch) {
+            return Verdict::Fail(format!(
+                "host {host} on shard {} away from its switch's shard {}",
+                partition.shard_of(host),
+                partition.shard_of(switch)
+            ));
+        }
+    }
+    if let Some(empty) = owned.iter().position(|&n| n == 0) {
+        return Verdict::Fail(format!("shard {empty} owns no switch"));
+    }
+    Verdict::Pass
+}
+
+/// The fat-tree builder produces the Clos arithmetic — `(k/2)²` cores,
+/// `k` pods of `k` switches, `hosts_per_edge` hosts per edge switch and
+/// the matching link count — with every host pair at most 5 switch hops
+/// apart (edge-agg-core-agg-edge) and a partition-compatible shape.
+fn fat_tree_shape(case: &ParamCase) -> Verdict {
+    let half = case.value("half") as usize;
+    let k = 2 * half;
+    let hpe = 1 + (case.value("hpe_raw") as usize) % half;
+    let topology = match presets::fat_tree_with_hosts(k, hpe) {
+        Ok(t) => t,
+        Err(e) => return Verdict::Fail(format!("in-domain fat-tree rejected: {e}")),
+    };
+    let switches = topology.switches().len();
+    if switches != half * half + 2 * k * half {
+        return Verdict::Fail(format!(
+            "k={k}: {switches} switches != (k/2)² cores + k pods × k"
+        ));
+    }
+    let hosts = topology.hosts().len();
+    if hosts != hpe * k * half {
+        return Verdict::Fail(format!(
+            "k={k}, hosts_per_edge={hpe}: {hosts} hosts != hpe × k²/2"
+        ));
+    }
+    let links = topology.links().len();
+    if links != hosts + 4 * half * half * half {
+        return Verdict::Fail(format!(
+            "k={k}: {links} links != {hosts} host links + k³/2 fabric links"
+        ));
+    }
+    let mut rng = SplitMix64::seed_from_u64(case.value("seed"));
+    topology_shape_checks(&topology, 5, case.value("shards") as usize, &mut rng)
+}
+
+/// The multi-ring builder produces `rings × ring_size` switches,
+/// `rings × hosts_per_ring` hosts, cycle-plus-backbone links, and routes
+/// bounded by two half-ring walks plus half the backbone.
+fn multi_ring_shape(case: &ParamCase) -> Verdict {
+    let rings = case.value("rings") as usize;
+    let ring_size = case.value("ring_size") as usize;
+    let hpr = 1 + (case.value("hpr_raw") as usize) % ring_size;
+    let topology = match presets::multi_ring(rings, ring_size, hpr) {
+        Ok(t) => t,
+        Err(e) => return Verdict::Fail(format!("in-domain multi-ring rejected: {e}")),
+    };
+    let switches = topology.switches().len();
+    if switches != rings * ring_size {
+        return Verdict::Fail(format!("{switches} switches != rings × ring_size"));
+    }
+    let hosts = topology.hosts().len();
+    if hosts != rings * hpr {
+        return Verdict::Fail(format!("{hosts} hosts != rings × hosts_per_ring"));
+    }
+    let backbone = match rings {
+        1 => 0,
+        2 => 1,
+        n => n,
+    };
+    let links = topology.links().len();
+    if links != hosts + rings * ring_size + backbone {
+        return Verdict::Fail(format!(
+            "{links} links != {hosts} host + {} cell + {backbone} backbone",
+            rings * ring_size
+        ));
+    }
+    // Worst case: half a ring to the gateway, half the backbone ring,
+    // half a ring to the destination switch.
+    let max_hops = 2 * (ring_size / 2) + rings / 2 + 1;
+    let mut rng = SplitMix64::seed_from_u64(case.value("seed"));
+    topology_shape_checks(&topology, max_hops, case.value("shards") as usize, &mut rng)
+}
+
+/// The log2 histogram sketch lands every quantile in the same bucket as
+/// the exact rank-`⌈q·n⌉` order statistic (≤ 1 bucket of rank error),
+/// clamped inside the observed `[min, max]`, with monotone tails.
+fn quantile_rank_error(case: &ParamCase) -> Verdict {
+    let n = case.value("samples");
+    let max_ns = case.value("max_ns");
+    let mut rng = SplitMix64::seed_from_u64(case.value("seed"));
+    let mut samples: Vec<u64> = (0..n).map(|_| rng.gen_range_in(1, max_ns)).collect();
+    let mut stats = LatencyStats::new();
+    for &ns in &samples {
+        stats.record(SimDuration::from_nanos(ns));
+    }
+    samples.sort_unstable();
+
+    let q = case.value("q_permille") as f64 / 1000.0;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    let exact = samples[(rank - 1) as usize];
+    let Some(est) = stats.quantile(q) else {
+        return Verdict::Fail("non-empty stats returned no quantile".into());
+    };
+    let est = est.as_nanos();
+    if est < samples[0] || est > samples[n as usize - 1] {
+        return Verdict::Fail(format!(
+            "q={q}: estimate {est} outside the observed [{}, {}]",
+            samples[0],
+            samples[n as usize - 1]
+        ));
+    }
+    if hist_bucket(est).abs_diff(hist_bucket(exact)) > 1 {
+        return Verdict::Fail(format!(
+            "q={q}: estimate {est} (bucket {}) vs exact rank-{rank} sample {exact} (bucket {})",
+            hist_bucket(est),
+            hist_bucket(exact)
+        ));
+    }
+    let (p50, p99, p999) = (stats.p50(), stats.p99(), stats.p999());
+    if p50 > p99 || p99 > p999 {
+        return Verdict::Fail(format!("tails not monotone: {p50:?} {p99:?} {p999:?}"));
     }
     Verdict::Pass
 }

@@ -93,4 +93,41 @@ if ! awk -v g="$smoke_reduction" 'BEGIN { exit !(g >= 5) }'; then
     exit 1
 fi
 
+# Scale smoke: the 10k-flow plant case of the scale bench (the 100k and
+# opt-in 1M cases stay full-budget-only). The case itself asserts
+# byte-identical reports across event-queue backends and the sharded
+# engine and a < 1 GiB peak RSS; the gates below add an absolute
+# throughput floor, a smoke RSS ceiling, and the events/sec geomean vs
+# the pinned baselines in BENCH_7.json (same >= 0.95x rule as BENCH_2).
+# The tracked full-budget BENCH_7.json is restored afterwards.
+tracked_bench7="$(mktemp)"
+cp BENCH_7.json "$tracked_bench7"
+run cargo bench -q -p tsn-bench --bench scale -- flows/10k
+scale_geomean="$(sed -n 's/.*"events_per_sec_geomean_vs_baseline": \([0-9.]*\).*/\1/p' BENCH_7.json)"
+scale_eps="$(sed -n 's/.*"events_per_sec": \([0-9.]*\).*/\1/p' BENCH_7.json | head -n1)"
+scale_rss="$(sed -n 's/.*"peak_rss_bytes": \([0-9]*\).*/\1/p' BENCH_7.json | head -n1)"
+cp "$tracked_bench7" BENCH_7.json
+rm -f "$tracked_bench7"
+if [ -z "$scale_geomean" ] || [ -z "$scale_eps" ]; then
+    echo "scale smoke wrote incomplete summary fields" >&2
+    exit 1
+fi
+echo "==> scale smoke: ${scale_eps} events/sec at 10k flows (floor: 300000)"
+if ! awk -v e="$scale_eps" 'BEGIN { exit !(e >= 300000) }'; then
+    echo "scale smoke throughput ${scale_eps} events/sec fell below the 300k floor" >&2
+    exit 1
+fi
+if [ -n "$scale_rss" ]; then
+    echo "==> scale smoke: peak RSS $((scale_rss >> 20))MiB at 10k flows (ceiling: 512MiB)"
+    if [ "$scale_rss" -gt 536870912 ]; then
+        echo "scale smoke peak RSS ${scale_rss} bytes breached the 512 MiB ceiling" >&2
+        exit 1
+    fi
+fi
+echo "==> scale smoke geomean ${scale_geomean}x vs pinned events/sec baselines (gate: >= 0.95)"
+if ! awk -v g="$scale_geomean" 'BEGIN { exit !(g >= 0.95) }'; then
+    echo "scale bench geomean ${scale_geomean}x regressed below 0.95x baseline" >&2
+    exit 1
+fi
+
 echo "CI gate passed."
