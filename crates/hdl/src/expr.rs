@@ -1,0 +1,255 @@
+//! Integer evaluation of the width/depth expressions the parser keeps
+//! as text.
+//!
+//! The generated Verilog only ever uses `+ - * / %`, parentheses, plain
+//! decimal numbers and parameter names in declaration ranges, so that is
+//! the whole grammar here. Evaluation happens against an environment of
+//! resolved parameter values; anything outside the grammar (sized
+//! literals, missing identifiers, division by zero) is a soft `Err` the
+//! callers turn into "could not resolve" rather than a lint finding.
+
+use crate::parse::{lex, ParsedRange, Tok, KEYWORDS};
+use std::collections::BTreeMap;
+
+/// Parameter-name → resolved-value environment.
+pub type Env = BTreeMap<String, i64>;
+
+/// Evaluates an integer expression against `env`.
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the expression falls outside the
+/// supported grammar or references an identifier missing from `env`.
+///
+/// # Example
+///
+/// ```
+/// use tsn_hdl::expr::{eval, Env};
+///
+/// let mut env = Env::new();
+/// env.insert("WIDTH".to_owned(), 32);
+/// assert_eq!(eval("WIDTH-1", &env), Ok(31));
+/// assert_eq!(eval("2*(WIDTH+1)", &env), Ok(66));
+/// assert!(eval("MISSING-1", &env).is_err());
+/// ```
+pub fn eval(expr: &str, env: &Env) -> Result<i64, String> {
+    let toks = lex(expr);
+    let mut p = ExprParser {
+        toks: &toks,
+        pos: 0,
+        env,
+    };
+    let value = p.add_expr()?;
+    if p.pos != toks.len() {
+        return Err(format!("trailing tokens in expression {expr:?}"));
+    }
+    Ok(value)
+}
+
+/// Width in bits of a declaration range: `|msb - lsb| + 1`.
+///
+/// Works for both `[W-1:0]` (width) and `[0:D-1]` (depth) orderings.
+///
+/// # Errors
+///
+/// Propagates [`eval`] failures from either bound.
+pub fn range_width(range: &ParsedRange, env: &Env) -> Result<i64, String> {
+    let msb = eval(&range.msb, env)?;
+    let lsb = eval(&range.lsb, env)?;
+    Ok((msb - lsb).abs() + 1)
+}
+
+/// Bit width of a connection expression, where statically known.
+///
+/// Only two shapes resolve: a plain identifier (looked up in
+/// `net_widths`) and a sized literal like `4'b0101` (the size prefix).
+/// Everything else — slices, concatenations, arithmetic, unsized
+/// literals — returns `None`: Verilog implicitly resizes those, so the
+/// width lint must not judge them.
+#[must_use]
+pub fn connection_width(expr: &str, net_widths: &BTreeMap<String, i64>) -> Option<i64> {
+    let toks = lex(expr);
+    match toks.as_slice() {
+        [Tok::Ident(name)] => net_widths.get(name).copied(),
+        [Tok::Number(num)] => {
+            let (size, _) = num.split_once('\'')?;
+            size.parse::<i64>().ok().filter(|&s| s > 0)
+        }
+        _ => None,
+    }
+}
+
+/// Every non-keyword identifier mentioned in an expression, in order of
+/// first appearance.
+#[must_use]
+pub fn idents(expr: &str) -> Vec<String> {
+    let mut seen = Vec::new();
+    for tok in lex(expr) {
+        if let Tok::Ident(name) = tok {
+            if !KEYWORDS.contains(&name.as_str()) && !seen.contains(&name) {
+                seen.push(name);
+            }
+        }
+    }
+    seen
+}
+
+struct ExprParser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    env: &'a Env,
+}
+
+impl ExprParser<'_> {
+    fn add_expr(&mut self) -> Result<i64, String> {
+        let mut acc = self.mul_expr()?;
+        loop {
+            match self.toks.get(self.pos) {
+                Some(Tok::Sym('+')) => {
+                    self.pos += 1;
+                    acc = acc.saturating_add(self.mul_expr()?);
+                }
+                Some(Tok::Sym('-')) => {
+                    self.pos += 1;
+                    acc = acc.saturating_sub(self.mul_expr()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<i64, String> {
+        let mut acc = self.atom()?;
+        loop {
+            match self.toks.get(self.pos) {
+                Some(Tok::Sym('*')) => {
+                    self.pos += 1;
+                    acc = acc.saturating_mul(self.atom()?);
+                }
+                Some(Tok::Sym('/')) => {
+                    self.pos += 1;
+                    let rhs = self.atom()?;
+                    if rhs == 0 {
+                        return Err("division by zero".to_owned());
+                    }
+                    acc /= rhs;
+                }
+                Some(Tok::Sym('%')) => {
+                    self.pos += 1;
+                    let rhs = self.atom()?;
+                    if rhs == 0 {
+                        return Err("modulo by zero".to_owned());
+                    }
+                    acc %= rhs;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<i64, String> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Sym('-')) => {
+                self.pos += 1;
+                Ok(self.atom()?.saturating_neg())
+            }
+            Some(Tok::Sym('(')) => {
+                self.pos += 1;
+                let value = self.add_expr()?;
+                if self.toks.get(self.pos) != Some(&Tok::Sym(')')) {
+                    return Err("missing closing parenthesis".to_owned());
+                }
+                self.pos += 1;
+                Ok(value)
+            }
+            Some(Tok::Number(num)) => {
+                self.pos += 1;
+                if num.contains('\'') {
+                    return Err(format!("sized literal {num:?} is not a plain integer"));
+                }
+                num.replace('_', "")
+                    .parse::<i64>()
+                    .map_err(|_| format!("unparseable number {num:?}"))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                self.env
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| format!("unknown identifier {name:?}"))
+            }
+            other => Err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> Env {
+        pairs.iter().map(|&(k, v)| (k.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn evaluates_arithmetic() {
+        let e = env(&[("W", 32), ("D", 12)]);
+        assert_eq!(eval("W-1", &e), Ok(31));
+        assert_eq!(eval("2*W+D", &e), Ok(76));
+        assert_eq!(eval("(W+D)/2", &e), Ok(22));
+        assert_eq!(eval("W%5", &e), Ok(2));
+        assert_eq!(eval("-3+W", &e), Ok(29));
+        assert_eq!(eval("1_024", &e), Ok(1024));
+    }
+
+    #[test]
+    fn rejects_bad_expressions() {
+        let e = env(&[("W", 32)]);
+        assert!(eval("Q-1", &e).is_err());
+        assert!(eval("W/0", &e).is_err());
+        assert!(eval("W%0", &e).is_err());
+        assert!(eval("(W", &e).is_err());
+        assert!(eval("W 3", &e).is_err());
+        assert!(eval("8'h00", &e).is_err());
+        assert!(eval("", &e).is_err());
+    }
+
+    #[test]
+    fn range_widths_work_both_orderings() {
+        let e = env(&[("W", 32), ("D", 12)]);
+        let width = ParsedRange {
+            msb: "W-1".into(),
+            lsb: "0".into(),
+        };
+        assert_eq!(range_width(&width, &e), Ok(32));
+        let depth = ParsedRange {
+            msb: "0".into(),
+            lsb: "D-1".into(),
+        };
+        assert_eq!(range_width(&depth, &e), Ok(12));
+    }
+
+    #[test]
+    fn connection_widths_resolve_only_safe_shapes() {
+        let mut nets = BTreeMap::new();
+        nets.insert("data_bus".to_owned(), 64);
+        assert_eq!(connection_width("data_bus", &nets), Some(64));
+        assert_eq!(connection_width("4'b0101", &nets), Some(4));
+        assert_eq!(connection_width("1'b0", &nets), Some(1));
+        // Implicitly resized shapes stay unjudged.
+        assert_eq!(connection_width("data_bus[9:0]", &nets), None);
+        assert_eq!(connection_width("0", &nets), None);
+        assert_eq!(connection_width("a&b", &nets), None);
+        assert_eq!(connection_width("{a,b}", &nets), None);
+        assert_eq!(connection_width("missing", &nets), None);
+    }
+
+    #[test]
+    fn idents_skip_keywords_and_dedupe() {
+        assert_eq!(
+            idents("a + begin + b*a"),
+            vec!["a".to_owned(), "b".to_owned()]
+        );
+        assert!(idents("1'b0 + 4").is_empty());
+    }
+}

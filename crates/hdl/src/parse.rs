@@ -1,40 +1,62 @@
 //! A structural Verilog parser: enough of the grammar to read back what
-//! [`crate::templates`] emits and check it round-trips.
+//! [`crate::templates`] emits and machine-check it.
 //!
 //! This is deliberately not a full Verilog front-end — it recovers the
-//! *structure* a reviewer checks by eye: module names, parameter
-//! defaults, port directions/names, memory declarations and module
-//! instantiations. `tsn-hdl`'s tests parse every generated file back and
-//! compare against the AST that produced it.
+//! *structure* a reviewer checks by eye, now rich enough for the
+//! [`crate::lint`] and [`crate::cost`] passes to work on: module names,
+//! parameter defaults, port directions/ranges, net and memory
+//! declarations with their width/depth expressions, `assign` statements,
+//! and module instantiations with their parameter overrides and named
+//! connections. Width expressions stay textual here; [`crate::expr`]
+//! evaluates them against a parameter environment.
+//!
+//! Every public entry point returns [`TsnError::InvalidArtifact`] on
+//! malformed or truncated input — never a panic (pinned by the
+//! prefix-truncation tests below).
 
 use crate::ast::Dir;
+use std::collections::BTreeSet;
 use tsn_types::{TsnError, TsnResult};
 
 /// One token of the source.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
+pub(crate) enum Tok {
     Ident(String),
     Number(String),
     Sym(char),
 }
 
-fn tokenize(source: &str) -> Vec<Tok> {
+/// Lexes a source fragment. `//` line comments and `/* … */` block
+/// comments (including multi-line ones) are skipped; an unterminated
+/// block comment silently swallows the rest of the input, which the
+/// structural checks downstream then report.
+pub(crate) fn lex(source: &str) -> Vec<Tok> {
     let mut toks = Vec::new();
     let mut chars = source.chars().peekable();
     while let Some(&c) = chars.peek() {
         if c.is_whitespace() {
             chars.next();
         } else if c == '/' {
-            // Line comment (the emitter only produces `//`).
             chars.next();
-            if chars.peek() == Some(&'/') {
-                for c in chars.by_ref() {
-                    if c == '\n' {
-                        break;
+            match chars.peek() {
+                Some(&'/') => {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
                     }
                 }
-            } else {
-                toks.push(Tok::Sym('/'));
+                Some(&'*') => {
+                    chars.next();
+                    let mut prev = ' ';
+                    for c in chars.by_ref() {
+                        if prev == '*' && c == '/' {
+                            break;
+                        }
+                        prev = c;
+                    }
+                }
+                _ => toks.push(Tok::Sym('/')),
             }
         } else if c.is_ascii_alphabetic() || c == '_' {
             let mut ident = String::new();
@@ -67,14 +89,51 @@ fn tokenize(source: &str) -> Vec<Tok> {
     toks
 }
 
+/// A `[msb:lsb]` range, both bounds kept as expression text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedRange {
+    /// Left (most-significant / first) bound expression.
+    pub msb: String,
+    /// Right (least-significant / second) bound expression.
+    pub lsb: String,
+}
+
 /// A parsed port.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedPort {
     /// Direction.
     pub dir: Dir,
-    /// `true` when the port carries a `[..:..]` range.
-    pub has_range: bool,
+    /// The `[msb:lsb]` range, if declared; `None` means a scalar port.
+    pub range: Option<ParsedRange>,
     /// Port name.
+    pub name: String,
+}
+
+impl ParsedPort {
+    /// `true` when the port carries a `[..:..]` range.
+    #[must_use]
+    pub fn has_range(&self) -> bool {
+        self.range.is_some()
+    }
+}
+
+/// A parsed `wire`/`reg` net declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedNet {
+    /// Width range, if declared; `None` means a 1-bit net.
+    pub range: Option<ParsedRange>,
+    /// Net name.
+    pub name: String,
+}
+
+/// A parsed memory (`reg [w] name [d];`) declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedMemory {
+    /// Element width range, if declared; `None` means 1-bit elements.
+    pub range: Option<ParsedRange>,
+    /// Depth range (e.g. `[0:DEPTH-1]`).
+    pub depth: ParsedRange,
+    /// Memory name.
     pub name: String,
 }
 
@@ -85,8 +144,10 @@ pub struct ParsedInstance {
     pub module: String,
     /// Instance name.
     pub name: String,
-    /// Number of `.port(net)` connections.
-    pub connections: usize,
+    /// `#(.NAME(expr))` parameter overrides, in order.
+    pub params: Vec<(String, String)>,
+    /// `.port(net-expr)` connections, in order.
+    pub connections: Vec<(String, String)>,
 }
 
 /// A parsed module.
@@ -98,13 +159,48 @@ pub struct ParsedModule {
     pub params: Vec<(String, String)>,
     /// Ports, in declaration order.
     pub ports: Vec<ParsedPort>,
-    /// Memory (`reg [..] name [..];`) declaration names.
-    pub memories: Vec<String>,
+    /// `wire` declarations in the body.
+    pub wires: Vec<ParsedNet>,
+    /// Plain `reg` declarations in the body (memories excluded).
+    pub regs: Vec<ParsedNet>,
+    /// Memory (`reg [..] name [..];`) declarations.
+    pub memories: Vec<ParsedMemory>,
+    /// `localparam name = value;` pairs.
+    pub localparams: Vec<(String, String)>,
+    /// `assign lhs = rhs;` statements (lhs text, rhs text).
+    pub assigns: Vec<(String, String)>,
     /// Module instantiations in the body.
     pub instances: Vec<ParsedInstance>,
+    /// Every identifier mentioned anywhere in the body (declarations,
+    /// expressions, sensitivity lists, connections) minus keywords. The
+    /// unused-port lint checks ports against this set.
+    pub body_refs: BTreeSet<String>,
 }
 
-const KEYWORDS: &[&str] = &[
+impl ParsedModule {
+    /// Looks a parameter's default expression up by name.
+    #[must_use]
+    pub fn param_default(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Looks a port up by name.
+    #[must_use]
+    pub fn port(&self, name: &str) -> Option<&ParsedPort> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Looks a memory up by name.
+    #[must_use]
+    pub fn memory(&self, name: &str) -> Option<&ParsedMemory> {
+        self.memories.iter().find(|m| m.name == name)
+    }
+}
+
+pub(crate) const KEYWORDS: &[&str] = &[
     "module",
     "endmodule",
     "input",
@@ -152,6 +248,17 @@ impl Parser {
         }
     }
 
+    fn expect_sym(&mut self, c: char, context: &str) -> TsnResult<()> {
+        if self.eat_sym(c) {
+            Ok(())
+        } else {
+            Err(TsnError::InvalidArtifact(format!(
+                "expected {c:?} in {context}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
     fn expect_ident(&mut self, what: &str) -> TsnResult<String> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
@@ -168,6 +275,7 @@ impl Parser {
     fn text_until(&mut self, stops: &[char]) -> String {
         let mut depth = 0i32;
         let mut out = String::new();
+        let mut prev_word = false;
         while let Some(tok) = self.peek() {
             if depth == 0 {
                 if let Tok::Sym(c) = tok {
@@ -185,38 +293,52 @@ impl Parser {
                         _ => {}
                     }
                     out.push(c);
+                    prev_word = false;
                 }
-                Tok::Ident(s) => {
-                    if !out.is_empty() {
+                Tok::Ident(s) | Tok::Number(s) => {
+                    // Space only between adjacent word tokens, so
+                    // `WIDTH-1` and `A*2` render back verbatim.
+                    if prev_word {
                         out.push(' ');
                     }
                     out.push_str(&s);
-                }
-                Tok::Number(s) => {
-                    if !out.is_empty() {
-                        out.push(' ');
-                    }
-                    out.push_str(&s);
+                    prev_word = true;
                 }
             }
         }
         out
     }
 
-    fn skip_range(&mut self) -> bool {
-        if self.eat_sym('[') {
-            let mut depth = 1;
-            while depth > 0 {
-                match self.next() {
-                    Some(Tok::Sym('[')) => depth += 1,
-                    Some(Tok::Sym(']')) => depth -= 1,
-                    None => return false,
-                    _ => {}
-                }
+    /// Parses an optional `[msb:lsb]` range in a declaration position.
+    fn parse_range(&mut self) -> TsnResult<Option<ParsedRange>> {
+        if !self.eat_sym('[') {
+            return Ok(None);
+        }
+        let msb = self.text_until(&[':', ']']);
+        self.expect_sym(':', "range")?;
+        let lsb = self.text_until(&[']']);
+        self.expect_sym(']', "range")?;
+        Ok(Some(ParsedRange { msb, lsb }))
+    }
+
+    /// Parses a `.name(expr)` list terminated by `)` — shared by
+    /// parameter overrides and port connections. Tokens that are neither
+    /// `.name(expr)` nor commas (e.g. positional arguments) are skipped.
+    fn parse_named_list(&mut self, what: &str) -> TsnResult<Vec<(String, String)>> {
+        let mut out = Vec::new();
+        loop {
+            if self.eat_sym(')') {
+                return Ok(out);
             }
-            true
-        } else {
-            false
+            if self.eat_sym('.') {
+                let name = self.expect_ident(what)?;
+                self.expect_sym('(', what)?;
+                let value = self.text_until(&[')']);
+                self.expect_sym(')', what)?;
+                out.push((name, value));
+            } else if self.next().is_none() {
+                return Err(TsnError::InvalidArtifact(format!("unterminated {what}")));
+            }
         }
     }
 
@@ -226,24 +348,23 @@ impl Parser {
             name,
             params: Vec::new(),
             ports: Vec::new(),
+            wires: Vec::new(),
+            regs: Vec::new(),
             memories: Vec::new(),
+            localparams: Vec::new(),
+            assigns: Vec::new(),
             instances: Vec::new(),
+            body_refs: BTreeSet::new(),
         };
 
         // #( parameter N = V, ... )
         if self.eat_sym('#') {
-            if !self.eat_sym('(') {
-                return Err(TsnError::InvalidArtifact("expected ( after #".to_owned()));
-            }
+            self.expect_sym('(', "parameter list")?;
             loop {
                 match self.next() {
                     Some(Tok::Ident(kw)) if kw == "parameter" => {
                         let pname = self.expect_ident("parameter name")?;
-                        if !self.eat_sym('=') {
-                            return Err(TsnError::InvalidArtifact(
-                                "expected = in parameter".to_owned(),
-                            ));
-                        }
+                        self.expect_sym('=', "parameter")?;
                         let value = self.text_until(&[',', ')']);
                         module.params.push((pname, value));
                     }
@@ -281,11 +402,11 @@ impl Parser {
                             dir = Dir::OutputReg;
                         }
                     }
-                    let has_range = self.skip_range();
+                    let range = self.parse_range()?;
                     let pname = self.expect_ident("port name")?;
                     module.ports.push(ParsedPort {
                         dir,
-                        has_range,
+                        range,
                         name: pname,
                     });
                 }
@@ -296,13 +417,10 @@ impl Parser {
                 }
             }
         }
-        if !self.eat_sym(';') {
-            return Err(TsnError::InvalidArtifact(
-                "expected ; after port list".to_owned(),
-            ));
-        }
+        self.expect_sym(';', "module header")?;
 
-        // Body: scan for memories, instances and endmodule.
+        // Body: structured declarations, instances, endmodule.
+        let body_start = self.pos;
         loop {
             match self.next() {
                 None => {
@@ -312,26 +430,52 @@ impl Parser {
                     )))
                 }
                 Some(Tok::Ident(kw)) if kw == "endmodule" => break,
-                Some(Tok::Ident(kw)) if kw == "reg" => {
-                    self.skip_range();
-                    let rname = self.expect_ident("reg name")?;
-                    if self.skip_range() {
-                        module.memories.push(rname);
-                    }
-                    // Consume to the statement end.
+                Some(Tok::Ident(kw)) if kw == "wire" => {
+                    let range = self.parse_range()?;
+                    let name = self.expect_ident("wire name")?;
                     self.text_until(&[';']);
-                    self.eat_sym(';');
+                    self.expect_sym(';', "wire declaration")?;
+                    module.wires.push(ParsedNet { range, name });
+                }
+                Some(Tok::Ident(kw)) if kw == "reg" => {
+                    let range = self.parse_range()?;
+                    let name = self.expect_ident("reg name")?;
+                    let depth = self.parse_range()?;
+                    self.text_until(&[';']);
+                    self.expect_sym(';', "reg declaration")?;
+                    match depth {
+                        Some(depth) => module.memories.push(ParsedMemory { range, depth, name }),
+                        None => module.regs.push(ParsedNet { range, name }),
+                    }
+                }
+                Some(Tok::Ident(kw)) if kw == "localparam" => {
+                    let name = self.expect_ident("localparam name")?;
+                    self.expect_sym('=', "localparam")?;
+                    let value = self.text_until(&[';']);
+                    self.expect_sym(';', "localparam")?;
+                    module.localparams.push((name, value));
+                }
+                Some(Tok::Ident(kw)) if kw == "assign" => {
+                    let lhs = self.text_until(&['=']);
+                    self.expect_sym('=', "assign")?;
+                    let rhs = self.text_until(&[';']);
+                    self.expect_sym(';', "assign")?;
+                    module.assigns.push((lhs, rhs));
                 }
                 Some(Tok::Ident(ident)) if !KEYWORDS.contains(&ident.as_str()) => {
-                    // Candidate instantiation: IDENT [#(..)] IDENT ( .p(n), ... );
+                    // Candidate instantiation:
+                    //   IDENT [#(.P(v), …)] IDENT ( .p(n), … );
+                    // Anything that stops matching before the opening
+                    // `(` of the connection list backtracks (it was an
+                    // expression statement, not an instance).
                     let saved = self.pos;
+                    let mut params = Vec::new();
                     if self.eat_sym('#') {
                         if !self.eat_sym('(') {
                             self.pos = saved;
                             continue;
                         }
-                        self.text_until(&[')']);
-                        self.eat_sym(')');
+                        params = self.parse_named_list("parameter override")?;
                     }
                     let Some(Tok::Ident(inst_name)) = self.peek().cloned() else {
                         self.pos = saved;
@@ -342,35 +486,24 @@ impl Parser {
                         self.pos = saved;
                         continue;
                     }
-                    let mut connections = 0usize;
-                    loop {
-                        if self.eat_sym(')') {
-                            break;
-                        }
-                        if self.eat_sym('.') {
-                            connections += 1;
-                            self.expect_ident("connection port")?;
-                            if !self.eat_sym('(') {
-                                return Err(TsnError::InvalidArtifact(
-                                    "expected ( in connection".to_owned(),
-                                ));
-                            }
-                            self.text_until(&[')']);
-                            self.eat_sym(')');
-                        } else if self.next().is_none() {
-                            return Err(TsnError::InvalidArtifact(
-                                "unterminated instance".to_owned(),
-                            ));
-                        }
-                    }
-                    self.eat_sym(';');
+                    let connections = self.parse_named_list("connection")?;
+                    self.expect_sym(';', "instance")?;
                     module.instances.push(ParsedInstance {
                         module: ident,
                         name: inst_name,
+                        params,
                         connections,
                     });
                 }
                 _ => {}
+            }
+        }
+        // `self.pos - 1` points past the consumed `endmodule`.
+        for tok in &self.toks[body_start..self.pos.saturating_sub(1)] {
+            if let Tok::Ident(s) = tok {
+                if !KEYWORDS.contains(&s.as_str()) {
+                    module.body_refs.insert(s.clone());
+                }
             }
         }
         Ok(module)
@@ -382,7 +515,8 @@ impl Parser {
 /// # Errors
 ///
 /// Returns [`TsnError::InvalidArtifact`] on structurally broken input
-/// (missing `endmodule`, malformed parameter/port lists).
+/// (missing `endmodule`, malformed parameter/port lists, truncated
+/// declarations).
 ///
 /// # Example
 ///
@@ -399,7 +533,7 @@ impl Parser {
 /// ```
 pub fn parse_modules(source: &str) -> TsnResult<Vec<ParsedModule>> {
     let mut parser = Parser {
-        toks: tokenize(source),
+        toks: lex(source),
         pos: 0,
     };
     let mut modules = Vec::new();
@@ -432,17 +566,25 @@ mod tests {
             m.ports[0],
             ParsedPort {
                 dir: Dir::Input,
-                has_range: false,
+                range: None,
                 name: "clk".into()
             }
         );
         assert_eq!(m.ports[2].dir, Dir::OutputReg);
-        assert!(m.ports[2].has_range);
-        assert_eq!(m.memories, vec!["mem".to_owned()]);
+        assert!(m.ports[2].has_range());
+        assert_eq!(
+            m.ports[2].range.as_ref().map(|r| r.msb.as_str()),
+            Some("WIDTH-1")
+        );
+        assert_eq!(m.memories.len(), 1);
+        let mem = m.memory("mem").expect("memory parsed");
+        assert_eq!(mem.depth.msb, "0");
+        assert_eq!(mem.depth.lsb, "DEPTH-1");
+        assert_eq!(mem.range.as_ref().map(|r| r.msb.as_str()), Some("WIDTH-1"));
     }
 
     #[test]
-    fn parses_instances_with_connection_counts() {
+    fn parses_instances_with_overrides_and_connections() {
         let src = "module top (\n    input clk\n);\n    fifo #(.DEPTH(12)) u_f (\n        .clk(clk),\n        .din(8'h00)\n    );\nendmodule\n";
         let modules = parse_modules(src).expect("parses");
         assert_eq!(
@@ -450,9 +592,48 @@ mod tests {
             vec![ParsedInstance {
                 module: "fifo".into(),
                 name: "u_f".into(),
-                connections: 2
+                params: vec![("DEPTH".into(), "12".into())],
+                connections: vec![("clk".into(), "clk".into()), ("din".into(), "8'h00".into())],
             }]
         );
+        assert!(modules[0].body_refs.contains("fifo"));
+        assert!(modules[0].body_refs.contains("clk"));
+    }
+
+    #[test]
+    fn parses_wires_regs_assigns_and_localparams() {
+        let src = "module m (\n    input clk\n);\n    localparam LP = 7;\n    wire [LP-1:0] w;\n    reg r;\n    reg [3:0] counter;\n    assign w = counter + LP;\nendmodule\n";
+        let m = &parse_modules(src).expect("parses")[0];
+        assert_eq!(m.localparams, vec![("LP".to_owned(), "7".to_owned())]);
+        assert_eq!(m.wires.len(), 1);
+        assert_eq!(m.wires[0].name, "w");
+        assert_eq!(
+            m.wires[0].range.as_ref().map(|r| r.msb.as_str()),
+            Some("LP-1")
+        );
+        assert_eq!(m.regs.len(), 2);
+        assert_eq!(
+            m.regs[0],
+            ParsedNet {
+                range: None,
+                name: "r".into()
+            }
+        );
+        assert_eq!(m.assigns.len(), 1);
+        assert_eq!(m.assigns[0].0, "w");
+        assert!(m.body_refs.contains("counter"));
+    }
+
+    #[test]
+    fn block_comments_are_skipped_even_with_keywords_inside() {
+        let src =
+            "module m ( input clk );\n/* module fake ( input x );\n   begin [ ( */\nendmodule\n";
+        let modules = parse_modules(src).expect("parses");
+        assert_eq!(modules.len(), 1);
+        assert_eq!(modules[0].name, "m");
+        // Inline form too.
+        let src2 = "module /* not_the_name */ n ( input clk );\nendmodule\n";
+        assert_eq!(parse_modules(src2).expect("parses")[0].name, "n");
     }
 
     #[test]
@@ -480,7 +661,8 @@ mod tests {
         assert_eq!(p.params.len(), 2);
         assert_eq!(p.params[0].0, "A");
         assert_eq!(p.ports.len(), 3);
-        assert_eq!(p.memories, vec!["store".to_owned()]);
+        assert_eq!(p.memories.len(), 1);
+        assert_eq!(p.memories[0].name, "store");
     }
 
     #[test]
@@ -518,20 +700,23 @@ mod tests {
         assert_eq!(count("ingress_filter"), 1);
         assert_eq!(count("gate_ctrl"), 1);
         assert_eq!(count("egress_sched"), 1);
-        // gate_ctrl holds the 8 per-queue FIFOs.
+        // gate_ctrl holds the 8 per-queue FIFOs, each with full override
+        // and connection lists.
         let gates = &all[5];
-        assert_eq!(
-            gates
-                .instances
-                .iter()
-                .filter(|i| i.module == "meta_fifo")
-                .count(),
-            8
-        );
+        let fifos: Vec<_> = gates
+            .instances
+            .iter()
+            .filter(|i| i.module == "meta_fifo")
+            .collect();
+        assert_eq!(fifos.len(), 8);
+        for fifo in &fifos {
+            assert_eq!(fifo.params.len(), 3);
+            assert_eq!(fifo.connections.len(), 8);
+        }
         // Memories: GCLs in gate_ctrl, meter table in the filter.
-        assert!(gates.memories.contains(&"in_gcl".to_owned()));
-        assert!(gates.memories.contains(&"out_gcl".to_owned()));
-        assert!(all[4].memories.contains(&"meter_tbl".to_owned()));
+        assert!(gates.memory("in_gcl").is_some());
+        assert!(gates.memory("out_gcl").is_some());
+        assert!(all[4].memory("meter_tbl").is_some());
     }
 
     #[test]
@@ -540,12 +725,7 @@ mod tests {
         cfg.set_queues(24, 8, 2).expect("valid");
         let bundle = generate(&cfg).expect("generates");
         let gates = parse_modules(bundle.file("gate_ctrl.v").expect("file")).expect("parses");
-        let depth = gates[0]
-            .params
-            .iter()
-            .find(|(n, _)| n == "QUEUE_DEPTH")
-            .map(|(_, v)| v.clone());
-        assert_eq!(depth.as_deref(), Some("24"));
+        assert_eq!(gates[0].param_default("QUEUE_DEPTH"), Some("24"));
         let top = parse_modules(bundle.file("tsn_switch_top.v").expect("file")).expect("parses");
         assert_eq!(
             top[0]
@@ -560,16 +740,18 @@ mod tests {
 
     #[test]
     fn truncated_verilog_errors_instead_of_panicking() {
-        // Every prefix of a real generated file must parse to Ok or a
+        // Every prefix of every generated file must parse to Ok or a
         // structured error — cutting the token stream mid-construct used
         // to hit `self.next().expect("peeked")`.
         let bundle = generate(&ResourceConfig::new()).expect("generates");
-        let src = bundle.file("gate_ctrl.v").expect("file");
-        for cut in (0..src.len()).step_by(97).chain([src.len() - 1]) {
-            let Some(prefix) = src.get(..cut) else {
-                continue; // not a char boundary
-            };
-            let _ = parse_modules(prefix); // Ok or Err, never a panic
+        for (name, src) in bundle.files() {
+            for cut in (0..src.len()).step_by(61).chain([src.len() - 1]) {
+                let Some(prefix) = src.get(..cut) else {
+                    continue; // not a char boundary
+                };
+                let _ = parse_modules(prefix); // Ok or Err, never a panic
+                let _ = std::hint::black_box(name);
+            }
         }
     }
 
@@ -585,12 +767,17 @@ mod tests {
             "module m (",
             "module m ( input ",
             "module m ( input [7:0",
+            "module m ( input [7",
             "module m ( input clk ); reg [7:0] mem [0:3",
+            "module m ( input clk ); wire [3",
+            "module m ( input clk ); localparam X",
+            "module m ( input clk ); assign a",
             "module m ( input clk ); sub #( .W(8",
             "module m ( input clk ); sub u0 ( .a(b",
             ")))]]]}}}",
             "module ; ( ) # = , .",
             "/ // /// #(((",
+            "module m ( input clk ); /* unterminated",
         ];
         for src in cases {
             let _ = parse_modules(src); // must return, never panic

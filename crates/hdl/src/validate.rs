@@ -25,7 +25,7 @@ use tsn_types::{TsnError, TsnResult};
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
 pub fn check_source(source: &str) -> TsnResult<()> {
-    let stripped = strip_comments(source);
+    let stripped = strip_comments(source)?;
     check_balance(&stripped, "module", "endmodule")?;
     check_balance(&stripped, "begin", "end")?;
     check_brackets(&stripped)?;
@@ -44,12 +44,54 @@ pub fn is_identifier(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
 }
 
-fn strip_comments(source: &str) -> String {
-    source
-        .lines()
-        .map(|line| line.split("//").next().unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join("\n")
+/// Removes `//` line comments and `/* … */` block comments. Newlines
+/// inside block comments are preserved so downstream diagnostics keep
+/// their line positions. An unterminated block comment is an error — it
+/// would otherwise silently swallow the rest of the file (including any
+/// `endmodule`s the balance checks are counting).
+fn strip_comments(source: &str) -> TsnResult<String> {
+    let mut out = String::with_capacity(source.len());
+    let mut chars = source.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '/' {
+            out.push(c);
+            continue;
+        }
+        match chars.peek() {
+            Some(&'/') => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        out.push('\n');
+                        break;
+                    }
+                }
+            }
+            Some(&'*') => {
+                chars.next();
+                let mut prev = ' ';
+                let mut terminated = false;
+                for c in chars.by_ref() {
+                    if prev == '*' && c == '/' {
+                        terminated = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        out.push('\n');
+                    }
+                    prev = c;
+                }
+                if !terminated {
+                    return Err(TsnError::InvalidArtifact(
+                        "unterminated block comment".to_owned(),
+                    ));
+                }
+                // Keep tokens on either side separated.
+                out.push(' ');
+            }
+            _ => out.push('/'),
+        }
+    }
+    Ok(out)
 }
 
 fn tokens(source: &str) -> impl Iterator<Item = &str> {
@@ -169,6 +211,35 @@ mod tests {
     #[test]
     fn comments_are_ignored() {
         let src = "module m ( input clk ); // begin ( [ module\nendmodule\n";
+        assert!(check_source(src).is_ok());
+    }
+
+    #[test]
+    fn block_comments_are_ignored() {
+        // Keywords and brackets inside `/* … */` must not reach the
+        // balance checks, whether the comment is inline or multi-line.
+        let src = "module m ( input clk ); /* begin ( [ module */\nendmodule\n";
+        assert!(check_source(src).is_ok());
+        let multiline = "module m ( input clk );\n\
+                         /* module ghost ( input x );\n\
+                            begin begin [ { (\n\
+                         */\n\
+                         endmodule\n";
+        assert!(check_source(multiline).is_ok());
+        // A block comment must also not glue its neighbours into one
+        // token: `module/* */m` still declares module `m`.
+        assert!(check_source("module/* x */m ( input clk );\nendmodule\n").is_ok());
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        let src = "module m ( input clk );\nendmodule\n/* trailing";
+        assert!(check_source(src).is_err());
+    }
+
+    #[test]
+    fn line_comment_inside_block_comment_does_not_resurrect_code() {
+        let src = "module m ( input clk );\n/* // still a block comment\nbegin [\n*/\nendmodule\n";
         assert!(check_source(src).is_ok());
     }
 

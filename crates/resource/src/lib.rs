@@ -16,7 +16,11 @@
 //! * [`view`] — [`ResourceView`], the per-component memory map of
 //!   Fig. 4;
 //! * [`baseline`] — the Broadcom BCM53154 reference configuration the
-//!   paper compares against.
+//!   paper compares against;
+//! * [`rtl`] — the emitted-RTL memory-map contract: an independent,
+//!   config-only prediction of every memory instance and register bit
+//!   the `tsn-hdl` generator emits, which the parsed-HDL cost model
+//!   must match bit-exactly.
 //!
 //! # Example
 //!
@@ -50,9 +54,11 @@ pub mod baseline;
 pub mod bram;
 pub mod config;
 pub mod report;
+pub mod rtl;
 pub mod view;
 
 pub use bram::AllocationPolicy;
 pub use config::ResourceConfig;
 pub use report::{ResourceRow, UsageReport};
+pub use rtl::EmittedMemory;
 pub use view::{ComponentView, MemoryObject, ResourceView};

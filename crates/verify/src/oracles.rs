@@ -1,4 +1,4 @@
-//! The six cross-layer differential oracles.
+//! The seven cross-layer differential oracles.
 //!
 //! Each oracle consumes a random [`ScenarioCase`] and cross-checks two
 //! independent layers of the stack against each other, so neither layer's
@@ -16,6 +16,10 @@
 //! 6. [`shard_equivalence`] — the sharded conservative-parallel engine
 //!    vs. the serial event loop on the same scenario (fault-free and
 //!    faulted), for a case-derived shard count in `1..=4`.
+//! 7. [`hdl_cost_agreement`] — BRAM/register cost elaborated from the
+//!    *parsed* Verilog must agree bit-exactly with `tsn_resource`'s
+//!    config-only accounting (and the emitted bundle must lint clean)
+//!    for randomized `ResourceConfig`s.
 //!
 //! Verdict policy: anything that stops a case *before* a validated
 //! configuration exists (preset/workload/planning infeasibility on random
@@ -26,12 +30,15 @@ use tsn_builder::cqf::latency_bounds;
 use tsn_builder::derive::{derive_parameters, DeriveOptions, DerivedConfig};
 use tsn_builder::requirements::AppRequirements;
 use tsn_hdl::ParsedModule;
+use tsn_resource::config::EntryWidths;
 use tsn_resource::ResourceConfig;
 use tsn_sim::network::Network;
 use tsn_sim::report::SimReport;
 use tsn_sim::{EventQueueKind, FaultConfig, LinkFaultProfile, LinkOutage};
 use tsn_topology::{LinkId, Topology};
-use tsn_types::{FlowId, FlowSet, SimDuration, SimTime, TsFlowSpec, TsnError, TsnResult};
+use tsn_types::{
+    FlowId, FlowSet, SimDuration, SimTime, SplitMix64, TsFlowSpec, TsnError, TsnResult,
+};
 
 use crate::case::ScenarioCase;
 use crate::runner::Verdict;
@@ -47,6 +54,7 @@ pub const ORACLES: &[(&str, Oracle)] = &[
     ("hdl-fixpoint", hdl_fixpoint),
     ("fault-monotonicity", fault_monotonicity),
     ("shard-equivalence", shard_equivalence),
+    ("hdl-cost-agreement", hdl_cost_agreement),
 ];
 
 /// Looks an oracle up by name.
@@ -534,10 +542,108 @@ pub fn shard_equivalence(case: &ScenarioCase) -> Verdict {
     Verdict::Pass
 }
 
+/// How many randomized resource configurations [`hdl_cost_agreement`]
+/// derives and checks per case.
+pub const HDL_COST_CONFIGS_PER_CASE: usize = 8;
+
+/// Draws a random but always-valid [`ResourceConfig`] spanning the whole
+/// customization domain of Table II: table depths from empty to beyond
+/// the commercial baseline, 1–4 ports, 1–12 queues, optional zero-CBS
+/// ports and (one config in four) non-paper entry widths.
+fn random_resource_config(rng: &mut SplitMix64) -> TsnResult<ResourceConfig> {
+    let ports = rng.gen_range_in(1, 5) as u32;
+    let queues = rng.gen_range_in(1, 13) as u32;
+    let mut unicast = rng.gen_range(4097) as u32;
+    let multicast = if rng.gen_range(2) == 0 {
+        0
+    } else {
+        rng.gen_range_in(1, 1025) as u32
+    };
+    if unicast == 0 && multicast == 0 {
+        unicast = 1; // the switch table rejects the fully-empty pair
+    }
+    let (cbs_map, cbs) = if rng.gen_range(4) == 0 {
+        (0, 0) // ports without credit-based shaping
+    } else {
+        (
+            rng.gen_range_in(1, 17) as u32,
+            rng.gen_range_in(1, 17) as u32,
+        )
+    };
+    let mut cfg = ResourceConfig::new();
+    cfg.set_switch_tbl(unicast, multicast)?
+        .set_class_tbl(rng.gen_range_in(1, 4097) as u32)?
+        .set_meter_tbl(rng.gen_range_in(1, 2049) as u32)?
+        .set_gate_tbl(rng.gen_range_in(1, 513) as u32, queues, ports)?
+        .set_cbs_tbl(cbs_map, cbs, ports)?
+        .set_queues(rng.gen_range_in(1, 65) as u32, queues, ports)?
+        .set_buffers(rng.gen_range_in(1, 257) as u32, ports)?;
+    if rng.gen_range(4) == 0 {
+        let mut width = |hi: u64| rng.gen_range_in(1, hi) as u32;
+        cfg.set_widths(EntryWidths {
+            switch_tbl_bits: width(129),
+            class_tbl_bits: width(129),
+            meter_tbl_bits: width(129),
+            gate_tbl_bits: width(129),
+            cbs_map_bits: width(129),
+            cbs_tbl_bits: width(129),
+            queue_meta_bits: width(129),
+        });
+    }
+    Ok(cfg)
+}
+
+/// Oracle 7 — HDL cost agreement: for [`HDL_COST_CONFIGS_PER_CASE`]
+/// randomized resource configurations per case, the emitted Verilog must
+/// parse, lint clean ([`tsn_hdl::lint_modules`]), and elaborate
+/// ([`tsn_hdl::check_agreement`]) to the exact memory map, BRAM18/36
+/// blocks, table bits under every [`tsn_resource::AllocationPolicy`] and
+/// register count that `tsn_resource::rtl` predicts from the config
+/// alone. Every drawn config is valid by construction, so this oracle
+/// never discards.
+pub fn hdl_cost_agreement(case: &ScenarioCase) -> Verdict {
+    // Decorrelate from the oracles that feed `wl_seed` straight into the
+    // workload generator so the two sweeps explore independent corners.
+    let mut rng = SplitMix64::seed_from_u64(case.wl_seed ^ 0x4844_4c43_4f53_5421);
+    for i in 0..HDL_COST_CONFIGS_PER_CASE {
+        let cfg = match random_resource_config(&mut rng) {
+            Ok(c) => c,
+            Err(e) => {
+                return Verdict::Fail(format!(
+                    "config {i}: generator left its own valid domain: {e}"
+                ))
+            }
+        };
+        let bundle = match tsn_hdl::generate(&cfg) {
+            Ok(b) => b,
+            Err(e) => return Verdict::Fail(format!("config {i}: emission failed: {e}")),
+        };
+        let modules = match tsn_hdl::parse_modules(&bundle.concatenated()) {
+            Ok(m) => m,
+            Err(e) => {
+                return Verdict::Fail(format!("config {i}: emitted bundle fails to parse: {e}"))
+            }
+        };
+        let findings = tsn_hdl::lint_modules(&modules);
+        if !findings.is_empty() {
+            return Verdict::Fail(format!(
+                "config {i}: emitted bundle has {} lint finding(s), first: {}",
+                findings.len(),
+                findings[0]
+            ));
+        }
+        if let Err(e) = tsn_hdl::check_agreement(&cfg, &modules) {
+            return Verdict::Fail(format!(
+                "config {i}: parsed-HDL cost disagrees with tsn-resource: {e}"
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsn_types::SplitMix64;
 
     #[test]
     fn oracle_lookup_knows_every_oracle() {
@@ -545,7 +651,26 @@ mod tests {
             assert!(oracle_by_name(name).is_some());
         }
         assert!(oracle_by_name("nope").is_none());
-        assert_eq!(ORACLES.len(), 6);
+        assert_eq!(ORACLES.len(), 7);
+    }
+
+    #[test]
+    fn random_resource_configs_span_the_domain() {
+        let mut rng = SplitMix64::seed_from_u64(42);
+        let mut saw_multicast_zero = false;
+        let mut saw_cbs_zero = false;
+        let mut saw_custom_widths = false;
+        for _ in 0..64 {
+            let cfg = random_resource_config(&mut rng).expect("always valid");
+            saw_multicast_zero |= cfg.multicast_size() == 0;
+            saw_cbs_zero |= cfg.cbs_size() == 0;
+            saw_custom_widths |= cfg.widths() != EntryWidths::PAPER;
+            assert!((1..=4).contains(&cfg.port_num()));
+            assert!((1..=12).contains(&cfg.queue_num()));
+        }
+        assert!(saw_multicast_zero, "multicast=0 corner never drawn");
+        assert!(saw_cbs_zero, "cbs=0 corner never drawn");
+        assert!(saw_custom_widths, "custom-width corner never drawn");
     }
 
     #[test]

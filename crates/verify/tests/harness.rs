@@ -118,3 +118,49 @@ fn injected_depth_off_by_one_is_caught_shrunk_persisted_and_reproducible() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The machine-check pipeline must catch hand-planted defects in
+/// otherwise-clean emitted Verilog: a width-mismatched wire, a
+/// wrong-DEPTH parameter edit, and an undersized address width. Each
+/// planted edit is the kind of one-token slip a manual RTL patch makes.
+#[test]
+fn planted_hdl_defects_are_caught_by_lint_and_cost() {
+    let cfg = tsn_resource::ResourceConfig::new();
+    let bundle = tsn_hdl::generate(&cfg).expect("default bundle emits");
+    let clean = bundle.concatenated();
+
+    // Sanity: the unedited bundle is lint-clean and cost-exact.
+    let modules = tsn_hdl::parse_modules(&clean).expect("clean bundle parses");
+    assert!(tsn_hdl::lint_modules(&modules).is_empty());
+    tsn_hdl::check_agreement(&cfg, &modules).expect("clean bundle cost agrees");
+
+    // Planted defect 1: narrow a grant bus from QUEUE_NUM (8) to 3 bits.
+    let planted = clean.replace("wire [QUEUE_NUM-1:0] p0_grant;", "wire [2:0] p0_grant;");
+    assert_ne!(planted, clean, "edit target must exist in the bundle");
+    let modules = tsn_hdl::parse_modules(&planted).expect("still parses");
+    let findings = tsn_hdl::lint_modules(&modules);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "width-mismatch" && f.message.contains("p0_grant")),
+        "planted width mismatch not caught: {findings:?}"
+    );
+
+    // Planted defect 2: bump gate_ctrl's QUEUE_DEPTH off the config (12→13).
+    let planted = clean.replace("parameter QUEUE_DEPTH = 12", "parameter QUEUE_DEPTH = 13");
+    assert_ne!(planted, clean, "edit target must exist in the bundle");
+    let modules = tsn_hdl::parse_modules(&planted).expect("still parses");
+    let err = tsn_hdl::check_agreement(&cfg, &modules)
+        .expect_err("wrong-depth edit must break cost agreement");
+    assert!(err.contains("memory map"), "unexpected diagnostic: {err}");
+
+    // Planted defect 3: shrink an address width below its depth.
+    let planted = clean.replace("parameter QUEUE_AW = 4", "parameter QUEUE_AW = 2");
+    assert_ne!(planted, clean, "edit target must exist in the bundle");
+    let modules = tsn_hdl::parse_modules(&planted).expect("still parses");
+    let findings = tsn_hdl::lint_modules(&modules);
+    assert!(
+        findings.iter().any(|f| f.rule == "addr-width"),
+        "planted address-width violation not caught: {findings:?}"
+    );
+}

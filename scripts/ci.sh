@@ -22,6 +22,13 @@ run cargo fmt --check
 # Docs must build warning-free (broken intra-doc links, missing docs).
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace
 
+# HDL machine check: parse the committed generated_hdl*/ trees and the
+# freshly emitted preset bundles into the structural IR and run the full
+# lint rule set (width mismatches, unused ports, undeclared identifiers,
+# address-width violations, ...). Any finding is an error — shipped RTL
+# lints clean by invariant.
+run cargo run -q --release -p tsn-builder-suite --bin hdl_lint
+
 # Fault-sweep smoke: the full intensity grid on a short horizon. The
 # binary itself asserts monotone deadline-miss growth and that all three
 # fault families fired, so a broken fault model fails CI here.
@@ -29,9 +36,11 @@ run cargo run -q --release -p tsn-experiments --bin fault_sweep -- --smoke
 
 # Differential-testing smoke: replay the committed verify/corpus/ (seed
 # pins + shrunk regressions), then run every cross-layer oracle and
-# property on fresh random cases within the TSN_VERIFY_MS budget. Any
-# failure is shrunk to a minimal case, persisted into verify/corpus/ and
-# printed with its reproduction command.
+# property on fresh random cases within the TSN_VERIFY_MS budget. The
+# hdl-cost-agreement pin alone replays 128 cases x 8 randomized
+# ResourceConfigs = 1024 parse/lint/cost checks against tsn-resource.
+# Any failure is shrunk to a minimal case, persisted into verify/corpus/
+# and printed with its reproduction command.
 TSN_VERIFY_MS="${TSN_VERIFY_MS:-4000}" \
     run cargo run -q --release -p tsn-verify --bin verify -- --smoke
 
