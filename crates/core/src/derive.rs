@@ -158,6 +158,24 @@ pub fn derive_parameters(
 
     // Guideline (4): injection planning fixes the queue depth.
     let itp = itp::plan(requirements, &cqf, options.strategy)?;
+
+    derive_with_plans(requirements, options, cqf, itp)
+}
+
+/// As [`derive_parameters`], but with the CQF and injection plans
+/// supplied by the caller — the incremental re-derive entry point for
+/// searchers that reuse memoized plans across many candidate
+/// configurations of the same scenario (see `tsn-dse`).
+///
+/// # Errors
+///
+/// Propagates routing failures and parameter validation errors.
+pub fn derive_with_plans(
+    requirements: &AppRequirements,
+    options: &DeriveOptions,
+    cqf: CqfPlan,
+    itp: ItpResult,
+) -> TsnResult<DerivedConfig> {
     let queue_depth = options
         .queue_depth_override
         .unwrap_or_else(|| itp.recommended_queue_depth())
@@ -327,6 +345,18 @@ mod tests {
             3,
             "paper provisions all RC queues"
         );
+    }
+
+    #[test]
+    fn derive_with_plans_matches_the_full_pipeline() {
+        let req = requirements(presets::ring(6, 3).expect("builds"), 24, 0);
+        let options = DeriveOptions::automatic();
+        let full = derive_parameters(&req, &options).expect("derives");
+        let incremental = derive_with_plans(&req, &options, full.cqf.clone(), full.itp.clone())
+            .expect("re-derives");
+        assert_eq!(full.resources, incremental.resources);
+        assert_eq!(full.cqf, incremental.cqf);
+        assert_eq!(full.itp, incremental.itp);
     }
 
     #[test]

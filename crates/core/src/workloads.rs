@@ -81,6 +81,47 @@ pub fn ts_flows_sized(
     Ok(flows)
 }
 
+/// TS flows with one *uniform* QoS target — `count` flows of
+/// `frame_bytes` at `period`, all sharing the same `deadline`, with
+/// talker/listener pairs drawn seed-deterministically from the host set.
+/// This is the requirements→query plumbing for design-space search
+/// (`tsn-dse`), where a batch query states a single deadline target for
+/// the whole flow set rather than the paper's per-flow random draw.
+///
+/// # Errors
+///
+/// Returns [`TsnError::InvalidParameter`] for topologies with fewer than
+/// two hosts or a zero flow count; frame sizes outside 64..=1522 are
+/// rejected by flow-spec validation.
+pub fn uniform_ts_flows(
+    topology: &Topology,
+    count: u32,
+    frame_bytes: u32,
+    period: SimDuration,
+    deadline: SimDuration,
+    seed: u64,
+) -> TsnResult<FlowSet> {
+    if count == 0 {
+        return Err(TsnError::invalid_parameter(
+            "ts_count",
+            "a query needs at least one TS flow",
+        ));
+    }
+    let hosts = hosts_of(topology)?;
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut flows = FlowSet::new();
+    for id in 0..count {
+        let src = hosts[rng.gen_range(hosts.len() as u64) as usize];
+        // Draw a distinct listener: offset in 1..len keeps src != dst.
+        let offset = 1 + rng.gen_range(hosts.len() as u64 - 1) as usize;
+        let dst = hosts[(hosts.iter().position(|&h| h == src).unwrap_or(0) + offset) % hosts.len()];
+        flows.push(
+            TsFlowSpec::new(FlowId::new(id), src, dst, period, deadline, frame_bytes)?.into(),
+        );
+    }
+    Ok(flows)
+}
+
 /// TS flows that all follow one explicit path (the Fig. 7(a) hop sweep):
 /// every flow runs `src → dst` with the given size and a deadline wide
 /// enough for any slot the sweep uses.
@@ -218,6 +259,27 @@ mod tests {
         assert_eq!(a, b);
         let c = iec60802_ts_flows(&topo, 64, 10).expect("workload builds");
         assert_ne!(a, c, "different seed, different deadlines");
+    }
+
+    #[test]
+    fn uniform_flows_share_one_deadline_and_are_deterministic() {
+        let topo = presets::ring(5, 3).expect("builds");
+        let deadline = SimDuration::from_millis(4);
+        let a = uniform_ts_flows(&topo, 32, 128, TS_PERIOD, deadline, 11).expect("builds");
+        assert_eq!(a.ts_count(), 32);
+        for flow in a.ts_flows() {
+            assert_eq!(flow.deadline(), deadline);
+            assert_eq!(flow.frame_bytes(), 128);
+            assert_ne!(flow.src(), flow.dst(), "talker and listener differ");
+        }
+        let b = uniform_ts_flows(&topo, 32, 128, TS_PERIOD, deadline, 11).expect("builds");
+        assert_eq!(a, b, "seed-deterministic");
+        let c = uniform_ts_flows(&topo, 32, 128, TS_PERIOD, deadline, 12).expect("builds");
+        assert_ne!(a, c, "different seed, different pairs");
+        assert!(
+            uniform_ts_flows(&topo, 0, 128, TS_PERIOD, deadline, 11).is_err(),
+            "zero-flow queries are structured errors"
+        );
     }
 
     #[test]

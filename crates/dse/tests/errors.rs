@@ -1,0 +1,122 @@
+//! Error paths of the customization pipeline under infeasible
+//! requirements: every rejection is a structured [`TsnError`] surfaced
+//! as an `infeasible` answer — never a panic, never a stringly bypass.
+
+use tsn_dse::{DseEngine, PlannedQuery, QosQuery, QueryStatus, TopologySpec};
+use tsn_types::{SimDuration, TsnError};
+
+fn base_query() -> QosQuery {
+    QosQuery {
+        label: "q".into(),
+        topology: TopologySpec::Named {
+            kind: "ring".into(),
+            switches: 3,
+            hosts: 2,
+        },
+        ts_count: 4,
+        frame_bytes: 64,
+        period: SimDuration::from_millis(2),
+        seed: 1,
+        deadline: SimDuration::from_millis(4),
+        jitter: None,
+        max_lost: 0,
+        duration: SimDuration::from_millis(4),
+    }
+}
+
+fn expect_plan_infeasible(query: &QosQuery) -> (String, String) {
+    match DseEngine::new().answer(query).status {
+        QueryStatus::Infeasible { stage, reason } => (stage, reason),
+        QueryStatus::Feasible(outcome) => {
+            panic!("expected an infeasible answer, got {outcome:?}")
+        }
+    }
+}
+
+#[test]
+fn deadline_below_the_analytic_floor_is_a_schedule_infeasible_error() {
+    let mut query = base_query();
+    query.deadline = SimDuration::from_nanos(500);
+    assert!(matches!(
+        PlannedQuery::plan(&query),
+        Err(TsnError::ScheduleInfeasible(_))
+    ));
+    let (stage, reason) = expect_plan_infeasible(&query);
+    assert_eq!(stage, "plan", "rejected before any simulation");
+    assert!(reason.contains("schedule infeasible"), "{reason}");
+}
+
+#[test]
+fn sub_two_microsecond_jitter_targets_cannot_cap_the_slot() {
+    let mut query = base_query();
+    // jitter <= 2·slot and the slot is whole microseconds, so any target
+    // under 2 µs leaves no valid slot at all.
+    query.jitter = Some(SimDuration::from_nanos(1500));
+    assert!(matches!(
+        PlannedQuery::plan(&query),
+        Err(TsnError::ScheduleInfeasible(_))
+    ));
+    let (stage, reason) = expect_plan_infeasible(&query);
+    assert_eq!(stage, "plan");
+    assert!(reason.contains("jitter"), "{reason}");
+}
+
+#[test]
+fn zero_flow_queries_are_invalid_parameters() {
+    let mut query = base_query();
+    query.ts_count = 0;
+    assert!(matches!(
+        PlannedQuery::plan(&query),
+        Err(TsnError::InvalidParameter { .. })
+    ));
+    let (stage, reason) = expect_plan_infeasible(&query);
+    assert_eq!(stage, "plan");
+    assert!(reason.contains("invalid parameter"), "{reason}");
+}
+
+#[test]
+fn unknown_topology_names_are_invalid_parameters() {
+    let mut query = base_query();
+    query.topology = TopologySpec::Named {
+        kind: "moebius".into(),
+        switches: 3,
+        hosts: 2,
+    };
+    match PlannedQuery::plan(&query) {
+        Err(TsnError::InvalidParameter { name, reason }) => {
+            assert_eq!(name, "topology.kind");
+            assert!(reason.contains("moebius"), "{reason}");
+        }
+        other => panic!("expected InvalidParameter, got {other:?}"),
+    }
+    let (stage, reason) = expect_plan_infeasible(&query);
+    assert_eq!(stage, "plan");
+    assert!(reason.contains("moebius"), "{reason}");
+}
+
+#[test]
+fn preset_validation_propagates_through_the_engine() {
+    let mut query = base_query();
+    // A two-switch ring: the preset itself rejects it.
+    query.topology = TopologySpec::Named {
+        kind: "ring".into(),
+        switches: 2,
+        hosts: 2,
+    };
+    let (stage, reason) = expect_plan_infeasible(&query);
+    assert_eq!(stage, "plan");
+    assert!(reason.contains("three switches"), "{reason}");
+}
+
+#[test]
+fn infeasible_answers_are_cached_like_feasible_ones() {
+    let mut query = base_query();
+    query.deadline = SimDuration::from_nanos(500);
+    let engine = DseEngine::new();
+    let first = engine.answer(&query);
+    let second = engine.answer(&query);
+    assert_eq!(first.status, second.status);
+    let stats = engine.stats();
+    assert_eq!(stats.answers.misses, 1, "one search for two asks");
+    assert_eq!(stats.answers.hits, 1);
+}

@@ -1,0 +1,57 @@
+//! Golden pin of the JSON batch interface: the committed request
+//! `scenarios/dse_batch.json` must produce byte-for-byte the committed
+//! response `scenarios/dse_batch_expected.json`, at every worker count.
+//! Any intentional change to the search, the cost model or the response
+//! schema shows up as a readable diff against the expected file
+//! (regenerate with `cargo run -p tsn-dse --bin dse --
+//! scenarios/dse_batch.json > scenarios/dse_batch_expected.json`).
+
+use tsn_dse::run_batch_text;
+
+fn scenario(name: &str) -> String {
+    let path = format!("{}/../../scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn committed_batch_matches_its_pinned_response_at_every_worker_count() {
+    let request = scenario("dse_batch.json");
+    let expected = scenario("dse_batch_expected.json");
+    for workers in [1, 2, 4] {
+        let response = run_batch_text(&request, workers).expect("batch runs");
+        assert_eq!(
+            response, expected,
+            "response diverged from scenarios/dse_batch_expected.json at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn pinned_response_covers_both_statuses_and_the_dedup_path() {
+    let expected = scenario("dse_batch_expected.json");
+    assert!(expected.contains("\"status\": \"feasible\""));
+    assert!(expected.contains("\"status\": \"infeasible\""));
+    assert!(
+        expected.contains("deadlines are too tight"),
+        "the undeliverable-deadline query must be rejected analytically"
+    );
+    // The duplicated ring query shares a fingerprint with its twin and
+    // registers as an answer-cache hit in the batch footer.
+    let fp = expected
+        .lines()
+        .find(|l| l.contains("\"fingerprint\""))
+        .expect("at least one fingerprint");
+    assert_eq!(
+        expected.matches(fp.trim()).count(),
+        2,
+        "the duplicate query must repeat the first query's fingerprint"
+    );
+    let answers = expected
+        .split("\"answers\"")
+        .nth(1)
+        .expect("answers cache block");
+    assert!(
+        answers.contains("\"hits\": 1"),
+        "the duplicate must be an answer-cache hit: {answers}"
+    );
+}

@@ -327,7 +327,11 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_at = self.pos;
             let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?} at byte {key_at}"));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -471,6 +475,22 @@ mod tests {
         assert!(parse("{\"a\" 1}").is_err());
         assert!(parse("true false").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_duplicate_keys() {
+        let err = parse(r#"{"a": 1, "a": 2}"#).expect_err("duplicates rejected");
+        assert!(err.contains("duplicate key \"a\""), "{err}");
+        // Nested objects are checked too; sibling objects may repeat keys.
+        assert!(parse(r#"{"o": {"x": 1, "x": 2}}"#).is_err());
+        assert!(parse(r#"{"o": {"x": 1}, "p": {"x": 2}}"#).is_ok());
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage() {
+        assert!(parse("{} {}").is_err());
+        assert!(parse("[1] x").is_err());
+        assert!(parse("1 2").is_err());
     }
 
     #[test]

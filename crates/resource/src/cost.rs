@@ -1,0 +1,110 @@
+//! The design-space-search cost comparator.
+//!
+//! Candidate configurations are ranked by the resources the emitted RTL
+//! actually consumes: BRAM36 blocks first (the scarce FPGA commodity the
+//! paper optimizes, Table III), register bits as the tiebreak (flop
+//! pressure of pointers, credits and gate state). Both come from the
+//! [`crate::rtl`] memory-map contract, so the ordering reflects what
+//! synthesis would see — not the raw table bit counts.
+
+use crate::config::ResourceConfig;
+use crate::rtl;
+
+/// A totally ordered cost key: `(BRAM36 blocks, register bits)`,
+/// compared lexicographically (the derived `Ord` on the field order).
+///
+/// # Example
+///
+/// ```
+/// use tsn_resource::{CostKey, ResourceConfig};
+///
+/// let paper = CostKey::of(&ResourceConfig::new());
+/// let mut bigger = ResourceConfig::new();
+/// bigger.set_class_tbl(4096)?;
+/// assert!(paper < CostKey::of(&bigger));
+/// # Ok::<(), tsn_types::TsnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CostKey {
+    /// BRAM36 blocks consumed by the emitted memories.
+    pub bram36_blocks: u64,
+    /// Register (flip-flop) bits of the emitted modules.
+    pub register_bits: u64,
+}
+
+impl CostKey {
+    /// Prices a configuration from the emitted-RTL memory map.
+    #[must_use]
+    pub fn of(cfg: &ResourceConfig) -> Self {
+        CostKey {
+            bram36_blocks: rtl::emitted_bram36_blocks(cfg),
+            register_bits: rtl::emitted_register_bits(cfg),
+        }
+    }
+}
+
+impl core::fmt::Display for CostKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} BRAM36 + {} register bits",
+            self.bram36_blocks, self.register_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bram_dominates_registers() {
+        let small = CostKey {
+            bram36_blocks: 2,
+            register_bits: 1_000_000,
+        };
+        let big = CostKey {
+            bram36_blocks: 3,
+            register_bits: 0,
+        };
+        assert!(small < big, "BRAM36 is the primary key");
+        let tie_a = CostKey {
+            bram36_blocks: 2,
+            register_bits: 10,
+        };
+        let tie_b = CostKey {
+            bram36_blocks: 2,
+            register_bits: 11,
+        };
+        assert!(tie_a < tie_b, "register bits break ties");
+    }
+
+    #[test]
+    fn cost_is_monotone_in_every_search_knob() {
+        let base = ResourceConfig::new();
+        let base_cost = CostKey::of(&base);
+
+        let mut c = base.clone();
+        c.set_switch_tbl(base.unicast_size() * 2, base.multicast_size())
+            .expect("valid");
+        assert!(CostKey::of(&c) >= base_cost, "unicast table");
+
+        let mut c = base.clone();
+        c.set_class_tbl(base.class_size() * 2).expect("valid");
+        assert!(CostKey::of(&c) >= base_cost, "class table");
+
+        let mut c = base.clone();
+        c.set_meter_tbl(base.meter_size() * 2).expect("valid");
+        assert!(CostKey::of(&c) >= base_cost, "meter table");
+
+        let mut c = base.clone();
+        c.set_queues(base.queue_depth() * 2, base.queue_num(), base.port_num())
+            .expect("valid");
+        assert!(CostKey::of(&c) >= base_cost, "queue depth");
+
+        let mut c = base.clone();
+        c.set_buffers(base.buffer_num() * 2, base.port_num())
+            .expect("valid");
+        assert!(CostKey::of(&c) >= base_cost, "buffer pool");
+    }
+}

@@ -11,6 +11,9 @@
 //!   customization APIs of Table II (`set_switch_tbl`, `set_class_tbl`,
 //!   `set_meter_tbl`, `set_gate_tbl`, `set_cbs_tbl`, `set_queues`,
 //!   `set_buffers`);
+//! * [`cost`] — [`CostKey`], the `(BRAM36 blocks, register bits)`
+//!   lexicographic ordering that design-space search (`tsn-dse`)
+//!   minimizes;
 //! * [`report`] — [`UsageReport`], a Table III-style per-resource BRAM
 //!   breakdown with reduction percentages;
 //! * [`view`] — [`ResourceView`], the per-component memory map of
@@ -53,12 +56,14 @@
 pub mod baseline;
 pub mod bram;
 pub mod config;
+pub mod cost;
 pub mod report;
 pub mod rtl;
 pub mod view;
 
 pub use bram::AllocationPolicy;
 pub use config::ResourceConfig;
+pub use cost::CostKey;
 pub use report::{ResourceRow, UsageReport};
 pub use rtl::EmittedMemory;
 pub use view::{ComponentView, MemoryObject, ResourceView};

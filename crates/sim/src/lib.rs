@@ -61,4 +61,4 @@ pub use network::{mac_for, vlan_for, Network, ShardExecution, SimConfig, SyncSet
 pub use report::{DegradationReport, EventStats, ShardOverhead, SimReport};
 #[doc(hidden)]
 pub use shard::SHARD_SABOTAGE;
-pub use sweep::{run_sweep, PlanCache, SweepError};
+pub use sweep::{run_sweep, CacheStats, PlanCache, SweepError};

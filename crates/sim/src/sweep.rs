@@ -248,6 +248,47 @@ impl<K: Eq + Hash + Clone, V: Clone> PlanCache<K, V> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A point-in-time snapshot of the counters.
+    ///
+    /// Because each lookup bumps exactly one counter and every distinct
+    /// key computes exactly once, `misses` equals the number of distinct
+    /// keys seen and `hits + misses` equals total lookups — both are
+    /// schedule-independent for a fixed workload, which lets callers
+    /// (e.g. the `dse` batch response) report cache statistics
+    /// byte-deterministically across worker counts.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Counter snapshot of a [`PlanCache`], see [`PlanCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from an already-computed cell.
+    pub hits: u64,
+    /// Lookups that ran the compute closure.
+    pub misses: u64,
+    /// Distinct keys resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when untouched).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! The seven cross-layer differential oracles.
+//! The eight cross-layer differential oracles.
 //!
 //! Each oracle consumes a random [`ScenarioCase`] and cross-checks two
 //! independent layers of the stack against each other, so neither layer's
@@ -20,6 +20,10 @@
 //!    *parsed* Verilog must agree bit-exactly with `tsn_resource`'s
 //!    config-only accounting (and the emitted bundle must lint clean)
 //!    for randomized `ResourceConfig`s.
+//! 8. [`dse_optimality`] — every feasible answer of the design-space
+//!    search must survive `tsn_dse::check_optimality`: its confirming
+//!    simulation meets the QoS targets *and* stepping any monotone knob
+//!    down one notch makes a bound or the simulation fail.
 //!
 //! Verdict policy: anything that stops a case *before* a validated
 //! configuration exists (preset/workload/planning infeasibility on random
@@ -55,6 +59,7 @@ pub const ORACLES: &[(&str, Oracle)] = &[
     ("fault-monotonicity", fault_monotonicity),
     ("shard-equivalence", shard_equivalence),
     ("hdl-cost-agreement", hdl_cost_agreement),
+    ("dse-optimality", dse_optimality),
 ];
 
 /// Looks an oracle up by name.
@@ -641,6 +646,63 @@ pub fn hdl_cost_agreement(case: &ScenarioCase) -> Verdict {
     Verdict::Pass
 }
 
+/// Derives a [`tsn_dse::QosQuery`] from a case: the case's topology and
+/// workload knobs, QoS targets drawn from a seed-decorrelated stream
+/// (deadlines across the feasible-to-tight range, an occasional jitter
+/// target, mostly-lossless loss budgets).
+#[must_use]
+pub fn dse_query(case: &ScenarioCase) -> tsn_dse::QosQuery {
+    let mut rng = SplitMix64::seed_from_u64(case.wl_seed ^ 0x6473_655f_7170_7321);
+    let deadline_ms = [2u64, 4, 8][rng.gen_range(3) as usize];
+    let jitter = (rng.gen_range(4) == 0).then(|| SimDuration::from_micros(130));
+    tsn_dse::QosQuery {
+        label: "verify".into(),
+        topology: tsn_dse::TopologySpec::Named {
+            kind: match case.topo {
+                crate::case::TopoKind::Linear => "linear",
+                crate::case::TopoKind::Ring => "ring",
+                crate::case::TopoKind::Star => "star",
+            }
+            .into(),
+            switches: case.switches as usize,
+            hosts: case.hosts as usize,
+        },
+        ts_count: case.flows as u32,
+        frame_bytes: case.frame_bytes(),
+        period: SimDuration::from_millis(2),
+        seed: case.wl_seed,
+        deadline: SimDuration::from_millis(deadline_ms),
+        jitter,
+        max_lost: 0,
+        duration: SimDuration::from_millis(case.duration_ms),
+    }
+}
+
+/// Oracle 8 — DSE optimality: run the design-space search on a
+/// case-derived query; an infeasible verdict (random QoS targets may
+/// simply be unmeetable) is a discard, but a feasible answer must pass
+/// both directions of [`tsn_dse::check_optimality`] — the returned
+/// config's simulation meets every target, and decrementing any single
+/// monotone knob by one step makes an analytic bound or the confirming
+/// simulation fail. The check runs on a fresh engine, so a stale-cache
+/// answer cannot hide behind its own memo.
+pub fn dse_optimality(case: &ScenarioCase) -> Verdict {
+    let query = dse_query(case);
+    let engine = tsn_dse::DseEngine::new();
+    let result = engine.answer(&query);
+    match result.status {
+        tsn_dse::QueryStatus::Infeasible { stage, reason } => {
+            Verdict::Discard(format!("{stage}: {reason}"))
+        }
+        tsn_dse::QueryStatus::Feasible(outcome) => {
+            match tsn_dse::check_optimality(&engine, &query, &outcome.config) {
+                Ok(()) => Verdict::Pass,
+                Err(e) => Verdict::Fail(e),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,7 +713,37 @@ mod tests {
             assert!(oracle_by_name(name).is_some());
         }
         assert!(oracle_by_name("nope").is_none());
-        assert_eq!(ORACLES.len(), 7);
+        assert_eq!(ORACLES.len(), 8);
+    }
+
+    /// Planted defect: a deliberately over-provisioned "optimum" must be
+    /// rejected by the optimality check the `dse-optimality` oracle runs
+    /// — proof the oracle can actually catch a wasteful search result.
+    #[test]
+    fn dse_optimality_catches_an_over_provisioned_answer() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let (query, outcome) = loop {
+            let case = ScenarioCase::generate(&mut rng);
+            let query = dse_query(&case);
+            let engine = tsn_dse::DseEngine::new();
+            if let tsn_dse::QueryStatus::Feasible(outcome) = engine.answer(&query).status {
+                break (query, outcome);
+            }
+        };
+        let engine = tsn_dse::DseEngine::new();
+        let padded = tsn_dse::Knob::QueueDepth
+            .with_value(
+                &outcome.config,
+                tsn_dse::Knob::QueueDepth.value(&outcome.config) + 4,
+            )
+            .expect("padding a valid config stays valid");
+        let e = tsn_dse::check_optimality(&engine, &query, &padded)
+            .expect_err("an over-provisioned config must be rejected");
+        assert!(e.contains("not locally minimal"), "{e}");
+        assert!(e.contains("queue_depth"), "{e}");
+        // And the genuine optimum still passes on the same fresh engine.
+        tsn_dse::check_optimality(&engine, &query, &outcome.config)
+            .expect("the searched optimum is locally minimal");
     }
 
     #[test]
