@@ -1,0 +1,41 @@
+//! One-off profiling harness for the serial hot path on the scale
+//! plant. Not a bench — run it under a sampling profiler when hunting
+//! per-event cost:
+//! `cargo run --release -p tsn-bench --example hot_profile -- 100000`
+
+use std::time::Instant;
+use tsn_builder::plant::large_plant;
+
+fn main() {
+    let flows: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let reps: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let heap = std::env::args().nth(3).as_deref() == Some("heap");
+    for _ in 0..reps {
+        let mut plant = large_plant(flows).expect("plant builds");
+        if heap {
+            plant.config.event_queue = tsn_sim::EventQueueKind::BinaryHeap;
+        }
+        let t0 = Instant::now();
+        let net = plant.into_network().expect("network builds");
+        let build = t0.elapsed();
+        let t0 = Instant::now();
+        let report = net.run();
+        let run = t0.elapsed();
+        let ev = report.events_processed;
+        println!(
+            "flows {flows}: build {build:?} run {run:?} {ev} events {:.0} events/sec",
+            ev as f64 / run.as_secs_f64()
+        );
+        let s = &report.events;
+        println!(
+            "  injects {} host_kicks {} frame_arrives {} port_kicks {} tx_completes {} link_transitions {}",
+            s.injects, s.host_kicks, s.frame_arrives, s.port_kicks, s.tx_completes, s.link_transitions
+        );
+    }
+}

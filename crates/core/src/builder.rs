@@ -166,7 +166,7 @@ impl Customization {
                 self.requirements.flows().clone(),
                 &self.derived.itp.offsets,
                 config,
-                schedule.gcls(),
+                &tsn_sim::GclSchedule::from_map(schedule.gcls()),
             ),
         }
     }

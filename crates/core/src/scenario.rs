@@ -41,8 +41,9 @@ use crate::derive::{derive_parameters, DeriveOptions, DerivedConfig};
 use crate::itp::{self, ItpResult, Strategy};
 use crate::requirements::AppRequirements;
 use std::hash::{DefaultHasher, Hasher};
+use std::sync::Arc;
 use tsn_resource::ResourceConfig;
-use tsn_sim::network::{Network, SimConfig};
+use tsn_sim::network::{ConfigDelta, Network, NetworkTemplate, SimConfig};
 use tsn_sim::report::SimReport;
 use tsn_sim::sweep::{run_sweep, PlanCache, SweepError};
 use tsn_topology::Topology;
@@ -179,6 +180,7 @@ fn fingerprint(value: &impl std::fmt::Debug) -> u64 {
 type CqfKey = (u64, u64, SimDuration, DataRate);
 type ItpKey = (u64, u64, SimDuration, DataRate, Strategy);
 type DeriveKey = (u64, u64, u64);
+type TemplateKey = (u64, u64, u64);
 
 /// The shared planning caches for one sweep (or one long-lived session).
 ///
@@ -191,6 +193,11 @@ pub struct SweepPlanner {
     cqf: PlanCache<CqfKey, TsnResult<CqfPlan>>,
     itp: PlanCache<ItpKey, TsnResult<ItpResult>>,
     derived: PlanCache<DeriveKey, TsnResult<DerivedConfig>>,
+    /// Resident [`NetworkTemplate`]s, keyed on everything a
+    /// [`ConfigDelta`] *cannot* change: sweep points that differ only in
+    /// resources / slot / aggregation / offsets share one template and
+    /// reconfigure instead of rebuilding the world.
+    templates: PlanCache<TemplateKey, TsnResult<Arc<NetworkTemplate>>>,
 }
 
 impl SweepPlanner {
@@ -210,6 +217,19 @@ impl SweepPlanner {
     #[must_use]
     pub fn planning_misses(&self) -> u64 {
         self.cqf.misses() + self.itp.misses() + self.derived.misses()
+    }
+
+    /// Scenarios served by an already-resident [`NetworkTemplate`]
+    /// (incremental reconfiguration instead of a from-scratch build).
+    #[must_use]
+    pub fn template_hits(&self) -> u64 {
+        self.templates.hits()
+    }
+
+    /// Templates actually built (route computation + sync warmup).
+    #[must_use]
+    pub fn template_misses(&self) -> u64 {
+        self.templates.misses()
     }
 
     /// Plans and runs one scenario (synchronously, on the caller's
@@ -249,7 +269,7 @@ impl SweepPlanner {
                         scenario.flows.clone(),
                         &derived.itp.offsets,
                         config,
-                        schedule.gcls(),
+                        &tsn_sim::GclSchedule::from_map(schedule.gcls()),
                     ),
                 }?;
                 Ok(ScenarioOutcome {
@@ -276,13 +296,40 @@ impl SweepPlanner {
                 let planned = self.itp.get_or_compute(itp_key, || {
                     itp::plan(&requirements, &plan, scenario.strategy)
                 })?;
-                let report = Network::build(
-                    scenario.topology.clone(),
-                    scenario.flows.clone(),
-                    &planned.offsets,
-                    scenario.config.clone(),
-                )?
-                .run();
+                // Split the config into a template base (everything a
+                // ConfigDelta cannot change, with the delta-able knobs
+                // pinned to paper defaults) and the delta that restores
+                // this scenario's knobs. Points that differ only in the
+                // knobs share one resident template.
+                let defaults = SimConfig::paper_defaults();
+                let mut base = scenario.config.clone();
+                let delta = ConfigDelta {
+                    resources: Some(std::mem::replace(
+                        &mut base.resources,
+                        defaults.resources.clone(),
+                    )),
+                    per_switch_resources: Some(std::mem::replace(
+                        &mut base.per_switch_resources,
+                        defaults.per_switch_resources.clone(),
+                    )),
+                    slot: Some(std::mem::replace(&mut base.slot, defaults.slot)),
+                    aggregate_switch_tbl: Some(std::mem::replace(
+                        &mut base.aggregate_switch_tbl,
+                        defaults.aggregate_switch_tbl,
+                    )),
+                    offsets: Some(planned.offsets.clone()),
+                };
+                let template_key = (topo_fp, flows_fp, fingerprint(&base));
+                let template = self.templates.get_or_compute(template_key, || {
+                    NetworkTemplate::new(
+                        scenario.topology.clone(),
+                        scenario.flows.clone(),
+                        &planned.offsets,
+                        base.clone(),
+                    )
+                    .map(Arc::new)
+                })?;
+                let report = template.reconfigure(&delta)?.run();
                 Ok(ScenarioOutcome {
                     label: scenario.label.clone(),
                     resources: scenario.config.resources.clone(),
@@ -423,6 +470,43 @@ mod tests {
             "one derivation for 3 scenarios"
         );
         assert_eq!(planner.derived.hits(), 2);
+    }
+
+    #[test]
+    fn resource_only_sweeps_share_one_template() {
+        // Two resource cases over the same (topology, flows, slot):
+        // Fig. 2's shape. One template, second point served by
+        // reconfigure — and both reports byte-identical to a
+        // from-scratch Network::build.
+        let topo = presets::ring(3, 2).expect("builds");
+        let flows = workloads::iec60802_ts_flows(&topo, 8, 7).expect("workload");
+        let mut lean = small_config();
+        lean.resources = tsn_resource::ResourceConfig::new();
+        let fat = small_config();
+        let scenarios = vec![
+            Scenario::explicit("lean", topo.clone(), flows.clone(), lean),
+            Scenario::explicit("fat", topo.clone(), flows.clone(), fat),
+        ];
+        let planner = SweepPlanner::new();
+        let outcomes = planner.run(&scenarios, 2);
+        assert_eq!(planner.template_misses(), 1, "one shared template");
+        assert_eq!(planner.template_hits(), 1);
+        for (scenario, outcome) in scenarios.iter().zip(outcomes) {
+            let outcome = outcome.expect("scenario runs");
+            let scratch = Network::build(
+                scenario.topology.clone(),
+                scenario.flows.clone(),
+                &outcome.itp.offsets,
+                scenario.config.clone(),
+            )
+            .expect("builds")
+            .run();
+            assert_eq!(
+                format!("{:?}", outcome.report),
+                format!("{scratch:?}"),
+                "reconfigured sweep point must match a from-scratch build"
+            );
+        }
     }
 
     #[test]

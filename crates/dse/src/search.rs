@@ -26,7 +26,7 @@ use tsn_builder::derive::{derive_with_plans, DeriveOptions, DerivedConfig};
 use tsn_builder::itp::{self, ItpResult, Strategy};
 use tsn_builder::requirements::AppRequirements;
 use tsn_resource::{CostKey, ResourceConfig};
-use tsn_sim::network::{mac_for, vlan_for, Network, SimConfig, SyncSetup};
+use tsn_sim::network::{mac_for, vlan_for, ConfigDelta, NetworkTemplate, SimConfig, SyncSetup};
 use tsn_sim::{CacheStats, PlanCache};
 use tsn_types::{SimDuration, TsnError, TsnResult};
 
@@ -140,6 +140,11 @@ pub struct PlannedQuery {
     pub unicast_floor: u32,
     /// Exact per-switch classification install count (max over switches).
     pub class_floor: u32,
+    /// The resident network build every candidate evaluation
+    /// reconfigures: topology, routes, port roles and the flow-install
+    /// program are computed once here, so a candidate simulation pays
+    /// only for the resource-dependent switch state.
+    pub template: Arc<NetworkTemplate>,
 }
 
 impl PlannedQuery {
@@ -181,6 +186,24 @@ impl PlannedQuery {
         let derived = derive_with_plans(&requirements, &options, cqf.clone(), itp.clone())?;
 
         let (unicast_floor, class_floor) = table_floors(&requirements)?;
+
+        // The candidate-invariant simulation setup, built once: every
+        // `simulate` call swaps in only its ResourceConfig via
+        // `reconfigure`. Base resources are the derived upper bound, so
+        // `template.instantiate()` alone reproduces the confirming run.
+        let mut config = SimConfig::paper_defaults();
+        config.slot = cqf.slot;
+        config.resources = derived.resources.clone();
+        config.duration = query.duration;
+        config.sync = SyncSetup::Perfect;
+        config.shards = 1;
+        let template = Arc::new(NetworkTemplate::new(
+            requirements.topology().clone(),
+            requirements.flows().clone(),
+            &itp.offsets,
+            config,
+        )?);
+
         Ok(PlannedQuery {
             query: query.clone(),
             fingerprint: query.fingerprint(),
@@ -190,6 +213,7 @@ impl PlannedQuery {
             derived,
             unicast_floor,
             class_floor,
+            template,
         })
     }
 
@@ -421,18 +445,14 @@ impl DseEngine {
     /// against (see `tests/properties.rs`).
     #[must_use]
     pub fn simulate(planned: &PlannedQuery, cfg: &ResourceConfig) -> Feasibility {
-        let mut config = SimConfig::paper_defaults();
-        config.slot = planned.cqf.slot;
-        config.resources = cfg.clone();
-        config.duration = planned.query.duration;
-        config.sync = SyncSetup::Perfect;
-        config.shards = 1;
-        let network = match Network::build(
-            planned.requirements.topology().clone(),
-            planned.requirements.flows().clone(),
-            &planned.itp.offsets,
-            config,
-        ) {
+        // Incremental path: the planned template keeps topology, routes
+        // and the install program resident; only the candidate's
+        // resource knobs are applied. Byte-identical to a from-scratch
+        // `Network::build` with the same effective config.
+        let network = match planned
+            .template
+            .reconfigure(&ConfigDelta::resources(cfg.clone()))
+        {
             Ok(network) => network,
             Err(e) => return Feasibility::SimFail(format!("network build: {e}")),
         };

@@ -283,6 +283,22 @@ impl Analyzer {
         Analyzer::default()
     }
 
+    /// An empty analyzer with arenas pre-sized for `flows` near-dense
+    /// flow ids, so steady-state recording never reallocates. Equality
+    /// and `Debug` iterate tracked slots only, so pre-sizing is
+    /// invisible to report comparisons.
+    #[must_use]
+    pub fn with_flow_capacity(flows: usize) -> Self {
+        Analyzer {
+            class: vec![None; flows],
+            injected: vec![0; flows],
+            received: vec![0; flows],
+            misses: vec![0; flows],
+            latency: vec![LatencyStats::new(); flows],
+            tracked: 0,
+        }
+    }
+
     /// Ensures the arenas cover `flow` and the slot is marked tracked;
     /// returns the slot index.
     fn touch(&mut self, flow: FlowId, class: TrafficClass) -> usize {

@@ -81,13 +81,6 @@ struct Scheduled {
     event: Event,
 }
 
-impl Scheduled {
-    /// The total-order key both backends sort by.
-    fn key(&self) -> (SimTime, u64) {
-        (self.at, self.seq)
-    }
-}
-
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -128,19 +121,37 @@ const MIN_BUCKETS: usize = 64;
 /// serialization timescales; resizes re-estimate it from the live set.
 const INITIAL_SHIFT: u32 = 10;
 
+/// A maximal group of equal-timestamp events inside one bucket, kept in
+/// ascending-`seq` order: the earliest entry (smallest seq) pops from the
+/// front, serial inserts (globally monotone seq) push onto the back.
+#[derive(Debug, Clone)]
+struct Run {
+    at: SimTime,
+    /// `(seq, event)` pairs, ascending by seq. Never empty while the run
+    /// is in a bucket.
+    events: std::collections::VecDeque<(u64, Event)>,
+}
+
 /// The calendar-queue backend: `buckets[(at >> shift) & mask]` holds the
 /// events of one bucket-width time slice (and of every slice that aliases
-/// onto it one full rotation later). Each bucket is kept sorted
-/// *descending* by `(at, seq)` so the earliest entry pops from the back
-/// in O(1). Buckets are `VecDeque`s, not `Vec`s: slot-synchronized
-/// workloads (CQF injections at scale) pile thousands of equal-timestamp
-/// events into one bucket in ascending-seq order, which lands every
-/// insertion at the *front* of the descending order — O(1) for a deque,
-/// an O(bucket) memmove for a vector (measured 2.3× end-to-end on the
-/// 100k-flow plant bench).
-#[derive(Debug)]
+/// onto it one full rotation later).
+///
+/// Each bucket is a vector of [`Run`]s sorted *descending* by timestamp,
+/// so the earliest run sits at the back. Grouping by distinct timestamp
+/// is what makes slot-synchronized workloads (CQF at scale) cheap: those
+/// pile thousands of equal-time events into one bucket, and with a flat
+/// sorted container every insertion at an older timestamp would memmove
+/// the whole newer-time pile (measured 103M element moves over a 1.27M
+/// event run on the 100k-flow plant — the single largest cost in the
+/// profile). With runs, an insert binary-searches a handful of run
+/// headers and then pushes onto the matching run's deque in O(1); only
+/// header-sized entries ever shift. Emptied run deques park in `pool`
+/// and are recycled, so the steady state allocates nothing.
+#[derive(Debug, Clone)]
 struct CalendarQueue {
-    buckets: Vec<std::collections::VecDeque<Scheduled>>,
+    buckets: Vec<Vec<Run>>,
+    /// Empty, capacity-retaining deques recycled across runs.
+    pool: Vec<std::collections::VecDeque<(u64, Event)>>,
     /// `buckets.len() - 1`; the bucket count is a power of two.
     mask: usize,
     /// Bucket width is `2^shift` nanoseconds.
@@ -148,19 +159,24 @@ struct CalendarQueue {
     /// Scan cursor: no pending event lives in a slot before `cur_slot`
     /// (slot = `at >> shift`).
     cur_slot: u64,
+    /// Pending events.
     len: usize,
+    /// Pending runs (distinct timestamps). Bucket-count sizing follows
+    /// this, not `len`: a million events at one timestamp are one run
+    /// and need one bucket.
+    runs: usize,
 }
 
 impl CalendarQueue {
     fn new() -> Self {
         CalendarQueue {
-            buckets: (0..MIN_BUCKETS)
-                .map(|_| std::collections::VecDeque::new())
-                .collect(),
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            pool: Vec::new(),
             mask: MIN_BUCKETS - 1,
             shift: INITIAL_SHIFT,
             cur_slot: 0,
             len: 0,
+            runs: 0,
         }
     }
 
@@ -173,18 +189,37 @@ impl CalendarQueue {
         if self.len == 0 || slot < self.cur_slot {
             self.cur_slot = slot;
         }
+        let Scheduled { at, seq, event } = s;
         let bucket = &mut self.buckets[(slot as usize) & self.mask];
-        // Descending by (at, seq): find the first element <= the new one
-        // and insert before it. Keys are unique, so Equal cannot occur.
-        let key = s.key();
-        let pos = bucket
-            .binary_search_by(|probe| key.cmp(&probe.key()))
-            .unwrap_err();
-        bucket.insert(pos, s); // O(min(pos, len - pos)) in a deque
-
+        // Runs are unique per timestamp (equal times always hash to the
+        // same bucket), sorted descending by `at`.
+        match bucket.binary_search_by(|run| at.cmp(&run.at)) {
+            Ok(i) => {
+                let run = &mut bucket[i];
+                // Serial scheduling assigns monotone seqs, so the new
+                // entry is almost always the run's newest; the sharded
+                // engine's provisional keys are the only out-of-order
+                // source and fall back to a search within the run.
+                if run.events.back().is_none_or(|&(q, _)| q < seq) {
+                    run.events.push_back((seq, event));
+                } else {
+                    let pos = run
+                        .events
+                        .binary_search_by(|&(q, _)| q.cmp(&seq))
+                        .unwrap_err();
+                    run.events.insert(pos, (seq, event));
+                }
+            }
+            Err(i) => {
+                let mut events = self.pool.pop().unwrap_or_default();
+                events.push_back((seq, event));
+                bucket.insert(i, Run { at, events });
+                self.runs += 1;
+            }
+        }
         self.len += 1;
-        if self.len > self.buckets.len() * 2 {
-            self.resize(self.buckets.len() * 2);
+        if self.runs > self.buckets.len() * 2 {
+            self.grow();
         }
     }
 
@@ -196,14 +231,21 @@ impl CalendarQueue {
         let mut scanned = 0usize;
         loop {
             let idx = (self.cur_slot as usize) & self.mask;
-            if let Some(last) = self.buckets[idx].back() {
-                if self.slot_of(last.at) == self.cur_slot {
-                    let s = self.buckets[idx].pop_back().expect("checked non-empty");
-                    self.len -= 1;
-                    if nbuckets > MIN_BUCKETS && self.len < nbuckets / 8 {
-                        self.resize((nbuckets / 2).max(MIN_BUCKETS));
+            let shift = self.shift;
+            if let Some(run) = self.buckets[idx].last_mut() {
+                if run.at.as_nanos() >> shift == self.cur_slot {
+                    let at = run.at;
+                    let (seq, event) = run.events.pop_front().expect("runs are never empty");
+                    if run.events.is_empty() {
+                        let run = self.buckets[idx].pop().expect("just matched");
+                        self.pool.push(run.events);
+                        self.runs -= 1;
                     }
-                    return Some(s);
+                    self.len -= 1;
+                    if nbuckets > MIN_BUCKETS && self.runs < nbuckets / 8 {
+                        self.shrink();
+                    }
+                    return Some(Scheduled { at, seq, event });
                 }
             }
             self.cur_slot += 1;
@@ -211,14 +253,14 @@ impl CalendarQueue {
             if scanned >= nbuckets {
                 // A full rotation found nothing: all events are at least
                 // one rotation ahead. Jump straight to the earliest one —
-                // each bucket's back entry is its minimum, and equal
-                // times always share a bucket, so comparing times alone
+                // each bucket's back run is its minimum, and equal times
+                // always share a bucket, so comparing times alone
                 // identifies the global minimum.
                 let min_at = self
                     .buckets
                     .iter()
-                    .filter_map(|b| b.back())
-                    .map(|s| s.at)
+                    .filter_map(|b| b.last())
+                    .map(|run| run.at)
                     .min()
                     .expect("len > 0 means some bucket is non-empty");
                 self.cur_slot = self.slot_of(min_at);
@@ -232,56 +274,62 @@ impl CalendarQueue {
     fn peek_time(&self) -> Option<SimTime> {
         self.buckets
             .iter()
-            .filter_map(|b| b.back())
-            .map(|s| s.at)
+            .filter_map(|b| b.last())
+            .map(|run| run.at)
             .min()
     }
 
-    /// Re-buckets every pending event into `nbuckets` buckets, picking a
-    /// new bucket width from the live set's average event spacing.
-    fn resize(&mut self, nbuckets: usize) {
+    fn grow(&mut self) {
+        self.rebucket(self.buckets.len() * 2);
+    }
+
+    fn shrink(&mut self) {
+        self.rebucket((self.buckets.len() / 2).max(MIN_BUCKETS));
+    }
+
+    /// Re-buckets every pending run into `nbuckets` buckets, picking a
+    /// new bucket width from the live set's average run spacing. Runs
+    /// move whole — their deques (and the events inside) never shift.
+    fn rebucket(&mut self, nbuckets: usize) {
         let nbuckets = nbuckets.next_power_of_two().max(MIN_BUCKETS);
-        let mut pending: Vec<Scheduled> = Vec::with_capacity(self.len);
+        let mut pending: Vec<Run> = Vec::with_capacity(self.runs);
         for bucket in &mut self.buckets {
-            pending.extend(bucket.drain(..));
+            pending.append(bucket);
         }
-        // Width heuristic: ~4 events per bucket-width over the pending
-        // span keeps both the per-bucket sort and the empty-bucket scan
-        // cheap. Clamp so a width of zero or absurd sparsity cannot
-        // happen.
-        let (min_at, max_at) = pending.iter().fold((u64::MAX, 0u64), |(lo, hi), s| {
-            let ns = s.at.as_nanos();
+        // Width heuristic: ~2 distinct timestamps per bucket-width over
+        // the pending span keeps both the per-bucket run search and the
+        // empty-bucket scan cheap. Clamp so a width of zero or absurd
+        // sparsity cannot happen.
+        let (min_at, max_at) = pending.iter().fold((u64::MAX, 0u64), |(lo, hi), run| {
+            let ns = run.at.as_nanos();
             (lo.min(ns), hi.max(ns))
         });
         let span = max_at.saturating_sub(min_at);
         if span > 0 && !pending.is_empty() {
-            let target_width = (span * 4 / pending.len() as u64).max(1);
+            let target_width = (span * 2 / pending.len() as u64).max(1);
             self.shift = (63 - target_width.leading_zeros()).min(40);
         }
         if self.buckets.len() != nbuckets {
-            self.buckets = (0..nbuckets)
-                .map(|_| std::collections::VecDeque::new())
-                .collect();
+            self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
             self.mask = nbuckets - 1;
-        } else {
-            for bucket in &mut self.buckets {
-                bucket.clear();
-            }
         }
-        self.len = 0;
-        let cur = pending
+        self.cur_slot = pending
             .iter()
-            .map(|s| s.at)
+            .map(|run| run.at)
             .min()
             .map_or(0, |at| at.as_nanos() >> self.shift);
-        self.cur_slot = cur;
-        for s in pending {
-            self.insert(s);
+        for run in pending {
+            let slot = run.at.as_nanos() >> self.shift;
+            let bucket = &mut self.buckets[(slot as usize) & self.mask];
+            let pos = bucket
+                .binary_search_by(|probe| run.at.cmp(&probe.at))
+                .unwrap_err();
+            bucket.insert(pos, run);
         }
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Backend {
     Calendar(CalendarQueue),
     Heap(BinaryHeap<Scheduled>),
@@ -302,7 +350,7 @@ enum Backend {
 /// assert_eq!(at, SimTime::from_micros(2));
 /// assert!(matches!(ev, Event::HostKick { node } if node == NodeId::new(0)));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue {
     backend: Backend,
     next_seq: u64,

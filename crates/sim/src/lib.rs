@@ -57,8 +57,11 @@ pub use analyzer::{
 pub use event::EventQueueKind;
 pub use fault::{FaultConfig, FlowDegradation, LinkFaultProfile, LinkFlap, LinkOutage};
 pub use host::{Generator, Host};
-pub use network::{mac_for, vlan_for, Network, ShardExecution, SimConfig, SyncSetup};
-pub use report::{DegradationReport, EventStats, ShardOverhead, SimReport};
+pub use network::{
+    mac_for, vlan_for, ConfigDelta, GclSchedule, Network, NetworkTemplate, ShardExecution,
+    SimConfig, SyncSetup,
+};
+pub use report::{DegradationReport, EventStats, RouteCacheStats, ShardOverhead, SimReport};
 #[doc(hidden)]
 pub use shard::SHARD_SABOTAGE;
 pub use sweep::{run_sweep, CacheStats, PlanCache, SweepError};

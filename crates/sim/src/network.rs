@@ -14,7 +14,7 @@ use crate::fault::{FaultConfig, FaultEngine, WireEffect};
 use crate::host::{Generator, Host};
 use crate::report::{DegradationReport, EventStats, SimReport};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tsn_resource::ResourceConfig;
 use tsn_switch::gate_ctrl::GateControlList;
 use tsn_switch::ingress_filter::{ClassEntry, ClassKey, TokenBucketMeter};
@@ -231,13 +231,13 @@ pub struct Network {
     pub(crate) flows: Arc<FlowSet>,
     pub(crate) queue: EventQueue,
     pub(crate) analyzer: Analyzer,
-    /// Per-(node, port) link-busy horizon.
-    pub(crate) busy_until: Vec<Vec<SimTime>>,
+    /// Per-(node, port) link-busy horizon (flat stride-indexed arena).
+    pub(crate) busy_until: PortGrid<SimTime>,
     /// Per-(node, port) transmitted wire bytes (frames + overhead).
-    pub(crate) tx_bytes: Vec<Vec<u64>>,
+    pub(crate) tx_bytes: PortGrid<u64>,
     /// Per-(node, port) transmitter state (active segment, suspended
     /// fragment, generation).
-    pub(crate) wires: Vec<Vec<WireState>>,
+    pub(crate) wires: PortGrid<WireState>,
     /// Preemptions performed (802.3br).
     pub(crate) preemptions: u64,
     pub(crate) sync_domain: Option<SyncDomain>,
@@ -268,12 +268,692 @@ pub struct Network {
     pub(crate) now: SimTime,
 }
 
-/// The by-reference [`Network::build_with_schedule`] arguments, retained
-/// behind an `Arc` so the sharded engine can deterministically rebuild
-/// the network after a worker failure.
+/// What the sharded engine's failure path needs to deterministically
+/// rebuild a pristine network: the resident template plus the effective
+/// offsets the instantiation used (the effective config already lives in
+/// [`Network::config`]).
 pub(crate) struct RebuildInputs {
+    pub(crate) template: Arc<NetworkTemplate>,
     pub(crate) offsets: FlowMap<SimDuration>,
-    pub(crate) gcls: HashMap<(NodeId, PortId), (GateControlList, GateControlList)>,
+}
+
+/// A flat `(node, port)`-indexed arena: one contiguous allocation with a
+/// shared prefix-sum base, replacing the former `Vec<Vec<…>>` per-port
+/// state (one heap block per node, pointer chase per access).
+#[derive(Debug, Clone)]
+pub(crate) struct PortGrid<T> {
+    /// `base[n]..base[n + 1]` is node `n`'s span; `base.len() = nodes + 1`.
+    base: Arc<[u32]>,
+    data: Vec<T>,
+}
+
+impl<T: Clone> PortGrid<T> {
+    fn new(base: Arc<[u32]>, fill: T) -> Self {
+        let len = *base.last().expect("base holds nodes + 1 offsets") as usize;
+        PortGrid {
+            data: vec![fill; len],
+            base,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn at(&self, node: usize, port: usize) -> &T {
+        &self.data[self.base[node] as usize + port]
+    }
+
+    #[inline]
+    pub(crate) fn at_mut(&mut self, node: usize, port: usize) -> &mut T {
+        &mut self.data[self.base[node] as usize + port]
+    }
+
+    /// One node's contiguous span.
+    pub(crate) fn node_span(&self, node: usize) -> &[T] {
+        &self.data[self.base[node] as usize..self.base[node + 1] as usize]
+    }
+
+    /// Copies one node's span from another grid with the same base.
+    pub(crate) fn copy_node_from(&mut self, other: &PortGrid<T>, node: usize) {
+        let lo = self.base[node] as usize;
+        let hi = self.base[node + 1] as usize;
+        self.data[lo..hi].clone_from_slice(&other.data[lo..hi]);
+    }
+}
+
+/// The per-node port-count prefix sums all of a network's [`PortGrid`]s
+/// share.
+fn port_base(topology: &Topology) -> Arc<[u32]> {
+    let mut base = Vec::with_capacity(topology.nodes().len() + 1);
+    let mut acc = 0u32;
+    base.push(0);
+    for node in topology.nodes() {
+        acc += topology.port_count(node.id()) as u32;
+        base.push(acc);
+    }
+    base.into()
+}
+
+/// A dense, sorted per-`(switch, egress port)` gate-control override
+/// schedule — the hook for synthesized 802.1Qbv (TAS) programs. Replaces
+/// the former `HashMap<(NodeId, PortId), …>` build argument: entries are
+/// grouped per node, so building a switch scans only its own overrides
+/// instead of the whole map.
+#[derive(Debug, Clone, Default)]
+pub struct GclSchedule {
+    entries: Vec<(NodeId, PortId, GateControlList, GateControlList)>,
+}
+
+impl GclSchedule {
+    /// An empty schedule (every port keeps its role-derived default).
+    #[must_use]
+    pub fn new() -> Self {
+        GclSchedule::default()
+    }
+
+    /// Installs (or replaces) the In/Out GCL pair of one egress port.
+    pub fn set(
+        &mut self,
+        node: NodeId,
+        port: PortId,
+        in_gcl: GateControlList,
+        out_gcl: GateControlList,
+    ) {
+        match self
+            .entries
+            .binary_search_by(|e| (e.0, e.1).cmp(&(node, port)))
+        {
+            Ok(i) => {
+                self.entries[i].2 = in_gcl;
+                self.entries[i].3 = out_gcl;
+            }
+            Err(i) => self.entries.insert(i, (node, port, in_gcl, out_gcl)),
+        }
+    }
+
+    /// Converts a keyed map (e.g. a synthesized TAS schedule) into the
+    /// dense sorted form. Deterministic regardless of the map's hash
+    /// iteration order.
+    #[must_use]
+    pub fn from_map(map: &HashMap<(NodeId, PortId), (GateControlList, GateControlList)>) -> Self {
+        let mut entries: Vec<_> = map
+            .iter()
+            .map(|(&(node, port), (in_gcl, out_gcl))| (node, port, in_gcl.clone(), out_gcl.clone()))
+            .collect();
+        entries.sort_by_key(|e| (e.0, e.1));
+        GclSchedule { entries }
+    }
+
+    /// Number of overridden ports.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no port is overridden.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The overrides of one node, as a contiguous sorted slice.
+    fn for_node(&self, node: NodeId) -> &[(NodeId, PortId, GateControlList, GateControlList)] {
+        let lo = self.entries.partition_point(|e| e.0 < node);
+        let hi = self.entries.partition_point(|e| e.0 <= node);
+        &self.entries[lo..hi]
+    }
+}
+
+/// One flow's precomputed forwarding path: the switch hops (with egress
+/// ports) in path order, plus the traversed links for the fault engine's
+/// primary-path bookkeeping.
+#[derive(Debug, Clone)]
+struct FlowProgram {
+    flow: FlowId,
+    /// `(switch, egress port)` per switch hop, in path order.
+    hops: Box<[(NodeId, PortId)]>,
+    /// Every link the route traverses (host links included).
+    links: Box<[LinkId]>,
+}
+
+/// The route-resolution half of flow installation, precomputed once per
+/// scenario: everything `install` needs that depends only on topology and
+/// flow endpoints — not on resources, slot, offsets or queue layouts.
+/// Applying the program replays the exact install order of a from-scratch
+/// build, so instantiations are byte-identical to it by construction.
+#[derive(Debug, Clone, Default)]
+struct InstallProgram {
+    flows: Vec<FlowProgram>,
+}
+
+/// A config delta for [`NetworkTemplate::reconfigure`]: only the named
+/// fields change; everything else (topology, flows, routes, sync, fault
+/// plan) stays resident in the template. `Default` changes nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigDelta {
+    /// Replacement per-switch memory resources.
+    pub resources: Option<ResourceConfig>,
+    /// Replacement per-switch resource overrides.
+    pub per_switch_resources: Option<HashMap<NodeId, ResourceConfig>>,
+    /// Replacement CQF slot length.
+    pub slot: Option<SimDuration>,
+    /// Toggle the aggregated (any-VLAN) unicast table mode.
+    pub aggregate_switch_tbl: Option<bool>,
+    /// Replacement per-flow injection offsets (a new ITP plan).
+    pub offsets: Option<FlowMap<SimDuration>>,
+}
+
+impl ConfigDelta {
+    /// A delta that swaps only the resource configuration — the
+    /// design-space-search inner loop.
+    #[must_use]
+    pub fn resources(resources: ResourceConfig) -> Self {
+        ConfigDelta {
+            resources: Some(resources),
+            ..ConfigDelta::default()
+        }
+    }
+
+    /// `true` when the delta changes nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_none()
+            && self.per_switch_resources.is_none()
+            && self.slot.is_none()
+            && self.aggregate_switch_tbl.is_none()
+            && self.offsets.is_none()
+    }
+}
+
+/// A fully-instantiated network image cached inside a [`NetworkTemplate`]:
+/// the programmed node roles (switch data planes with every table entry,
+/// meter and shaper installed; hosts with their generators attached) plus
+/// the initial event queue and fault-engine state exactly as
+/// [`NetworkTemplate::instantiate_with`] leaves them. A resources-only
+/// [`ConfigDelta`] can adopt a clone of this image by re-provisioning
+/// capacities in place ([`TsnSwitchCore::reprovision`]) instead of
+/// replaying every install — turning the per-flow-hop reconfiguration
+/// cost into a flat memcpy-shaped clone.
+struct InstanceSeed {
+    roles: Vec<NodeRole>,
+    queue: EventQueue,
+    fault: Option<FaultEngine>,
+}
+
+/// A resident, reusable network build: topology, routes, port roles, the
+/// pre-converged sync domain and the flow-install program stay alive
+/// across instantiations, so evaluating a new [`ResourceConfig`] (or
+/// slot, offsets, table mode) costs one [`NetworkTemplate::reconfigure`]
+/// instead of a full [`Network::build_with_schedule`] — no topology/flow
+/// clones, no per-talker BFS, no port-role derivation, no gPTP warmup.
+///
+/// Every instantiation produces a [`Network`] whose run is byte-identical
+/// to a from-scratch build with the same effective config: instantiation
+/// replays the exact same install operations in the exact same order.
+pub struct NetworkTemplate {
+    topology: Arc<Topology>,
+    flows: Arc<FlowSet>,
+    config: SimConfig,
+    offsets: FlowMap<SimDuration>,
+    gcls: GclSchedule,
+    /// Per-node port roles (empty for hosts), derived once.
+    port_kinds: Vec<Vec<PortKind>>,
+    ports_base: Arc<[u32]>,
+    program: InstallProgram,
+    deadlines: Arc<FlowMap<SimDuration>>,
+    /// Pre-converged (post-warmup, pre-fault-arming) gPTP domain; cloned
+    /// per instantiation. `None` under perfect sync.
+    sync_seed: Option<SyncDomain>,
+    /// Route-cache effectiveness while the program was computed.
+    route_cache: crate::report::RouteCacheStats,
+    /// Lazily-built instantiation image for the capacity-patching fast
+    /// path of [`NetworkTemplate::reconfigure`]. `Some(None)` once
+    /// building it failed (base config not instantiable) so the replay
+    /// path is taken without retrying.
+    seed: OnceLock<Option<InstanceSeed>>,
+}
+
+impl std::fmt::Debug for NetworkTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkTemplate")
+            .field("nodes", &self.topology.nodes().len())
+            .field("flows", &self.flows.len())
+            .field("gcl_overrides", &self.gcls.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetworkTemplate {
+    /// Builds a template with the role-derived default gate schedules.
+    ///
+    /// # Errors
+    ///
+    /// Invalid flow endpoints, unroutable flows, or a sync-domain setup
+    /// failure. Resource shortfalls surface at
+    /// [`NetworkTemplate::instantiate`] instead, since they depend on the
+    /// (reconfigurable) resource knobs.
+    pub fn new(
+        topology: Topology,
+        flows: FlowSet,
+        offsets: &FlowMap<SimDuration>,
+        config: SimConfig,
+    ) -> TsnResult<Self> {
+        NetworkTemplate::with_schedule(topology, flows, offsets, config, GclSchedule::new())
+    }
+
+    /// As [`NetworkTemplate::new`], with explicit per-port gate-control
+    /// overrides (synthesized 802.1Qbv schedules).
+    ///
+    /// # Errors
+    ///
+    /// As [`NetworkTemplate::new`].
+    pub fn with_schedule(
+        topology: Topology,
+        flows: FlowSet,
+        offsets: &FlowMap<SimDuration>,
+        config: SimConfig,
+        gcls: GclSchedule,
+    ) -> TsnResult<Self> {
+        // Guideline (5): gate-control hardware exists only on the egress
+        // ports the TS routes actually use — the same analysis that sized
+        // `port_num` during derivation. Other switch-to-switch ports stay
+        // ungated (always-open), like un-provisioned ports on the FPGA.
+        let enabled_ports = EnabledPorts::from_flows(&topology, &flows)?;
+        let switch_count = topology.switches().len();
+        let mut port_kinds = Vec::with_capacity(topology.nodes().len());
+        for node in topology.nodes() {
+            match node.kind() {
+                NodeKind::Switch => {
+                    let ports: Vec<PortKind> = (0..topology.port_count(node.id()))
+                        .map(|p| {
+                            let link = topology
+                                .link_at(node.id(), PortId::new(p as u16))
+                                .expect("port enumeration is in range");
+                            let peer_is_switch = link
+                                .peer_of(node.id())
+                                .and_then(|peer| topology.node(peer.node).ok())
+                                .is_some_and(tsn_topology::Node::is_switch);
+                            if peer_is_switch
+                                && link.allows_egress_from(node.id())
+                                && enabled_ports.is_enabled(node.id(), PortId::new(p as u16))
+                            {
+                                PortKind::Tsn
+                            } else {
+                                PortKind::Edge
+                            }
+                        })
+                        .collect();
+                    port_kinds.push(ports);
+                }
+                NodeKind::Host => port_kinds.push(Vec::new()),
+            }
+        }
+
+        let (program, route_cache) = compute_program(&topology, &flows)?;
+
+        let faults_on = config.faults.enabled();
+        let sync_seed = match &config.sync {
+            SyncSetup::Perfect => None,
+            SyncSetup::Gptp { config: sc, warmup } => {
+                // `drift_scale` perturbs every oscillator; 1.0 keeps the
+                // standard population bit-for-bit (×1.0 is exact in f64).
+                let scale = if faults_on {
+                    config.faults.drift_scale
+                } else {
+                    1.0
+                };
+                let clocks: Vec<ClockModel> = (0..switch_count)
+                    .map(|i| {
+                        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                        ClockModel::new(
+                            sign * (15.0 + 11.0 * i as f64) * scale,
+                            sign * 250_000.0 * (i as f64 + 1.0) * scale,
+                        )
+                    })
+                    .collect();
+                let mut domain = SyncDomain::chain(clocks, *sc, SimDuration::from_nanos(50))?;
+                // Pre-converge, then rebase so t=0 of the experiment is
+                // already synchronized (the paper syncs before measuring).
+                domain.run_until(SimTime::ZERO + *warmup);
+                // Sync faults arm only after convergence: the measured
+                // regime is "healthy domain degrades", not "domain never
+                // converged". Arming just seeds a PRNG, so cloning the
+                // armed domain per instantiation is byte-identical to
+                // arming each clone.
+                if faults_on {
+                    domain.set_faults(
+                        SyncFaultProfile {
+                            message_loss_prob: config.faults.sync_loss_prob,
+                            extra_jitter_ns: config.faults.sync_jitter_ns,
+                        },
+                        config.faults.seed ^ 0x9e37_79b9_7f4a_7c15,
+                    );
+                }
+                Some(domain)
+            }
+        };
+
+        let deadlines: FlowMap<SimDuration> = flows
+            .iter()
+            .filter_map(|f| f.as_ts().map(|ts| (ts.id(), ts.deadline())))
+            .collect();
+
+        Ok(NetworkTemplate {
+            ports_base: port_base(&topology),
+            topology: Arc::new(topology),
+            flows: Arc::new(flows),
+            config,
+            offsets: offsets.clone(),
+            gcls,
+            port_kinds,
+            program,
+            deadlines: Arc::new(deadlines),
+            sync_seed,
+            route_cache,
+            seed: OnceLock::new(),
+        })
+    }
+
+    /// The base simulation config instantiations start from.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The shared topology.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The shared flow set.
+    #[must_use]
+    pub fn flows(&self) -> &Arc<FlowSet> {
+        &self.flows
+    }
+
+    /// Instantiates a runnable [`Network`] with the template's own config
+    /// and offsets — what [`Network::build`] does, minus everything the
+    /// template already paid for.
+    ///
+    /// # Errors
+    ///
+    /// Resource shortfalls: more TSN ports than provisioned, tables too
+    /// small for the flow count, gate-table capacity violations.
+    pub fn instantiate(self: &Arc<Self>) -> TsnResult<Network> {
+        self.instantiate_with(self.config.clone(), &self.offsets)
+    }
+
+    /// Instantiates a runnable [`Network`] with `delta` applied on top of
+    /// the template's base config — the incremental-reconfiguration entry
+    /// point. Topology, routes, port roles, the install program and the
+    /// pre-converged sync domain are reused; only the delta-dependent
+    /// switch state is re-derived.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetworkTemplate::instantiate`] (the delta may shrink tables
+    /// below what the flows need).
+    pub fn reconfigure(self: &Arc<Self>, delta: &ConfigDelta) -> TsnResult<Network> {
+        let mut config = self.config.clone();
+        if let Some(resources) = &delta.resources {
+            config.resources = resources.clone();
+        }
+        if let Some(per_switch) = &delta.per_switch_resources {
+            config.per_switch_resources = per_switch.clone();
+        }
+        if let Some(slot) = delta.slot {
+            config.slot = slot;
+        }
+        if let Some(aggregate) = delta.aggregate_switch_tbl {
+            config.aggregate_switch_tbl = aggregate;
+        }
+        // Resources-only deltas (the DSE/sweep inner loop) take the
+        // capacity-patching fast path: adopt a clone of the cached
+        // instantiation image under the new resources instead of
+        // replaying every install. `slot`/`aggregate_switch_tbl`/
+        // `offsets` change what the replay programs, so those deltas —
+        // and any resources the image cannot adopt — fall through to
+        // the replay, which is byte-identical to a from-scratch build
+        // by construction.
+        if delta.slot.is_none() && delta.aggregate_switch_tbl.is_none() && delta.offsets.is_none() {
+            if let Some(network) = self.instantiate_patched(&config) {
+                return Ok(network);
+            }
+        }
+        let offsets = delta.offsets.as_ref().unwrap_or(&self.offsets);
+        self.instantiate_with(config, offsets)
+    }
+
+    /// The instantiation worker: assembles switch cores, hosts, port
+    /// grids and the event queue for an arbitrary effective config, then
+    /// replays the install program. `pub(crate)` because arbitrary
+    /// configs could desynchronize the cached sync domain (its clocks
+    /// depend on `sync`/`faults`, which [`ConfigDelta`] deliberately
+    /// cannot change); the sharded engine's failure path uses it with
+    /// the exact config this template already produced.
+    pub(crate) fn instantiate_with(
+        self: &Arc<Self>,
+        config: SimConfig,
+        offsets: &FlowMap<SimDuration>,
+    ) -> TsnResult<Network> {
+        let mut roles = Vec::with_capacity(self.topology.nodes().len());
+        // Switches appear in `topology.switches()` in creation order, so a
+        // running counter gives each its sync-domain chain index.
+        let mut next_sync_index = 0usize;
+        for node in self.topology.nodes() {
+            match node.kind() {
+                NodeKind::Switch => {
+                    let resources = config
+                        .per_switch_resources
+                        .get(&node.id())
+                        .unwrap_or(&config.resources);
+                    let mut spec = SwitchSpec::new(
+                        resources,
+                        self.port_kinds[node.id().as_usize()].clone(),
+                        config.slot,
+                    );
+                    for (_, port, in_gcl, out_gcl) in self.gcls.for_node(node.id()) {
+                        spec.override_gcl(*port, in_gcl, out_gcl);
+                    }
+                    let core = TsnSwitchCore::new(&spec)?;
+                    let sync_index = next_sync_index;
+                    next_sync_index += 1;
+                    roles.push(NodeRole::Switch {
+                        core: Box::new(core),
+                        sync_index,
+                    });
+                }
+                NodeKind::Host => {
+                    roles.push(NodeRole::Host(Box::new(Host::new(
+                        node.id(),
+                        mac_for(node.id()),
+                    ))));
+                }
+            }
+        }
+
+        let faults_on = config.faults.enabled();
+        let fault = faults_on.then(|| FaultEngine::new(config.faults.clone(), &self.topology));
+        let horizon = SimTime::ZERO + config.duration + config.drain;
+        let queue = EventQueue::with_kind(config.event_queue);
+        let mut network = self.assemble(config, offsets, roles, queue, fault);
+        network.apply_program(&self.program, offsets)?;
+        // The link up/down timeline is pre-generated from the fault seed
+        // at build, so it is identical whatever the run does.
+        if let Some(engine) = &mut network.fault {
+            for (at, link, goes_down) in engine.timeline(horizon) {
+                let event = if goes_down {
+                    Event::LinkDown { link }
+                } else {
+                    Event::LinkUp { link }
+                };
+                network.queue.schedule(at, event);
+            }
+        }
+        Ok(network)
+    }
+
+    /// The capacity-patching fast path of
+    /// [`NetworkTemplate::reconfigure`]: clones the cached
+    /// [`InstanceSeed`] (building it from the template's base config on
+    /// first use) and re-provisions every switch core to `config`'s
+    /// effective resources in place, skipping the per-flow-hop install
+    /// replay entirely.
+    ///
+    /// Returns `None` — and the caller falls back to the replay path,
+    /// which reproduces a from-scratch build (including its exact
+    /// errors) — when the base config is not instantiable, or any switch
+    /// rejects the new resources ([`TsnSwitchCore::reprovision`]: a
+    /// structural knob changed, or installed state no longer fits a
+    /// capacity).
+    ///
+    /// Only sound for deltas that leave `slot`, `aggregate_switch_tbl`
+    /// and `offsets` untouched: those knobs change what the install
+    /// replay *programs* (queue schedules, table keys, generator
+    /// phases), not just capacity checks, so the cached image would be
+    /// stale. The caller enforces that precondition.
+    fn instantiate_patched(self: &Arc<Self>, config: &SimConfig) -> Option<Network> {
+        let seed = self
+            .seed
+            .get_or_init(|| {
+                self.instantiate_with(self.config.clone(), &self.offsets)
+                    .ok()
+                    .map(|network| InstanceSeed {
+                        roles: network.roles,
+                        queue: network.queue,
+                        fault: network.fault,
+                    })
+            })
+            .as_ref()?;
+        let mut roles = seed.roles.clone();
+        for node in self.topology.nodes() {
+            if let NodeRole::Switch { core, .. } = &mut roles[node.id().as_usize()] {
+                let resources = config
+                    .per_switch_resources
+                    .get(&node.id())
+                    .unwrap_or(&config.resources);
+                if !core.reprovision(resources) {
+                    return None;
+                }
+            }
+        }
+        Some(self.assemble(
+            config.clone(),
+            &self.offsets,
+            roles,
+            seed.queue.clone(),
+            seed.fault.clone(),
+        ))
+    }
+
+    /// Assembles a runnable [`Network`] around prepared node roles, an
+    /// event queue and a fault engine — everything both instantiation
+    /// paths share (grids, analyzer, sync domain, report plumbing).
+    fn assemble(
+        self: &Arc<Self>,
+        config: SimConfig,
+        offsets: &FlowMap<SimDuration>,
+        roles: Vec<NodeRole>,
+        queue: EventQueue,
+        fault: Option<FaultEngine>,
+    ) -> Network {
+        let rebuild = (config.shards > 1).then(|| {
+            Arc::new(RebuildInputs {
+                template: Arc::clone(self),
+                offsets: offsets.clone(),
+            })
+        });
+        let stats = EventStats {
+            route_cache: self.route_cache,
+            ..EventStats::default()
+        };
+        Network {
+            topology: Arc::clone(&self.topology),
+            roles,
+            flows: Arc::clone(&self.flows),
+            queue,
+            analyzer: Analyzer::with_flow_capacity(self.flows.len()),
+            busy_until: PortGrid::new(Arc::clone(&self.ports_base), SimTime::ZERO),
+            tx_bytes: PortGrid::new(Arc::clone(&self.ports_base), 0),
+            wires: PortGrid::new(Arc::clone(&self.ports_base), WireState::default()),
+            preemptions: 0,
+            sync_domain: self.sync_seed.clone(),
+            fault,
+            config: Arc::new(config),
+            events_processed: 0,
+            stats,
+            deadlines: Arc::clone(&self.deadlines),
+            scratch: Vec::new(),
+            shard: None,
+            rebuild,
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+/// Resolves every flow's route once: endpoint validation, one cached BFS
+/// tree per talker, switch hops with their egress ports, and the full
+/// link list for the fault engine. The route-cache capacity scales with
+/// the distinct-talker count so large plants don't thrash the fixed
+/// default.
+fn compute_program(
+    topology: &Topology,
+    flows: &FlowSet,
+) -> TsnResult<(InstallProgram, crate::report::RouteCacheStats)> {
+    let mut is_talker = vec![false; topology.nodes().len()];
+    let mut talkers = 0usize;
+    for flow in flows.iter() {
+        let idx = flow.src().as_usize();
+        if idx < is_talker.len() && !is_talker[idx] {
+            is_talker[idx] = true;
+            talkers += 1;
+        }
+    }
+    let mut route_trees = RouteTreeCache::with_capacity(talkers);
+    let mut programs = Vec::with_capacity(flows.len());
+    for flow in flows.iter() {
+        let src = flow.src();
+        let dst = flow.dst();
+        for node in [src, dst] {
+            if !topology
+                .node(node)
+                .map(tsn_topology::Node::is_host)
+                .unwrap_or(false)
+            {
+                return Err(TsnError::invalid_parameter(
+                    "flow",
+                    format!("{} endpoint {node} is not a host", flow.id()),
+                ));
+            }
+        }
+        let route = route_trees.route(topology, src, dst)?;
+        let mut hops = Vec::new();
+        for hop in route.switch_hops_iter() {
+            let egress = hop
+                .egress
+                .ok_or_else(|| TsnError::invalid_parameter("route", "switch hop without egress"))?;
+            hops.push((hop.node, egress));
+        }
+        let links: Box<[LinkId]> = route
+            .hops()
+            .iter()
+            .filter_map(|hop| {
+                let egress = hop.egress?;
+                topology.link_at(hop.node, egress).ok().map(Link::id)
+            })
+            .collect();
+        programs.push(FlowProgram {
+            flow: flow.id(),
+            hops: hops.into_boxed_slice(),
+            links,
+        });
+    }
+    let stats = crate::report::RouteCacheStats {
+        hits: route_trees.hits(),
+        misses: route_trees.misses(),
+        evictions: route_trees.evictions(),
+        capacity: route_trees.capacity(),
+    };
+    Ok((InstallProgram { flows: programs }, stats))
 }
 
 /// The VLAN that distinguishes one flow from another on the wire (flows
@@ -310,7 +990,7 @@ impl Network {
         offsets: &FlowMap<SimDuration>,
         config: SimConfig,
     ) -> TsnResult<Self> {
-        Network::build_with_schedule(topology, flows, offsets, config, &HashMap::new())
+        Arc::new(NetworkTemplate::new(topology, flows, offsets, config)?).instantiate()
     }
 
     /// As [`Network::build`], with explicit per-port gate-control lists —
@@ -327,203 +1007,44 @@ impl Network {
         flows: FlowSet,
         offsets: &FlowMap<SimDuration>,
         config: SimConfig,
-        gcls: &HashMap<(NodeId, PortId), (GateControlList, GateControlList)>,
+        gcls: &GclSchedule,
     ) -> TsnResult<Self> {
-        let mut roles = Vec::with_capacity(topology.nodes().len());
-        let mut busy_until = Vec::with_capacity(topology.nodes().len());
-        let mut tx_bytes = Vec::with_capacity(topology.nodes().len());
-        let mut wires = Vec::with_capacity(topology.nodes().len());
-        let switch_count = topology.switches().len();
-        // Guideline (5): gate-control hardware exists only on the egress
-        // ports the TS routes actually use — the same analysis that sized
-        // `port_num` during derivation. Other switch-to-switch ports stay
-        // ungated (always-open), like un-provisioned ports on the FPGA.
-        let enabled_ports = EnabledPorts::from_flows(&topology, &flows)?;
-
-        // Switches appear in `topology.switches()` in creation order, so a
-        // running counter gives each its sync-domain chain index without
-        // the O(switches²) position() scan the old code paid per node.
-        let mut next_sync_index = 0usize;
-        for node in topology.nodes() {
-            busy_until.push(vec![SimTime::ZERO; topology.port_count(node.id())]);
-            tx_bytes.push(vec![0u64; topology.port_count(node.id())]);
-            wires.push(vec![WireState::default(); topology.port_count(node.id())]);
-            match node.kind() {
-                NodeKind::Switch => {
-                    let ports: Vec<PortKind> = (0..topology.port_count(node.id()))
-                        .map(|p| {
-                            let link = topology
-                                .link_at(node.id(), PortId::new(p as u16))
-                                .expect("port enumeration is in range");
-                            let peer_is_switch = link
-                                .peer_of(node.id())
-                                .and_then(|peer| topology.node(peer.node).ok())
-                                .is_some_and(tsn_topology::Node::is_switch);
-                            if peer_is_switch
-                                && link.allows_egress_from(node.id())
-                                && enabled_ports.is_enabled(node.id(), PortId::new(p as u16))
-                            {
-                                PortKind::Tsn
-                            } else {
-                                PortKind::Edge
-                            }
-                        })
-                        .collect();
-                    let resources = config
-                        .per_switch_resources
-                        .get(&node.id())
-                        .unwrap_or(&config.resources);
-                    let mut spec = SwitchSpec::new(resources, ports, config.slot);
-                    for ((gcl_node, port), (in_gcl, out_gcl)) in gcls {
-                        if *gcl_node == node.id() {
-                            spec.override_gcl(*port, in_gcl, out_gcl);
-                        }
-                    }
-                    let core = TsnSwitchCore::new(&spec)?;
-                    let sync_index = next_sync_index;
-                    next_sync_index += 1;
-                    roles.push(NodeRole::Switch {
-                        core: Box::new(core),
-                        sync_index,
-                    });
-                }
-                NodeKind::Host => {
-                    roles.push(NodeRole::Host(Box::new(Host::new(
-                        node.id(),
-                        mac_for(node.id()),
-                    ))));
-                }
-            }
-        }
-
-        let faults_on = config.faults.enabled();
-        let sync_domain = match &config.sync {
-            SyncSetup::Perfect => None,
-            SyncSetup::Gptp { config: sc, warmup } => {
-                // `drift_scale` perturbs every oscillator; 1.0 keeps the
-                // standard population bit-for-bit (×1.0 is exact in f64).
-                let scale = if faults_on {
-                    config.faults.drift_scale
-                } else {
-                    1.0
-                };
-                let clocks: Vec<ClockModel> = (0..switch_count)
-                    .map(|i| {
-                        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
-                        ClockModel::new(
-                            sign * (15.0 + 11.0 * i as f64) * scale,
-                            sign * 250_000.0 * (i as f64 + 1.0) * scale,
-                        )
-                    })
-                    .collect();
-                let mut domain = SyncDomain::chain(clocks, *sc, SimDuration::from_nanos(50))?;
-                // Pre-converge, then rebase so t=0 of the experiment is
-                // already synchronized (the paper syncs before measuring).
-                domain.run_until(SimTime::ZERO + *warmup);
-                // Sync faults arm only after convergence: the measured
-                // regime is "healthy domain degrades", not "domain never
-                // converged".
-                if faults_on {
-                    domain.set_faults(
-                        SyncFaultProfile {
-                            message_loss_prob: config.faults.sync_loss_prob,
-                            extra_jitter_ns: config.faults.sync_jitter_ns,
-                        },
-                        config.faults.seed ^ 0x9e37_79b9_7f4a_7c15,
-                    );
-                }
-                Some(domain)
-            }
-        };
-
-        let deadlines: FlowMap<SimDuration> = flows
-            .iter()
-            .filter_map(|f| f.as_ts().map(|ts| (ts.id(), ts.deadline())))
-            .collect();
-        let fault = faults_on.then(|| FaultEngine::new(config.faults.clone(), &topology));
-        let horizon = SimTime::ZERO + config.duration + config.drain;
-        let rebuild = (config.shards > 1).then(|| {
-            Arc::new(RebuildInputs {
-                offsets: offsets.clone(),
-                gcls: gcls.clone(),
-            })
-        });
-        let mut network = Network {
-            topology: Arc::new(topology),
-            roles,
-            flows: Arc::new(flows),
-            queue: EventQueue::with_kind(config.event_queue),
-            analyzer: Analyzer::new(),
-            busy_until,
-            tx_bytes,
-            wires,
-            preemptions: 0,
-            sync_domain,
-            fault,
-            config: Arc::new(config),
-            events_processed: 0,
-            stats: EventStats::default(),
-            deadlines: Arc::new(deadlines),
-            scratch: Vec::new(),
-            shard: None,
-            rebuild,
-            now: SimTime::ZERO,
-        };
-        network.install_flows(offsets)?;
-        // The link up/down timeline is pre-generated from the fault seed
-        // at build, so it is identical whatever the run does.
-        if let Some(engine) = &mut network.fault {
-            for (at, link, goes_down) in engine.timeline(horizon) {
-                let event = if goes_down {
-                    Event::LinkDown { link }
-                } else {
-                    Event::LinkUp { link }
-                };
-                network.queue.schedule(at, event);
-            }
-        }
-        Ok(network)
+        Arc::new(NetworkTemplate::with_schedule(
+            topology,
+            flows,
+            offsets,
+            config,
+            gcls.clone(),
+        )?)
+        .instantiate()
     }
 
-    fn install_flows(&mut self, offsets: &FlowMap<SimDuration>) -> TsnResult<()> {
+    /// Replays the precomputed install program: programs forwarding /
+    /// classification / meter / shaper state on every switch and attaches
+    /// the host generators, in exactly the order a from-scratch install
+    /// performed — reports stay byte-identical across instantiations.
+    fn apply_program(
+        &mut self,
+        program: &InstallProgram,
+        offsets: &FlowMap<SimDuration>,
+    ) -> TsnResult<()> {
         // Per-switch running meter allocation and per-(switch, port, queue)
         // reserved-rate accumulation for the shapers. BTreeMaps: switch
         // programming must not depend on hash iteration order, or two
         // builds of the same scenario configure their switches differently.
         let mut next_meter: BTreeMap<NodeId, u32> = BTreeMap::new();
         let mut rc_reservations: BTreeMap<(NodeId, PortId, QueueId), u64> = BTreeMap::new();
-        // One BFS tree per distinct talker, shared by all of its flows.
-        // Tree extraction returns exactly what per-flow `route()` would,
-        // so programmed tables (and reports) are unchanged — install just
-        // stops being O(flows × network).
-        let mut route_trees = RouteTreeCache::new();
 
         // Borrow the shared flow set through its own handle so the loop
         // body can still take `&mut self` (at 512 flows a deep clone
         // dominated build time — the PR-2 bench regression).
         let flows = Arc::clone(&self.flows);
-        for flow in flows.iter() {
+        for (flow, prog) in flows.iter().zip(program.flows.iter()) {
+            debug_assert_eq!(flow.id(), prog.flow, "program is in flow-set order");
             let src = flow.src();
             let dst = flow.dst();
-            for node in [src, dst] {
-                if !self
-                    .topology
-                    .node(node)
-                    .map(tsn_topology::Node::is_host)
-                    .unwrap_or(false)
-                {
-                    return Err(TsnError::invalid_parameter(
-                        "flow",
-                        format!("{} endpoint {node} is not a host", flow.id()),
-                    ));
-                }
-            }
-            let route = route_trees.route(&self.topology, src, dst)?;
-            if self.fault.is_some() {
-                let links = self.route_links(&route);
-                if let Some(engine) = &mut self.fault {
-                    engine.set_primary(flow.id(), links);
-                }
+            if let Some(engine) = &mut self.fault {
+                engine.set_primary(flow.id(), prog.links.to_vec());
             }
             let vlan = vlan_for(flow.id());
             let dst_mac = mac_for(dst);
@@ -531,11 +1052,8 @@ impl Network {
             let class = flow.class();
             let pcp = class.default_pcp();
 
-            for hop in route.switch_hops_iter() {
-                let egress = hop.egress.ok_or_else(|| {
-                    TsnError::invalid_parameter("route", "switch hop without egress")
-                })?;
-                let NodeRole::Switch { core, .. } = &mut self.roles[hop.node.as_usize()] else {
+            for &(hop_node, egress) in prog.hops.iter() {
+                let NodeRole::Switch { core, .. } = &mut self.roles[hop_node.as_usize()] else {
                     unreachable!("switch hop resolves to a switch role");
                 };
                 if self.config.aggregate_switch_tbl {
@@ -553,7 +1071,7 @@ impl Network {
                     .spread_queue(class, u64::from(flow.id().index()));
                 let meter = match flow {
                     FlowSpec::Rc(rc) => {
-                        let slot_counter = next_meter.entry(hop.node).or_insert(0);
+                        let slot_counter = next_meter.entry(hop_node).or_insert(0);
                         let meter_id = MeterId::new(*slot_counter);
                         *slot_counter += 1;
                         // Token bucket at the reserved rate with a two-frame burst.
@@ -562,7 +1080,7 @@ impl Network {
                             TokenBucketMeter::new(rc.reserved_rate(), rc.frame_bytes() * 2)?,
                         )?;
                         *rc_reservations
-                            .entry((hop.node, egress, queue))
+                            .entry((hop_node, egress, queue))
                             .or_insert(0) += rc.reserved_rate().bits_per_sec();
                         Some(meter_id)
                     }
@@ -678,18 +1196,34 @@ impl Network {
     /// The single-threaded event loop (the reference semantics the
     /// sharded engine reproduces).
     pub(crate) fn run_serial(mut self) -> SimReport {
-        let horizon = SimTime::ZERO + self.config.duration + self.config.drain;
-        while let Some((at, event)) = self.queue.pop() {
-            if at > horizon {
-                break;
-            }
-            self.now = at;
-            if let Some(domain) = &mut self.sync_domain {
-                domain.run_until(at);
-            }
-            self.events_processed += 1;
-            self.handle(at, event);
+        while self.step() {}
+        self.into_report()
+    }
+
+    /// Advances the serial event loop by exactly one event. Returns
+    /// `false` once the event list is exhausted or the horizon passed —
+    /// then [`Network::finish`] yields the report. Exposed so harnesses
+    /// (e.g. the counting-allocator test) can observe the loop
+    /// event-by-event; `run` composes it the same way.
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        if at > SimTime::ZERO + self.config.duration + self.config.drain {
+            return false;
         }
+        self.now = at;
+        if let Some(domain) = &mut self.sync_domain {
+            domain.run_until(at);
+        }
+        self.events_processed += 1;
+        self.handle(at, event);
+        true
+    }
+
+    /// Finalizes a stepped run (see [`Network::step`]) into its report.
+    #[must_use]
+    pub fn finish(self) -> SimReport {
         self.into_report()
     }
 
@@ -706,31 +1240,26 @@ impl Network {
     pub(crate) fn split_for_shard(&mut self, shard_of: &[usize], me: usize) -> Network {
         let nodes = self.roles.len();
         let mut roles = Vec::with_capacity(nodes);
-        let mut busy_until = Vec::with_capacity(nodes);
-        let mut tx_bytes = Vec::with_capacity(nodes);
-        let mut wires = Vec::with_capacity(nodes);
         for (node, &owner) in shard_of.iter().enumerate().take(nodes) {
             if owner == me {
                 roles.push(std::mem::replace(&mut self.roles[node], NodeRole::Vacant));
-                busy_until.push(std::mem::take(&mut self.busy_until[node]));
-                tx_bytes.push(std::mem::take(&mut self.tx_bytes[node]));
-                wires.push(std::mem::take(&mut self.wires[node]));
             } else {
                 roles.push(NodeRole::Vacant);
-                busy_until.push(Vec::new());
-                tx_bytes.push(Vec::new());
-                wires.push(Vec::new());
             }
         }
+        // Splitting happens on a freshly built, never-run network, so all
+        // per-port state still holds its build-time defaults: fresh
+        // default grids on the replica are exactly the moved state the
+        // Vec-of-Vec layout used to transfer.
         Network {
             topology: self.topology.clone(),
             roles,
             flows: self.flows.clone(),
             queue: EventQueue::with_kind(self.config.event_queue),
-            analyzer: Analyzer::new(),
-            busy_until,
-            tx_bytes,
-            wires,
+            analyzer: Analyzer::with_flow_capacity(self.flows.len()),
+            busy_until: PortGrid::new(self.busy_until.base.clone(), SimTime::ZERO),
+            tx_bytes: PortGrid::new(self.tx_bytes.base.clone(), 0),
+            wires: PortGrid::new(self.wires.base.clone(), WireState::default()),
             preemptions: 0,
             sync_domain: self.sync_domain.clone(),
             fault: self.fault.clone(),
@@ -846,7 +1375,7 @@ impl Network {
             // Frames mid-serialization (and suspended fragments) on the
             // dead wire are lost on both ends.
             for end in ends {
-                let ws = &mut self.wires[end.node.as_usize()][end.port.as_usize()];
+                let ws = self.wires.at_mut(end.node.as_usize(), end.port.as_usize());
                 ws.gen += 1; // stale TxComplete becomes a no-op
                 let engine = self.fault.as_mut().expect("checked above");
                 if let Some(active) = ws.active.take() {
@@ -857,7 +1386,9 @@ impl Network {
                     engine.frames_lost_on_dead_links += 1;
                     engine.note_flow_loss(suspended.frame.flow());
                 }
-                self.busy_until[end.node.as_usize()][end.port.as_usize()] = now;
+                *self
+                    .busy_until
+                    .at_mut(end.node.as_usize(), end.port.as_usize()) = now;
                 // Keep the transmitter draining: queued frames headed
                 // into the dead wire drop one by one at `start_tx` until
                 // the re-route takes effect.
@@ -899,7 +1430,7 @@ impl Network {
                 if !owned {
                     continue; // that end's transmitter lives on another replica
                 }
-                let ws = &mut self.wires[end.node.as_usize()][end.port.as_usize()];
+                let ws = self.wires.at_mut(end.node.as_usize(), end.port.as_usize());
                 ws.gen += 1; // stale TxComplete becomes a no-op
                 let engine = self.fault.as_mut().expect("checked above");
                 if let Some(active) = ws.active.take() {
@@ -910,7 +1441,9 @@ impl Network {
                     engine.frames_lost_on_dead_links += 1;
                     engine.note_flow_loss(suspended.frame.flow());
                 }
-                self.busy_until[end.node.as_usize()][end.port.as_usize()] = at;
+                *self
+                    .busy_until
+                    .at_mut(end.node.as_usize(), end.port.as_usize()) = at;
             }
         }
         self.reprogram_routes();
@@ -1042,8 +1575,8 @@ impl Network {
         let tx = link.rate().serialization_time(wire_bytes);
         let express = frame.class() == TrafficClass::TimeSensitive;
         let end = now + tx;
-        self.busy_until[node.as_usize()][port.as_usize()] = end;
-        let ws = &mut self.wires[node.as_usize()][port.as_usize()];
+        *self.busy_until.at_mut(node.as_usize(), port.as_usize()) = end;
+        let ws = self.wires.at_mut(node.as_usize(), port.as_usize());
         ws.active = Some(ActiveTx {
             frame,
             queue,
@@ -1091,7 +1624,7 @@ impl Network {
             return PreemptOutcome::No;
         };
         let rate = link.rate();
-        let ws = &mut self.wires[node.as_usize()][port.as_usize()];
+        let ws = self.wires.at_mut(node.as_usize(), port.as_usize());
         let Some(active) = &ws.active else {
             return PreemptOutcome::No;
         };
@@ -1114,8 +1647,8 @@ impl Network {
             remaining_wire_bytes: remaining + FRAGMENT_OVERHEAD_BYTES,
         });
         ws.gen += 1; // invalidate the in-flight completion
-        self.busy_until[node.as_usize()][port.as_usize()] = now;
-        self.tx_bytes[node.as_usize()][port.as_usize()] += sent;
+        *self.busy_until.at_mut(node.as_usize(), port.as_usize()) = now;
+        *self.tx_bytes.at_mut(node.as_usize(), port.as_usize()) += sent;
         self.preemptions += 1;
         PreemptOutcome::Preempted
     }
@@ -1124,14 +1657,14 @@ impl Network {
     /// peer (unless the segment was preempted — stale generation) and
     /// kick the transmitter.
     fn on_tx_complete(&mut self, node: NodeId, port: PortId, gen: u64, now: SimTime) {
-        let ws = &mut self.wires[node.as_usize()][port.as_usize()];
+        let ws = self.wires.at_mut(node.as_usize(), port.as_usize());
         if ws.gen != gen {
             return; // segment was preempted; a new completion is scheduled
         }
         let Some(active) = ws.active.take() else {
             return;
         };
-        self.tx_bytes[node.as_usize()][port.as_usize()] += u64::from(active.wire_bytes);
+        *self.tx_bytes.at_mut(node.as_usize(), port.as_usize()) += u64::from(active.wire_bytes);
         let Ok(link) = self.topology.link_at(node, port) else {
             return;
         };
@@ -1215,7 +1748,9 @@ impl Network {
         // the transmitter actually has one (buffered frames or a
         // suspended fragment). An idle port is re-kicked by the next
         // enqueue, so the kick would be a guaranteed no-op.
-        let suspended = self.wires[node.as_usize()][port.as_usize()]
+        let suspended = self
+            .wires
+            .at(node.as_usize(), port.as_usize())
             .suspended
             .is_some();
         let kick = match &self.roles[node.as_usize()] {
@@ -1252,7 +1787,7 @@ impl Network {
 
     fn on_host_kick(&mut self, node: NodeId, now: SimTime) {
         let port = PortId::new(0);
-        let busy = self.busy_until[node.as_usize()][0];
+        let busy = *self.busy_until.at(node.as_usize(), 0);
         if now < busy {
             // Express traffic may interrupt a preemptable segment.
             let express_waiting = match &self.roles[node.as_usize()] {
@@ -1281,7 +1816,7 @@ impl Network {
             }
         }
         let preemption = self.config.frame_preemption;
-        let suspended_waiting = self.wires[node.as_usize()][0].suspended.is_some();
+        let suspended_waiting = self.wires.at(node.as_usize(), 0).suspended.is_some();
         let NodeRole::Host(host) = &mut self.roles[node.as_usize()] else {
             return;
         };
@@ -1291,7 +1826,9 @@ impl Network {
             if let Some(frame) = host.pop_next_class(Some(true)) {
                 Some((frame, None))
             } else if suspended_waiting {
-                let s = self.wires[node.as_usize()][0]
+                let s = self
+                    .wires
+                    .at_mut(node.as_usize(), 0)
                     .suspended
                     .take()
                     .expect("checked");
@@ -1354,7 +1891,7 @@ impl Network {
                 // service the backlog. Under frame preemption the kick
                 // stays, so an arriving express frame can interrupt the
                 // in-flight preemptable segment.
-                if now < self.busy_until[node.as_usize()][port.as_usize()]
+                if now < *self.busy_until.at(node.as_usize(), port.as_usize())
                     && !self.config.frame_preemption
                 {
                     self.stats.kicks_suppressed += 1;
@@ -1368,7 +1905,7 @@ impl Network {
 
     fn on_port_kick(&mut self, node: NodeId, port: PortId, now: SimTime) {
         let corrected = self.corrected_time(node, now);
-        let busy = self.busy_until[node.as_usize()][port.as_usize()];
+        let busy = *self.busy_until.at(node.as_usize(), port.as_usize());
         if now < busy {
             let express_ready = match &self.roles[node.as_usize()] {
                 NodeRole::Switch { core, .. } => core.express_ready(port, corrected),
@@ -1396,7 +1933,9 @@ impl Network {
             }
         }
         let preemption = self.config.frame_preemption;
-        let suspended_waiting = self.wires[node.as_usize()][port.as_usize()]
+        let suspended_waiting = self
+            .wires
+            .at(node.as_usize(), port.as_usize())
             .suspended
             .is_some();
         let NodeRole::Switch { core, .. } = &mut self.roles[node.as_usize()] else {
@@ -1408,7 +1947,9 @@ impl Network {
             if let Some((queue, frame)) = core.dequeue_class(port, corrected, Some(true)) {
                 Some((queue, frame, None))
             } else if suspended_waiting {
-                let s = self.wires[node.as_usize()][port.as_usize()]
+                let s = self
+                    .wires
+                    .at_mut(node.as_usize(), port.as_usize())
                     .suspended
                     .take()
                     .expect("checked");
@@ -1464,8 +2005,8 @@ impl Network {
         // Link utilization: transmitted wire bits over capacity × elapsed.
         let elapsed_ns = self.now.as_nanos().max(1);
         let mut link_utilization = Vec::new();
-        for (node_idx, ports) in self.tx_bytes.iter().enumerate() {
-            for (port_idx, &bytes) in ports.iter().enumerate() {
+        for node_idx in 0..self.roles.len() {
+            for (port_idx, &bytes) in self.tx_bytes.node_span(node_idx).iter().enumerate() {
                 if bytes == 0 {
                     continue;
                 }

@@ -36,6 +36,46 @@ pub struct EventStats {
     /// runs). Excluded from equality and `Debug` so sharded reports stay
     /// byte-identical to serial ones; read the fields directly.
     pub shard: ShardOverhead,
+    /// Route-cache effectiveness during flow installation. Excluded from
+    /// equality and `Debug` (cache sizing must not perturb goldens);
+    /// read the fields directly.
+    pub route_cache: RouteCacheStats,
+}
+
+/// How well the per-talker BFS route cache served flow installation:
+/// hits/misses/evictions plus the capacity it ran with (scaled to the
+/// scenario's talker count). Diagnostics only — like [`ShardOverhead`]
+/// it compares equal to everything and renders a constant `Debug`
+/// string, so cache-capacity tuning can never break report
+/// byte-identity.
+#[derive(Clone, Copy, Default)]
+pub struct RouteCacheStats {
+    /// Routes served from a cached talker tree.
+    pub hits: u64,
+    /// Routes that had to run a fresh BFS.
+    pub misses: u64,
+    /// Whole-cache flushes forced by the capacity bound.
+    pub evictions: u64,
+    /// The capacity the cache ran with.
+    pub capacity: usize,
+}
+
+impl PartialEq for RouteCacheStats {
+    /// Always equal: install diagnostics must not break report
+    /// byte-identity across cache-capacity choices.
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for RouteCacheStats {}
+
+impl fmt::Debug for RouteCacheStats {
+    /// Constant rendering, for the same reason `PartialEq` is constant:
+    /// golden tests compare `Debug` output across engines.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RouteCacheStats(..)")
+    }
 }
 
 /// How much coordination the conservative-parallel engine spent on a

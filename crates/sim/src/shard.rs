@@ -487,14 +487,10 @@ pub(crate) fn run_sharded(mut net: Network) -> Result<SimReport, Network> {
                 .rebuild
                 .clone()
                 .expect("sharded runs retain their rebuild inputs");
-            let mut fresh = Network::build_with_schedule(
-                (*net.topology).clone(),
-                (*net.flows).clone(),
-                &inputs.offsets,
-                (*net.config).clone(),
-                &inputs.gcls,
-            )
-            .expect("inputs that built once build again");
+            let mut fresh = inputs
+                .template
+                .instantiate_with((*net.config).clone(), &inputs.offsets)
+                .expect("inputs that built once build again");
             fresh.stats.shard.serial_fallbacks = 1;
             Err(fresh)
         }
@@ -1140,10 +1136,12 @@ fn assemble(mut base: Network, fin: Finished, partition: &Partition) -> SimRepor
             replica_engines.push(engine);
         }
     }
+    let owners: Vec<usize> = partition.assignment().to_vec();
     for (node, role) in base.roles.iter_mut().enumerate() {
-        let owner = partition.assignment()[node];
-        std::mem::swap(role, &mut finals[owner].roles[node]);
-        base.tx_bytes[node] = std::mem::take(&mut finals[owner].tx_bytes[node]);
+        std::mem::swap(role, &mut finals[owners[node]].roles[node]);
+    }
+    for (node, &owner) in owners.iter().enumerate() {
+        base.tx_bytes.copy_node_from(&finals[owner].tx_bytes, node);
     }
     for replica in &finals {
         base.analyzer.merge_disjoint(&replica.analyzer);

@@ -177,6 +177,36 @@ impl EgressScheduler {
         Ok(())
     }
 
+    /// Re-provisions the CBS table sizes in place, keeping the installed
+    /// shapers and mappings — the incremental-reconfiguration path.
+    ///
+    /// Returns `false` (without mutating anything) when the installed
+    /// state does not fit: more queues are mapped than `cbs_map_size`
+    /// allows, or a shaper occupies a slot at or beyond `cbs_size`. A
+    /// from-scratch build at those sizes would have rejected an install,
+    /// so the caller must replay instead.
+    #[must_use]
+    pub fn reprovision(&mut self, cbs_map_size: usize, cbs_size: usize) -> bool {
+        let slots_used = self
+            .shapers
+            .iter()
+            .rposition(Option::is_some)
+            .map_or(0, |i| i + 1);
+        // A CBS MAP entry referencing a slot beyond the new table would
+        // have failed `map_queue` at install time, not just lost its
+        // shaper — so it forces the replay path too.
+        let max_mapped_slot = self.cbs_map.iter().flatten().copied().max();
+        if self.mapped > cbs_map_size
+            || slots_used > cbs_size
+            || max_mapped_slot.is_some_and(|s| s >= cbs_size)
+        {
+            return false;
+        }
+        self.map_capacity = cbs_map_size;
+        self.shapers.resize(cbs_size, None);
+        true
+    }
+
     /// Selects the queue to transmit from at `now`: the highest-priority
     /// queue that is gate-eligible and (if shaped) has non-negative
     /// credit. Shapers of backlogged queues are advanced to `now` as a

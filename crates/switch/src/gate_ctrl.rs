@@ -580,6 +580,13 @@ impl GateCtrl {
         self.gate_closed_drops
     }
 
+    /// The per-queue metadata capacity (`set_queues`), identical across
+    /// the port's queues.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queues.first().map_or(0, |q| q.depth)
+    }
+
     /// The ingress GCL.
     #[must_use]
     pub fn in_gcl(&self) -> &GateControlList {

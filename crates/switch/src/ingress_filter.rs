@@ -263,6 +263,28 @@ impl IngressFilter {
         Ok(())
     }
 
+    /// Re-provisions the filter's table sizes in place, keeping the
+    /// programmed entries — the incremental-reconfiguration path.
+    ///
+    /// Returns `false` (without mutating anything) when the installed
+    /// state does not fit the new sizes: the classification table holds
+    /// more entries than `class_size`, or a meter is installed at an
+    /// index at or beyond `meter_size`. A from-scratch build would have
+    /// rejected those installs, so the caller must replay instead.
+    #[must_use]
+    pub fn reprovision(&mut self, class_size: usize, meter_size: usize) -> bool {
+        let meters_used = self
+            .meters
+            .iter()
+            .rposition(Option::is_some)
+            .map_or(0, |i| i + 1);
+        if meters_used > meter_size || !self.class_table.set_capacity(class_size) {
+            return false;
+        }
+        self.meters.resize(meter_size, None);
+        true
+    }
+
     /// Classifies and polices one frame.
     ///
     /// A classification-table hit yields the configured queue and meter.

@@ -7,6 +7,7 @@
 //! of outports from the multicast table." (Sections III.A/III.B)
 
 use crate::table::CapTable;
+use std::sync::Arc;
 use tsn_types::{EthernetFrame, MacAddr, McId, Pcp, PortId, TsnResult, VlanId};
 
 /// The header fields the parser submodule extracts from a frame.
@@ -47,8 +48,10 @@ impl PacketFields {
 pub enum LookupOutcome {
     /// Forward out of a single port.
     Unicast(PortId),
-    /// Replicate to a set of ports.
-    Multicast(Vec<PortId>),
+    /// Replicate to a set of ports. The port set is interned behind an
+    /// `Arc` at install time, so the per-frame lookup is a refcount bump
+    /// instead of a heap-allocating `Vec` clone.
+    Multicast(Arc<[PortId]>),
     /// No matching entry — the frame cannot be forwarded
     /// deterministically. (A TSN switch must not flood TS traffic; misses
     /// are counted and the frame dropped by the pipeline.)
@@ -96,7 +99,9 @@ pub struct PacketSwitch {
     /// aggregated according to the transmission path") use `(dst, None)`
     /// and match any VLAN. Both kinds share the table's capacity.
     unicast: CapTable<(MacAddr, Option<VlanId>), PortId>,
-    multicast: CapTable<McId, Vec<PortId>>,
+    /// Interned port sets: lookups hand out shared references, never
+    /// per-frame copies of the group membership.
+    multicast: CapTable<McId, Arc<[PortId]>>,
 }
 
 impl PacketSwitch {
@@ -142,8 +147,21 @@ impl PacketSwitch {
     /// Returns [`tsn_types::TsnError::CapacityExceeded`] when the
     /// multicast table is full.
     pub fn add_multicast(&mut self, mc_id: McId, ports: Vec<PortId>) -> TsnResult<()> {
-        self.multicast.insert(mc_id, ports)?;
+        self.multicast.insert(mc_id, ports.into())?;
         Ok(())
+    }
+
+    /// Re-provisions both table capacities in place, keeping the
+    /// programmed entries — the incremental-reconfiguration path.
+    ///
+    /// Returns `false` when either table already holds more entries than
+    /// its new size allows; a from-scratch build at those sizes would
+    /// have rejected an install, so the caller must replay instead. On
+    /// `false` the unicast capacity may already have been updated — the
+    /// caller discards the (cloned) switch state on that path.
+    #[must_use]
+    pub fn reprovision(&mut self, unicast_size: usize, multicast_size: usize) -> bool {
+        self.unicast.set_capacity(unicast_size) && self.multicast.set_capacity(multicast_size)
     }
 
     /// Looks up the outport(s) for a frame.
@@ -164,7 +182,9 @@ impl PacketSwitch {
                 return LookupOutcome::Miss;
             };
             match self.multicast.lookup(&mc) {
-                Some(ports) => LookupOutcome::Multicast(ports.clone()),
+                // Cloning an `Arc<[PortId]>` is a refcount bump — the
+                // interned port set itself is never copied per frame.
+                Some(ports) => LookupOutcome::Multicast(Arc::clone(ports)),
                 None => LookupOutcome::Miss,
             }
         } else {
@@ -312,7 +332,7 @@ mod tests {
             .expect("valid frame");
         match ps.lookup(&frame) {
             LookupOutcome::Multicast(ports) => {
-                assert_eq!(ports, vec![PortId::new(0), PortId::new(2)]);
+                assert_eq!(&ports[..], [PortId::new(0), PortId::new(2)]);
             }
             other => panic!("expected multicast outcome, got {other:?}"),
         }

@@ -310,6 +310,75 @@ impl TsnSwitchCore {
         self.filter.set_meter(id, meter)
     }
 
+    /// Adopts this (fully programmed) data plane under a new resource
+    /// configuration without replaying a single install — the
+    /// incremental-reconfiguration fast path. Table capacities, the CBS
+    /// table sizes and the buffer pool are re-provisioned in place; the
+    /// programmed entries, meters, shapers and gate schedules are kept.
+    ///
+    /// Returns `false` when `res` is not adoptable and the caller must
+    /// fall back to a from-scratch build instead:
+    ///
+    /// * a *structural* knob differs (`queue_num` changes the queue
+    ///   layout, `queue_depth` the per-queue capacity — both change run
+    ///   behavior, not just a capacity check), or
+    /// * a *capacity* no longer fits what is already installed (tables,
+    ///   meters, shapers, GCL lengths vs `gate_size`, TSN ports vs
+    ///   `port_num`) — a from-scratch build would have rejected an
+    ///   install, and only the replay reproduces that error exactly.
+    ///
+    /// On `false` the core may be left partially re-provisioned; callers
+    /// operate on a clone and discard it on that path.
+    #[must_use]
+    pub fn reprovision(&mut self, res: &tsn_resource::ResourceConfig) -> bool {
+        let tsn_ports = self
+            .ports
+            .iter()
+            .filter(|p| p.kind == PortKind::Tsn)
+            .count();
+        if tsn_ports > res.port_num() as usize {
+            return false;
+        }
+        let structural_ok = layout_for(res.queue_num())
+            .is_ok_and(|layout| self.ports.iter().all(|p| *p.gates.layout() == layout))
+            && self
+                .ports
+                .iter()
+                .all(|p| p.gates.queue_depth() == res.queue_depth() as usize);
+        if !structural_ok {
+            return false;
+        }
+        let gate_fits = self.ports.iter().all(|p| {
+            p.gates.in_gcl().len() <= res.gate_size() as usize
+                && p.gates.out_gcl().len() <= res.gate_size() as usize
+        });
+        if !gate_fits {
+            return false;
+        }
+        if !self
+            .filter
+            .reprovision(res.class_size() as usize, res.meter_size() as usize)
+        {
+            return false;
+        }
+        if !self
+            .packet_switch
+            .reprovision(res.unicast_size() as usize, res.multicast_size() as usize)
+        {
+            return false;
+        }
+        for port in &mut self.ports {
+            if !port
+                .sched
+                .reprovision(res.cbs_map_size() as usize, res.cbs_size() as usize)
+            {
+                return false;
+            }
+        }
+        self.buffer_capacity = res.buffer_num() as usize;
+        true
+    }
+
     /// Installs a credit-based shaper on a port.
     ///
     /// # Errors
@@ -389,7 +458,7 @@ impl TsnSwitchCore {
             }
             crate::packet_switch::LookupOutcome::Multicast(ports) => {
                 out.reserve(ports.len());
-                for port in ports {
+                for &port in ports.iter() {
                     out.push(self.enqueue_on(port, queue, frame, now));
                 }
             }

@@ -8,8 +8,76 @@
 //! tracked for reports.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use tsn_types::{TsnError, TsnResult};
+
+/// Deterministic multiply-xor hasher (the `FxHash` construction from
+/// rustc). Lookup tables sit on the per-frame hot path — one classify
+/// plus one forwarding lookup per hop — and profiling the 100k-flow
+/// plant showed SipHash itself as the largest single cost there. The
+/// table's iteration order is never observable (no `CapTable` API
+/// exposes it), so a weaker, faster hash cannot leak into reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] — zero-state, so every map hashes
+/// identically across runs (part of the determinism story).
+pub type FxBuild = BuildHasherDefault<FxHasher>;
 
 /// A fixed-capacity key/value table with occupancy statistics.
 ///
@@ -30,7 +98,7 @@ use tsn_types::{TsnError, TsnResult};
 pub struct CapTable<K, V> {
     name: &'static str,
     capacity: usize,
-    entries: HashMap<K, V>,
+    entries: HashMap<K, V, FxBuild>,
     lookups: u64,
     misses: u64,
     rejected_inserts: u64,
@@ -44,7 +112,7 @@ impl<K: Eq + Hash, V> CapTable<K, V> {
         CapTable {
             name,
             capacity,
-            entries: HashMap::with_capacity(capacity.min(4096)),
+            entries: HashMap::with_capacity_and_hasher(capacity.min(4096), FxBuild::default()),
             lookups: 0,
             misses: 0,
             rejected_inserts: 0,
@@ -96,6 +164,24 @@ impl<K: Eq + Hash, V> CapTable<K, V> {
     /// Removes all entries (statistics are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// Re-provisions the table to `capacity` entries, keeping the current
+    /// contents — the incremental-reconfiguration path, where a cloned,
+    /// already-programmed table is adopted under a new resource
+    /// configuration instead of being rebuilt entry by entry.
+    ///
+    /// Returns `false` (leaving the table untouched) when the current
+    /// occupancy does not fit: a from-scratch build at that capacity
+    /// would have rejected an insert, so the caller must fall back to the
+    /// full replay to reproduce that rejection exactly.
+    #[must_use]
+    pub fn set_capacity(&mut self, capacity: usize) -> bool {
+        if self.entries.len() > capacity {
+            return false;
+        }
+        self.capacity = capacity;
+        true
     }
 
     /// Current number of entries.

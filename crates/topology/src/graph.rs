@@ -501,21 +501,71 @@ impl RouteTree {
 /// assert_eq!(route.hops(), topo.route(hosts[0], hosts[1])?.hops());
 /// # Ok::<(), tsn_types::TsnError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RouteTreeCache {
     trees: std::collections::BTreeMap<NodeId, RouteTree>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Default for RouteTreeCache {
+    fn default() -> Self {
+        RouteTreeCache::new()
+    }
 }
 
 impl RouteTreeCache {
-    /// Most trees held at once; one tree is O(nodes), so the cache's
+    /// Default tree bound; one tree is O(nodes), so the default cache
     /// footprint stays O(CAPACITY × nodes) no matter how many talkers
-    /// stream through it.
+    /// stream through it. [`RouteTreeCache::with_capacity`] scales the
+    /// bound to the scenario so large plants don't thrash it.
     pub const CAPACITY: usize = 64;
 
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        RouteTreeCache::with_capacity(Self::CAPACITY)
+    }
+
+    /// An empty cache bounded at `capacity` trees (clamped to at least
+    /// [`RouteTreeCache::CAPACITY`]). Size it to the distinct-talker
+    /// count of the scenario: a cache that holds every talker's tree
+    /// never evicts, so installation runs exactly one BFS per talker.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        RouteTreeCache {
+            trees: std::collections::BTreeMap::new(),
+            capacity: capacity.max(Self::CAPACITY),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The tree bound this cache runs with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Routes served from a cached tree.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Routes that had to run a fresh BFS.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Whole-cache flushes forced by the capacity bound.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// The cached tree rooted at `from`, running BFS on a miss.
@@ -538,8 +588,14 @@ impl RouteTreeCache {
     ///
     /// As [`Topology::route`].
     pub fn route(&mut self, topology: &Topology, from: NodeId, to: NodeId) -> TsnResult<Route> {
-        if self.trees.len() >= Self::CAPACITY && !self.trees.contains_key(&from) {
-            self.trees.clear();
+        if self.trees.contains_key(&from) {
+            self.hits += 1;
+        } else {
+            if self.trees.len() >= self.capacity {
+                self.trees.clear();
+                self.evictions += 1;
+            }
+            self.misses += 1;
         }
         self.tree(topology, from)?.route(topology, to)
     }

@@ -1,4 +1,4 @@
-//! The eight cross-layer differential oracles.
+//! The nine cross-layer differential oracles.
 //!
 //! Each oracle consumes a random [`ScenarioCase`] and cross-checks two
 //! independent layers of the stack against each other, so neither layer's
@@ -24,22 +24,29 @@
 //!    search must survive `tsn_dse::check_optimality`: its confirming
 //!    simulation meets the QoS targets *and* stepping any monotone knob
 //!    down one notch makes a bound or the simulation fail.
+//! 9. [`reconfigure_equivalence`] — applying a random [`ConfigDelta`] to
+//!    a resident [`NetworkTemplate`] must produce a report byte-identical
+//!    (including the `Debug` rendering) to building the delta'd
+//!    configuration from scratch — the incremental-reconfiguration path
+//!    vs. the full-rebuild path.
 //!
 //! Verdict policy: anything that stops a case *before* a validated
 //! configuration exists (preset/workload/planning infeasibility on random
 //! inputs) is a [`Verdict::Discard`]; once derivation or planning
 //! succeeded, every downstream error is a [`Verdict::Fail`].
 
+use std::sync::Arc;
 use tsn_builder::cqf::latency_bounds;
 use tsn_builder::derive::{derive_parameters, DeriveOptions, DerivedConfig};
 use tsn_builder::requirements::AppRequirements;
 use tsn_hdl::ParsedModule;
 use tsn_resource::config::EntryWidths;
 use tsn_resource::ResourceConfig;
-use tsn_sim::network::Network;
+use tsn_sim::network::{ConfigDelta, Network, NetworkTemplate};
 use tsn_sim::report::SimReport;
 use tsn_sim::{EventQueueKind, FaultConfig, LinkFaultProfile, LinkOutage};
 use tsn_topology::{LinkId, Topology};
+use tsn_types::FlowMap;
 use tsn_types::{
     FlowId, FlowSet, SimDuration, SimTime, SplitMix64, TsFlowSpec, TsnError, TsnResult,
 };
@@ -60,6 +67,7 @@ pub const ORACLES: &[(&str, Oracle)] = &[
     ("shard-equivalence", shard_equivalence),
     ("hdl-cost-agreement", hdl_cost_agreement),
     ("dse-optimality", dse_optimality),
+    ("reconfigure-equivalence", reconfigure_equivalence),
 ];
 
 /// Looks an oracle up by name.
@@ -703,6 +711,112 @@ pub fn dse_optimality(case: &ScenarioCase) -> Verdict {
     }
 }
 
+/// Draws the random [`ConfigDelta`] (and nothing else) for
+/// [`reconfigure_equivalence`]: an independent coin per delta-able knob,
+/// so the sweep covers the empty delta, single-knob deltas and compound
+/// ones. The stream is decorrelated from the workload seed.
+fn random_delta(case: &ScenarioCase, derived: &DerivedConfig) -> TsnResult<ConfigDelta> {
+    let mut rng = SplitMix64::seed_from_u64(case.wl_seed ^ 0x7265_6366_6771_7521);
+    let mut delta = ConfigDelta::default();
+    if rng.gen_range(2) == 0 {
+        delta.resources = Some(inflate(&derived.resources, rng.gen_range(64))?);
+    }
+    if rng.gen_range(4) == 0 {
+        delta.slot = derived.cqf.slot.checked_mul(2);
+    }
+    if rng.gen_range(4) == 0 {
+        delta.aggregate_switch_tbl = Some(!derived.aggregate_switch_tbl);
+    }
+    if rng.gen_range(4) == 0 {
+        let shifted: FlowMap<SimDuration> = derived
+            .itp
+            .offsets
+            .iter()
+            .map(|(id, off)| (id, *off + SimDuration::from_micros(1)))
+            .collect();
+        delta.offsets = Some(shifted);
+    }
+    Ok(delta)
+}
+
+/// Oracle 9 — reconfigure equivalence: build a resident
+/// [`NetworkTemplate`] from the derived configuration, apply a random
+/// [`ConfigDelta`] (resources / slot / aggregation / offsets, each with
+/// an independent coin), and cross-check against a from-scratch
+/// [`Network::build`] under the identical effective config. The two
+/// paths must agree *exactly*: byte-identical `Debug`-rendered reports
+/// when both succeed, the same error when both reject the delta, and
+/// never one succeeding where the other fails.
+pub fn reconfigure_equivalence(case: &ScenarioCase) -> Verdict {
+    let (topology, flows, derived) = match prepare(case) {
+        Ok(x) => x,
+        Err(v) => return v,
+    };
+    let mut base = case.base_config();
+    base.slot = derived.cqf.slot;
+    base.resources = derived.resources.clone();
+    base.aggregate_switch_tbl = derived.aggregate_switch_tbl;
+    let template = match NetworkTemplate::new(
+        topology.clone(),
+        flows.clone(),
+        &derived.itp.offsets,
+        base.clone(),
+    ) {
+        Ok(t) => Arc::new(t),
+        Err(e) => return Verdict::Fail(format!("post-derive template build failed: {e}")),
+    };
+    let delta = match random_delta(case, &derived) {
+        Ok(d) => d,
+        Err(e) => return Verdict::Fail(format!("inflating a derived config failed: {e}")),
+    };
+
+    let mut scratch_config = base;
+    if let Some(resources) = &delta.resources {
+        scratch_config.resources = resources.clone();
+    }
+    if let Some(slot) = delta.slot {
+        scratch_config.slot = slot;
+    }
+    if let Some(aggregate) = delta.aggregate_switch_tbl {
+        scratch_config.aggregate_switch_tbl = aggregate;
+    }
+    let offsets = delta
+        .offsets
+        .clone()
+        .unwrap_or_else(|| derived.itp.offsets.clone());
+
+    let incremental = template.reconfigure(&delta).map(Network::run);
+    let scratch = Network::build(topology, flows, &offsets, scratch_config).map(Network::run);
+    match (incremental, scratch) {
+        (Ok(inc), Ok(scr)) => {
+            if inc != scr || format!("{inc:?}") != format!("{scr:?}") {
+                Verdict::Fail(format!(
+                    "incremental reconfigure diverged from a from-scratch build \
+                     (delta {delta:?}): incremental [{inc}] vs scratch [{scr}]"
+                ))
+            } else {
+                Verdict::Pass
+            }
+        }
+        (Err(inc), Err(scr)) => {
+            if inc.to_string() == scr.to_string() {
+                Verdict::Pass
+            } else {
+                Verdict::Fail(format!(
+                    "paths reject the delta with different errors: \
+                     incremental [{inc}] vs scratch [{scr}]"
+                ))
+            }
+        }
+        (Ok(_), Err(e)) => Verdict::Fail(format!(
+            "from-scratch build rejected the delta ({e}) but reconfigure accepted it"
+        )),
+        (Err(e), Ok(_)) => Verdict::Fail(format!(
+            "reconfigure rejected the delta ({e}) but a from-scratch build accepted it"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -713,7 +827,7 @@ mod tests {
             assert!(oracle_by_name(name).is_some());
         }
         assert!(oracle_by_name("nope").is_none());
-        assert_eq!(ORACLES.len(), 8);
+        assert_eq!(ORACLES.len(), 9);
     }
 
     /// Planted defect: a deliberately over-provisioned "optimum" must be

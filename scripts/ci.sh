@@ -102,22 +102,42 @@ if ! awk -v g="$smoke_reduction" 'BEGIN { exit !(g >= 5) }'; then
     exit 1
 fi
 
-# Scale smoke: the 10k-flow plant case of the scale bench (the 100k and
-# opt-in 1M cases stay full-budget-only). The case itself asserts
-# byte-identical reports across event-queue backends and the sharded
-# engine and a < 1 GiB peak RSS; the gates below add an absolute
-# throughput floor, a smoke RSS ceiling, and the events/sec geomean vs
-# the pinned baselines in BENCH_7.json (same >= 0.95x rule as BENCH_2).
-# The tracked full-budget BENCH_7.json is restored afterwards.
+# Zero-allocation proof: the counting-allocator test asserts the serial
+# event loop's steady state performs no heap allocation after warmup on
+# the large-plant workload. Release mode, on its own line so a hot-path
+# allocation regression is named here rather than buried in the
+# workspace test wall.
+run cargo test -q --release -p tsn-sim --test zero_alloc
+
+# Scale smoke: the 10k-flow cases of the scale bench — the plant
+# throughput case (the 100k and opt-in 1M cases stay full-budget-only)
+# plus the reconfigure-vs-rebuild case the same filter now selects. The
+# throughput case asserts byte-identical reports across event-queue
+# backends and the sharded engine and a < 1 GiB peak RSS; the reconfig
+# case asserts the reconfigure-path report digests identically to a
+# from-scratch build. The gates below add an absolute throughput floor,
+# a smoke RSS ceiling, the events/sec geomeans vs the pinned baselines
+# in BENCH_7.json / BENCH_10.json (same >= 0.95x rule as BENCH_2), and
+# an incremental-reconfigure speedup floor: >= 2x over from-scratch
+# rebuild at smoke scale (the recorded full-budget 100k case clears
+# >= 5x; 10k rebuilds are small enough that fixed per-instantiation
+# costs compress the ratio). Both tracked full-budget JSON files are
+# restored afterwards.
 tracked_bench7="$(mktemp)"
+tracked_bench10="$(mktemp)"
 cp BENCH_7.json "$tracked_bench7"
+cp BENCH_10.json "$tracked_bench10"
 run cargo bench -q -p tsn-bench --bench scale -- flows/10k
 scale_geomean="$(sed -n 's/.*"events_per_sec_geomean_vs_baseline": \([0-9.]*\).*/\1/p' BENCH_7.json)"
 scale_eps="$(sed -n 's/.*"events_per_sec": \([0-9.]*\).*/\1/p' BENCH_7.json | head -n1)"
 scale_rss="$(sed -n 's/.*"peak_rss_bytes": \([0-9]*\).*/\1/p' BENCH_7.json | head -n1)"
+reconfig_geomean="$(sed -n 's/.*"events_per_sec_geomean_vs_baseline": \([0-9.]*\).*/\1/p' BENCH_10.json)"
+reconfig_speedup="$(sed -n 's/.*"reconfigure_speedup": \([0-9.]*\).*/\1/p' BENCH_10.json | head -n1)"
 cp "$tracked_bench7" BENCH_7.json
-rm -f "$tracked_bench7"
-if [ -z "$scale_geomean" ] || [ -z "$scale_eps" ]; then
+cp "$tracked_bench10" BENCH_10.json
+rm -f "$tracked_bench7" "$tracked_bench10"
+if [ -z "$scale_geomean" ] || [ -z "$scale_eps" ] \
+    || [ -z "$reconfig_geomean" ] || [ -z "$reconfig_speedup" ]; then
     echo "scale smoke wrote incomplete summary fields" >&2
     exit 1
 fi
@@ -136,6 +156,16 @@ fi
 echo "==> scale smoke geomean ${scale_geomean}x vs pinned events/sec baselines (gate: >= 0.95)"
 if ! awk -v g="$scale_geomean" 'BEGIN { exit !(g >= 0.95) }'; then
     echo "scale bench geomean ${scale_geomean}x regressed below 0.95x baseline" >&2
+    exit 1
+fi
+echo "==> reconfig smoke: ${reconfig_speedup}x incremental reconfigure vs rebuild at 10k flows (floor: 2)"
+if ! awk -v s="$reconfig_speedup" 'BEGIN { exit !(s >= 2) }'; then
+    echo "incremental reconfigure is only ${reconfig_speedup}x a from-scratch rebuild, below the 2x smoke floor" >&2
+    exit 1
+fi
+echo "==> reconfig smoke geomean ${reconfig_geomean}x vs pinned events/sec baselines (gate: >= 0.95)"
+if ! awk -v g="$reconfig_geomean" 'BEGIN { exit !(g >= 0.95) }'; then
+    echo "reconfigure-path bench geomean ${reconfig_geomean}x regressed below 0.95x baseline" >&2
     exit 1
 fi
 
